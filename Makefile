@@ -1,0 +1,36 @@
+# Convenience targets for the RPSLyzer reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures lint-world clean
+
+install:
+	pip install -e . --no-build-isolation || \
+	  echo "$(CURDIR)/src" > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro.pth
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure artifact into benchmarks/results/.
+figures: bench
+	@ls benchmarks/results/
+
+examples:
+	@for script in examples/*.py; do \
+	  echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+# End-to-end CLI walkthrough into ./world-demo.
+lint-world:
+	$(PYTHON) -m repro synth world-demo --preset tiny --routes
+	$(PYTHON) -m repro parse world-demo -o world-demo/ir.json
+	$(PYTHON) -m repro lint --ir world-demo/ir.json --as-rel world-demo/as-rel.txt
+	$(PYTHON) -m repro verify --ir world-demo/ir.json \
+	  --as-rel world-demo/as-rel.txt --table world-demo/table.txt
+
+clean:
+	rm -rf world-demo benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Extension: longitudinal verification across registry snapshots.
+
+The paper's future work includes "tracking the evolution of RPSL policy
+usage over time"; with the history substrate we can run that study
+offline: evolve the registry through epochs of churn and verify the same
+route sample against each snapshot, watching statuses drift as route
+objects decay and rules churn.
+"""
+
+from collections import Counter
+
+from conftest import emit
+
+from repro.core.status import VerifyStatus
+from repro.core.verify import Verifier
+from repro.irr.history import ChurnConfig, snapshot_series
+from repro.stats.routes import route_object_stats
+
+
+def verify_sample(ir, topology, sample) -> Counter:
+    verifier = Verifier(ir, topology)
+    counts: Counter = Counter()
+    for entry in sample:
+        for hop in verifier.verify_entry(entry).hops:
+            counts[hop.status] += 1
+    return counts
+
+
+def test_verification_across_epochs(benchmark, ir, world, routes):
+    sample = routes[:1500]
+    # Aggressive decay so the trend is visible at bench scale.
+    config = ChurnConfig(
+        route_removal=0.15, route_addition=0.10,
+        rule_removal=0.05, rule_addition=0.01, seed=3,
+    )
+    series = benchmark.pedantic(
+        snapshot_series, args=(ir, 3, config), rounds=1, iterations=1
+    )
+
+    lines = [f"{'epoch':>6} {'routes-reg':>11} {'verified':>9} {'unrec':>7} {'unverified':>11}"]
+    verified_trend = []
+    for epoch, snapshot in enumerate(series):
+        counts = verify_sample(snapshot, world.topology, sample)
+        total = sum(counts.values())
+        verified_trend.append(counts[VerifyStatus.VERIFIED] / total)
+        lines.append(
+            f"{epoch:>6} {route_object_stats(snapshot).total_objects:>11} "
+            f"{counts[VerifyStatus.VERIFIED] / total:>9.3f} "
+            f"{counts[VerifyStatus.UNRECORDED] / total:>7.3f} "
+            f"{counts[VerifyStatus.UNVERIFIED] / total:>11.3f}"
+        )
+    emit("ext_evolution", "\n".join(lines))
+
+    # Route-object decay erodes strict matches: the verified fraction at
+    # the end of the series is below the starting point.
+    assert verified_trend[-1] < verified_trend[0]
+    # Each snapshot still verifies a meaningful share (registries decay
+    # gradually, not catastrophically).
+    assert all(fraction > 0.02 for fraction in verified_trend)

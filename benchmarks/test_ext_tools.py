@@ -1,0 +1,89 @@
+"""Extension benchmarks: the paper's future-work tooling.
+
+Not paper figures — these quantify the extensions (linter, relationship
+inference, usage classification, WHOIS engine, history diffing) on the
+same benchmark world, so regressions in the tooling layer are visible.
+"""
+
+from collections import Counter
+
+from conftest import emit
+
+from repro.irr.history import ChurnConfig, diff_irs, evolve_ir
+from repro.irr.whois import WhoisEngine
+from repro.tools.asrel import infer_relationships, score_inference
+from repro.tools.classify import classify_ir
+from repro.tools.lint import lint_ir
+
+
+def test_lint_throughput(benchmark, ir, registry, world):
+    report = benchmark(lint_ir, ir, registry.all_errors(), world.topology)
+    counts = report.counts()
+    lines = [f"{code}: {count}" for code, count in sorted(counts.items())]
+    emit("ext_lint", f"{len(report)} findings\n" + "\n".join(lines))
+    # The generator injects every pathology the linter knows about.
+    assert counts.get("RPS030", 0) > 0  # export-self
+    assert counts.get("RPS031", 0) > 0  # import-customer
+    assert counts.get("RPS012", 0) > 0  # as-set loops
+    assert counts.get("RPS051", 0) > 0  # multi-origin prefixes
+
+
+def test_relationship_inference_accuracy(benchmark, ir, world):
+    inferred = benchmark(infer_relationships, ir)
+    score = score_inference(world.topology, inferred)
+    lines = [f"{key}: {value}" for key, value in score.as_dict().items()]
+    emit("ext_asrel", "\n".join(lines))
+    # Where RPSL speaks, it speaks truly: high transit precision; recall is
+    # bounded by adoption (~half the ASes are silent).
+    assert score.transit_precision > 0.85
+    assert 0.1 < score.transit_recall < 0.95
+
+
+def test_classification_census(benchmark, ir, world):
+    labels, census = benchmark(
+        classify_ir, ir, world.topology.ases(), world.topology
+    )
+    lines = [f"{label}: {count}" for label, count in census.most_common()]
+    emit("ext_classify", "\n".join(lines))
+    # Shape: silent + ghost ≈ the paper's ~53% non-declaring ASes.
+    total = sum(census.values())
+    assert 0.3 < (census["silent"] + census["ghost"]) / total < 0.75
+    assert census["power-user"] < census["documented"] + census["minimal"]
+    # Generator ground truth: absent ASes are classified silent.
+    absent = [asn for asn, profile in world.profiles.items() if profile == "absent"]
+    assert all(labels[asn] == "silent" for asn in absent)
+
+
+def test_whois_engine_throughput(benchmark, ir):
+    engine = WhoisEngine(ir)
+    asns = sorted(ir.aut_nums)[:50]
+    set_names = sorted(ir.as_sets)[:50]
+
+    def query_mix() -> int:
+        answered = 0
+        for asn in asns:
+            answered += engine.bang(f"!gAS{asn}") != "D"
+        for name in set_names:
+            answered += engine.bang(f"!i{name},1") != "D"
+        return answered
+
+    answered = benchmark(query_mix)
+    emit("ext_whois", f"{answered}/{len(asns) + len(set_names)} queries answered")
+    assert answered > 50
+
+
+def test_history_churn(benchmark, ir):
+    config = ChurnConfig(seed=7)
+
+    def one_epoch():
+        evolved = evolve_ir(ir, config, epoch=1)
+        return diff_irs(ir, evolved)
+
+    diff = benchmark(one_epoch)
+    summary = diff.summary()
+    emit(
+        "ext_history",
+        "\n".join(f"{kind}: {count}" for kind, count in summary.items()),
+    )
+    assert summary["added"] > 0
+    assert summary["removed"] > 0

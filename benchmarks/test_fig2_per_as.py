@@ -1,0 +1,40 @@
+"""F2 — Figure 2: verification status per AS."""
+
+from conftest import emit
+
+from repro.core.status import VerifyStatus
+
+
+def render_fig2(verification) -> str:
+    singles = verification.ases_with_single_status()
+    total = len(verification.per_as)
+    lines = [f"ASes observed: {total}"]
+    lines.append(
+        f"ASes with one uniform status: {sum(singles.values())} "
+        f"({sum(singles.values()) / total:.1%})"
+    )
+    for status in VerifyStatus:
+        lines.append(f"  all-{status.label:12}: {singles.get(status, 0):>6}")
+    # stacked-bar data: average status mix across ASes
+    lines.append("mean per-AS status fractions:")
+    sums = {status: 0.0 for status in VerifyStatus}
+    for mix in verification.per_as.values():
+        for status, fraction in mix.fractions().items():
+            sums[status] += fraction
+    for status in VerifyStatus:
+        lines.append(f"  {status.label:12}: {sums[status] / total:.3f}")
+    return "\n".join(lines)
+
+
+def test_fig2(benchmark, verification):
+    text = benchmark(render_fig2, verification)
+    emit("fig2_per_as", text)
+
+    total = len(verification.per_as)
+    singles = verification.ases_with_single_status()
+    # Paper: 74.4% of ASes have a single uniform status.
+    assert sum(singles.values()) / total > 0.4
+    # Unrecorded-only ASes are the biggest uniform group (paper: 51.6%).
+    assert singles.get(VerifyStatus.UNRECORDED, 0) == max(singles.values())
+    # Some ASes are fully verified (paper: 14.2%).
+    assert singles.get(VerifyStatus.VERIFIED, 0) > 0

@@ -1,0 +1,33 @@
+"""F3 — Figure 3: verification status per AS pair (both directions)."""
+
+from conftest import emit
+
+from repro.core.status import VerifyStatus
+
+
+def render_fig3(verification) -> str:
+    import_single, import_total = verification.pairs_with_single_status("import")
+    export_single, export_total = verification.pairs_with_single_status("export")
+    lines = [
+        f"AS pairs observed: {verification.total_pairs()}",
+        f"import pairs single-status: {import_single}/{import_total} "
+        f"({import_single / import_total:.1%})",
+        f"export pairs single-status: {export_single}/{export_total} "
+        f"({export_single / export_total:.1%})",
+        f"pairs with >=1 unverified hop: "
+        f"{verification.pairs_with_status(VerifyStatus.UNVERIFIED)}",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig3(benchmark, verification):
+    text = benchmark(render_fig3, verification)
+    emit("fig3_per_pair", text)
+
+    import_single, import_total = verification.pairs_with_single_status("import")
+    export_single, export_total = verification.pairs_with_single_status("export")
+    # Paper: 91.7% (imports) and 92% (exports) of pairs are single-status.
+    assert import_single / import_total > 0.6
+    assert export_single / export_total > 0.6
+    # A large share of pairs carries unverified routes (paper: 63%).
+    assert verification.pairs_with_status(VerifyStatus.UNVERIFIED) > 0

@@ -1,0 +1,41 @@
+"""F4 — Figure 4: verification status across all hops of each route."""
+
+from conftest import emit
+
+from repro.core.status import VerifyStatus
+
+
+def render_fig4(verification) -> str:
+    total = verification.routes_verified()
+    lines = [f"routes: {total} (ignored: {dict(verification.routes_ignored)})"]
+    uniform = verification.single_status_route_fractions()
+    lines.append(f"single-status routes: {sum(uniform.values()):.1%}")
+    for status, fraction in sorted(uniform.items()):
+        lines.append(f"  all-{status.label:12}: {fraction:.3%}")
+    lines.append("distinct statuses per route:")
+    for count, routes in sorted(verification.route_status_count_hist.items()):
+        lines.append(f"  {count} statuses: {routes:>8} ({routes / total:.1%})")
+    lines.append("hop-level status fractions:")
+    hop_total = sum(verification.hop_totals.values())
+    for status in VerifyStatus:
+        lines.append(
+            f"  {status.label:12}: {verification.hop_totals.get(status, 0) / hop_total:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig4(benchmark, verification):
+    text = benchmark(render_fig4, verification)
+    emit("fig4_per_route", text)
+
+    # Paper: only 6.6% of routes have one status across all hops; most mix
+    # two or three. Loose banding for the synthetic world:
+    uniform_fraction = sum(verification.single_status_route_fractions().values())
+    assert uniform_fraction < 0.5
+    histogram = verification.route_status_count_hist
+    mixed = sum(count for statuses, count in histogram.items() if statuses >= 2)
+    assert mixed > histogram.get(1, 0)
+    # The paper ignores a small trickle of AS_SET and single-AS routes.
+    total = verification.routes_total
+    ignored = sum(verification.routes_ignored.values())
+    assert ignored / total < 0.02

@@ -1,0 +1,30 @@
+"""F5 — Figure 5: breakdown of unrecorded verification failures."""
+
+from conftest import emit
+
+from repro.core.status import UnrecordedReason
+
+
+def render_fig5(verification) -> str:
+    breakdown = verification.unrecorded_breakdown()
+    total_ases = len(verification.per_as)
+    lines = [f"ASes with >=1 unrecorded case: {len(verification.unrec_reasons_per_as)}"]
+    for reason in UnrecordedReason:
+        count = breakdown.get(reason, 0)
+        lines.append(f"  {reason.value:16}: {count:>6} ASes ({count / total_ases:.1%})")
+    return "\n".join(lines)
+
+
+def test_fig5(benchmark, verification):
+    text = benchmark(render_fig5, verification)
+    emit("fig5_unrecorded", text)
+
+    breakdown = verification.unrecorded_breakdown()
+    # Paper ordering: missing aut-num (22,562) > zero rules (20,048) >
+    # zero-route ASes (2,706) > missing sets (414).
+    no_aut_num = breakdown.get(UnrecordedReason.NO_AUT_NUM, 0)
+    no_rules = breakdown.get(UnrecordedReason.NO_RULES, 0)
+    zero_route = breakdown.get(UnrecordedReason.ZERO_ROUTE_AS, 0)
+    assert no_aut_num > 0 and no_rules > 0
+    assert no_aut_num + no_rules > zero_route
+    assert no_aut_num + no_rules > breakdown.get(UnrecordedReason.MISSING_SET, 0)

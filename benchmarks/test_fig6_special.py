@@ -1,0 +1,34 @@
+"""F6 — Figure 6: breakdown of special cases per AS."""
+
+from conftest import emit
+
+from repro.core.status import SpecialCase
+
+
+def render_fig6(verification) -> str:
+    breakdown = verification.special_breakdown()
+    total_ases = len(verification.per_as)
+    lines = [
+        f"ASes with >=1 special-cased import/export: "
+        f"{verification.ases_with_special_cases()} "
+        f"({verification.ases_with_special_cases() / total_ases:.1%})"
+    ]
+    for case in SpecialCase:
+        count = breakdown.get(case, 0)
+        lines.append(f"  {case.value:24}: {count:>6} ASes ({count / total_ases:.2%})")
+    return "\n".join(lines)
+
+
+def test_fig6(benchmark, verification):
+    text = benchmark(render_fig6, verification)
+    emit("fig6_special", text)
+
+    breakdown = verification.special_breakdown()
+    uphill = breakdown.get(SpecialCase.UPHILL, 0)
+    export_self = breakdown.get(SpecialCase.EXPORT_SELF, 0)
+    import_customer = breakdown.get(SpecialCase.IMPORT_CUSTOMER, 0)
+    # Paper shape: uphill (28.1% of ASes) >> export-self (1.2%) >
+    # import-customer (0.4%); missing routes sit in between.
+    assert uphill == max(breakdown.values())
+    assert export_self >= import_customer
+    assert verification.ases_with_special_cases() > 0

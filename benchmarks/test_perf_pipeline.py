@@ -1,0 +1,41 @@
+"""P4 — the full pipeline, end to end: synth → parse → merge → verify.
+
+One number summarizing the whole reproduction: wall time from nothing to
+Figure 4 data on a small world.  The paper's equivalent is "dumps to
+results" turnaround; here it guards against regressions anywhere in the
+stack.
+"""
+
+from conftest import emit
+
+from repro.bgp.routegen import collector_routes
+from repro.core.status import VerifyStatus
+from repro.core.verify import Verifier
+from repro.irr.synth import SynthConfig, build_world
+from repro.stats.verification import VerificationStats
+
+
+def full_pipeline(seed: int) -> VerificationStats:
+    config = SynthConfig(
+        seed=seed, n_tier1=4, n_tier2=12, n_tier3=40, n_stub=120,
+        n_collectors=2, peers_per_collector=6,
+    )
+    world = build_world(config)
+    ir = world.merged_ir()
+    verifier = Verifier(ir, world.topology)
+    stats = VerificationStats()
+    for entry in collector_routes(world.topology, world.announced, world.collectors):
+        stats.add_report(verifier.verify_entry(entry))
+    return stats
+
+
+def test_full_pipeline(benchmark):
+    stats = benchmark.pedantic(full_pipeline, args=(77,), rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    emit(
+        "perf_pipeline",
+        f"synth+parse+merge+verify: {seconds:.2f}s\n"
+        f"routes: {stats.routes_verified()}, hops: {sum(stats.hop_totals.values())}",
+    )
+    assert stats.routes_verified() > 1000
+    assert stats.hop_totals[VerifyStatus.VERIFIED] > 0

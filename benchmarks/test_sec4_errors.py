@@ -1,0 +1,24 @@
+"""S4c — Section 4 text: the RPSL error census."""
+
+from conftest import emit
+
+from repro.stats.usage import error_census
+
+
+def render(registry) -> str:
+    census = error_census(registry.all_errors())
+    return "\n".join(f"{key:24}: {value}" for key, value in census.items())
+
+
+def test_error_census(benchmark, registry, ir):
+    text = benchmark(render, registry)
+    emit("sec4_errors", text)
+
+    census = error_census(registry.all_errors())
+    counts = ir.counts()
+    total_rules = counts["import"] + counts["export"]
+    # Paper: 663 syntax errors against 822k rules — errors are rare but
+    # nonzero; the reserved AS-ANY set is flagged.
+    assert census["syntax"] > 0
+    assert census["syntax"] < total_rules * 0.05
+    assert census["reserved-name"] >= 1  # sets with literal ANY members

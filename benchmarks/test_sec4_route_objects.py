@@ -1,0 +1,28 @@
+"""S4a — Section 4 text: route-object multiplicity statistics."""
+
+from conftest import emit
+
+from repro.stats.routes import route_object_stats
+
+
+def render(ir) -> str:
+    stats = route_object_stats(ir)
+    return "\n".join(f"{key:40}: {value}" for key, value in stats.as_dict().items())
+
+
+def test_route_object_stats(benchmark, ir, world):
+    text = benchmark(render, ir)
+    emit("sec4_route_objects", text)
+
+    stats = route_object_stats(ir)
+    announced = sum(len(prefixes) for prefixes in world.announced.values())
+    # Paper: ~3× more registered prefixes than announced (stale objects,
+    # pre-registrations). The generator injects a >1 inflation factor.
+    assert stats.unique_prefixes > announced * 0.9
+    # Multi-origin and multi-maintainer pathologies exist.
+    assert stats.prefixes_with_multiple_objects > 0
+    assert stats.prefixes_with_multiple_origins > 0
+    assert stats.prefixes_with_multiple_maintainers > 0
+    # Multi-origin prefixes are a minority of multi-object prefixes.
+    assert stats.prefixes_with_multiple_origins <= stats.prefixes_with_multiple_objects
+    assert stats.unique_prefix_origin_pairs <= stats.total_objects

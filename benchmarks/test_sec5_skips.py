@@ -1,0 +1,41 @@
+"""S5a — Section 5: rules skipped, RPSLyzer vs a BGPq4-class tool.
+
+The paper reports RPSLyzer skips 114 of 822,207 rules (~0.01%) while
+BGPq4 cannot handle 21,463 (~2.6%) — two orders of magnitude apart.
+"""
+
+from conftest import emit
+
+from repro.baseline.bgpq4 import bgpq4_skip_census
+from repro.core.verify import rule_skip_census
+
+
+def render(ir) -> str:
+    ours = rule_skip_census(ir)
+    theirs = bgpq4_skip_census(ir)
+    lines = [
+        f"total rules          : {ours['total']}",
+        f"RPSLyzer skipped     : {ours['skipped']} "
+        f"({ours['skipped'] / ours['total']:.3%})",
+        f"  community filters  : {ours.get('community-filter', 0)}",
+        f"  regex ASN ranges   : {ours.get('regex-asn-range', 0)}",
+        f"  regex ~ operators  : {ours.get('regex-same-pattern', 0)}",
+        f"  unparsed           : {ours.get('unparsed', 0)}",
+        f"BGPq4 skipped        : {theirs['skipped']} "
+        f"({theirs['skipped'] / theirs['total']:.3%})",
+    ]
+    return "\n".join(lines)
+
+
+def test_skip_comparison(benchmark, ir):
+    text = benchmark(render, ir)
+    emit("sec5_skips", text)
+
+    ours = rule_skip_census(ir)
+    theirs = bgpq4_skip_census(ir)
+    assert ours["total"] == theirs["total"]
+    # RPSLyzer handles strictly more rules than the BGPq4 envelope, by a
+    # wide margin (paper: 114 vs 21,463 — two orders of magnitude).
+    assert ours["skipped"] < theirs["skipped"]
+    assert ours["skipped"] / ours["total"] < 0.02
+    assert theirs["skipped"] >= 3 * max(ours["skipped"], 1)

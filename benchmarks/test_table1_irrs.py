@@ -1,0 +1,30 @@
+"""T1 — Table 1: per-IRR dataset summary (size, objects, rules)."""
+
+from conftest import emit
+
+
+def render_table1(registry) -> str:
+    rows = registry.table1()
+    lines = [f"{'IRR':10} {'SIZE(KiB)':>10} {'aut-num':>8} {'route':>8} {'import':>8} {'export':>8}"]
+    for name, row in rows:
+        lines.append(
+            f"{name:10} {row['size_bytes'] / 1024:>10.1f} {row['aut-num']:>8} "
+            f"{row['route']:>8} {row['import']:>8} {row['export']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1(benchmark, registry):
+    text = benchmark(render_table1, registry)
+    emit("table1_irrs", text)
+
+    rows = dict(registry.table1())
+    total = rows["Total"]
+    # Shape: every IRR present, totals add up, RIPE is the largest
+    # authoritative registry and LACNIC carries no rules (as in the paper).
+    assert total["aut-num"] == sum(
+        row["aut-num"] for name, row in rows.items() if name != "Total"
+    )
+    assert rows["RIPE"]["aut-num"] >= rows["ARIN"]["aut-num"]
+    assert rows["LACNIC"]["import"] == 0 and rows["LACNIC"]["export"] == 0
+    assert total["route"] > total["aut-num"]

@@ -1,0 +1,31 @@
+"""T2 — Table 2: objects defined vs referenced in rules."""
+
+from conftest import emit
+
+from repro.stats.usage import reference_census
+
+
+def render_table2(ir) -> str:
+    census = reference_census(ir)
+    lines = [f"{'class':12} {'defined':>8} {'overall':>8} {'peering':>8} {'filter':>8}"]
+    for cls, defined, overall, peering, in_filter in census.table():
+        lines.append(f"{cls:12} {defined:>8} {overall:>8} {peering:>8} {in_filter:>8}")
+    return "\n".join(lines)
+
+
+def test_table2(benchmark, ir):
+    text = benchmark(render_table2, ir)
+    emit("table2_references", text)
+
+    census = reference_census(ir)
+    rows = {row[0]: row for row in census.table()}
+    # Shape relations from the paper: a majority of aut-nums are referenced
+    # in filters; more as-sets are defined than referenced; route-sets are
+    # defined but referenced by only a minority of rules.
+    assert rows["aut-num"][2] > 0
+    assert rows["as-set"][1] >= rows["as-set"][2]
+    assert rows["route-set"][1] > 0
+    # Referenced counts never exceed defined counts (referenced ∩ defined).
+    for cls, defined, overall, peering, in_filter in census.table():
+        assert overall <= defined
+        assert peering <= defined and in_filter <= defined

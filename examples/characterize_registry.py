@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Section 4 characterization on a synthetic multi-IRR registry.
+
+Regenerates, at example scale, the paper's Table 1, Table 2, Figure 1
+samples, and the route-object / as-set statistics.
+
+Run: ``python examples/characterize_registry.py [seed]``
+"""
+
+import sys
+
+from repro.irr.synth import build_world, default_config
+from repro.stats.as_sets import as_set_stats
+from repro.stats.ccdf import fraction_at_least
+from repro.stats.routes import route_object_stats
+from repro.stats.usage import (
+    error_census,
+    filter_kind_census,
+    peering_simplicity,
+    reference_census,
+    rules_per_aut_num,
+)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    world = build_world(default_config(seed))
+    registry = world.registry()
+    ir = registry.merged()
+
+    print("== Table 1: IRRs used ==")
+    print(f"{'IRR':8} {'KiB':>8} {'aut-num':>8} {'route':>8} {'import':>8} {'export':>8}")
+    for name, row in registry.table1():
+        print(
+            f"{name:8} {row['size_bytes'] / 1024:>8.1f} {row['aut-num']:>8} "
+            f"{row['route']:>8} {row['import']:>8} {row['export']:>8}"
+        )
+
+    print("\n== Table 2: defined vs referenced ==")
+    census = reference_census(ir)
+    print(f"{'class':12} {'defined':>8} {'overall':>8} {'peering':>8} {'filter':>8}")
+    for row in census.table():
+        print(f"{row[0]:12} {row[1]:>8} {row[2]:>8} {row[3]:>8} {row[4]:>8}")
+
+    print("\n== Figure 1: rules per aut-num (CCDF samples) ==")
+    counts = list(rules_per_aut_num(ir).values())
+    for threshold in (0, 1, 5, 10, 50):
+        print(f"  P[rules >= {threshold:>3}] = {fraction_at_least(counts, threshold):.3f}")
+
+    print("\n== Peering simplicity ==")
+    simple = peering_simplicity(ir)
+    total = sum(simple.values())
+    for kind, count in sorted(simple.items(), key=lambda item: -item[1]):
+        print(f"  {kind:12}: {count:>6} ({count / total:.1%})")
+
+    print("\n== Filter kinds ==")
+    kinds = filter_kind_census(ir)
+    total = sum(kinds.values())
+    for kind, count in sorted(kinds.items(), key=lambda item: -item[1]):
+        print(f"  {kind:14}: {count:>6} ({count / total:.1%})")
+
+    print("\n== Route objects ==")
+    for key, value in route_object_stats(ir).as_dict().items():
+        print(f"  {key:40}: {value}")
+
+    print("\n== As-sets ==")
+    for key, value in as_set_stats(ir, huge_threshold=50, deep_threshold=3).as_dict().items():
+        print(f"  {key:20}: {value}")
+
+    print("\n== RPSL errors ==")
+    for key, value in error_census(registry.all_errors()).items():
+        print(f"  {key:24}: {value}")
+
+
+if __name__ == "__main__":
+    main()

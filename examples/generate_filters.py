@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""BGPq4-style router filter generation from IRR objects.
+
+The operational use case that motivates keeping *route* objects accurate:
+transit providers feed customer as-sets into tools like BGPq4/IRRToolSet
+to build ingress prefix filters.  This example resolves an as-set through
+the query engine and renders the filter in three formats.
+
+Run: ``python examples/generate_filters.py``
+"""
+
+from repro.baseline.bgpq4 import Bgpq4Resolver
+from repro import parse_dump_text
+
+DUMP = """\
+as-set:     AS64500:AS-CUSTOMERS
+members:    AS64510, AS64520, AS64500:AS-RESELLERS
+
+as-set:     AS64500:AS-RESELLERS
+members:    AS64530
+
+route:      198.51.100.0/24
+origin:     AS64510
+
+route:      203.0.113.0/24
+origin:     AS64520
+
+route:      192.0.2.0/24
+origin:     AS64530
+
+route6:     2001:db8:10::/48
+origin:     AS64510
+
+route-set:  RS-STATICS
+members:    100.64.0.0/10^24-24, 198.18.0.0/15
+"""
+
+
+def main() -> None:
+    ir, _ = parse_dump_text(DUMP, "EXAMPLE")
+    resolver = Bgpq4Resolver(ir)
+
+    print("== plain (bgpq4 -4 AS64500:AS-CUSTOMERS) ==")
+    print(resolver.render_prefix_list("AS64500:AS-CUSTOMERS"))
+
+    print("\n== IPv6 (bgpq4 -6) ==")
+    print(resolver.render_prefix_list("AS64500:AS-CUSTOMERS", version=6))
+
+    print("\n== Juniper ==")
+    print(resolver.render_prefix_list("AS64500:AS-CUSTOMERS", style="junos"))
+
+    print("\n== Cisco, from a route-set ==")
+    print(resolver.render_prefix_list("RS-STATICS", style="cisco"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: parse RPSL, inspect the IR, verify one route.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Verifier, parse_dump_text
+from repro.bgp.topology import AsRelationships
+from repro.ir.json_io import dumps_ir
+
+# A miniature IRR dump: a provider (AS3356-like), a transit customer, and
+# an edge AS originating one prefix.
+DUMP = """\
+aut-num:    AS100
+as-name:    BIG-TRANSIT
+import:     from AS-ANY accept ANY
+export:     to AS-ANY announce AS-BIG-CONE
+
+as-set:     AS-BIG-CONE
+members:    AS100, AS200, AS300
+
+aut-num:    AS200
+as-name:    REGIONAL
+import:     from AS300 accept AS300
+import:     from AS100 accept ANY
+export:     to AS100 announce AS200:AS-CUSTOMERS
+export:     to AS300 announce ANY
+
+as-set:     AS200:AS-CUSTOMERS
+members:    AS200, AS300
+
+aut-num:    AS300
+as-name:    EDGE
+import:     from AS200 accept ANY
+export:     to AS200 announce AS300
+
+route:      203.0.113.0/24
+origin:     AS300
+"""
+
+# Business relationships, CAIDA as-rel style: provider|customer|-1.
+AS_REL = """\
+100|200|-1
+200|300|-1
+"""
+
+
+def main() -> None:
+    # 1. Parse the dump into the intermediate representation.
+    ir, errors = parse_dump_text(DUMP, source="EXAMPLE")
+    print(f"parsed objects: {ir.counts()}")
+    print(f"parse issues:   {len(errors)}")
+
+    # 2. The IR is JSON-exportable for other tools.
+    print(f"IR JSON size:   {len(dumps_ir(ir))} bytes")
+
+    # 3. Verify a route as a collector would observe it: AS-path
+    #    neighbor-first, origin-last.
+    relationships = AsRelationships.from_as_rel_text(AS_REL)
+    verifier = Verifier(ir, relationships)
+    report = verifier.verify_route("203.0.113.0/24", (100, 200, 300))
+    print("\nverification report (origin side first):")
+    print(report)
+
+    # 4. A route that AS300 never registered: the import-customer and
+    #    missing-routes relaxations kick in.
+    report = verifier.verify_route("198.51.100.0/24", (100, 200, 300))
+    print("\nunregistered prefix:")
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""RPSLyzer reproduction: parse, characterize, and verify RPSL policies.
+
+Public API tour:
+
+* parse IRR dumps — :func:`repro.irr.parse_dump_text` /
+  :func:`repro.irr.parse_registry_dir`, merged via
+  :class:`repro.irr.Registry`;
+* the intermediate representation — :class:`repro.ir.Ir`, JSON round-trip
+  in :mod:`repro.ir.json_io`;
+* verify BGP routes — :class:`repro.core.Verifier` over an IR plus an
+  :class:`repro.bgp.AsRelationships` database;
+* characterize — :mod:`repro.stats`;
+* generate an offline world — :func:`repro.irr.synth.build_world`.
+
+Quickstart::
+
+    from repro import Verifier, parse_dump_text
+    from repro.bgp.topology import AsRelationships
+
+    ir, errors = parse_dump_text(open("ripe.db").read(), "RIPE")
+    verifier = Verifier(ir, AsRelationships.load("as-rel.txt"))
+    report = verifier.verify_route("192.0.2.0/24", (3356, 1299, 64500))
+    print(report)
+"""
+
+from repro.bgp.topology import AsRelationships
+from repro.core.verify import Verifier, VerifyOptions
+from repro.core.status import SpecialCase, VerifyStatus
+from repro.ir.model import Ir
+from repro.irr.dump import parse_dump_file, parse_dump_text
+from repro.irr.registry import Registry, parse_registry_dir
+from repro.net.prefix import Prefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsRelationships",
+    "Ir",
+    "Prefix",
+    "Registry",
+    "SpecialCase",
+    "Verifier",
+    "VerifyOptions",
+    "VerifyStatus",
+    "__version__",
+    "parse_dump_file",
+    "parse_dump_text",
+    "parse_registry_dir",
+]

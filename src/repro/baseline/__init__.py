@@ -1,0 +1,15 @@
+"""Baselines the paper compares against (a BGPq4-class resolver)."""
+
+from repro.baseline.bgpq4 import (
+    Bgpq4Resolver,
+    bgpq4_skip_census,
+    is_filter_compatible,
+    is_rule_compatible,
+)
+
+__all__ = [
+    "Bgpq4Resolver",
+    "bgpq4_skip_census",
+    "is_filter_compatible",
+    "is_rule_compatible",
+]

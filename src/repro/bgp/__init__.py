@@ -1,0 +1,12 @@
+"""The BGP substrate: AS topology, route propagation, and table dumps."""
+
+from repro.bgp.table import RouteEntry, parse_table_text, route_entry_lines
+from repro.bgp.topology import AsRelationships, Rel
+
+__all__ = [
+    "AsRelationships",
+    "Rel",
+    "RouteEntry",
+    "parse_table_text",
+    "route_entry_lines",
+]

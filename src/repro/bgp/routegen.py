@@ -1,0 +1,204 @@
+"""Gao–Rexford route propagation over an AS topology.
+
+The paper verifies 779 M routes observed at RIPE RIS and RouteViews
+collectors.  Offline, this module produces the equivalent input: for every
+origin AS it computes the route each other AS selects under the standard
+valley-free export/selection model [Gao 2001]:
+
+* **export**: routes learned from a customer (or originated) are exported
+  to everyone; routes learned from a peer or provider only to customers;
+* **selection**: prefer customer-learned over peer-learned over
+  provider-learned routes, then shorter AS-paths, then the lower next-hop
+  ASN (a deterministic stand-in for router-id tie-breaking).
+
+Propagation runs in three phases (uphill, across, downhill), which realizes
+exactly the valley-free path set.  Paths are tuples ``(self, ..., origin)``
+— the AS-path the AS would announce (before prepending its own ASN again).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bgp.table import RouteEntry
+from repro.bgp.topology import AsRelationships
+from repro.net.prefix import Prefix
+
+__all__ = ["Collector", "propagate", "collector_routes", "RouteGenConfig"]
+
+_FROM_CUSTOMER = 0
+_FROM_PEER = 1
+_FROM_PROVIDER = 2
+
+
+def propagate(topology: AsRelationships, origin: int) -> dict[int, tuple[int, ...]]:
+    """Best valley-free path from every AS to ``origin``.
+
+    Returns ``{asn: (asn, ..., origin)}``; ASes with no valley-free route
+    to the origin are absent.  The origin maps to ``(origin,)``.
+    """
+    # best[asn] = (type_rank, path_length, next_hop, path)
+    best: dict[int, tuple[int, int, int, tuple[int, ...]]] = {
+        origin: (_FROM_CUSTOMER, 0, origin, (origin,))
+    }
+
+    # Phase 1 — uphill: customer routes climb provider links, BFS by length.
+    frontier = [origin]
+    while frontier:
+        next_frontier: list[int] = []
+        for asn in sorted(frontier):
+            rank, length, _, path = best[asn]
+            for provider in sorted(topology.providers.get(asn, ())):
+                if provider in path:
+                    continue
+                candidate = (_FROM_CUSTOMER, length + 1, asn, (provider,) + path)
+                if provider not in best or candidate < best[provider]:
+                    best[provider] = candidate
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    # Phase 2 — across: ASes holding customer routes export to peers once.
+    uphill_holders = sorted(best)
+    for asn in uphill_holders:
+        rank, length, _, path = best[asn]
+        if rank != _FROM_CUSTOMER:
+            continue
+        for peer in sorted(topology.peers.get(asn, ())):
+            if peer in path:
+                continue
+            candidate = (_FROM_PEER, length + 1, asn, (peer,) + path)
+            if peer not in best or candidate < best[peer]:
+                best[peer] = candidate
+
+    # Phase 3 — downhill: everything flows to customers, BFS by length.
+    frontier = sorted(best)
+    while frontier:
+        next_frontier = []
+        for asn in frontier:
+            rank, length, _, path = best[asn]
+            for customer in sorted(topology.customers.get(asn, ())):
+                if customer in path:
+                    continue
+                candidate = (_FROM_PROVIDER, length + 1, asn, (customer,) + path)
+                if customer not in best or candidate < best[customer]:
+                    best[customer] = candidate
+                    next_frontier.append(customer)
+        frontier = next_frontier
+
+    return {asn: entry[3] for asn, entry in best.items()}
+
+
+@dataclass(slots=True)
+class Collector:
+    """A route collector and the ASes that feed it full tables."""
+
+    name: str
+    peer_asns: tuple[int, ...]
+
+
+@dataclass(slots=True)
+class RouteGenConfig:
+    """Knobs for dump generation.
+
+    ``prepend_probability`` injects AS-path prepending (removed by the
+    verifier, as in the paper); ``as_set_probability`` injects BGP AS_SET
+    aggregation markers (routes the paper ignores, 0.03%); and
+    ``bare_peer_probability`` emits single-AS routes exported directly by a
+    collector peer (ignored, 0.06%).
+    """
+
+    prepend_probability: float = 0.02
+    max_prepends: int = 3
+    as_set_probability: float = 0.0003
+    bare_peer_probability: float = 0.0006
+    # Community tags: blackhole (RFC 7999) on a trickle of routes, plus an
+    # informational tag on a larger share — exercises community filters.
+    blackhole_probability: float = 0.0005
+    tagged_probability: float = 0.05
+    seed: int = 7
+
+
+def _decorate_path(
+    path: tuple[int, ...], config: RouteGenConfig, rng: random.Random
+) -> tuple[tuple[int, ...], frozenset[int] | None]:
+    """Apply optional prepending / AS_SET aggregation to a path."""
+    as_set: frozenset[int] | None = None
+    if len(path) > 1 and rng.random() < config.prepend_probability:
+        index = rng.randrange(len(path))
+        repeats = rng.randint(1, config.max_prepends)
+        path = path[: index + 1] + (path[index],) * repeats + path[index + 1 :]
+    if len(path) > 2 and rng.random() < config.as_set_probability:
+        as_set = frozenset({path[-1], path[-1] + 1})
+    return path, as_set
+
+
+def collector_routes(
+    topology: AsRelationships,
+    prefixes_by_origin: dict[int, list[Prefix]],
+    collectors: list[Collector],
+    config: RouteGenConfig | None = None,
+) -> Iterator[RouteEntry]:
+    """Generate the routes all collectors observe, origin by origin.
+
+    Propagation state for one origin is discarded before the next, keeping
+    memory flat regardless of topology size.
+    """
+    if config is None:
+        config = RouteGenConfig()
+    rng = random.Random(config.seed)
+    peer_set: set[int] = set()
+    for collector in collectors:
+        peer_set.update(collector.peer_asns)
+
+    for origin in sorted(prefixes_by_origin):
+        prefixes = prefixes_by_origin[origin]
+        if not prefixes:
+            continue
+        paths = propagate(topology, origin)
+        for collector in collectors:
+            for peer in collector.peer_asns:
+                path = paths.get(peer)
+                if path is None:
+                    continue
+                if len(path) == 1 and rng.random() >= config.bare_peer_probability:
+                    # Peers originating the prefix themselves yield single-AS
+                    # routes; emit only the configured trickle of them.
+                    continue
+                for prefix in prefixes:
+                    decorated, as_set = _decorate_path(path, config, rng)
+                    tags: set[tuple[int, int]] = set()
+                    if rng.random() < config.blackhole_probability:
+                        tags.add((65535, 666))
+                    if rng.random() < config.tagged_probability:
+                        tags.add((65000, origin % 65536))
+                    yield RouteEntry(
+                        collector=collector.name,
+                        peer_asn=peer,
+                        prefix=prefix,
+                        as_path=decorated,
+                        as_set=as_set,
+                        communities=frozenset(tags),
+                    )
+
+
+def default_collectors(
+    topology: AsRelationships, count: int = 4, peers_per_collector: int = 12, seed: int = 11
+) -> list[Collector]:
+    """Pick collector peers the way RIS/RouteViews skew: mostly large ASes.
+
+    Half the peers are drawn from the best-connected ASes (transit cores
+    peer with collectors disproportionately), half uniformly at random.
+    """
+    rng = random.Random(seed)
+    ases = sorted(topology.ases())
+    by_degree = sorted(ases, key=lambda asn: -len(topology.neighbors(asn)))
+    top = by_degree[: max(peers_per_collector * count, 1)]
+    collectors = []
+    for index in range(count):
+        big = rng.sample(top, min(peers_per_collector // 2, len(top)))
+        small = rng.sample(ases, min(peers_per_collector - len(big), len(ases)))
+        peers = tuple(sorted(set(big + small)))
+        collectors.append(Collector(name=f"rrc{index:02d}", peer_asns=peers))
+    return collectors

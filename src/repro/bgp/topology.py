@@ -1,0 +1,178 @@
+"""AS-level topology with business relationships.
+
+The verification special cases (Section 5.1 of the paper) consult CAIDA's
+AS-relationship database; this module models the same data: provider-
+customer and peer-peer links, Tier-1 membership, and customer cones.  It
+reads and writes CAIDA's ``as-rel`` text format::
+
+    # comment lines start with '#'
+    <provider>|<customer>|-1
+    <peer>|<peer>|0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["Rel", "AsRelationships"]
+
+
+class Rel(Enum):
+    """The role of a *neighbor* relative to a given AS."""
+
+    CUSTOMER = "customer"
+    PROVIDER = "provider"
+    PEER = "peer"
+
+
+@dataclass(slots=True)
+class AsRelationships:
+    """Provider/customer/peer adjacency plus the Tier-1 clique.
+
+    ``providers[a]`` is the set of a's providers, ``customers[a]`` its
+    customers, ``peers[a]`` its settlement-free peers.  ``tier1`` may be
+    populated from ground truth (synthetic worlds) or inferred.
+    """
+
+    providers: dict[int, set[int]] = field(default_factory=dict)
+    customers: dict[int, set[int]] = field(default_factory=dict)
+    peers: dict[int, set[int]] = field(default_factory=dict)
+    tier1: set[int] = field(default_factory=set)
+    _cone_cache: dict[int, frozenset[int]] = field(default_factory=dict, repr=False)
+
+    def add_transit(self, provider: int, customer: int) -> None:
+        """Register a provider-customer link."""
+        self.providers.setdefault(customer, set()).add(provider)
+        self.customers.setdefault(provider, set()).add(customer)
+        self.providers.setdefault(provider, set())
+        self.customers.setdefault(customer, set())
+        self.peers.setdefault(provider, set())
+        self.peers.setdefault(customer, set())
+        self._cone_cache.clear()
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Register a (symmetric) peer-peer link."""
+        self.peers.setdefault(left, set()).add(right)
+        self.peers.setdefault(right, set()).add(left)
+        for asn in (left, right):
+            self.providers.setdefault(asn, set())
+            self.customers.setdefault(asn, set())
+        self._cone_cache.clear()
+
+    def ases(self) -> set[int]:
+        """Every AS appearing in any relationship."""
+        return set(self.providers) | set(self.customers) | set(self.peers)
+
+    def neighbors(self, asn: int) -> set[int]:
+        """All neighbors of an AS, regardless of relationship type."""
+        return (
+            self.providers.get(asn, set())
+            | self.customers.get(asn, set())
+            | self.peers.get(asn, set())
+        )
+
+    def rel(self, asn: int, neighbor: int) -> Rel | None:
+        """The neighbor's role relative to ``asn`` (None if not adjacent).
+
+        ``rel(a, b) is Rel.PROVIDER`` means *b is a provider of a*.
+        """
+        if neighbor in self.providers.get(asn, ()):  # b provides transit to a
+            return Rel.PROVIDER
+        if neighbor in self.customers.get(asn, ()):
+            return Rel.CUSTOMER
+        if neighbor in self.peers.get(asn, ()):
+            return Rel.PEER
+        return None
+
+    def customer_cone(self, asn: int) -> frozenset[int]:
+        """All ASes reachable downward from ``asn`` (excluding itself)."""
+        cached = self._cone_cache.get(asn)
+        if cached is not None:
+            return cached
+        cone: set[int] = set()
+        stack = list(self.customers.get(asn, ()))
+        while stack:
+            current = stack.pop()
+            if current in cone or current == asn:
+                continue
+            cone.add(current)
+            stack.extend(self.customers.get(current, ()))
+        result = frozenset(cone)
+        self._cone_cache[asn] = result
+        return result
+
+    def infer_tier1(self) -> set[int]:
+        """Infer the Tier-1 clique: provider-free ASes, mutually peered.
+
+        Starts from all provider-free ASes with at least one peer and
+        greedily drops the least-connected member until the remainder is a
+        clique.  Synthetic worlds carry ground truth in :attr:`tier1`; this
+        is for externally supplied ``as-rel`` files.
+        """
+        candidates = {
+            asn
+            for asn in self.ases()
+            if not self.providers.get(asn) and self.peers.get(asn)
+        }
+        while candidates:
+            degree = {
+                asn: len(self.peers.get(asn, set()) & candidates) for asn in candidates
+            }
+            worst = min(candidates, key=lambda asn: (degree[asn], -asn))
+            if degree[worst] >= len(candidates) - 1:
+                break
+            candidates.discard(worst)
+        return candidates
+
+    # -- CAIDA as-rel serialization ------------------------------------
+
+    def to_as_rel_text(self) -> str:
+        """Serialize to CAIDA's ``as-rel`` format (deterministic order)."""
+        lines = ["# provider|customer|-1 , peer|peer|0"]
+        for provider in sorted(self.customers):
+            for customer in sorted(self.customers[provider]):
+                lines.append(f"{provider}|{customer}|-1")
+        emitted: set[tuple[int, int]] = set()
+        for left in sorted(self.peers):
+            for right in sorted(self.peers[left]):
+                key = (min(left, right), max(left, right))
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                lines.append(f"{key[0]}|{key[1]}|0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_as_rel_text(cls, text: str | Iterable[str]) -> "AsRelationships":
+        """Parse CAIDA's ``as-rel`` format; malformed lines are skipped."""
+        relationships = cls()
+        lines = text.splitlines() if isinstance(text, str) else text
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) < 3:
+                continue
+            try:
+                left, right, code = int(parts[0]), int(parts[1]), int(parts[2])
+            except ValueError:
+                continue
+            if code == -1:
+                relationships.add_transit(left, right)
+            elif code == 0:
+                relationships.add_peering(left, right)
+        relationships.tier1 = relationships.infer_tier1()
+        return relationships
+
+    def save(self, path: str | Path) -> None:
+        """Write the ``as-rel`` file."""
+        Path(path).write_text(self.to_as_rel_text(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AsRelationships":
+        """Read an ``as-rel`` file."""
+        return cls.from_as_rel_text(Path(path).read_text(encoding="utf-8"))

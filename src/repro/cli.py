@@ -1,0 +1,287 @@
+"""Command-line interface: ``rpslyzer <subcommand>``.
+
+Subcommands mirror the paper's pipeline:
+
+* ``synth <dir>`` — generate a synthetic world (13 IRR dumps, an as-rel
+  file, collector peers) into a directory;
+* ``parse <dir> -o ir.json`` — parse all ``*.db`` dumps, priority-merge,
+  and export the IR as JSON;
+* ``verify --ir ir.json --as-rel as-rel.txt --table dump.txt`` — verify a
+  BGP table dump and print summary statistics (or per-route reports with
+  ``--report``);
+* ``stats --ir ir.json`` — print the Section 4 characterization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bgp.table import parse_table_file, write_table_file
+from repro.bgp.routegen import collector_routes
+from repro.bgp.topology import AsRelationships
+from repro.core.verify import Verifier, VerifyOptions
+from repro.ir.json_io import dump_ir, load_ir
+from repro.irr.registry import parse_registry_dir
+from repro.stats.as_sets import as_set_stats
+from repro.stats.routes import route_object_stats
+from repro.stats.usage import filter_kind_census, peering_simplicity, rules_ccdf
+from repro.stats.verification import VerificationStats
+
+__all__ = ["main"]
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.irr.synth import SynthConfig, build_world, default_config, tiny_config
+
+    if args.preset == "tiny":
+        config = tiny_config(args.seed)
+    elif args.preset == "default":
+        config = default_config(args.seed)
+    else:
+        config = SynthConfig(seed=args.seed)
+    world = build_world(config)
+    world.write_to_dir(args.directory)
+    if args.routes:
+        entries = collector_routes(world.topology, world.announced, world.collectors)
+        count = write_table_file(Path(args.directory) / "table.txt", entries)
+        print(f"wrote {count} routes", file=sys.stderr)
+    print(f"world written to {args.directory}", file=sys.stderr)
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    registry = parse_registry_dir(args.directory)
+    merged = registry.merged()
+    errors = registry.all_errors()
+    dump_ir(merged, args.output)
+    counts = merged.counts()
+    print(
+        f"parsed {counts['aut-num']} aut-nums, {counts['route']} routes, "
+        f"{counts['import'] + counts['export']} rules, "
+        f"{len(errors)} parse issues -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    ir = load_ir(args.ir)
+    relationships = AsRelationships.load(args.as_rel)
+    options = VerifyOptions(
+        relaxations=not args.no_relaxations, safelists=not args.no_safelists
+    )
+    if args.processes > 1 and not args.report:
+        from repro.core.parallel import verify_entries_parallel
+
+        entries = list(parse_table_file(args.table))
+        stats = verify_entries_parallel(
+            ir, relationships, entries, options, processes=args.processes
+        )
+    else:
+        verifier = Verifier(ir, relationships, options)
+        stats = VerificationStats()
+        for entry in parse_table_file(args.table):
+            report = verifier.verify_entry(entry)
+            stats.add_report(report)
+            if args.report and report.ignored is None:
+                print(report)
+                print()
+    if args.figures_dir:
+        from repro.stats import export
+
+        directory = Path(args.figures_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        export.write_csv(export.fig2_rows(stats), directory / "fig2_per_as.csv")
+        export.write_csv(export.fig3_rows(stats), directory / "fig3_per_pair.csv")
+        export.write_csv(export.fig4_rows(stats), directory / "fig4_per_route.csv")
+        export.write_csv(export.fig5_rows(stats), directory / "fig5_unrecorded.csv")
+        export.write_csv(export.fig6_rows(stats), directory / "fig6_special.csv")
+        print(f"figure CSVs written to {directory}", file=sys.stderr)
+    json.dump(stats.summary(), sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    ir = load_ir(args.ir)
+    result = {
+        "counts": ir.counts(),
+        "rules_ccdf_head": rules_ccdf(ir)[:20],
+        "peering_simplicity": peering_simplicity(ir),
+        "filter_kinds": filter_kind_census(ir),
+        "route_objects": route_object_stats(ir).as_dict(),
+        "as_sets": as_set_stats(ir).as_dict(),
+    }
+    json.dump(result, sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.tools.lint import lint_ir
+
+    ir = load_ir(args.ir)
+    relationships = AsRelationships.load(args.as_rel) if args.as_rel else None
+    report = lint_ir(ir, None, relationships)
+    print(report.render())
+    print(f"\n{len(report)} finding(s): {report.counts()}", file=sys.stderr)
+    return 1 if args.strict and report.findings else 0
+
+
+def _cmd_asrel(args: argparse.Namespace) -> int:
+    from repro.tools.asrel import infer_relationships, score_inference
+
+    ir = load_ir(args.ir)
+    inferred = infer_relationships(ir)
+    if args.output:
+        inferred.save(args.output)
+        print(f"inferred as-rel written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(inferred.to_as_rel_text())
+    if args.truth:
+        truth = AsRelationships.load(args.truth)
+        json.dump(score_inference(truth, inferred).as_dict(), sys.stderr, indent=2)
+        print(file=sys.stderr)
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.tools.classify import classify_ir
+
+    ir = load_ir(args.ir)
+    relationships = AsRelationships.load(args.as_rel) if args.as_rel else None
+    all_asns = set(relationships.ases()) if relationships else None
+    labels, census = classify_ir(ir, all_asns, relationships)
+    json.dump({"census": dict(census)}, sys.stdout, indent=2)
+    print()
+    if args.verbose:
+        for asn in sorted(labels):
+            print(f"AS{asn}\t{labels[asn]}", file=sys.stderr)
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.core.query import QueryEngine
+    from repro.tools.recommend import recommend_route_set
+
+    ir = load_ir(args.ir)
+    relationships = AsRelationships.load(args.as_rel) if args.as_rel else None
+    query = QueryEngine(ir)
+    targets = [int(asn) for asn in args.asn] if args.asn else sorted(ir.aut_nums)
+    emitted = 0
+    for asn in targets:
+        recommendation = recommend_route_set(ir, asn, query, relationships)
+        if recommendation is None:
+            continue
+        print(recommendation.summary())
+        print(recommendation.rpsl)
+        print()
+        emitted += 1
+        if args.limit and emitted >= args.limit:
+            break
+    print(f"{emitted} migration(s) proposed", file=sys.stderr)
+    return 0
+
+
+def _cmd_whois(args: argparse.Namespace) -> int:
+    from repro.irr.whois import WhoisServer
+
+    ir = load_ir(args.ir)
+    server = WhoisServer(ir, host=args.host, port=args.port)
+    print(f"whois server on {args.host}:{server.port} (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.start()
+        import time
+
+        while True:  # pragma: no cover - interactive loop
+            time.sleep(1)
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rpslyzer", description="RPSL parsing, characterization, verification"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser("synth", help="generate a synthetic world")
+    synth.add_argument("directory")
+    synth.add_argument("--preset", choices=("tiny", "default"), default="default")
+    synth.add_argument("--seed", type=int, default=42)
+    synth.add_argument("--routes", action="store_true", help="also write table.txt")
+    synth.set_defaults(func=_cmd_synth)
+
+    parse = subparsers.add_parser("parse", help="parse IRR dumps to IR JSON")
+    parse.add_argument("directory")
+    parse.add_argument("-o", "--output", default="ir.json")
+    parse.set_defaults(func=_cmd_parse)
+
+    verify = subparsers.add_parser("verify", help="verify a BGP table dump")
+    verify.add_argument("--ir", required=True)
+    verify.add_argument("--as-rel", required=True)
+    verify.add_argument("--table", required=True)
+    verify.add_argument("--report", action="store_true", help="print per-route reports")
+    verify.add_argument("--no-relaxations", action="store_true")
+    verify.add_argument("--no-safelists", action="store_true")
+    verify.add_argument("--processes", type=int, default=1, help="worker processes")
+    verify.add_argument("--figures-dir", help="also write Figures 2-6 CSV data here")
+    verify.set_defaults(func=_cmd_verify)
+
+    stats = subparsers.add_parser("stats", help="characterize an IR")
+    stats.add_argument("--ir", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    lint = subparsers.add_parser("lint", help="lint RPSL policies")
+    lint.add_argument("--ir", required=True)
+    lint.add_argument("--as-rel", help="enable relationship-aware checks")
+    lint.add_argument("--strict", action="store_true", help="exit 1 on findings")
+    lint.set_defaults(func=_cmd_lint)
+
+    asrel = subparsers.add_parser(
+        "asrel", help="infer AS relationships from policies"
+    )
+    asrel.add_argument("--ir", required=True)
+    asrel.add_argument("-o", "--output", help="write as-rel file here")
+    asrel.add_argument("--truth", help="ground-truth as-rel for scoring")
+    asrel.set_defaults(func=_cmd_asrel)
+
+    classify = subparsers.add_parser("classify", help="classify ASes by RPSL usage")
+    classify.add_argument("--ir", required=True)
+    classify.add_argument("--as-rel")
+    classify.add_argument("-v", "--verbose", action="store_true")
+    classify.set_defaults(func=_cmd_classify)
+
+    recommend = subparsers.add_parser(
+        "recommend", help="propose route-set migrations (the paper's §4 advice)"
+    )
+    recommend.add_argument("--ir", required=True)
+    recommend.add_argument("--as-rel")
+    recommend.add_argument("--asn", nargs="*", help="specific ASNs (default: all)")
+    recommend.add_argument("--limit", type=int, default=0)
+    recommend.set_defaults(func=_cmd_recommend)
+
+    whois = subparsers.add_parser("whois", help="serve the IR over WHOIS/IRRd")
+    whois.add_argument("--ir", required=True)
+    whois.add_argument("--host", default="127.0.0.1")
+    whois.add_argument("--port", type=int, default=4343)
+    whois.set_defaults(func=_cmd_whois)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

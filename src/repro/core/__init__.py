@@ -1,0 +1,24 @@
+"""The verification engine: RPSLyzer's primary contribution.
+
+Pipeline: a :class:`~repro.core.query.QueryEngine` indexes the IR; the
+peering/filter/AS-path matchers evaluate rule components against observed
+routes; the :class:`~repro.core.verify.Verifier` walks each BGP route hop
+by hop, classifying every import and export into the status lattice
+Verified → Skip → Unrecorded → Relaxed → Safelisted → Unverified.
+"""
+
+from repro.core.query import QueryEngine
+from repro.core.report import HopReport, ReportItem, RouteReport
+from repro.core.status import SpecialCase, VerifyStatus
+from repro.core.verify import Verifier, VerifyOptions
+
+__all__ = [
+    "HopReport",
+    "QueryEngine",
+    "ReportItem",
+    "RouteReport",
+    "SpecialCase",
+    "Verifier",
+    "VerifyOptions",
+    "VerifyStatus",
+]

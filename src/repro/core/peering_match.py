@@ -1,0 +1,99 @@
+"""Peering evaluation: does a rule's peering cover the remote AS?
+
+The verifier matches at the AS level (router expressions are ignored, as
+in the paper), so a peering evaluates against a single remote ASN.  The
+result reuses the four-valued :class:`~repro.core.filter_match.Eval` —
+peering-set or as-set references can be unrecorded.
+"""
+
+from __future__ import annotations
+
+from repro.core.filter_match import Eval, Val
+from repro.core.query import QueryEngine
+from repro.core.report import ItemKind, ReportItem
+from repro.rpsl.peering import (
+    AsExpr,
+    PeerAnd,
+    PeerAny,
+    PeerAsn,
+    PeerAsSet,
+    PeerExcept,
+    PeerOr,
+    Peering,
+    PeeringSetRef,
+)
+
+__all__ = ["PeeringEvaluator"]
+
+
+class PeeringEvaluator:
+    """Evaluates peering ASTs against a remote ASN."""
+
+    def __init__(self, query: QueryEngine, max_peering_set_depth: int = 8):
+        self.query = query
+        self.max_peering_set_depth = max_peering_set_depth
+
+    def evaluate(self, peering: Peering, remote_asn: int) -> Eval:
+        """Whether the peering covers sessions with ``remote_asn``."""
+        return self._eval_expr(peering.as_expr, remote_asn, 0)
+
+    def _eval_expr(self, expr: AsExpr, remote_asn: int, depth: int) -> Eval:
+        if isinstance(expr, PeerAny):
+            return Eval(Val.TRUE)
+        if isinstance(expr, PeerAsn):
+            if expr.asn == remote_asn:
+                return Eval(Val.TRUE)
+            return Eval(
+                Val.FALSE,
+                (ReportItem.of(ItemKind.MATCH_REMOTE_AS_NUM, asn=expr.asn),),
+            )
+        if isinstance(expr, PeerAsSet):
+            resolution = self.query.flatten_as_set(expr.name)
+            if resolution.contains_any or remote_asn in resolution.members:
+                return Eval(Val.TRUE)
+            if not resolution.recorded:
+                return Eval(
+                    Val.UNREC,
+                    (ReportItem.of(ItemKind.UNRECORDED_AS_SET, name=expr.name),),
+                )
+            if resolution.unrecorded:
+                items = tuple(
+                    ReportItem.of(ItemKind.UNRECORDED_AS_SET, name=missing)
+                    for missing in resolution.unrecorded[:4]
+                )
+                return Eval(Val.UNREC, items)
+            return Eval(
+                Val.FALSE,
+                (ReportItem.of(ItemKind.MATCH_REMOTE_AS_SET, name=expr.name),),
+            )
+        if isinstance(expr, PeeringSetRef):
+            if depth >= self.max_peering_set_depth:
+                return Eval(
+                    Val.UNREC,
+                    (ReportItem.of(ItemKind.UNRECORDED_PEERING_SET, name=expr.name),),
+                )
+            peerings = self.query.resolve_peering_set(expr.name)
+            if peerings is None:
+                return Eval(
+                    Val.UNREC,
+                    (ReportItem.of(ItemKind.UNRECORDED_PEERING_SET, name=expr.name),),
+                )
+            result = Eval(Val.FALSE)
+            for peering in peerings:
+                result = result.or_(self._eval_expr(peering.as_expr, remote_asn, depth + 1))
+                if result.value is Val.TRUE:
+                    return result
+            return result
+        if isinstance(expr, PeerAnd):
+            return self._eval_expr(expr.left, remote_asn, depth).and_(
+                self._eval_expr(expr.right, remote_asn, depth)
+            )
+        if isinstance(expr, PeerOr):
+            return self._eval_expr(expr.left, remote_asn, depth).or_(
+                self._eval_expr(expr.right, remote_asn, depth)
+            )
+        if isinstance(expr, PeerExcept):
+            return self._eval_expr(expr.left, remote_asn, depth).and_(
+                self._eval_expr(expr.right, remote_asn, depth).not_()
+            )
+        raise TypeError(f"unknown AS expression {expr!r}")

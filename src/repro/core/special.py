@@ -1,0 +1,171 @@
+"""The six special cases of Section 5.1: relaxed filters and safelists.
+
+Relaxed filters (checked when a rule's *peering* matched but its *filter*
+did not):
+
+* **Export Self** — a transit AS exports ``announce AS<self>``, meaning
+  "my routes and my customers' routes"; relaxed when the AS received the
+  route from a customer.
+* **Import Customer** — ``from AS<C> accept AS<C>`` on a customer C is
+  meant as ``accept ANY``.
+* **Missing Routes** — the filter names the route's origin (directly or
+  via an as-set) but the corresponding *route* object was never created.
+
+Safelisted relationships (checked when nothing else matched):
+
+* **Only Provider Policies** — the AS only documents its providers
+  (usually because a provider mandated it); imports from customers and
+  peers are safelisted.
+* **Tier-1 Peering** — Tier-1s exchange routes by definition.
+* **Uphill** — customers export to, and providers import from, their
+  customers; uphill propagation is safelisted in both directions.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.topology import AsRelationships, Rel
+from repro.core.filter_match import MatchContext
+from repro.core.query import QueryEngine
+from repro.core.report import ItemKind, ReportItem
+from repro.ir.model import AutNum
+from repro.rpsl.filter import Filter, FilterAsn, FilterAsSet, FilterPeerAs
+from repro.rpsl.walk import iter_peerings, or_atoms, positive_peer_asns
+
+__all__ = ["SpecialCaseChecker"]
+
+
+class SpecialCaseChecker:
+    """Stateful checker for the Section 5.1 relaxations and safelists."""
+
+    def __init__(self, query: QueryEngine, relationships: AsRelationships):
+        self.query = query
+        self.relationships = relationships
+        self._only_provider_cache: dict[int, bool] = {}
+
+    # -- relaxed filters (5.1.1) -----------------------------------------
+
+    def relaxed_item(
+        self,
+        direction: str,
+        subject_asn: int,
+        remote_asn: int,
+        ctx: MatchContext,
+        peer_matched_filters: tuple[Filter, ...],
+    ) -> ReportItem | None:
+        """The relaxation that applies, or None.
+
+        ``peer_matched_filters`` are the filters of factors whose peering
+        matched the remote AS but whose filter check failed — the exact
+        precondition of Section 5.1.1.
+        """
+        for candidate in peer_matched_filters:
+            for atom in or_atoms(candidate):
+                item = self._relax_atom(direction, subject_asn, remote_asn, ctx, atom)
+                if item is not None:
+                    return item
+        return None
+
+    def _relax_atom(
+        self,
+        direction: str,
+        subject_asn: int,
+        remote_asn: int,
+        ctx: MatchContext,
+        atom: Filter,
+    ) -> ReportItem | None:
+        # Export Self: export filter names the exporting AS itself, and the
+        # route was received from one of its customers.  Per the worked
+        # example in the paper's Appendix C, the relaxation still requires
+        # the prefix to be registered by someone in the exporter's customer
+        # cone — "announce AS<self>" is widened to "self plus customers",
+        # not to ANY.
+        if direction == "export" and isinstance(atom, FilterAsn) and atom.asn == subject_asn:
+            previous = ctx.as_path[1] if len(ctx.as_path) > 1 else None
+            if previous is not None and (
+                self.relationships.rel(subject_asn, previous) is Rel.CUSTOMER
+            ):
+                cone = self.relationships.customer_cone(subject_asn)
+                registered = self.query.origins_of(ctx.prefix)
+                if registered & cone:
+                    return ReportItem.of(ItemKind.SPEC_EXPORT_SELF)
+        # Import Customer: import filter names the (customer) peer itself.
+        if direction == "import":
+            names_peer = (
+                isinstance(atom, FilterAsn) and atom.asn == remote_asn
+            ) or isinstance(atom, FilterPeerAs)
+            if names_peer and self.relationships.rel(subject_asn, remote_asn) is Rel.CUSTOMER:
+                return ReportItem.of(ItemKind.SPEC_IMPORT_CUSTOMER)
+        # Missing Routes: the filter names the route's origin, so the intent
+        # covers this route; only the route object is missing.
+        origin = ctx.origin
+        if isinstance(atom, FilterAsn) and atom.asn == origin:
+            return ReportItem.of(ItemKind.SPEC_MISSING_ROUTES, asn=origin)
+        if isinstance(atom, FilterPeerAs) and ctx.peer_asn == origin:
+            return ReportItem.of(ItemKind.SPEC_MISSING_ROUTES, asn=origin)
+        if isinstance(atom, FilterAsSet) and not atom.any_member:
+            resolution = self.query.flatten_as_set(atom.name)
+            if origin in resolution.members:
+                return ReportItem.of(ItemKind.SPEC_MISSING_ROUTES, asn=origin)
+        return None
+
+    # -- safelisted relationships (5.1.2) ---------------------------------
+
+    def safelist_item(
+        self,
+        direction: str,
+        from_asn: int,
+        to_asn: int,
+        subject: AutNum | None,
+        ctx: MatchContext | None = None,
+    ) -> ReportItem | None:
+        """The safelist that applies to this hop direction, or None."""
+        subject_asn = to_asn if direction == "import" else from_asn
+        remote_asn = from_asn if direction == "import" else to_asn
+
+        # (1) Only Provider Policies — imports from customers/peers of ASes
+        # that only document their providers.
+        if direction == "import" and subject is not None and self._only_provider_policies(subject):
+            remote_rel = self.relationships.rel(subject_asn, remote_asn)
+            if remote_rel is Rel.CUSTOMER:
+                return ReportItem.of(ItemKind.SPEC_CUSTOMER_ONLY_PROVIDER_POLICIES)
+            if remote_rel is Rel.PEER:
+                return ReportItem.of(ItemKind.SPEC_OTHER_ONLY_PROVIDER_POLICIES)
+
+        # (2) Tier-1 peering.
+        tier1 = self.relationships.tier1
+        if from_asn in tier1 and to_asn in tier1:
+            return ReportItem.of(ItemKind.SPEC_TIER1_PAIR)
+
+        # (3) Uphill customer→provider propagation (both directions of the
+        # hop: the customer's export and the provider's import).  One
+        # carve-out, visible in the paper's Appendix C example: the origin
+        # AS's *own* export is never uphill-safelisted (BadExport for
+        # AS141893→AS56239) — first-hop filters are exactly where the RPSL
+        # can prevent hijacks, so an origin failing to cover its own
+        # announcement stays unverified.
+        if self.relationships.rel(from_asn, to_asn) is Rel.PROVIDER:
+            origin_own_export = (
+                direction == "export"
+                and ctx is not None
+                and ctx.origin == from_asn
+            )
+            if not origin_own_export:
+                return ReportItem.of(ItemKind.SPEC_UPHILL)
+        return None
+
+    def _only_provider_policies(self, aut_num: AutNum) -> bool:
+        """Whether the AS's rules reference only its providers."""
+        cached = self._only_provider_cache.get(aut_num.asn)
+        if cached is not None:
+            return cached
+        providers = self.relationships.providers.get(aut_num.asn, set())
+        referenced: set[int] = set()
+        simple = True
+        for rule in (*aut_num.imports, *aut_num.exports):
+            for peering in iter_peerings(rule.expr):
+                asns, is_simple = positive_peer_asns(peering.as_expr)
+                referenced.update(asns)
+                simple = simple and is_simple
+        result = bool(referenced) and simple and referenced <= providers
+        self._only_provider_cache[aut_num.asn] = result
+        return result

@@ -1,0 +1,25 @@
+"""The intermediate representation: model, JSON I/O, and multi-IRR merge."""
+
+from repro.ir.model import (
+    AsSet,
+    AutNum,
+    BadRule,
+    FilterSet,
+    Ir,
+    PeeringSet,
+    RouteObject,
+    RouteSet,
+    RouteSetMemberName,
+)
+
+__all__ = [
+    "AsSet",
+    "AutNum",
+    "BadRule",
+    "FilterSet",
+    "Ir",
+    "PeeringSet",
+    "RouteObject",
+    "RouteSet",
+    "RouteSetMemberName",
+]

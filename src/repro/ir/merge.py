@@ -1,0 +1,61 @@
+"""Multi-IRR priority merge (Section 4 of the paper).
+
+Objects defined in several IRRs are resolved by a priority order: first
+authoritative regional and national registries, then RADB, then the other
+databases, ordered by size within each group (Table 1).  The merged IR
+keeps the highest-priority definition of each keyed object while retaining
+*every* route object, because the Section 4 multiplicity statistics need
+the duplicates.
+"""
+
+from __future__ import annotations
+
+from repro.ir.model import Ir
+
+__all__ = ["IRR_PRIORITY", "merge_irs"]
+
+# Table 1 of the paper, grouped and ordered by priority.
+IRR_PRIORITY: tuple[str, ...] = (
+    # authoritative regional registries (by size, descending influence)
+    "RIPE",
+    "APNIC",
+    "AFRINIC",
+    "ARIN",
+    "LACNIC",
+    # national registries
+    "IDNIC",
+    "JPIRR",
+    # RADB
+    "RADB",
+    # other databases, by size
+    "NTTCOM",
+    "LEVEL3",
+    "TC",
+    "REACH",
+    "ALTDB",
+)
+
+
+def merge_irs(irs: dict[str, Ir], priority: tuple[str, ...] = IRR_PRIORITY) -> Ir:
+    """Merge per-IRR IRs into one, respecting the priority order.
+
+    IRRs absent from ``priority`` are appended after it in name order, so a
+    custom registry never silently disappears.
+    """
+    order = [name for name in priority if name in irs]
+    order += sorted(name for name in irs if name not in priority)
+    merged = Ir()
+    for name in order:
+        ir = irs[name]
+        for asn, aut_num in ir.aut_nums.items():
+            merged.aut_nums.setdefault(asn, aut_num)
+        for set_name, as_set in ir.as_sets.items():
+            merged.as_sets.setdefault(set_name, as_set)
+        for set_name, route_set in ir.route_sets.items():
+            merged.route_sets.setdefault(set_name, route_set)
+        for set_name, peering_set in ir.peering_sets.items():
+            merged.peering_sets.setdefault(set_name, peering_set)
+        for set_name, filter_set in ir.filter_sets.items():
+            merged.filter_sets.setdefault(set_name, filter_set)
+        merged.route_objects.extend(ir.route_objects)
+    return merged

@@ -1,0 +1,163 @@
+"""Rendering IR objects back to RPSL text.
+
+The inverse of :mod:`repro.rpsl.objects`: every IR object renders to
+paragraph text that the parser accepts and that round-trips to an equal IR
+object.  Used by the WHOIS server (which serves object text), the history
+substrate (which re-emits mutated snapshots), and tests (parse ∘ render =
+identity).
+"""
+
+from __future__ import annotations
+
+from repro.ir.model import (
+    AsSet,
+    AutNum,
+    FilterSet,
+    Ir,
+    PeeringSet,
+    RouteObject,
+    RouteSet,
+)
+
+__all__ = [
+    "render_aut_num",
+    "render_as_set",
+    "render_route_set",
+    "render_route_object",
+    "render_peering_set",
+    "render_filter_set",
+    "render_object",
+    "render_ir",
+]
+
+_PAD = 12
+
+
+def _line(name: str, value: str) -> str:
+    return f"{name}:".ljust(_PAD) + value
+
+
+def _tail(obj) -> list[str]:
+    lines = []
+    for maintainer in obj.mnt_by:
+        lines.append(_line("mnt-by", maintainer))
+    if obj.source:
+        lines.append(_line("source", obj.source))
+    return lines
+
+
+def render_aut_num(aut_num: AutNum) -> str:
+    """Render an aut-num with all parsed (and unparsed) rules."""
+    lines = [_line("aut-num", f"AS{aut_num.asn}")]
+    if aut_num.as_name:
+        lines.append(_line("as-name", aut_num.as_name))
+    for rule in aut_num.imports:
+        lines.append(_line(rule.attribute_name, rule.to_rpsl()))
+    for rule in aut_num.exports:
+        lines.append(_line(rule.attribute_name, rule.to_rpsl()))
+    for default in aut_num.defaults:
+        attr = "mp-default" if default.multiprotocol else "default"
+        lines.append(_line(attr, default.to_rpsl()))
+    for bad in aut_num.bad_rules:
+        lines.append(_line(bad.attribute, bad.text))
+    if aut_num.member_of:
+        lines.append(_line("member-of", ", ".join(aut_num.member_of)))
+    lines.extend(_tail(aut_num))
+    return "\n".join(lines)
+
+
+def render_as_set(as_set: AsSet) -> str:
+    """Render an as-set; ``ANY`` membership is preserved."""
+    lines = [_line("as-set", as_set.name)]
+    members = [f"AS{asn}" for asn in as_set.members_asn] + list(as_set.members_set)
+    if as_set.contains_any:
+        members.append("ANY")
+    if members:
+        lines.append(_line("members", ", ".join(members)))
+    if as_set.mbrs_by_ref:
+        lines.append(_line("mbrs-by-ref", ", ".join(as_set.mbrs_by_ref)))
+    lines.extend(_tail(as_set))
+    return "\n".join(lines)
+
+
+def render_route_set(route_set: RouteSet) -> str:
+    """Render a route-set with prefix and named members."""
+    lines = [_line("route-set", route_set.name)]
+    members = [f"{prefix}{op}" for prefix, op in route_set.prefix_members]
+    members += [f"{member.name}{member.op}" for member in route_set.name_members]
+    if members:
+        lines.append(_line("members", ", ".join(members)))
+    if route_set.mbrs_by_ref:
+        lines.append(_line("mbrs-by-ref", ", ".join(route_set.mbrs_by_ref)))
+    lines.extend(_tail(route_set))
+    return "\n".join(lines)
+
+
+def render_route_object(route: RouteObject) -> str:
+    """Render a route or route6 object."""
+    object_class = "route" if route.prefix.version == 4 else "route6"
+    lines = [
+        _line(object_class, str(route.prefix)),
+        _line("origin", f"AS{route.origin}"),
+    ]
+    if route.member_of:
+        lines.append(_line("member-of", ", ".join(route.member_of)))
+    lines.extend(_tail(route))
+    return "\n".join(lines)
+
+
+def render_peering_set(peering_set: PeeringSet) -> str:
+    """Render a peering-set."""
+    lines = [_line("peering-set", peering_set.name)]
+    for peering in peering_set.peerings:
+        lines.append(_line("peering", peering.to_rpsl()))
+    lines.extend(_tail(peering_set))
+    return "\n".join(lines)
+
+
+def render_filter_set(filter_set: FilterSet) -> str:
+    """Render a filter-set."""
+    lines = [_line("filter-set", filter_set.name)]
+    if filter_set.filter is not None:
+        lines.append(_line("filter", filter_set.filter.to_rpsl()))
+    lines.extend(_tail(filter_set))
+    return "\n".join(lines)
+
+
+_RENDERERS = {
+    AutNum: render_aut_num,
+    AsSet: render_as_set,
+    RouteSet: render_route_set,
+    RouteObject: render_route_object,
+    PeeringSet: render_peering_set,
+    FilterSet: render_filter_set,
+}
+
+
+def render_object(obj) -> str:
+    """Render any IR object by type."""
+    renderer = _RENDERERS.get(type(obj))
+    if renderer is None:
+        raise TypeError(f"cannot render {type(obj).__name__}")
+    return renderer(obj)
+
+
+def render_ir(ir: Ir) -> str:
+    """Render a whole IR as one dump (paragraphs separated by blank lines).
+
+    The output parses back into an equal IR (modulo object order).
+    """
+    paragraphs: list[str] = []
+    for asn in sorted(ir.aut_nums):
+        paragraphs.append(render_aut_num(ir.aut_nums[asn]))
+    for name in sorted(ir.as_sets):
+        paragraphs.append(render_as_set(ir.as_sets[name]))
+    for name in sorted(ir.route_sets):
+        paragraphs.append(render_route_set(ir.route_sets[name]))
+    for name in sorted(ir.peering_sets):
+        paragraphs.append(render_peering_set(ir.peering_sets[name]))
+    for name in sorted(ir.filter_sets):
+        paragraphs.append(render_filter_set(ir.filter_sets[name]))
+    for route in ir.route_objects:
+        paragraphs.append(render_route_object(route))
+    return "\n\n".join(paragraphs) + "\n"

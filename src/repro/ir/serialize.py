@@ -1,0 +1,137 @@
+"""Generic JSON-able encoding of the IR and its embedded ASTs.
+
+Every IR and AST node in this library is a dataclass whose fields are
+primitives, enums, prefixes, other nodes, or containers of those — so one
+generic, registry-driven codec covers the whole object graph.  The encoding
+is a plain dict tree tagged with ``"__t"`` type markers:
+
+* dataclass → ``{"__t": "ClassName", "<field>": ...}``;
+* Enum → ``{"__e": "EnumName", "v": <value>}``;
+* :class:`~repro.net.prefix.Prefix` → ``{"__p": "10.0.0.0/8"}`` (compact);
+* tuples/lists → JSON arrays (field type hints restore tuples on decode);
+* dicts with int keys → key-value pair arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from enum import Enum
+from functools import lru_cache
+
+from repro.net.prefix import Prefix
+
+__all__ = ["register", "encode", "decode", "registered_types"]
+
+_DATACLASSES: dict[str, type] = {}
+_ENUMS: dict[str, type] = {}
+
+
+def register(*classes: type) -> None:
+    """Register dataclasses/enums so :func:`decode` can reconstruct them."""
+    for cls in classes:
+        if issubclass(cls, Enum):
+            _ENUMS[cls.__name__] = cls
+        elif dataclasses.is_dataclass(cls):
+            _DATACLASSES[cls.__name__] = cls
+        else:
+            raise TypeError(f"{cls!r} is neither a dataclass nor an Enum")
+
+
+def registered_types() -> dict[str, type]:
+    """All registered types by name (dataclasses and enums)."""
+    return {**_DATACLASSES, **_ENUMS}
+
+
+def encode(obj: object) -> object:
+    """Encode an object graph into JSON-compatible primitives."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Prefix):
+        return {"__p": str(obj)}
+    if isinstance(obj, Enum):
+        return {"__e": type(obj).__name__, "v": obj.value}
+    if isinstance(obj, (list, tuple)):
+        return [encode(item) for item in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(key, str) for key in obj):
+            return {"__d": None, **{key: encode(value) for key, value in obj.items()}}
+        return {"__kv": [[encode(key), encode(value)] for key, value in obj.items()]}
+    if dataclasses.is_dataclass(obj):
+        cls_name = type(obj).__name__
+        if cls_name not in _DATACLASSES:
+            raise TypeError(f"unregistered dataclass {cls_name}")
+        encoded: dict[str, object] = {"__t": cls_name}
+        for field in dataclasses.fields(obj):
+            encoded[field.name] = encode(getattr(obj, field.name))
+        return encoded
+    raise TypeError(f"cannot encode {type(obj).__name__}")
+
+
+@lru_cache(maxsize=None)
+def _field_hints(cls: type) -> dict[str, object]:
+    return typing.get_type_hints(cls)
+
+
+def _coerce_container(value: object, hint: object) -> object:
+    """Convert decoded lists to tuples where the field type says tuple."""
+    origin = typing.get_origin(hint)
+    if origin is tuple and isinstance(value, list):
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            item_hint = args[0]
+            return tuple(_coerce_container(item, item_hint) for item in value)
+        if args and len(args) == len(value):
+            return tuple(
+                _coerce_container(item, arg) for item, arg in zip(value, args)
+            )
+        return tuple(value)
+    if origin is list and isinstance(value, list):
+        args = typing.get_args(hint)
+        if args:
+            return [_coerce_container(item, args[0]) for item in value]
+    if origin is typing.Union or isinstance(hint, types.UnionType):
+        for arg in typing.get_args(hint):
+            if typing.get_origin(arg) in (tuple, list):
+                return _coerce_container(value, arg)
+    return value
+
+
+def decode(data: object) -> object:
+    """Reconstruct an object graph produced by :func:`encode`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [decode(item) for item in data]
+    if isinstance(data, dict):
+        if "__p" in data:
+            return Prefix.parse(data["__p"])
+        if "__e" in data:
+            enum_cls = _ENUMS.get(data["__e"])
+            if enum_cls is None:
+                raise TypeError(f"unregistered enum {data['__e']}")
+            return enum_cls(data["v"])
+        if "__kv" in data:
+            return {decode(key): decode(value) for key, value in data["__kv"]}
+        if "__d" in data:
+            return {
+                key: decode(value) for key, value in data.items() if key != "__d"
+            }
+        if "__t" in data:
+            cls = _DATACLASSES.get(data["__t"])
+            if cls is None:
+                raise TypeError(f"unregistered dataclass {data['__t']}")
+            hints = _field_hints(cls)
+            kwargs: dict[str, object] = {}
+            for field in dataclasses.fields(cls):
+                if field.name not in data:
+                    continue
+                value = decode(data[field.name])
+                hint = hints.get(field.name)
+                if hint is not None:
+                    value = _coerce_container(value, hint)
+                kwargs[field.name] = value
+            return cls(**kwargs)
+        return {key: decode(value) for key, value in data.items()}
+    raise TypeError(f"cannot decode {type(data).__name__}")

@@ -1,0 +1,12 @@
+"""The IRR substrate: dump files, the 13-registry model, and synthesis."""
+
+from repro.irr.dump import parse_dump_file, parse_dump_text
+from repro.irr.registry import IrrSource, Registry, parse_registry_dir
+
+__all__ = [
+    "IrrSource",
+    "Registry",
+    "parse_dump_file",
+    "parse_dump_text",
+    "parse_registry_dir",
+]

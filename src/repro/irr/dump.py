@@ -1,0 +1,46 @@
+"""Reading RPSL dump files into the IR.
+
+A dump file is the standard flat-text serialization IRRs publish (e.g.
+``ripe.db.gz`` uncompressed): RPSL paragraphs separated by blank lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.ir.model import Ir
+from repro.rpsl.errors import ErrorCollector
+from repro.rpsl.lexer import split_dump
+from repro.rpsl.objects import collect_into_ir
+
+__all__ = ["parse_dump_text", "parse_dump_file"]
+
+
+def parse_dump_text(
+    text: str, source: str = "", errors: ErrorCollector | None = None, ir: Ir | None = None
+) -> tuple[Ir, ErrorCollector]:
+    """Parse an in-memory dump into an IR.
+
+    ``source`` tags every produced object with its registry name; ``ir`` may
+    be supplied to accumulate several dumps into one IR.
+    """
+    if errors is None:
+        errors = ErrorCollector()
+    ir = collect_into_ir(split_dump(io.StringIO(text)), source, errors, ir)
+    return ir, errors
+
+
+def parse_dump_file(
+    path: str | Path,
+    source: str = "",
+    errors: ErrorCollector | None = None,
+    ir: Ir | None = None,
+) -> tuple[Ir, ErrorCollector]:
+    """Parse a dump file from disk, streaming line by line."""
+    if errors is None:
+        errors = ErrorCollector()
+    source = source or Path(path).stem.upper()
+    with open(path, encoding="utf-8", errors="replace") as stream:
+        ir = collect_into_ir(split_dump(stream), source, errors, ir)
+    return ir, errors

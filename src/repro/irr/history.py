@@ -1,0 +1,167 @@
+"""Historical IRR snapshots: churn simulation and diffing.
+
+IRRs publish no history, so longitudinal studies scrape periodic dumps
+(paper, Section 6).  This module supplies both halves of that workflow
+offline:
+
+* :func:`evolve_ir` applies one epoch of realistic churn to an IR —
+  route objects appear and disappear, rules get added and retired,
+  as-sets gain members — yielding the "next month's dump";
+* :func:`diff_irs` computes what changed between two snapshots (added /
+  removed / modified, per object class), the primitive any
+  track-the-evolution analysis builds on;
+* :func:`snapshot_series` chains epochs, and :func:`evolution_stats`
+  summarizes a series the way a longitudinal figure would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.json_io import dumps_ir, loads_ir
+from repro.ir.model import Ir, RouteObject
+from repro.ir.render import render_object
+from repro.net.prefix import Prefix
+from repro.rpsl.policy import parse_policy
+
+__all__ = ["ChurnConfig", "IrDiff", "diff_irs", "evolve_ir", "snapshot_series", "evolution_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Per-epoch churn rates (fractions of the existing object counts)."""
+
+    route_removal: float = 0.02
+    route_addition: float = 0.04  # net growth: registries accrete objects
+    rule_removal: float = 0.01
+    rule_addition: float = 0.02
+    as_set_member_addition: float = 0.05
+    seed: int = 99
+
+
+@dataclass(slots=True)
+class IrDiff:
+    """What changed between two snapshots, per object class."""
+
+    added: dict[str, set] = field(default_factory=dict)
+    removed: dict[str, set] = field(default_factory=dict)
+    modified: dict[str, set] = field(default_factory=dict)
+
+    def count(self, kind: str) -> int:
+        """Total additions/removals/modifications of one kind."""
+        bucket = getattr(self, kind)
+        return sum(len(keys) for keys in bucket.values())
+
+    def summary(self) -> dict[str, int]:
+        """Totals per change kind."""
+        return {kind: self.count(kind) for kind in ("added", "removed", "modified")}
+
+
+def _clone(ir: Ir) -> Ir:
+    # The JSON codec is a correct deep copy for the whole object graph.
+    return loads_ir(dumps_ir(ir))
+
+
+def _keyed(ir: Ir) -> dict[str, dict]:
+    route_keys = {}
+    for route in ir.route_objects:
+        route_keys[(str(route.prefix), route.origin, route.source)] = route
+    return {
+        "aut-num": dict(ir.aut_nums),
+        "as-set": dict(ir.as_sets),
+        "route-set": dict(ir.route_sets),
+        "peering-set": dict(ir.peering_sets),
+        "filter-set": dict(ir.filter_sets),
+        "route": route_keys,
+    }
+
+
+def diff_irs(old: Ir, new: Ir) -> IrDiff:
+    """Compute added/removed/modified objects between two snapshots.
+
+    Modification is detected by comparing the objects' canonical RPSL
+    rendering, so reordered-but-equal objects do not count as changed.
+    """
+    diff = IrDiff()
+    old_keyed = _keyed(old)
+    new_keyed = _keyed(new)
+    for cls in old_keyed:
+        old_objects = old_keyed[cls]
+        new_objects = new_keyed[cls]
+        old_keys = set(old_objects)
+        new_keys = set(new_objects)
+        diff.added[cls] = new_keys - old_keys
+        diff.removed[cls] = old_keys - new_keys
+        diff.modified[cls] = {
+            key
+            for key in old_keys & new_keys
+            if render_object(old_objects[key]) != render_object(new_objects[key])
+        }
+    return diff
+
+
+def evolve_ir(ir: Ir, config: ChurnConfig | None = None, epoch: int = 0) -> Ir:
+    """One epoch of churn; deterministic for a given (config.seed, epoch)."""
+    if config is None:
+        config = ChurnConfig()
+    rng = random.Random(config.seed * 1_000_003 + epoch)
+    snapshot = _clone(ir)
+
+    # Route objects: remove a few, add more (registries grow).
+    survivors = [
+        route
+        for route in snapshot.route_objects
+        if rng.random() >= config.route_removal
+    ]
+    origins = sorted({route.origin for route in snapshot.route_objects}) or [64500]
+    sources = sorted({route.source for route in snapshot.route_objects if route.source}) or [""]
+    additions = int(len(snapshot.route_objects) * config.route_addition)
+    for index in range(additions):
+        origin = rng.choice(origins)
+        network = ((60 + epoch) << 24) + (index << 10)
+        survivors.append(
+            RouteObject(
+                prefix=Prefix(4, network, 22),
+                origin=origin,
+                mnt_by=[f"MNT-AS{origin}"],
+                source=rng.choice(sources),
+            )
+        )
+    snapshot.route_objects = survivors
+
+    # Rules: retire a few, add fresh simple ones.
+    documented = [aut for aut in snapshot.aut_nums.values() if aut.rule_count]
+    for aut_num in documented:
+        if aut_num.imports and rng.random() < config.rule_removal * len(aut_num.imports):
+            aut_num.imports.pop(rng.randrange(len(aut_num.imports)))
+        if rng.random() < config.rule_addition:
+            neighbor = rng.choice(origins)
+            aut_num.imports.append(
+                parse_policy("import", f"from AS{neighbor} accept AS{neighbor}")
+            )
+
+    # As-sets slowly accrete members.
+    for as_set in snapshot.as_sets.values():
+        if rng.random() < config.as_set_member_addition:
+            as_set.members_asn.append(rng.choice(origins))
+    return snapshot
+
+
+def snapshot_series(ir: Ir, epochs: int, config: ChurnConfig | None = None) -> list[Ir]:
+    """The initial IR followed by ``epochs`` evolved snapshots."""
+    series = [ir]
+    for epoch in range(epochs):
+        series.append(evolve_ir(series[-1], config, epoch=epoch))
+    return series
+
+
+def evolution_stats(series: list[Ir]) -> list[dict[str, int]]:
+    """Per-epoch object counts plus churn vs the previous snapshot."""
+    rows: list[dict[str, int]] = []
+    for index, snapshot in enumerate(series):
+        row: dict[str, int] = {"epoch": index, **snapshot.counts()}
+        if index:
+            row.update(diff_irs(series[index - 1], snapshot).summary())
+        rows.append(row)
+    return rows

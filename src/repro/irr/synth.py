@@ -1,0 +1,609 @@
+"""Synthetic Internet and IRR generator.
+
+The paper ingests 6.9 GiB of IRR dumps and 779 M collector routes; offline,
+this module builds the equivalent world from scratch:
+
+1. a tiered AS topology (Tier-1 clique, transit tiers, stubs) with
+   provider/customer and peer links — the ground truth that stands in for
+   CAIDA's relationship database;
+2. prefix allocations per AS (IPv4 everywhere, IPv6 for a fraction);
+3. RPSL *text* dumps for the paper's 13 IRRs, with every AS's policies
+   generated according to an *operator profile* that injects, at the
+   paper's observed rates, the behaviours Sections 4–5 measure: absent
+   aut-nums, rule-less aut-nums, export-self and import-customer misuse,
+   only-provider policies, missing/stale/multi-origin route objects,
+   compound rules (REFINE, AS-path regexes, communities), recursive and
+   looping as-sets, and outright syntax errors.
+
+Everything the parser sees is real RPSL text, so the full pipeline —
+lexer → expression grammars → IR → merge → verification — is exercised
+exactly as with a real dump.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bgp.routegen import Collector, default_collectors
+from repro.bgp.topology import AsRelationships
+from repro.ir.model import Ir
+from repro.irr.registry import Registry
+from repro.net.prefix import Prefix
+
+__all__ = ["SynthConfig", "SynthWorld", "build_world", "tiny_config", "default_config"]
+
+# Relative aut-num weights per IRR, shaped after Table 1 of the paper.
+_IRR_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("RIPE", 38573),
+    ("APNIC", 20680),
+    ("RADB", 9471),
+    ("TC", 4205),
+    ("ARIN", 3047),
+    ("AFRINIC", 2314),
+    ("IDNIC", 2276),
+    ("LACNIC", 1847),
+    ("ALTDB", 1680),
+    ("NTTCOM", 549),
+    ("JPIRR", 455),
+    ("LEVEL3", 300),
+    ("REACH", 2),
+)
+
+IRR_NAMES: tuple[str, ...] = tuple(name for name, _ in _IRR_WEIGHTS)
+
+
+@dataclass(frozen=True, slots=True)
+class SynthConfig:
+    """All generation knobs; defaults approximate the paper's shapes."""
+
+    seed: int = 42
+    # topology scale
+    n_tier1: int = 8
+    n_tier2: int = 50
+    n_tier3: int = 180
+    n_stub: int = 700
+    # operator profiles (fractions of all ASes)
+    p_absent_aut_num: float = 0.27
+    p_zero_rules: float = 0.24
+    p_only_provider: float = 0.01
+    # misuse rates among documented transit ASes
+    p_export_self_transit: float = 0.60
+    p_import_customer: float = 0.30
+    # coverage of neighbor directions in documented policies
+    p_document_provider: float = 0.9
+    p_document_customer: float = 0.8
+    p_document_peer: float = 0.35
+    # route-object pathologies
+    p_missing_route: float = 0.06
+    p_stale_route_factor: float = 1.6  # extra never-announced objects per AS
+    p_multi_origin: float = 0.05
+    p_foreign_maintainer: float = 0.10
+    # advanced / rare rule features
+    p_compound_refine: float = 0.03
+    p_regex_rule: float = 0.04
+    p_community_filter: float = 0.0008
+    p_regex_range: float = 0.0005
+    p_regex_tilde: float = 0.0005
+    p_syntax_error: float = 0.0015
+    p_route_set_user: float = 0.05
+    p_peering_set_user: float = 0.01
+    p_filter_set_user: float = 0.01
+    # as-set pathologies
+    p_empty_as_set: float = 0.12
+    p_singleton_as_set: float = 0.15
+    p_loop_as_set: float = 0.02
+    n_any_member_sets: int = 3
+    make_as_any_set: bool = True
+    # sibling organizations: fraction of stubs run by a transit AS's org
+    # (shared mnt-by — the signal tools/siblings.py clusters on)
+    p_sibling_stub: float = 0.06
+    # IPv6
+    p_ipv6: float = 0.3
+    # collectors
+    n_collectors: int = 4
+    peers_per_collector: int = 12
+
+
+def tiny_config(seed: int = 42) -> SynthConfig:
+    """A small world for unit tests (≈60 ASes)."""
+    return SynthConfig(
+        seed=seed, n_tier1=3, n_tier2=8, n_tier3=15, n_stub=35,
+        n_collectors=2, peers_per_collector=5,
+    )
+
+
+def default_config(seed: int = 42) -> SynthConfig:
+    """The benchmark-scale world (≈940 ASes)."""
+    return SynthConfig(seed=seed)
+
+
+@dataclass(slots=True)
+class SynthWorld:
+    """Everything the generator produced: topology, truth, and dump text."""
+
+    config: SynthConfig
+    topology: AsRelationships
+    announced: dict[int, list[Prefix]]
+    irr_dumps: dict[str, str]
+    profiles: dict[int, str]
+    collectors: list[Collector]
+    # ground truth for sibling inference: sibling ASN -> owning ASN
+    sibling_orgs: dict[int, int] = field(default_factory=dict)
+
+    def registry(self) -> Registry:
+        """Parse the generated dumps into a multi-IRR registry."""
+        registry = Registry()
+        for name in IRR_NAMES:
+            text = self.irr_dumps.get(name, "")
+            registry.add_text(name, text)
+        return registry
+
+    def merged_ir(self) -> Ir:
+        """Parse and priority-merge all generated dumps."""
+        return self.registry().merged()
+
+    def write_to_dir(self, directory: str | Path) -> None:
+        """Write dumps, the as-rel file, and collector peers to disk."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, text in self.irr_dumps.items():
+            (directory / f"{name.lower()}.db").write_text(text, encoding="utf-8")
+        self.topology.save(directory / "as-rel.txt")
+        lines = [
+            f"{collector.name}|{','.join(map(str, collector.peer_asns))}"
+            for collector in self.collectors
+        ]
+        (directory / "collectors.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class _Generator:
+    def __init__(self, config: SynthConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.topology = AsRelationships()
+        self.tier1: list[int] = []
+        self.tier2: list[int] = []
+        self.tier3: list[int] = []
+        self.stubs: list[int] = []
+        self.announced: dict[int, list[Prefix]] = {}
+        self.profiles: dict[int, str] = {}
+        self.home_irr: dict[int, str] = {}
+        self.customer_set_name: dict[int, str] = {}
+        self.route_set_name: dict[int, str] = {}
+        self.org_of: dict[int, int] = {}  # sibling ASes -> owning AS
+        # per-IRR object text fragments
+        self.objects: dict[str, list[str]] = {name: [] for name in IRR_NAMES}
+        self._v4_cursor = 0
+        self._v6_cursor = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def build_topology(self) -> None:
+        config, rng = self.config, self.rng
+        next_asn = 174
+        def take(count: int, spacing: int) -> list[int]:
+            nonlocal next_asn
+            asns = []
+            for _ in range(count):
+                asns.append(next_asn)
+                next_asn += rng.randint(1, spacing)
+            return asns
+
+        self.tier1 = take(config.n_tier1, 40)
+        self.tier2 = take(config.n_tier2, 60)
+        self.tier3 = take(config.n_tier3, 90)
+        self.stubs = take(config.n_stub, 120)
+
+        for index, left in enumerate(self.tier1):
+            for right in self.tier1[index + 1 :]:
+                self.topology.add_peering(left, right)
+        for asn in self.tier2:
+            for provider in rng.sample(self.tier1, rng.randint(1, min(3, len(self.tier1)))):
+                self.topology.add_transit(provider, asn)
+        for index, left in enumerate(self.tier2):
+            for right in self.tier2[index + 1 :]:
+                if rng.random() < 0.08:
+                    self.topology.add_peering(left, right)
+        for asn in self.tier3:
+            pool = self.tier2 if rng.random() < 0.9 else self.tier1
+            for provider in rng.sample(pool, rng.randint(1, min(3, len(pool)))):
+                self.topology.add_transit(provider, asn)
+        for index, left in enumerate(self.tier3):
+            for right in self.tier3[index + 1 :]:
+                if rng.random() < 0.01:
+                    self.topology.add_peering(left, right)
+        for asn in self.stubs:
+            roll = rng.random()
+            pool = self.tier3 if roll < 0.75 else (self.tier2 if roll < 0.97 else self.tier1)
+            count = 1 if rng.random() < 0.7 else 2
+            for provider in rng.sample(pool, min(count, len(pool))):
+                self.topology.add_transit(provider, asn)
+        # a sprinkling of stub-stub (IXP-style) peering
+        for _ in range(len(self.stubs) // 20):
+            left, right = rng.sample(self.stubs, 2)
+            self.topology.add_peering(left, right)
+        self.topology.tier1 = set(self.tier1)
+
+    def all_ases(self) -> list[int]:
+        return self.tier1 + self.tier2 + self.tier3 + self.stubs
+
+    # -- prefixes -----------------------------------------------------------
+
+    def allocate_prefixes(self) -> None:
+        rng = self.rng
+        for asn in self.all_ases():
+            if asn in self.tier1:
+                count = rng.randint(6, 10)
+            elif asn in self.tier2:
+                count = rng.randint(3, 6)
+            elif asn in self.tier3:
+                count = rng.randint(2, 4)
+            else:
+                count = rng.randint(1, 2)
+            prefixes: list[Prefix] = []
+            for _ in range(count):
+                length = rng.choice((20, 21, 22, 23, 24, 24, 24))
+                # sequential /20 blocks from 20.0.0.0, sub-allocated
+                block = (20 << 24) + self._v4_cursor * (1 << 12)
+                self._v4_cursor += 1
+                sub = block & ~((1 << (32 - length)) - 1)
+                prefixes.append(Prefix(4, sub, length))
+            if rng.random() < self.config.p_ipv6:
+                network = (0x2400 << 112) + self._v6_cursor * (1 << 96)
+                self._v6_cursor += 1
+                prefixes.append(Prefix(6, network, 32))
+                if rng.random() < 0.4:
+                    prefixes.append(Prefix(6, network + (1 << 80), 48))
+            self.announced[asn] = prefixes
+
+    # -- profiles ------------------------------------------------------------
+
+    def assign_profiles(self) -> None:
+        config, rng = self.config, self.rng
+        weights = _IRR_WEIGHTS
+        total_weight = sum(weight for _, weight in weights)
+        for asn in self.all_ases():
+            roll = rng.random()
+            if asn in self.tier1:
+                # Tier-1s split: several with zero rules, several rich
+                # (the paper's Figure 1 red crosses).
+                profile = "absent" if roll < 0.25 else ("empty" if roll < 0.5 else "documented")
+            elif roll < config.p_absent_aut_num:
+                profile = "absent"
+            elif roll < config.p_absent_aut_num + config.p_zero_rules:
+                profile = "empty"
+            elif roll < (
+                config.p_absent_aut_num + config.p_zero_rules + config.p_only_provider
+            ) and self.topology.customers.get(asn):
+                # Only-provider policies are a *transit* phenomenon: the
+                # paper finds 46 such transit ASes (providers mandated
+                # RPSL use; customers and peers are left undocumented).
+                profile = "only-provider"
+            else:
+                profile = "documented"
+            self.profiles[asn] = profile
+            pick = rng.random() * total_weight
+            for name, weight in weights:
+                pick -= weight
+                if pick <= 0:
+                    self.home_irr[asn] = name
+                    break
+            else:
+                self.home_irr[asn] = "RADB"
+
+    # -- emission helpers ------------------------------------------------------
+
+    def emit(self, irr: str, text: str) -> None:
+        self.objects[irr].append(text.rstrip() + "\n")
+
+    def maintainer(self, asn: int) -> str:
+        return f"MNT-AS{self.org_of.get(asn, asn)}"
+
+    def assign_siblings(self) -> None:
+        """A few organizations operate several ASNs (shared maintainer)."""
+        rng = self.rng
+        owners = self.tier2 + self.tier3
+        if not owners:
+            return
+        for asn in self.stubs:
+            if rng.random() < self.config.p_sibling_stub:
+                self.org_of[asn] = rng.choice(owners)
+
+    # -- as-sets ------------------------------------------------------------
+
+    def build_as_sets(self) -> None:
+        rng, config = self.rng, self.config
+        transit = [asn for asn in self.all_ases() if self.topology.customers.get(asn)]
+        for asn in transit:
+            name = f"AS{asn}:AS-CUSTOMERS" if rng.random() < 0.6 else f"AS-SYNTH{asn}"
+            self.customer_set_name[asn] = name
+        for asn in transit:
+            name = self.customer_set_name[asn]
+            members: list[str] = [f"AS{asn}"]
+            for customer in sorted(self.topology.customers.get(asn, ())):
+                members.append(f"AS{customer}")
+                nested = self.customer_set_name.get(customer)
+                if nested is not None and rng.random() < 0.9:
+                    members.append(nested)
+            irr = self.home_irr[asn]
+            lines = [f"as-set:     {name}"]
+            if members:
+                lines.append(f"members:    {', '.join(members)}")
+            lines.append(f"mnt-by:     {self.maintainer(asn)}")
+            lines.append(f"source:     {irr}")
+            self.emit(irr, "\n".join(lines))
+
+        # pathologies: empty, singleton, looping, ANY-member, AS-ANY sets
+        sample_pool = self.all_ases()
+        n_empty = int(len(transit) * config.p_empty_as_set)
+        for index in range(n_empty):
+            owner = rng.choice(sample_pool)
+            irr = self.home_irr[owner]
+            self.emit(
+                irr,
+                f"as-set:     AS-EMPTY{index}\nmnt-by:     {self.maintainer(owner)}\nsource:     {irr}",
+            )
+        n_single = int(len(transit) * config.p_singleton_as_set)
+        for index in range(n_single):
+            owner = rng.choice(sample_pool)
+            irr = self.home_irr[owner]
+            self.emit(
+                irr,
+                f"as-set:     AS-ONLY{index}\nmembers:    AS{owner}\n"
+                f"mnt-by:     {self.maintainer(owner)}\nsource:     {irr}",
+            )
+        n_loops = max(1, int(len(transit) * config.p_loop_as_set))
+        for index in range(n_loops):
+            owner = rng.choice(sample_pool)
+            irr = self.home_irr[owner]
+            self.emit(
+                irr,
+                f"as-set:     AS-LOOPA{index}\nmembers:    AS{owner}, AS-LOOPB{index}\nsource:     {irr}",
+            )
+            self.emit(
+                irr,
+                f"as-set:     AS-LOOPB{index}\nmembers:    AS-LOOPA{index}\nsource:     {irr}",
+            )
+        for index in range(config.n_any_member_sets):
+            owner = rng.choice(sample_pool)
+            irr = self.home_irr[owner]
+            self.emit(
+                irr,
+                f"as-set:     AS-WILD{index}\nmembers:    ANY\nsource:     {irr}",
+            )
+        if config.make_as_any_set:
+            irr = rng.choice(IRR_NAMES)
+            self.emit(irr, f"as-set:     AS-ANY\nsource:     {irr}")
+
+    # -- route objects --------------------------------------------------------
+
+    def build_route_objects(self) -> None:
+        rng, config = self.rng, self.config
+        for asn, prefixes in self.announced.items():
+            irr = self.home_irr[asn]
+            for prefix in prefixes:
+                if rng.random() < config.p_missing_route:
+                    continue  # the Missing Routes pathology
+                self._emit_route(irr, prefix, asn, self.maintainer(asn))
+                if rng.random() < 0.15:
+                    # duplicated registration in RADB (cross-IRR overlap)
+                    self._emit_route("RADB", prefix, asn, self.maintainer(asn))
+                if rng.random() < config.p_multi_origin:
+                    providers = sorted(self.topology.providers.get(asn, ()))
+                    if providers:
+                        other = rng.choice(providers)
+                        self._emit_route(
+                            "RADB", prefix, other, self.maintainer(other)
+                        )
+                elif rng.random() < config.p_foreign_maintainer:
+                    providers = sorted(self.topology.providers.get(asn, ()))
+                    if providers:
+                        self._emit_route(
+                            "RADB", prefix, asn, self.maintainer(rng.choice(providers))
+                        )
+            # stale objects: prefixes registered but never announced
+            n_stale = int(rng.random() * config.p_stale_route_factor * len(prefixes))
+            for _ in range(n_stale):
+                block = (20 << 24) + self._v4_cursor * (1 << 12)
+                self._v4_cursor += 1
+                self._emit_route(irr, Prefix(4, block, 22), asn, self.maintainer(asn))
+
+    def _emit_route(self, irr: str, prefix: Prefix, origin: int, mnt: str) -> None:
+        object_class = "route" if prefix.version == 4 else "route6"
+        self.emit(
+            irr,
+            f"{object_class}:      {prefix}\norigin:     AS{origin}\n"
+            f"mnt-by:     {mnt}\nsource:     {irr}",
+        )
+
+    # -- policies -----------------------------------------------------------
+
+    def _filter_for_neighbor(self, neighbor: int) -> str:
+        """The filter a neighbor's routes are matched with (set or ASN)."""
+        name = self.customer_set_name.get(neighbor)
+        if name is not None and self.rng.random() < 0.8:
+            return name
+        return f"AS{neighbor}"
+
+    def build_aut_nums(self) -> None:
+        for asn in self.all_ases():
+            profile = self.profiles[asn]
+            if profile == "absent":
+                continue
+            irr = self.home_irr[asn]
+            lines = [f"aut-num:    AS{asn}", f"as-name:    SYNTH-AS{asn}"]
+            if profile != "empty" and irr != "LACNIC":
+                # The LACNIC dump carries no import/export rules (Table 1).
+                lines.extend(self._policy_lines(asn, profile))
+            lines.append(f"mnt-by:     {self.maintainer(asn)}")
+            lines.append(f"source:     {irr}")
+            self.emit(irr, "\n".join(lines))
+
+    def _policy_lines(self, asn: int, profile: str) -> list[str]:
+        rng, config = self.rng, self.config
+        topology = self.topology
+        lines: list[str] = []
+        providers = sorted(topology.providers.get(asn, ()))
+        customers = sorted(topology.customers.get(asn, ()))
+        peers = sorted(topology.peers.get(asn, ()))
+        is_transit = bool(customers)
+        export_self = is_transit and rng.random() < config.p_export_self_transit
+        if asn in self.route_set_name:
+            # Route-set adopters (the paper's recommendation) export it.
+            self_export_filter = self.route_set_name[asn]
+        elif export_self or not is_transit:
+            self_export_filter = f"AS{asn}"
+        else:
+            self_export_filter = self.customer_set_name.get(asn, f"AS{asn}")
+
+        def add(kind: str, body: str) -> None:
+            if rng.random() < config.p_syntax_error:
+                body += " AND"  # dangling operator: a recorded syntax error
+            lines.append(f"{kind}:     {body}")
+
+        for provider in providers:
+            if rng.random() > config.p_document_provider:
+                continue
+            action = f" action pref={rng.randint(50, 300)};" if rng.random() < 0.3 else ""
+            add("import", f"from AS{provider}{action} accept ANY")
+            add("export", f"to AS{provider} announce {self_export_filter}")
+
+        if profile == "only-provider":
+            return lines
+
+        for customer in customers:
+            if rng.random() > config.p_document_customer:
+                continue
+            if rng.random() < config.p_import_customer:
+                customer_filter = f"AS{customer}"  # the Import Customer misuse
+            else:
+                customer_filter = self._filter_for_neighbor(customer)
+            add("import", f"from AS{customer} accept {customer_filter}")
+            add("export", f"to AS{customer} announce ANY")
+
+        for peer in peers:
+            if rng.random() > config.p_document_peer:
+                continue
+            add("import", f"from AS{peer} accept {self._filter_for_neighbor(peer)}")
+            add("export", f"to AS{peer} announce {self_export_filter}")
+
+        lines.extend(self._fancy_rules(asn, providers, customers))
+        return lines
+
+    def _fancy_rules(
+        self, asn: int, providers: list[int], customers: list[int]
+    ) -> list[str]:
+        """Rare, advanced rules: regex, refine, communities, skip cases."""
+        rng, config = self.rng, self.config
+        lines: list[str] = []
+        if customers and rng.random() < config.p_regex_rule:
+            customer = rng.choice(customers)
+            lines.append(
+                f"import:     from AS{customer} accept <^AS{customer}+ .* $>"
+            )
+        if providers and rng.random() < config.p_compound_refine:
+            provider = rng.choice(providers)
+            lines.append(
+                "mp-import:  afi any.unicast from "
+                f"AS{provider} accept ANY AND NOT {{0.0.0.0/0, ::/0}} REFINE "
+                f"afi ipv4.unicast from AS{provider} action pref=200; accept ANY"
+            )
+        if rng.random() < config.p_community_filter:
+            lines.append(
+                "import:     from AS-ANY action pref=100; accept community(65535:666)"
+            )
+        if providers and rng.random() < config.p_regex_range:
+            lines.append(
+                f"import:     from AS{providers[0]} accept NOT <AS64512-AS65534>"
+            )
+        if providers and rng.random() < config.p_regex_tilde:
+            lines.append(
+                f"import:     from AS{providers[0]} accept NOT <.~* AS{asn} .~*>"
+            )
+        return lines
+
+    # -- route-sets / peering-sets / filter-sets -------------------------------
+
+    def build_route_sets(self) -> None:
+        """Route-sets for the minority of operators that adopt them."""
+        rng, config = self.rng, self.config
+        for asn in self.all_ases():
+            if rng.random() >= config.p_route_set_user:
+                continue
+            prefixes = [p for p in self.announced.get(asn, []) if p.version == 4]
+            if not prefixes:
+                continue
+            irr = self.home_irr[asn]
+            name = f"RS-SYNTH{asn}"
+            members = ", ".join(
+                str(prefix) + ("^+" if rng.random() < 0.2 else "")
+                for prefix in prefixes
+            )
+            self.emit(
+                irr,
+                f"route-set:  {name}\nmembers:    {members}\n"
+                f"mnt-by:     {self.maintainer(asn)}\nsource:     {irr}",
+            )
+            self.route_set_name[asn] = name
+
+    def build_other_sets(self) -> None:
+        rng, config = self.rng, self.config
+        transit = [asn for asn in self.all_ases() if self.topology.customers.get(asn)]
+        for asn in transit:
+            if rng.random() < config.p_peering_set_user and self.topology.peers.get(asn):
+                irr = self.home_irr[asn]
+                peer_lines = "".join(
+                    f"peering:    AS{peer}\n" for peer in sorted(self.topology.peers[asn])[:4]
+                )
+                self.emit(
+                    irr,
+                    f"peering-set: PRNG-SYNTH{asn}\n{peer_lines}source:     {irr}",
+                )
+            if rng.random() < config.p_filter_set_user:
+                irr = self.home_irr[asn]
+                self.emit(
+                    irr,
+                    f"filter-set: FLTR-SYNTH{asn}\n"
+                    f"filter:     {self.customer_set_name.get(asn, f'AS{asn}')} AND NOT {{0.0.0.0/0}}\n"
+                    f"source:     {irr}",
+                )
+
+    # -- assembly -----------------------------------------------------------
+
+    def build(self) -> SynthWorld:
+        self.build_topology()
+        self.allocate_prefixes()
+        self.assign_profiles()
+        self.assign_siblings()
+        self.build_as_sets()
+        self.build_route_sets()
+        self.build_route_objects()
+        self.build_aut_nums()
+        self.build_other_sets()
+        dumps = {
+            name: "\n".join(fragments) for name, fragments in self.objects.items()
+        }
+        collectors = default_collectors(
+            self.topology,
+            count=self.config.n_collectors,
+            peers_per_collector=self.config.peers_per_collector,
+            seed=self.config.seed + 1,
+        )
+        return SynthWorld(
+            config=self.config,
+            topology=self.topology,
+            announced=self.announced,
+            irr_dumps=dumps,
+            profiles=self.profiles,
+            collectors=collectors,
+            sibling_orgs=dict(self.org_of),
+        )
+
+
+def build_world(config: SynthConfig | None = None) -> SynthWorld:
+    """Generate a synthetic world (topology + IRR dumps + collectors)."""
+    if config is None:
+        config = default_config()
+    return _Generator(config).build()

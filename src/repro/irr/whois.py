@@ -1,0 +1,238 @@
+"""An IRRd-style WHOIS query server and client over an IR.
+
+IRRs serve RPSL through the WHOIS protocol (port 43) plus IRRd's
+bang-command extension; tools like BGPq4 drive the latter.  This module
+implements both faces over a parsed :class:`~repro.ir.model.Ir` so the
+whole query path — the thing the paper's pipeline replaces with bulk dump
+parsing — exists as a runnable substrate:
+
+Plain WHOIS queries (one per line, response followed by a blank line):
+
+* ``AS2914`` — the aut-num object text;
+* ``AS-SET-NAME`` / ``RS-...`` / ``PRNG-...`` / ``FLTR-...`` — set text;
+* ``192.0.2.0/24`` — all route objects exactly matching the prefix;
+* ``-i origin AS2914`` — all route objects with that origin (RIPE syntax).
+
+IRRd bang commands (``!`` prefix; responses framed ``A<len>\\n...C\\n``,
+``C`` for success without data, ``D`` for not found, ``F <msg>`` errors):
+
+* ``!gAS2914`` / ``!6AS2914`` — IPv4/IPv6 prefixes originated by the AS;
+* ``!iAS-FOO`` — direct members of a set; ``!iAS-FOO,1`` — recursive;
+* ``!j`` — serial/summary; ``!q`` — quit.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro.core.query import QueryEngine
+from repro.ir.model import Ir
+from repro.ir.render import (
+    render_as_set,
+    render_aut_num,
+    render_filter_set,
+    render_peering_set,
+    render_route_object,
+    render_route_set,
+)
+from repro.net.asn import AsnError, parse_asn
+from repro.net.prefix import Prefix, PrefixError
+from repro.rpsl.names import NameKind, classify_name, normalize_name
+
+__all__ = ["WhoisEngine", "WhoisServer", "whois_query"]
+
+
+class WhoisEngine:
+    """Protocol-independent query answering over one IR."""
+
+    def __init__(self, ir: Ir):
+        self.ir = ir
+        self.query = QueryEngine(ir)
+
+    # -- plain whois -----------------------------------------------------
+
+    def lookup(self, text: str) -> str | None:
+        """Answer a plain WHOIS query; None means no entries found."""
+        text = text.strip()
+        if not text:
+            return None
+        if text.lower().startswith("-i origin "):
+            return self._routes_by_origin_text(text.split()[-1])
+        if "/" in text:
+            return self._routes_by_prefix(text)
+        kind = classify_name(text)
+        if kind is NameKind.ASN:
+            aut_num = self.ir.aut_nums.get(parse_asn(text))
+            return render_aut_num(aut_num) if aut_num else None
+        name = normalize_name(text)
+        if kind is NameKind.AS_SET and name in self.ir.as_sets:
+            return render_as_set(self.ir.as_sets[name])
+        if kind is NameKind.ROUTE_SET and name in self.ir.route_sets:
+            return render_route_set(self.ir.route_sets[name])
+        if kind is NameKind.PEERING_SET and name in self.ir.peering_sets:
+            return render_peering_set(self.ir.peering_sets[name])
+        if kind is NameKind.FILTER_SET and name in self.ir.filter_sets:
+            return render_filter_set(self.ir.filter_sets[name])
+        return None
+
+    def _routes_by_prefix(self, text: str) -> str | None:
+        try:
+            prefix = Prefix.parse(text)
+        except PrefixError:
+            return None
+        matches = [
+            render_route_object(route)
+            for route in self.ir.route_objects
+            if route.prefix == prefix
+        ]
+        return "\n\n".join(matches) if matches else None
+
+    def _routes_by_origin_text(self, asn_text: str) -> str | None:
+        try:
+            asn = parse_asn(asn_text)
+        except AsnError:
+            return None
+        matches = [
+            render_route_object(route)
+            for route in self.ir.route_objects
+            if route.origin == asn
+        ]
+        return "\n\n".join(matches) if matches else None
+
+    # -- IRRd bang commands ------------------------------------------------
+
+    def bang(self, command: str) -> str:
+        """Answer one ``!`` command, returning the framed response."""
+        command = command.strip()
+        if command in ("!q", "!e"):
+            return ""
+        if command == "!j":
+            counts = self.ir.counts()
+            return _frame(
+                f"objects: aut-num={counts['aut-num']} route={counts['route']}"
+            )
+        if command.startswith(("!g", "!6")):
+            version = 4 if command.startswith("!g") else 6
+            return self._origin_prefixes(command[2:], version)
+        if command.startswith("!i"):
+            return self._set_members(command[2:])
+        return f"F unrecognized command {command!r}"
+
+    def _origin_prefixes(self, asn_text: str, version: int) -> str:
+        try:
+            asn = parse_asn(asn_text)
+        except AsnError:
+            return f"F invalid AS number {asn_text!r}"
+        keys = self.query.origin_prefixes.get(asn)
+        if not keys:
+            return "D"
+        prefixes = sorted(Prefix(*key) for key in keys if key[0] == version)
+        if not prefixes:
+            return "D"
+        return _frame(" ".join(str(prefix) for prefix in prefixes))
+
+    def _set_members(self, argument: str) -> str:
+        name, _, flag = argument.partition(",")
+        name = normalize_name(name)
+        recursive = flag.strip() == "1"
+        if recursive:
+            resolution = self.query.flatten_as_set(name)
+            if not resolution.recorded:
+                return "D"
+            members = [f"AS{asn}" for asn in sorted(resolution.members)]
+        else:
+            as_set = self.ir.as_sets.get(name)
+            if as_set is None:
+                return "D"
+            members = [f"AS{asn}" for asn in as_set.members_asn]
+            members += list(as_set.members_set)
+        if not members:
+            return _frame("")
+        return _frame(" ".join(members))
+
+
+def _frame(data: str) -> str:
+    """IRRd framing: A<byte-length>, the data, then C."""
+    payload = data + "\n" if data else ""
+    return f"A{len(payload.encode())}\n{payload}C"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        engine: WhoisEngine = self.server.engine  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            text = line.decode("utf-8", errors="replace").strip()
+            if text in ("!q", "!e", "-k q", "q"):
+                return
+            if text.startswith("!"):
+                response = engine.bang(text)
+            else:
+                found = engine.lookup(text)
+                response = found if found is not None else "%  No entries found"
+            self.wfile.write(response.encode("utf-8") + b"\n\n")
+            self.wfile.flush()
+
+
+class WhoisServer:
+    """A threaded WHOIS server bound to ``(host, port)``; port 0 = ephemeral.
+
+    Use as a context manager::
+
+        with WhoisServer(ir) as server:
+            text = whois_query("localhost", server.port, "AS2914")
+    """
+
+    def __init__(self, ir: Ir, host: str = "127.0.0.1", port: int = 0):
+        self.engine = WhoisEngine(ir)
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), _Handler, bind_and_activate=True
+        )
+        self._server.daemon_threads = True
+        self._server.engine = self.engine  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._server.server_address[1]
+
+    def start(self) -> "WhoisServer":
+        """Serve in a daemon thread."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the service thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "WhoisServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def whois_query(host: str, port: int, query: str, timeout: float = 5.0) -> str:
+    """Send one query and return the response text (trailing blanks stripped)."""
+    with socket.create_connection((host, port), timeout=timeout) as connection:
+        connection.sendall(query.encode("utf-8") + b"\n")
+        connection.sendall(b"!q\n")
+        chunks = []
+        while True:
+            data = connection.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks).decode("utf-8").rstrip()

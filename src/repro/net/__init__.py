@@ -1,0 +1,33 @@
+"""Network primitives: IP prefixes, RPSL range operators, ASNs, and AFIs.
+
+These are the lowest-level building blocks shared by the RPSL parser, the
+BGP substrate, and the verification engine.  They are deliberately free of
+any RPSL- or BGP-specific policy logic.
+"""
+
+from repro.net.afi import Afi, AfiFamily, AfiSafi
+from repro.net.asn import AsnError, format_asn, is_private_asn, parse_asn
+from repro.net.prefix import (
+    Prefix,
+    PrefixError,
+    RangeOp,
+    RangeOpKind,
+    parse_prefix,
+    parse_prefix_with_op,
+)
+
+__all__ = [
+    "Afi",
+    "AfiFamily",
+    "AfiSafi",
+    "AsnError",
+    "Prefix",
+    "PrefixError",
+    "RangeOp",
+    "RangeOpKind",
+    "format_asn",
+    "is_private_asn",
+    "parse_asn",
+    "parse_prefix",
+    "parse_prefix_with_op",
+]

@@ -1,0 +1,85 @@
+"""Address-family identifiers for RPSLng (RFC 4012) multiprotocol rules.
+
+An ``mp-import``/``mp-export`` rule may restrict itself to an address family
+such as ``afi ipv6.unicast`` or ``afi any.unicast``.  Plain ``import`` /
+``export`` rules implicitly mean ``ipv4.unicast``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Afi", "AfiFamily", "AfiSafi", "AfiError"]
+
+
+class AfiError(ValueError):
+    """Raised when an afi specifier cannot be parsed."""
+
+
+class AfiFamily(Enum):
+    """The address-family half of an afi specifier."""
+
+    ANY = "any"
+    IPV4 = "ipv4"
+    IPV6 = "ipv6"
+
+    def matches_version(self, version: int) -> bool:
+        """Whether this family covers prefixes of the given IP version."""
+        if self is AfiFamily.ANY:
+            return True
+        return (self is AfiFamily.IPV4) == (version == 4)
+
+
+class AfiSafi(Enum):
+    """The subsequent-address-family half (cast) of an afi specifier."""
+
+    ANY = "any"
+    UNICAST = "unicast"
+    MULTICAST = "multicast"
+
+
+@dataclass(frozen=True, slots=True)
+class Afi:
+    """A parsed afi token such as ``ipv6.unicast`` or ``any``."""
+
+    family: AfiFamily = AfiFamily.ANY
+    safi: AfiSafi = AfiSafi.ANY
+
+    # Afi.IPV4_UNICAST — the implicit afi of non-multiprotocol rules — is
+    # assigned after the class definition (see module bottom).
+
+    @staticmethod
+    def parse(token: str) -> "Afi":
+        """Parse one afi token: ``ipv4``, ``ipv6.multicast``, ``any.unicast``…"""
+        token = token.strip().lower().rstrip(",")
+        family_text, _, safi_text = token.partition(".")
+        try:
+            family = AfiFamily(family_text)
+        except ValueError as exc:
+            raise AfiError(f"invalid afi family: {token!r}") from exc
+        if not safi_text:
+            return Afi(family, AfiSafi.ANY)
+        try:
+            safi = AfiSafi(safi_text)
+        except ValueError as exc:
+            raise AfiError(f"invalid afi cast: {token!r}") from exc
+        return Afi(family, safi)
+
+    def matches_version(self, version: int) -> bool:
+        """Whether a *unicast* route of the given IP version is covered.
+
+        BGP table dumps contain unicast routes, so a rule scoped to
+        ``multicast`` never matches them.
+        """
+        if self.safi is AfiSafi.MULTICAST:
+            return False
+        return self.family.matches_version(version)
+
+    def __str__(self) -> str:
+        if self.safi is AfiSafi.ANY:
+            return self.family.value
+        return f"{self.family.value}.{self.safi.value}"
+
+
+Afi.IPV4_UNICAST = Afi(AfiFamily.IPV4, AfiSafi.UNICAST)

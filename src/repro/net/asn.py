@@ -1,0 +1,52 @@
+"""AS number parsing and classification.
+
+RPSL spells AS numbers as ``AS<number>`` (asplain, RFC 5396).  The parser is
+case-insensitive because registries contain ``as174``, ``As174`` and
+``AS174`` for the same AS.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["AsnError", "parse_asn", "format_asn", "is_private_asn", "is_reserved_asn"]
+
+ASN_MAX = 2**32 - 1
+
+_ASN_RE = re.compile(r"^AS(\d+)$", re.IGNORECASE)
+
+# RFC 6996 private ranges plus RFC 7300 last ASNs.
+_PRIVATE_16 = range(64512, 65535)
+_PRIVATE_32 = range(4200000000, 4294967295)
+
+
+class AsnError(ValueError):
+    """Raised when an AS number cannot be parsed."""
+
+
+def parse_asn(text: str) -> int:
+    """Parse ``AS<number>`` (case-insensitive) into an integer ASN."""
+    match = _ASN_RE.match(text.strip())
+    if match is None:
+        raise AsnError(f"invalid AS number: {text!r}")
+    value = int(match.group(1))
+    if value > ASN_MAX:
+        raise AsnError(f"AS number out of 32-bit range: {text!r}")
+    return value
+
+
+def format_asn(asn: int) -> str:
+    """Format an integer ASN in RPSL asplain notation (``AS<number>``)."""
+    if not 0 <= asn <= ASN_MAX:
+        raise AsnError(f"AS number out of 32-bit range: {asn}")
+    return f"AS{asn}"
+
+
+def is_private_asn(asn: int) -> bool:
+    """Whether the ASN is in an RFC 6996 private-use range."""
+    return asn in _PRIVATE_16 or asn in _PRIVATE_32
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """Whether the ASN is reserved (0, 23456, 65535, or 4294967295)."""
+    return asn in (0, 23456, 65535, ASN_MAX)

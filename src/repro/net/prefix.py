@@ -1,0 +1,239 @@
+"""IP prefixes and RPSL prefix range operators.
+
+RPSL address-prefix sets attach *range operators* to prefixes (RFC 2622
+Section 2):
+
+``^-``
+    the exclusive more-specifics: every prefix strictly longer than the
+    declared one, contained in it.
+``^+``
+    the inclusive more-specifics: the declared prefix and everything
+    contained in it.
+``^n``
+    all length-*n* prefixes contained in the declared prefix.
+``^n-m``
+    all prefixes of length *n* through *m* contained in the declared prefix.
+
+A :class:`Prefix` is stored as ``(version, network-int, length)`` so that
+containment checks are two integer comparisons — the verifier evaluates
+millions of them per run.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "RangeOp",
+    "RangeOpKind",
+    "aggregate_prefixes",
+    "parse_prefix",
+    "parse_prefix_with_op",
+]
+
+
+class PrefixError(ValueError):
+    """Raised when a prefix or range operator cannot be parsed."""
+
+
+_MAX_LEN = {4: 32, 6: 128}
+_RANGE_OP_RE = re.compile(r"^\^(?:(?P<minus>-)|(?P<plus>\+)|(?P<n>\d+)(?:-(?P<m>\d+))?)$")
+
+
+class RangeOpKind(Enum):
+    """The five shapes an RPSL range operator can take (NONE = absent)."""
+
+    NONE = "none"
+    MINUS = "minus"  # ^-
+    PLUS = "plus"  # ^+
+    EXACT = "exact"  # ^n
+    RANGE = "range"  # ^n-m
+
+
+@dataclass(frozen=True, slots=True)
+class RangeOp:
+    """An RPSL prefix range operator, e.g. ``^+`` or ``^24-32``.
+
+    ``low``/``high`` are only meaningful for :attr:`RangeOpKind.EXACT`
+    (``low == high == n``) and :attr:`RangeOpKind.RANGE`.
+    """
+
+    kind: RangeOpKind = RangeOpKind.NONE
+    low: int = 0
+    high: int = 0
+
+    @staticmethod
+    def parse(text: str) -> "RangeOp":
+        """Parse a range operator like ``^-``, ``^+``, ``^24`` or ``^24-32``."""
+        match = _RANGE_OP_RE.match(text.strip())
+        if match is None:
+            raise PrefixError(f"invalid range operator: {text!r}")
+        if match.group("minus"):
+            return RangeOp(RangeOpKind.MINUS)
+        if match.group("plus"):
+            return RangeOp(RangeOpKind.PLUS)
+        low = int(match.group("n"))
+        high = int(match.group("m")) if match.group("m") else low
+        if high < low:
+            raise PrefixError(f"inverted range operator: {text!r}")
+        return RangeOp(RangeOpKind.RANGE if match.group("m") else RangeOpKind.EXACT, low, high)
+
+    def allows(self, declared_len: int, announced_len: int) -> bool:
+        """Whether a contained prefix of ``announced_len`` qualifies.
+
+        ``declared_len`` is the length of the set-member prefix carrying this
+        operator; containment itself is checked by the caller.
+        """
+        if self.kind is RangeOpKind.NONE:
+            return announced_len == declared_len
+        if self.kind is RangeOpKind.MINUS:
+            return announced_len > declared_len
+        if self.kind is RangeOpKind.PLUS:
+            return announced_len >= declared_len
+        return self.low <= announced_len <= self.high
+
+    def compose(self, outer: "RangeOp") -> "RangeOp":
+        """Apply an *outer* operator on top of this one (RFC 2622 set ops).
+
+        For example ``{192.0.2.0/24^+}^27-27`` resolves to ``^27``: an outer
+        operator replaces the inner one but may never *widen* it; RFC 2622
+        specifies the outer operator is applied to each implied prefix, which
+        for verification purposes reduces to taking the outer operator.
+        """
+        if outer.kind is RangeOpKind.NONE:
+            return self
+        return outer
+
+    def __str__(self) -> str:
+        if self.kind is RangeOpKind.NONE:
+            return ""
+        if self.kind is RangeOpKind.MINUS:
+            return "^-"
+        if self.kind is RangeOpKind.PLUS:
+            return "^+"
+        if self.kind is RangeOpKind.EXACT:
+            return f"^{self.low}"
+        return f"^{self.low}-{self.high}"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """An IPv4 or IPv6 prefix in canonical (network-address) form.
+
+    Ordering is ``(version, network, length)``, which groups prefixes by
+    address family and then sorts them numerically — the order the route
+    lookup index relies on.
+    """
+
+    version: int
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise PrefixError(f"bad IP version: {self.version}")
+        max_len = _MAX_LEN[self.version]
+        if not 0 <= self.length <= max_len:
+            raise PrefixError(f"bad prefix length /{self.length} for IPv{self.version}")
+        if self.network >> max_len:
+            raise PrefixError("network address out of range")
+
+    @staticmethod
+    def parse(text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` or ``x::y/len``; host bits are masked off.
+
+        Real-world *route* objects occasionally carry host bits (e.g.
+        ``192.0.2.1/24``); like IRRd we canonicalize rather than reject.
+        """
+        return _parse_prefix_cached(text.strip())
+
+    @property
+    def max_length(self) -> int:
+        """32 for IPv4, 128 for IPv6."""
+        return _MAX_LEN[self.version]
+
+    def contains(self, other: "Prefix") -> bool:
+        """Whether ``other`` is equal to or more specific than this prefix."""
+        if self.version != other.version or other.length < self.length:
+            return False
+        shift = self.max_length - self.length
+        return (self.network >> shift) == (other.network >> shift)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Whether the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self, length: int) -> "Prefix":
+        """The containing prefix of the given (shorter or equal) length."""
+        if length > self.length:
+            raise PrefixError(f"supernet /{length} longer than /{self.length}")
+        shift = self.max_length - length
+        return Prefix(self.version, (self.network >> shift) << shift, length)
+
+    def matches_with_op(self, route_prefix: "Prefix", op: RangeOp) -> bool:
+        """Whether ``route_prefix`` matches this declared prefix under ``op``."""
+        return self.contains(route_prefix) and op.allows(self.length, route_prefix.length)
+
+    def __str__(self) -> str:
+        if self.version == 4:
+            address = str(ipaddress.IPv4Address(self.network))
+        else:
+            address = str(ipaddress.IPv6Address(self.network))
+        return f"{address}/{self.length}"
+
+
+@lru_cache(maxsize=65536)
+def _parse_prefix_cached(text: str) -> Prefix:
+    try:
+        network = ipaddress.ip_network(text, strict=False)
+    except ValueError as exc:
+        raise PrefixError(f"invalid prefix: {text!r}") from exc
+    return Prefix(network.version, int(network.network_address), network.prefixlen)
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Parse a prefix string; alias of :meth:`Prefix.parse`."""
+    return Prefix.parse(text)
+
+
+def parse_prefix_with_op(text: str) -> tuple[Prefix, RangeOp]:
+    """Parse ``<prefix>[^op]`` as used inside RPSL address-prefix sets."""
+    text = text.strip()
+    caret = text.find("^")
+    if caret < 0:
+        return Prefix.parse(text), RangeOp()
+    return Prefix.parse(text[:caret]), RangeOp.parse(text[caret:])
+
+
+def aggregate_prefixes(prefixes) -> list["Prefix"]:
+    """The minimal prefix list covering exactly the same address space.
+
+    Contained prefixes are absorbed and sibling halves merge into their
+    parent, repeatedly — what ``bgpq4 -A`` does before emitting router
+    filters.  Input order does not matter; the result is sorted.
+    """
+    result: list[Prefix] = []
+    for prefix in sorted(set(prefixes)):
+        if result and result[-1].contains(prefix):
+            continue
+        result.append(prefix)
+        while len(result) >= 2:
+            left, right = result[-2], result[-1]
+            if (
+                left.version == right.version
+                and left.length == right.length
+                and left.length > 0
+            ):
+                half = 1 << (left.max_length - left.length)
+                aligned = left.network % (half * 2) == 0
+                if aligned and right.network == left.network + half:
+                    result[-2:] = [Prefix(left.version, left.network, left.length - 1)]
+                    continue
+            break
+    return result

@@ -1,0 +1,36 @@
+"""The RPSL parser: lexing, expression grammars, and object-class parsers.
+
+Layers, bottom to top:
+
+1. :mod:`repro.rpsl.lexer` — dump files to paragraphs of attributes;
+2. :mod:`repro.rpsl.tokens` — expression tokenizer;
+3. :mod:`repro.rpsl.aspath` / :mod:`~repro.rpsl.filter` /
+   :mod:`~repro.rpsl.peering` / :mod:`~repro.rpsl.action` /
+   :mod:`~repro.rpsl.policy` — the expression grammars;
+4. :mod:`repro.rpsl.objects` — object classes to IR.
+"""
+
+from repro.rpsl.errors import ErrorCollector, ErrorKind, ParseIssue, RpslSyntaxError
+from repro.rpsl.lexer import Attribute, RpslParagraph, split_dump
+from repro.rpsl.names import NameKind, classify_name, is_valid_set_name
+from repro.rpsl.policy import PolicyRule, parse_policy
+
+# NOTE: repro.rpsl.objects is intentionally not imported here — it depends
+# on repro.ir.model, which imports the expression modules of this package;
+# importing it at package-init time would create an import cycle.  Use
+# ``from repro.rpsl.objects import collect_into_ir`` directly.
+
+__all__ = [
+    "Attribute",
+    "ErrorCollector",
+    "ErrorKind",
+    "NameKind",
+    "ParseIssue",
+    "PolicyRule",
+    "RpslParagraph",
+    "RpslSyntaxError",
+    "classify_name",
+    "is_valid_set_name",
+    "parse_policy",
+    "split_dump",
+]

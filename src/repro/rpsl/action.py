@@ -1,0 +1,131 @@
+"""RPSL action specifications (RFC 2622 Section 6.1.1).
+
+An *action* modifies route attributes as routes cross a peering, e.g.
+``action pref=50; med=0; community.append(8226:1102);``.  Verification does
+not depend on actions (they do not affect whether a route matches a rule),
+but the characterization analyses count and classify them, and the unparser
+must round-trip them, so they are parsed into a structured form:
+
+* assignments — ``pref = 100``, ``community .= { 64628:20 }``;
+* method calls — ``community.append(...)``, ``aspath.prepend(...)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.tokens import Token, TokenKind
+
+__all__ = ["ActionItem", "parse_action_tokens"]
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<attr>[A-Za-z][A-Za-z0-9_-]*)\s*(?P<op>\.=|=|\+=|-=)\s*(?P<rest>.+)$",
+    re.DOTALL,
+)
+_CALL_HEAD_RE = re.compile(r"^(?P<attr>[A-Za-z][A-Za-z0-9_-]*)\.(?P<method>[A-Za-z_]+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class ActionItem:
+    """One parsed action: either an assignment or a method call."""
+
+    attribute: str
+    operator: str | None = None
+    method: str | None = None
+    values: tuple[str, ...] = ()
+    braced: bool = False
+
+    def to_rpsl(self) -> str:
+        """Render back to RPSL action syntax (without the trailing ``;``)."""
+        if self.method is not None:
+            return f"{self.attribute}.{self.method}({', '.join(self.values)})"
+        value_text = ", ".join(self.values)
+        if self.braced:
+            value_text = f"{{{value_text}}}"
+        return f"{self.attribute} {self.operator} {value_text}"
+
+
+def _split_on_semicolons(tokens: list[Token]) -> list[list[Token]]:
+    items: list[list[Token]] = []
+    current: list[Token] = []
+    depth = 0
+    for token in tokens:
+        if token.kind in (TokenKind.LPAREN, TokenKind.LBRACE):
+            depth += 1
+        elif token.kind in (TokenKind.RPAREN, TokenKind.RBRACE):
+            depth -= 1
+        if token.kind is TokenKind.SEMI and depth == 0:
+            if current:
+                items.append(current)
+            current = []
+            continue
+        current.append(token)
+    if current:
+        items.append(current)
+    return items
+
+
+def _parse_call(tokens: list[Token]) -> ActionItem | None:
+    if len(tokens) < 3 or tokens[0].kind is not TokenKind.WORD:
+        return None
+    match = _CALL_HEAD_RE.match(tokens[0].text)
+    if match is None or tokens[1].kind is not TokenKind.LPAREN:
+        return None
+    if tokens[-1].kind is not TokenKind.RPAREN:
+        raise RpslSyntaxError(f"unterminated action call {tokens[0].text!r}")
+    values = tuple(
+        token.text for token in tokens[2:-1] if token.kind is not TokenKind.COMMA
+    )
+    return ActionItem(
+        attribute=match.group("attr").lower(),
+        method=match.group("method").lower(),
+        values=values,
+    )
+
+
+def _parse_assignment(tokens: list[Token]) -> ActionItem:
+    braced = any(token.kind is TokenKind.LBRACE for token in tokens)
+    if braced:
+        head = [t for t in tokens if t.kind is TokenKind.WORD and t.position < _first_brace(tokens)]
+        values = tuple(
+            token.text
+            for token in tokens
+            if token.kind is TokenKind.WORD and token.position > _first_brace(tokens)
+        )
+        joined_head = " ".join(token.text for token in head)
+        match = _ASSIGN_RE.match(joined_head + " {}")
+        if match is None:
+            raise RpslSyntaxError(f"invalid action {joined_head!r}")
+        return ActionItem(
+            attribute=match.group("attr").lower(),
+            operator=match.group("op"),
+            values=values,
+            braced=True,
+        )
+    joined = " ".join(token.text for token in tokens)
+    match = _ASSIGN_RE.match(joined)
+    if match is None:
+        raise RpslSyntaxError(f"invalid action {joined!r}")
+    return ActionItem(
+        attribute=match.group("attr").lower(),
+        operator=match.group("op"),
+        values=(match.group("rest").strip(),),
+    )
+
+
+def _first_brace(tokens: list[Token]) -> int:
+    for token in tokens:
+        if token.kind is TokenKind.LBRACE:
+            return token.position
+    return -1
+
+
+def parse_action_tokens(tokens: list[Token]) -> tuple[ActionItem, ...]:
+    """Parse the token span following the ``action`` keyword."""
+    items: list[ActionItem] = []
+    for chunk in _split_on_semicolons(tokens):
+        call = _parse_call(chunk)
+        items.append(call if call is not None else _parse_assignment(chunk))
+    return tuple(items)

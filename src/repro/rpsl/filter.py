@@ -1,0 +1,396 @@
+"""RPSL policy filters (RFC 2622 Section 5.4).
+
+A *filter* limits the routes a rule accepts or announces.  The grammar,
+as implemented here:
+
+.. code-block:: text
+
+    filter  := term (OR term)* | term term ...     # juxtaposition is OR
+    term    := factor (AND factor)*
+    factor  := NOT factor | primary
+    primary := '(' filter ')' [^op]
+             | ANY | PeerAS | AS-ANY | RS-ANY
+             | <as-path-regex>
+             | '{' prefix [, prefix]* '}' [^op]
+             | ASN [^op] | as-set [^op] | route-set [^op] | fltr-set
+             | community(...) | community.method(...)
+
+The ``[^op]`` range operators on *route-sets* are the non-standard-but-
+common extension the paper adds support for (Appendix B); range operators
+on ASNs and as-sets are standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix, PrefixError, RangeOp, RangeOpKind
+from repro.rpsl.aspath import AsPathRegexNode, parse_as_path_regex
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.names import NameKind, classify_name
+from repro.rpsl.tokens import Token, TokenKind, TokenStream
+
+__all__ = [
+    "Filter",
+    "FilterAny",
+    "FilterPeerAs",
+    "FilterAsn",
+    "FilterAsSet",
+    "FilterRouteSet",
+    "FilterFltrSetRef",
+    "FilterPrefixSet",
+    "FilterAsPathRegex",
+    "FilterCommunity",
+    "FilterAnd",
+    "FilterOr",
+    "FilterNot",
+    "parse_filter",
+    "parse_filter_text",
+]
+
+
+class Filter:
+    """Base class for filter AST nodes."""
+
+    __slots__ = ()
+
+    def to_rpsl(self) -> str:
+        """Render back to RPSL filter syntax."""
+        raise NotImplementedError
+
+    def _atom_rpsl(self) -> str:
+        """Rendering used when this node appears under AND/OR/NOT."""
+        return self.to_rpsl()
+
+
+def _op_suffix(op: RangeOp) -> str:
+    return str(op)
+
+
+@dataclass(frozen=True, slots=True)
+class FilterAny(Filter):
+    """The ``ANY`` keyword: matches every route."""
+
+    def to_rpsl(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterPeerAs(Filter):
+    """``PeerAS``: routes originated by the neighbor the rule applies to."""
+
+    def to_rpsl(self) -> str:
+        return "PeerAS"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterAsn(Filter):
+    """An ASN filter: routes registered with this *origin* (plus range op)."""
+
+    asn: int
+    op: RangeOp = RangeOp()
+
+    def to_rpsl(self) -> str:
+        return f"AS{self.asn}{_op_suffix(self.op)}"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterAsSet(Filter):
+    """An *as-set* filter: routes originated by any member of the set.
+
+    ``any_member`` marks the ``AS-ANY`` keyword used in filter position.
+    """
+
+    name: str
+    op: RangeOp = RangeOp()
+    any_member: bool = False
+
+    def to_rpsl(self) -> str:
+        return f"{self.name}{_op_suffix(self.op)}"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterRouteSet(Filter):
+    """A *route-set* filter; ``any_member`` marks ``RS-ANY``."""
+
+    name: str
+    op: RangeOp = RangeOp()
+    any_member: bool = False
+
+    def to_rpsl(self) -> str:
+        return f"{self.name}{_op_suffix(self.op)}"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterFltrSetRef(Filter):
+    """A reference to a *filter-set* object (``FLTR-...``)."""
+
+    name: str
+
+    def to_rpsl(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FilterPrefixSet(Filter):
+    """An inline address-prefix set ``{ p1, p2, ... }`` with per-member ops.
+
+    ``op`` is an operator applied to the whole set (e.g. ``{...}^+``).
+    """
+
+    members: tuple[tuple[Prefix, RangeOp], ...]
+    op: RangeOp = RangeOp()
+
+    def to_rpsl(self) -> str:
+        inner = ", ".join(f"{prefix}{_op_suffix(op)}" for prefix, op in self.members)
+        return f"{{{inner}}}{_op_suffix(self.op)}"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterAsPathRegex(Filter):
+    """An AS-path regex filter ``<...>``."""
+
+    regex: AsPathRegexNode
+
+    def to_rpsl(self) -> str:
+        return f"<{self.regex.to_rpsl()}>"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterCommunity(Filter):
+    """A BGP-community filter, e.g. ``community(65535:666)``.
+
+    The paper parses these but skips rules using them in verification,
+    because communities may be stripped in flight.
+    """
+
+    method: str
+    args: tuple[str, ...]
+
+    def to_rpsl(self) -> str:
+        head = "community" if not self.method else f"community.{self.method}"
+        return f"{head}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterAnd(Filter):
+    """Conjunction of two filters."""
+
+    left: Filter
+    right: Filter
+
+    def to_rpsl(self) -> str:
+        return f"{self.left._atom_rpsl()} AND {self.right._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterOr(Filter):
+    """Disjunction of two filters (explicit OR or juxtaposition)."""
+
+    left: Filter
+    right: Filter
+
+    def to_rpsl(self) -> str:
+        return f"{self.left._atom_rpsl()} OR {self.right._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterNot(Filter):
+    """Negation of a filter."""
+
+    inner: Filter
+
+    def to_rpsl(self) -> str:
+        return f"NOT {self.inner._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+def _split_range_op(word: str) -> tuple[str, RangeOp]:
+    """Split a trailing ``^...`` range operator off a word token."""
+    caret = word.find("^")
+    if caret < 0:
+        return word, RangeOp()
+    return word[:caret], RangeOp.parse(word[caret:])
+
+
+def _parse_prefix_member(word: str) -> tuple[Prefix, RangeOp]:
+    base, op = _split_range_op(word)
+    try:
+        prefix = Prefix.parse(base)
+    except PrefixError as exc:
+        raise RpslSyntaxError(str(exc)) from exc
+    return prefix, op
+
+
+def _parse_prefix_set(stream: TokenStream) -> FilterPrefixSet:
+    members: list[tuple[Prefix, RangeOp]] = []
+    while True:
+        token = stream.next()
+        if token.kind is TokenKind.RBRACE:
+            break
+        if token.kind is TokenKind.COMMA:
+            continue
+        if token.kind is not TokenKind.WORD:
+            raise RpslSyntaxError(f"unexpected {token.text!r} in prefix set")
+        members.append(_parse_prefix_member(token.text))
+    op = _maybe_trailing_op(stream)
+    return FilterPrefixSet(tuple(members), op)
+
+
+def _maybe_trailing_op(stream: TokenStream) -> RangeOp:
+    """Consume a standalone ``^...`` word following a set or group."""
+    token = stream.peek()
+    if token is not None and token.kind is TokenKind.WORD and token.text.startswith("^"):
+        stream.next()
+        return RangeOp.parse(token.text)
+    return RangeOp()
+
+
+def _parse_community(stream: TokenStream, head: str) -> FilterCommunity:
+    method = head[len("community") :].lstrip(".")
+    args: list[str] = []
+    token = stream.peek()
+    if token is not None and token.kind is TokenKind.LPAREN:
+        stream.next()
+        while True:
+            token = stream.next()
+            if token.kind is TokenKind.RPAREN:
+                break
+            if token.kind is TokenKind.COMMA:
+                continue
+            args.append(token.text)
+    elif token is not None and token.kind is TokenKind.LBRACE:
+        # "community == {...}" style — swallow the braced list.
+        stream.next()
+        while True:
+            token = stream.next()
+            if token.kind is TokenKind.RBRACE:
+                break
+            if token.kind is not TokenKind.COMMA:
+                args.append(token.text)
+    return FilterCommunity(method, tuple(args))
+
+
+def _word_primary(stream: TokenStream, token: Token) -> Filter:
+    lowered = token.text.lower()
+    if lowered.startswith("community"):
+        return _parse_community(stream, lowered)
+    base, op = _split_range_op(token.text)
+    kind = classify_name(base)
+    if kind is NameKind.ANY:
+        return FilterAny()
+    if kind is NameKind.PEER_AS:
+        return FilterPeerAs()
+    if kind is NameKind.AS_ANY:
+        return FilterAsSet("AS-ANY", op, any_member=True)
+    if kind is NameKind.RS_ANY:
+        return FilterRouteSet("RS-ANY", op, any_member=True)
+    if kind is NameKind.ASN:
+        return FilterAsn(int(base[2:]), op)
+    if kind is NameKind.AS_SET:
+        return FilterAsSet(base.upper(), op)
+    if kind is NameKind.ROUTE_SET:
+        return FilterRouteSet(base.upper(), op)
+    if kind is NameKind.FILTER_SET:
+        if op.kind is not RangeOpKind.NONE:
+            raise RpslSyntaxError(f"range operator not allowed on filter-set {base!r}")
+        return FilterFltrSetRef(base.upper())
+    if "/" in base:
+        # A bare prefix outside braces: tolerated by IRRd, normalize to a set.
+        prefix, member_op = _parse_prefix_member(token.text)
+        return FilterPrefixSet(((prefix, member_op),))
+    raise RpslSyntaxError(f"unrecognized filter term {token.text!r}")
+
+
+_STOP_KEYWORDS = ("and", "or", "not", "except", "refine")
+
+
+def _parse_primary(stream: TokenStream) -> Filter:
+    token = stream.next()
+    if token.kind is TokenKind.LPAREN:
+        inner = _parse_or(stream)
+        stream.expect(TokenKind.RPAREN)
+        op = _maybe_trailing_op(stream)
+        if op.kind is not RangeOpKind.NONE:
+            inner = _apply_op(inner, op)
+        return inner
+    if token.kind is TokenKind.LBRACE:
+        return _parse_prefix_set(stream)
+    if token.kind is TokenKind.REGEX:
+        return FilterAsPathRegex(parse_as_path_regex(token.text))
+    if token.kind is TokenKind.WORD:
+        return _word_primary(stream, token)
+    raise RpslSyntaxError(f"unexpected {token.text!r} in filter")
+
+
+def _apply_op(node: Filter, op: RangeOp) -> Filter:
+    """Push a trailing range operator onto a parenthesized sub-filter."""
+    if isinstance(node, FilterAsn):
+        return FilterAsn(node.asn, node.op.compose(op))
+    if isinstance(node, FilterAsSet):
+        return FilterAsSet(node.name, node.op.compose(op), node.any_member)
+    if isinstance(node, FilterRouteSet):
+        return FilterRouteSet(node.name, node.op.compose(op), node.any_member)
+    if isinstance(node, FilterPrefixSet):
+        return FilterPrefixSet(node.members, node.op.compose(op))
+    if isinstance(node, FilterOr):
+        return FilterOr(_apply_op(node.left, op), _apply_op(node.right, op))
+    if isinstance(node, FilterAnd):
+        return FilterAnd(_apply_op(node.left, op), _apply_op(node.right, op))
+    raise RpslSyntaxError(f"range operator not applicable to {node.to_rpsl()!r}")
+
+
+def _parse_not(stream: TokenStream) -> Filter:
+    if stream.take_keyword("not"):
+        return FilterNot(_parse_not(stream))
+    return _parse_primary(stream)
+
+
+def _parse_and(stream: TokenStream) -> Filter:
+    node = _parse_not(stream)
+    while stream.take_keyword("and"):
+        node = FilterAnd(node, _parse_not(stream))
+    return node
+
+
+def _starts_primary(token: Token) -> bool:
+    if token.kind in (TokenKind.LPAREN, TokenKind.LBRACE, TokenKind.REGEX):
+        return True
+    if token.kind is TokenKind.WORD:
+        return token.text.lower() not in _STOP_KEYWORDS and not token.text.startswith("^")
+    return False
+
+
+def _parse_or(stream: TokenStream) -> Filter:
+    node = _parse_and(stream)
+    while True:
+        if stream.take_keyword("or"):
+            node = FilterOr(node, _parse_and(stream))
+            continue
+        token = stream.peek()
+        if token is not None and (_starts_primary(token) or token.is_keyword("not")):
+            # Juxtaposition of filters is an implicit OR (RFC 2622 §5.4).
+            node = FilterOr(node, _parse_and(stream))
+            continue
+        return node
+
+
+def parse_filter(stream: TokenStream) -> Filter:
+    """Parse a filter from a token stream, consuming every token."""
+    node = _parse_or(stream)
+    if not stream.exhausted():
+        raise RpslSyntaxError(f"trailing tokens in filter: {stream.rest_text()!r}")
+    return node
+
+
+def parse_filter_text(text: str) -> Filter:
+    """Parse a filter from a standalone string (e.g. a filter-set body)."""
+    return parse_filter(TokenStream.of(text))

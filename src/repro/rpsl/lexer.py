@@ -1,0 +1,136 @@
+"""Object-level lexing of RPSL dump files.
+
+An IRR dump is a sequence of *paragraphs* separated by blank lines.  Each
+paragraph is one RPSL object: a list of ``attribute: value`` lines, where a
+value continues onto the next line if that line starts with whitespace or a
+``+`` (RFC 2622 Section 2).  ``#`` starts a comment running to end of line;
+lines starting with ``%`` are server remarks (IRRd/whois chatter) and are
+ignored.
+
+This module is deliberately tolerant: anything that does not look like an
+attribute line becomes a *stray line*, which the object parsers report as a
+syntax error — mirroring how RPSLyzer counts "out-of-place text".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, TextIO
+
+__all__ = ["Attribute", "RpslParagraph", "iter_paragraphs", "split_dump", "lex_paragraph"]
+
+# Attribute names: letters, digits, hyphens; must start with a letter
+# (RFC 2622 allows leading digits in practice for e.g. "*xxte" IRRd metadata,
+# which we exclude on purpose).
+_ATTR_RE = re.compile(r"^([A-Za-z][A-Za-z0-9_-]*):(.*)$")
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One ``name: value`` pair with comments stripped and lines joined."""
+
+    name: str
+    value: str
+
+
+@dataclass(slots=True)
+class RpslParagraph:
+    """One raw object: its attributes plus any stray (non-attribute) lines."""
+
+    attributes: list[Attribute] = field(default_factory=list)
+    stray_lines: list[str] = field(default_factory=list)
+    first_line: int = 0
+
+    @property
+    def object_class(self) -> str:
+        """The class (first attribute name), lowercased; '' if empty."""
+        return self.attributes[0].name.lower() if self.attributes else ""
+
+    @property
+    def object_name(self) -> str:
+        """The object key (first attribute value), whitespace-normalized."""
+        return self.attributes[0].value.strip() if self.attributes else ""
+
+    def get(self, name: str) -> str | None:
+        """First value of the named attribute (case-insensitive), or None."""
+        wanted = name.lower()
+        for attribute in self.attributes:
+            if attribute.name.lower() == wanted:
+                return attribute.value
+        return None
+
+    def get_all(self, *names: str) -> list[Attribute]:
+        """All attributes whose name matches any of ``names``, in order."""
+        wanted = {name.lower() for name in names}
+        return [a for a in self.attributes if a.name.lower() in wanted]
+
+
+def strip_comment(line: str) -> str:
+    """Remove a trailing ``# ...`` comment."""
+    position = line.find("#")
+    if position < 0:
+        return line
+    return line[:position]
+
+
+def iter_paragraphs(lines: Iterable[str]) -> Iterator[tuple[int, list[str]]]:
+    """Group raw dump lines into paragraphs.
+
+    Yields ``(first_line_number, lines)`` with server remarks (``%``) and
+    blank separators removed.  Line numbers are 1-based.
+    """
+    block: list[str] = []
+    block_start = 0
+    for number, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n").rstrip("\r")
+        if line.startswith("%"):
+            continue
+        if not line.strip():
+            if block:
+                yield block_start, block
+                block = []
+            continue
+        if not block:
+            block_start = number
+        block.append(line)
+    if block:
+        yield block_start, block
+
+
+def lex_paragraph(block_start: int, lines: list[str]) -> RpslParagraph:
+    """Turn one paragraph's lines into attributes, folding continuations."""
+    paragraph = RpslParagraph(first_line=block_start)
+    current_name: str | None = None
+    current_parts: list[str] = []
+
+    def flush() -> None:
+        nonlocal current_name, current_parts
+        if current_name is not None:
+            value = " ".join(part for part in current_parts if part)
+            paragraph.attributes.append(Attribute(current_name, value.strip()))
+        current_name = None
+        current_parts = []
+
+    for line in lines:
+        if line[:1] in (" ", "\t", "+") and current_name is not None:
+            # Continuation line; "+" means "continue with empty first column".
+            continuation = line[1:] if line[0] == "+" else line
+            current_parts.append(strip_comment(continuation).strip())
+            continue
+        match = _ATTR_RE.match(line)
+        if match is None:
+            flush()
+            paragraph.stray_lines.append(line)
+            continue
+        flush()
+        current_name = match.group(1)
+        current_parts = [strip_comment(match.group(2)).strip()]
+    flush()
+    return paragraph
+
+
+def split_dump(stream: TextIO | Iterable[str]) -> Iterator[RpslParagraph]:
+    """Lex a whole dump file (or any iterable of lines) into paragraphs."""
+    for block_start, lines in iter_paragraphs(stream):
+        yield lex_paragraph(block_start, lines)

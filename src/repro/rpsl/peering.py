@@ -1,0 +1,230 @@
+"""RPSL peering specifications (RFC 2622 Sections 5.6 and 6).
+
+A *peering* names the set of BGP sessions a rule applies to:
+
+.. code-block:: text
+
+    peering  := as-expr [remote-router-expr] [at local-router-expr]
+              | prng-set-name
+    as-expr  := as-term ((AND | OR | EXCEPT) as-term)*
+    as-term  := ASN | as-set | AS-ANY | '(' as-expr ')'
+
+``EXCEPT`` is syntactic sugar for ``AND NOT``.  Router expressions select
+specific routers within the AS pair; the verifier matches at the AS level
+(as the paper does), so they are preserved as raw text for round-tripping
+and statistics but do not affect matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.names import NameKind, classify_name
+from repro.rpsl.tokens import Token, TokenKind, TokenStream
+
+__all__ = [
+    "AsExpr",
+    "PeerAsn",
+    "PeerAsSet",
+    "PeerAny",
+    "PeeringSetRef",
+    "PeerAnd",
+    "PeerOr",
+    "PeerExcept",
+    "Peering",
+    "parse_peering",
+    "parse_peering_text",
+]
+
+
+class AsExpr:
+    """Base class for AS-expression nodes inside a peering."""
+
+    __slots__ = ()
+
+    def to_rpsl(self) -> str:
+        """Render back to RPSL syntax."""
+        raise NotImplementedError
+
+    def _atom_rpsl(self) -> str:
+        return self.to_rpsl()
+
+
+@dataclass(frozen=True, slots=True)
+class PeerAsn(AsExpr):
+    """A single neighbor ASN."""
+
+    asn: int
+
+    def to_rpsl(self) -> str:
+        return f"AS{self.asn}"
+
+
+@dataclass(frozen=True, slots=True)
+class PeerAsSet(AsExpr):
+    """Any member of the named *as-set*."""
+
+    name: str
+
+    def to_rpsl(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PeerAny(AsExpr):
+    """``AS-ANY``: every AS."""
+
+    def to_rpsl(self) -> str:
+        return "AS-ANY"
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringSetRef(AsExpr):
+    """A reference to a *peering-set* object (``PRNG-...``)."""
+
+    name: str
+
+    def to_rpsl(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PeerAnd(AsExpr):
+    """Intersection of two AS expressions."""
+
+    left: AsExpr
+    right: AsExpr
+
+    def to_rpsl(self) -> str:
+        return f"{self.left._atom_rpsl()} AND {self.right._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+@dataclass(frozen=True, slots=True)
+class PeerOr(AsExpr):
+    """Union of two AS expressions."""
+
+    left: AsExpr
+    right: AsExpr
+
+    def to_rpsl(self) -> str:
+        return f"{self.left._atom_rpsl()} OR {self.right._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+@dataclass(frozen=True, slots=True)
+class PeerExcept(AsExpr):
+    """Set difference: ``left EXCEPT right`` = left AND NOT right."""
+
+    left: AsExpr
+    right: AsExpr
+
+    def to_rpsl(self) -> str:
+        return f"{self.left._atom_rpsl()} EXCEPT {self.right._atom_rpsl()}"
+
+    def _atom_rpsl(self) -> str:
+        return f"({self.to_rpsl()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Peering:
+    """A full peering: the AS expression plus optional router expressions."""
+
+    as_expr: AsExpr
+    remote_router: str | None = None
+    local_router: str | None = None
+
+    def to_rpsl(self) -> str:
+        """Render the peering (AS expression plus router expressions)."""
+        parts = [self.as_expr.to_rpsl()]
+        if self.remote_router:
+            parts.append(self.remote_router)
+        if self.local_router:
+            parts.append(f"at {self.local_router}")
+        return " ".join(parts)
+
+
+def _as_term(stream: TokenStream) -> AsExpr:
+    token = stream.next()
+    if token.kind is TokenKind.LPAREN:
+        inner = _as_expr(stream)
+        stream.expect(TokenKind.RPAREN)
+        return inner
+    if token.kind is not TokenKind.WORD:
+        raise RpslSyntaxError(f"unexpected {token.text!r} in peering")
+    kind = classify_name(token.text)
+    if kind is NameKind.AS_ANY or kind is NameKind.ANY:
+        return PeerAny()
+    if kind is NameKind.ASN:
+        return PeerAsn(int(token.text[2:]))
+    if kind is NameKind.AS_SET:
+        return PeerAsSet(token.text.upper())
+    if kind is NameKind.PEERING_SET:
+        return PeeringSetRef(token.text.upper())
+    raise RpslSyntaxError(f"unrecognized peering term {token.text!r}")
+
+
+def _as_expr(stream: TokenStream) -> AsExpr:
+    node = _as_term(stream)
+    while True:
+        if stream.take_keyword("and"):
+            node = PeerAnd(node, _as_term(stream))
+        elif stream.take_keyword("or"):
+            node = PeerOr(node, _as_term(stream))
+        elif stream.take_keyword("except"):
+            node = PeerExcept(node, _as_term(stream))
+        else:
+            return node
+
+
+def _is_router_word(token: Token) -> bool:
+    if token.kind is not TokenKind.WORD:
+        return False
+    if token.is_keyword("at", "and", "or", "except"):
+        return False
+    # Router expressions are IP addresses, inet-rtr DNS names, or rtr-sets.
+    text = token.text
+    return "." in text or ":" in text or text.upper().startswith("RTRS-")
+
+
+def _router_expr(stream: TokenStream) -> str | None:
+    words: list[str] = []
+    while True:
+        token = stream.peek()
+        if token is None:
+            break
+        if _is_router_word(token):
+            words.append(stream.next().text)
+            continue
+        if token.is_keyword("and", "or", "except") and words:
+            ahead = stream.peek(1)
+            if ahead is not None and _is_router_word(ahead):
+                words.append(stream.next().text)
+                words.append(stream.next().text)
+                continue
+        break
+    return " ".join(words) if words else None
+
+
+def parse_peering(stream: TokenStream) -> Peering:
+    """Parse one peering from a token stream, consuming every token."""
+    as_expr = _as_expr(stream)
+    remote_router = _router_expr(stream)
+    local_router = None
+    if stream.take_keyword("at"):
+        local_router = _router_expr(stream)
+        if local_router is None:
+            raise RpslSyntaxError("'at' with no router expression in peering")
+    if not stream.exhausted():
+        raise RpslSyntaxError(f"trailing tokens in peering: {stream.rest_text()!r}")
+    return Peering(as_expr, remote_router, local_router)
+
+
+def parse_peering_text(text: str) -> Peering:
+    """Parse a peering from a standalone string (e.g. a peering-set body)."""
+    return parse_peering(TokenStream.of(text))

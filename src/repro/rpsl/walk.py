@@ -1,0 +1,125 @@
+"""AST walkers shared by the verifier, baselines, and statistics.
+
+These are read-only traversals over the policy/filter/peering ASTs:
+iterating factors of a (possibly structured) policy, all nodes of a filter,
+and the OR-level atoms of a filter (used by the relaxed-filter checks,
+which ask "does this filter *contain* the exporting AS as a term?").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.rpsl.filter import Filter, FilterAnd, FilterNot, FilterOr
+from repro.rpsl.peering import (
+    AsExpr,
+    PeerAnd,
+    PeerAsn,
+    PeerAsSet,
+    PeerExcept,
+    PeerOr,
+    Peering,
+)
+from repro.rpsl.policy import PolicyExcept, PolicyExpr, PolicyFactor, PolicyRefine, PolicyTerm
+
+__all__ = [
+    "iter_policy_factors",
+    "iter_policy_terms",
+    "iter_filter_nodes",
+    "iter_peerings",
+    "iter_as_expr_nodes",
+    "or_atoms",
+    "positive_peer_asns",
+]
+
+
+def iter_policy_terms(expr: PolicyExpr) -> Iterator[PolicyTerm]:
+    """All terms of a policy expression, outermost first."""
+    current: PolicyExpr | None = expr
+    while current is not None:
+        if isinstance(current, PolicyTerm):
+            yield current
+            current = None
+        elif isinstance(current, (PolicyExcept, PolicyRefine)):
+            yield current.term
+            current = current.rest
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown policy expression {current!r}")
+
+
+def iter_policy_factors(expr: PolicyExpr) -> Iterator[PolicyFactor]:
+    """All factors of a policy expression, regardless of nesting."""
+    for term in iter_policy_terms(expr):
+        yield from term.factors
+
+
+def iter_filter_nodes(node: Filter) -> Iterator[Filter]:
+    """Depth-first iteration over every node of a filter AST."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (FilterAnd, FilterOr)):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, FilterNot):
+            stack.append(current.inner)
+
+
+def or_atoms(node: Filter) -> Iterator[Filter]:
+    """The positive atoms of a filter's top-level OR decomposition.
+
+    ``A OR (B OR C)`` yields A, B, C; anything under AND or NOT is *not*
+    decomposed (those change the atom's meaning).
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, FilterOr):
+            stack.append(current.left)
+            stack.append(current.right)
+        else:
+            yield current
+
+
+def iter_peerings(expr: PolicyExpr) -> Iterator[Peering]:
+    """Every peering mentioned anywhere in a policy expression."""
+    for factor in iter_policy_factors(expr):
+        for peering_action in factor.peerings:
+            yield peering_action.peering
+
+
+def iter_as_expr_nodes(expr: AsExpr) -> Iterator[AsExpr]:
+    """Depth-first iteration over an AS-expression AST."""
+    stack = [expr]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (PeerAnd, PeerOr, PeerExcept)):
+            stack.append(current.left)
+            stack.append(current.right)
+
+
+def positive_peer_asns(expr: AsExpr) -> tuple[set[int], bool]:
+    """ASNs a peering's AS-expression names positively.
+
+    Returns ``(asns, simple)`` where ``simple`` is False when the
+    expression contains anything but plain ASNs and ORs (sets, AS-ANY,
+    EXCEPT...) — callers like the only-provider-policies check bail out on
+    non-simple expressions rather than guess.
+    """
+    asns: set[int] = set()
+    simple = True
+    stack = [expr]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, PeerAsn):
+            asns.add(current.asn)
+        elif isinstance(current, PeerOr):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, PeerAsSet):
+            simple = False
+        else:
+            simple = False
+    return asns, simple

@@ -1,0 +1,29 @@
+"""Characterization and verification statistics (Sections 4 and 5)."""
+
+from repro.stats.as_sets import AsSetStats, as_set_stats
+from repro.stats.routes import RouteObjectStats, route_object_stats
+from repro.stats.usage import (
+    ReferenceCensus,
+    error_census,
+    filter_kind_census,
+    peering_simplicity,
+    reference_census,
+    rules_ccdf,
+    rules_per_aut_num,
+)
+from repro.stats.verification import VerificationStats
+
+__all__ = [
+    "AsSetStats",
+    "ReferenceCensus",
+    "RouteObjectStats",
+    "VerificationStats",
+    "as_set_stats",
+    "error_census",
+    "filter_kind_census",
+    "peering_simplicity",
+    "reference_census",
+    "route_object_stats",
+    "rules_ccdf",
+    "rules_per_aut_num",
+]

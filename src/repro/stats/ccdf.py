@@ -1,0 +1,33 @@
+"""Tiny helpers for complementary-CDF style summaries (Figure 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["ccdf_points", "fraction_at_least"]
+
+
+def ccdf_points(values: Iterable[int]) -> list[tuple[int, float]]:
+    """``(x, P[X ≥ x])`` for every distinct value x, ascending.
+
+    This is the curve Figure 1 plots: the fraction of aut-nums with at
+    least x rules.
+    """
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    points: list[tuple[int, float]] = []
+    remaining = total
+    for value in sorted(counts):
+        points.append((value, remaining / total))
+        remaining -= counts[value]
+    return points
+
+
+def fraction_at_least(values: Sequence[int], threshold: int) -> float:
+    """The fraction of values ≥ threshold (a single CCDF sample)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value >= threshold) / len(values)

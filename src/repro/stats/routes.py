@@ -1,0 +1,81 @@
+"""Route-object multiplicity statistics (the Section 4 "route objects
+require management" analysis).
+
+The paper counts, across all IRRs *before* priority merging: total route
+objects, unique prefix-origin pairs, unique prefixes, prefixes with
+multiple route objects, prefixes whose objects disagree on the origin, and
+prefixes registered by multiple operators (maintainers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.model import Ir
+from repro.net.prefix import Prefix
+
+__all__ = ["RouteObjectStats", "route_object_stats", "multi_origin_prefixes"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteObjectStats:
+    """All counters of the Section 4 route-object paragraph."""
+
+    total_objects: int
+    unique_prefix_origin_pairs: int
+    unique_prefixes: int
+    prefixes_with_multiple_objects: int
+    prefixes_with_multiple_origins: int
+    prefixes_with_multiple_maintainers: int
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for report printing."""
+        return {
+            "route objects": self.total_objects,
+            "unique prefix-origin pairs": self.unique_prefix_origin_pairs,
+            "unique prefixes": self.unique_prefixes,
+            "prefixes with multiple route objects": self.prefixes_with_multiple_objects,
+            "prefixes with multiple origins": self.prefixes_with_multiple_origins,
+            "prefixes with multiple maintainers": self.prefixes_with_multiple_maintainers,
+        }
+
+
+def route_object_stats(ir: Ir) -> RouteObjectStats:
+    """Compute the multiplicity statistics over every route registration."""
+    pairs: set[tuple[Prefix, int]] = set()
+    objects_per_prefix: dict[Prefix, int] = {}
+    origins_per_prefix: dict[Prefix, set[int]] = {}
+    maintainers_per_prefix: dict[Prefix, set[str]] = {}
+    for route in ir.route_objects:
+        prefix = route.prefix
+        pairs.add((prefix, route.origin))
+        objects_per_prefix[prefix] = objects_per_prefix.get(prefix, 0) + 1
+        origins_per_prefix.setdefault(prefix, set()).add(route.origin)
+        maintainer = ",".join(sorted(route.mnt_by)) or f"?{route.source}"
+        maintainers_per_prefix.setdefault(prefix, set()).add(maintainer)
+    return RouteObjectStats(
+        total_objects=len(ir.route_objects),
+        unique_prefix_origin_pairs=len(pairs),
+        unique_prefixes=len(objects_per_prefix),
+        prefixes_with_multiple_objects=sum(
+            1 for count in objects_per_prefix.values() if count > 1
+        ),
+        prefixes_with_multiple_origins=sum(
+            1 for origins in origins_per_prefix.values() if len(origins) > 1
+        ),
+        prefixes_with_multiple_maintainers=sum(
+            1 for names in maintainers_per_prefix.values() if len(names) > 1
+        ),
+    )
+
+
+def multi_origin_prefixes(ir: Ir) -> dict[Prefix, set[int]]:
+    """Prefixes whose route objects name more than one origin AS."""
+    origins_per_prefix: dict[Prefix, set[int]] = {}
+    for route in ir.route_objects:
+        origins_per_prefix.setdefault(route.prefix, set()).add(route.origin)
+    return {
+        prefix: origins
+        for prefix, origins in origins_per_prefix.items()
+        if len(origins) > 1
+    }

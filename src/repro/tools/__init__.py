@@ -1,0 +1,35 @@
+"""Higher-level tooling built on the IR — the paper's future-work items.
+
+* :mod:`repro.tools.lint` — an RPSL linter (misuse, hygiene, and
+  consistency checks drawn from Sections 4–5);
+* :mod:`repro.tools.asrel` — AS-relationship inference from declared
+  policies;
+* :mod:`repro.tools.classify` — classifying ASes by RPSL usage archetype.
+"""
+
+from repro.tools.asrel import infer_relationships, score_inference
+from repro.tools.classify import classify_as, classify_ir
+from repro.tools.lint import LintFinding, LintReport, Severity, lint_ir
+from repro.tools.recommend import (
+    RouteSetRecommendation,
+    apply_recommendation,
+    recommend_route_set,
+)
+from repro.tools.siblings import SiblingGroup, sibling_groups, siblings_of
+
+__all__ = [
+    "RouteSetRecommendation",
+    "apply_recommendation",
+    "recommend_route_set",
+    "LintFinding",
+    "LintReport",
+    "Severity",
+    "SiblingGroup",
+    "classify_as",
+    "classify_ir",
+    "infer_relationships",
+    "lint_ir",
+    "score_inference",
+    "sibling_groups",
+    "siblings_of",
+]

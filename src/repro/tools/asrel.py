@@ -1,0 +1,189 @@
+"""AS-relationship inference from RPSL policies.
+
+The paper's conclusion lists "AS-relationship inference" as a natural
+application of RPSL data.  Declared policies encode relationships almost
+directly [Gao 2001, Siganos & Faloutsos 2004]:
+
+* importing ``ANY`` from a neighbor ⇒ the neighbor is a **provider**
+  (only providers give you the full table);
+* exporting ``ANY`` to a neighbor ⇒ the neighbor is a **customer**;
+* exporting only your own cone (self ASN, customer as-set, route-set)
+  while importing only the neighbor's cone ⇒ **peer**-shaped exchange.
+
+Evidence from both endpoints is accumulated per link and the
+highest-scoring relationship wins; symmetric transit evidence (each side
+calling the other customer) cancels out to *unknown*.  On synthetic worlds
+the ground truth is known, so :func:`score_inference` reports
+precision/recall per relationship class — the evaluation the paper
+suggests but leaves to future work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.bgp.topology import AsRelationships, Rel
+from repro.ir.model import Ir
+from repro.rpsl.filter import Filter, FilterAny, FilterAsn, FilterAsSet, FilterRouteSet
+from repro.rpsl.peering import PeerAsn
+from repro.rpsl.walk import iter_as_expr_nodes, iter_policy_factors
+
+__all__ = ["infer_relationships", "score_inference", "InferenceScore"]
+
+# Evidence weights: importing ANY is the strongest provider signal.
+_W_IMPORT_ANY = 3  # neighbor -> provider of subject
+_W_EXPORT_ANY = 3  # neighbor -> customer of subject
+_W_CONE_EXCHANGE = 1  # cone-for-cone -> peer
+
+
+def _filter_is_cone(node: Filter, self_asn: int) -> bool:
+    """Whether a filter announces "my cone": self ASN / as-set / route-set."""
+    if isinstance(node, FilterAsn):
+        return node.asn == self_asn
+    return isinstance(node, (FilterAsSet, FilterRouteSet)) and not getattr(
+        node, "any_member", False
+    )
+
+
+def infer_relationships(ir: Ir) -> AsRelationships:
+    """Infer an :class:`AsRelationships` from declared policies.
+
+    Only links with at least one policy signal appear; contradictory
+    transit evidence yields no edge.  ``tier1`` is left for the caller
+    (:meth:`AsRelationships.infer_tier1`).
+    """
+    # score[(a, b)]: positive -> b is a's provider; negative -> customer.
+    transit_score: dict[tuple[int, int], int] = defaultdict(int)
+    peer_score: dict[tuple[int, int], int] = defaultdict(int)
+
+    for aut_num in ir.aut_nums.values():
+        subject = aut_num.asn
+        for rule in (*aut_num.imports, *aut_num.exports):
+            for factor in iter_policy_factors(rule.expr):
+                neighbors = {
+                    node.asn
+                    for peering_action in factor.peerings
+                    for node in iter_as_expr_nodes(peering_action.peering.as_expr)
+                    if isinstance(node, PeerAsn)
+                }
+                for neighbor in neighbors:
+                    if neighbor == subject:
+                        continue
+                    link = (subject, neighbor)
+                    if isinstance(factor.filter, FilterAny):
+                        if rule.kind == "import":
+                            transit_score[link] += _W_IMPORT_ANY
+                        else:
+                            transit_score[link] -= _W_EXPORT_ANY
+                    elif rule.kind == "export" and _filter_is_cone(
+                        factor.filter, subject
+                    ):
+                        peer_score[link] += _W_CONE_EXCHANGE
+
+    inferred = AsRelationships()
+    links: set[tuple[int, int]] = set()
+    for a, b in list(transit_score) + list(peer_score):
+        links.add((min(a, b), max(a, b)))
+
+    for a, b in sorted(links):
+        # combine both directions: positive -> b provides transit to a
+        score = (
+            transit_score.get((a, b), 0)
+            - transit_score.get((b, a), 0)
+        )
+        if score > 0:
+            inferred.add_transit(b, a)
+        elif score < 0:
+            inferred.add_transit(a, b)
+        else:
+            # no (net) transit signal: fall back to peer evidence
+            mutual_cone = peer_score.get((a, b), 0) + peer_score.get((b, a), 0)
+            if mutual_cone >= 2 * _W_CONE_EXCHANGE:
+                inferred.add_peering(a, b)
+    return inferred
+
+
+@dataclass(frozen=True, slots=True)
+class InferenceScore:
+    """Precision/recall of inferred relationships against ground truth."""
+
+    links_truth: int
+    links_inferred: int
+    links_correct: int
+    transit_precision: float
+    transit_recall: float
+    peer_precision: float
+    peer_recall: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for report printing."""
+        return {
+            "links in ground truth": self.links_truth,
+            "links inferred": self.links_inferred,
+            "links correct": self.links_correct,
+            "transit precision": round(self.transit_precision, 4),
+            "transit recall": round(self.transit_recall, 4),
+            "peer precision": round(self.peer_precision, 4),
+            "peer recall": round(self.peer_recall, 4),
+        }
+
+
+def _link_class(rel: AsRelationships, a: int, b: int) -> str | None:
+    kind = rel.rel(a, b)
+    if kind is None:
+        return None
+    if kind is Rel.PEER:
+        return "peer"
+    # normalize to "provider of the lower ASN is X"
+    return f"transit:{b if kind is Rel.PROVIDER else a}"
+
+
+def score_inference(truth: AsRelationships, inferred: AsRelationships) -> InferenceScore:
+    """Compare inferred relationships to ground truth, per link."""
+    def links_of(rel: AsRelationships) -> set[tuple[int, int]]:
+        pairs = set()
+        for asn in rel.ases():
+            for neighbor in rel.neighbors(asn):
+                pairs.add((min(asn, neighbor), max(asn, neighbor)))
+        return pairs
+
+    truth_links = links_of(truth)
+    inferred_links = links_of(inferred)
+
+    def tally(kind: str) -> tuple[int, int, int]:
+        true_positive = relevant = selected = 0
+        for a, b in truth_links | inferred_links:
+            truth_class = _link_class(truth, a, b)
+            inferred_class = _link_class(inferred, a, b)
+            is_kind_truth = truth_class is not None and truth_class.startswith(kind)
+            is_kind_inferred = (
+                inferred_class is not None and inferred_class.startswith(kind)
+            )
+            relevant += is_kind_truth
+            selected += is_kind_inferred
+            if is_kind_truth and is_kind_inferred and truth_class == inferred_class:
+                true_positive += 1
+        return true_positive, relevant, selected
+
+    transit_tp, transit_rel, transit_sel = tally("transit")
+    peer_tp, peer_rel, peer_sel = tally("peer")
+    correct = sum(
+        1
+        for a, b in inferred_links & truth_links
+        if _link_class(truth, a, b) == _link_class(inferred, a, b)
+    )
+    return InferenceScore(
+        links_truth=len(truth_links),
+        links_inferred=len(inferred_links),
+        links_correct=correct,
+        transit_precision=transit_tp / selected_or_one(transit_sel),
+        transit_recall=transit_tp / selected_or_one(transit_rel),
+        peer_precision=peer_tp / selected_or_one(peer_sel),
+        peer_recall=peer_tp / selected_or_one(peer_rel),
+    )
+
+
+def selected_or_one(value: int) -> int:
+    """Guard against zero denominators."""
+    return value if value else 1

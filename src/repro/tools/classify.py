@@ -1,0 +1,147 @@
+"""Classifying ASes by RPSL usage — another future-work item of the paper.
+
+Archetypes, from least to most engaged:
+
+* ``silent`` — no aut-num object at all;
+* ``ghost`` — an aut-num with zero rules;
+* ``provider-mandated`` — rules reference only (apparent) providers,
+  the pattern left behind when an upstream requires IRR entries;
+* ``minimal`` — a handful of simple rules (≤ ``minimal_rules``);
+* ``documented`` — broad, simple policies over many neighbors;
+* ``power-user`` — uses compound machinery: structured policies,
+  AS-path regexes, communities, filter-sets, or actions.
+
+The classifier is feature-based (no relationships needed, though they
+sharpen ``provider-mandated``); :func:`classify_ir` returns the archetype
+per ASN plus a census.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bgp.topology import AsRelationships
+from repro.ir.model import AutNum, Ir
+from repro.rpsl.filter import FilterAsPathRegex, FilterCommunity, FilterFltrSetRef
+from repro.rpsl.peering import PeerAsn
+from repro.rpsl.policy import PolicyTerm
+from repro.rpsl.walk import (
+    iter_as_expr_nodes,
+    iter_filter_nodes,
+    iter_policy_factors,
+    iter_peerings,
+)
+
+__all__ = ["UsageFeatures", "classify_as", "classify_ir", "ARCHETYPES"]
+
+ARCHETYPES = (
+    "silent",
+    "ghost",
+    "provider-mandated",
+    "minimal",
+    "documented",
+    "power-user",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class UsageFeatures:
+    """Measured features of one aut-num's policies."""
+
+    rule_count: int
+    neighbor_count: int
+    uses_structured: bool
+    uses_regex: bool
+    uses_community: bool
+    uses_filter_set: bool
+    uses_actions: bool
+
+
+def extract_features(aut_num: AutNum) -> UsageFeatures:
+    """Compute usage features for one aut-num."""
+    uses_structured = False
+    uses_regex = False
+    uses_community = False
+    uses_filter_set = False
+    uses_actions = False
+    neighbors: set[int] = set()
+    for rule in (*aut_num.imports, *aut_num.exports):
+        if not isinstance(rule.expr, PolicyTerm) or rule.expr.braced:
+            uses_structured = True
+        for peering in iter_peerings(rule.expr):
+            for node in iter_as_expr_nodes(peering.as_expr):
+                if isinstance(node, PeerAsn):
+                    neighbors.add(node.asn)
+        for factor in iter_policy_factors(rule.expr):
+            if any(action for pa in factor.peerings for action in pa.actions):
+                uses_actions = True
+            for node in iter_filter_nodes(factor.filter):
+                if isinstance(node, FilterAsPathRegex):
+                    uses_regex = True
+                elif isinstance(node, FilterCommunity):
+                    uses_community = True
+                elif isinstance(node, FilterFltrSetRef):
+                    uses_filter_set = True
+    return UsageFeatures(
+        rule_count=aut_num.rule_count,
+        neighbor_count=len(neighbors),
+        uses_structured=uses_structured,
+        uses_regex=uses_regex,
+        uses_community=uses_community,
+        uses_filter_set=uses_filter_set,
+        uses_actions=uses_actions,
+    )
+
+
+def classify_as(
+    aut_num: AutNum | None,
+    relationships: AsRelationships | None = None,
+    minimal_rules: int = 4,
+) -> str:
+    """Classify one AS (None aut-num = absent from the IRRs)."""
+    if aut_num is None:
+        return "silent"
+    if aut_num.rule_count == 0:
+        return "ghost"
+    features = extract_features(aut_num)
+    if features.uses_structured or features.uses_regex or features.uses_community or features.uses_filter_set:
+        return "power-user"
+    if relationships is not None:
+        providers = relationships.providers.get(aut_num.asn, set())
+        has_others = bool(
+            relationships.customers.get(aut_num.asn)
+            or relationships.peers.get(aut_num.asn)
+        )
+        referenced: set[int] = set()
+        for rule in (*aut_num.imports, *aut_num.exports):
+            for peering in iter_peerings(rule.expr):
+                for node in iter_as_expr_nodes(peering.as_expr):
+                    if isinstance(node, PeerAsn):
+                        referenced.add(node.asn)
+        if referenced and referenced <= providers and has_others:
+            return "provider-mandated"
+    if features.rule_count <= minimal_rules:
+        return "minimal"
+    return "documented"
+
+
+def classify_ir(
+    ir: Ir,
+    all_asns: set[int] | None = None,
+    relationships: AsRelationships | None = None,
+) -> tuple[dict[int, str], Counter]:
+    """Classify every AS; ``all_asns`` adds the silent ones.
+
+    Returns ``(archetype per ASN, archetype census)``.
+    """
+    universe = set(ir.aut_nums)
+    if all_asns is not None:
+        universe |= all_asns
+    labels: dict[int, str] = {}
+    census: Counter = Counter()
+    for asn in sorted(universe):
+        label = classify_as(ir.aut_nums.get(asn), relationships)
+        labels[asn] = label
+        census[label] += 1
+    return labels, census

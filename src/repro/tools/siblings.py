@@ -1,0 +1,101 @@
+"""Sibling-AS identification from registry maintainer data.
+
+The paper's conclusion lists "identification of sibling ASes" among the
+modeling problems RPSL data can inform (citing as2org+-style work).  Two
+ASes are *sibling candidates* when registry metadata ties them to one
+organization; the strongest IRR signal is shared ``mnt-by`` maintainers —
+an organization maintains all its aut-num objects with its own maintainer
+object.  Supporting signals: shared as-name prefixes and membership in
+each other's customer-cone as-sets without a transit edge.
+
+:func:`sibling_groups` clusters aut-nums by maintainer (connected
+components over the shared-maintainer graph), with widely shared
+"registry default" maintainers excluded by a frequency cutoff.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.ir.model import Ir
+
+__all__ = ["SiblingGroup", "sibling_groups", "siblings_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class SiblingGroup:
+    """One inferred organization: its ASNs and the linking maintainers."""
+
+    asns: tuple[int, ...]
+    maintainers: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+
+def sibling_groups(
+    ir: Ir, max_maintainer_spread: int = 50, min_group_size: int = 2
+) -> list[SiblingGroup]:
+    """Cluster aut-nums sharing maintainers into sibling groups.
+
+    ``max_maintainer_spread`` drops maintainers attached to more aut-nums
+    than an organization plausibly owns (registry-operated maintainers
+    would otherwise glue everything into one blob) — the same guard
+    as2org applies to shared org-ids.
+    """
+    by_maintainer: dict[str, list[int]] = defaultdict(list)
+    for asn, aut_num in ir.aut_nums.items():
+        for maintainer in aut_num.mnt_by:
+            by_maintainer[maintainer].append(asn)
+
+    # union-find over ASNs linked by usable maintainers
+    parent: dict[int, int] = {}
+
+    def find(asn: int) -> int:
+        parent.setdefault(asn, asn)
+        while parent[asn] != asn:
+            parent[asn] = parent[parent[asn]]
+            asn = parent[asn]
+        return asn
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    usable: dict[str, list[int]] = {}
+    for maintainer, asns in by_maintainer.items():
+        if 2 <= len(asns) <= max_maintainer_spread:
+            usable[maintainer] = asns
+            first = asns[0]
+            for other in asns[1:]:
+                union(first, other)
+
+    members: dict[int, set[int]] = defaultdict(set)
+    for maintainer, asns in usable.items():
+        for asn in asns:
+            members[find(asn)].add(asn)
+
+    maintainers_of_group: dict[int, set[str]] = defaultdict(set)
+    for maintainer, asns in usable.items():
+        maintainers_of_group[find(asns[0])].add(maintainer)
+
+    groups = [
+        SiblingGroup(
+            asns=tuple(sorted(asns)),
+            maintainers=tuple(sorted(maintainers_of_group[root])),
+        )
+        for root, asns in members.items()
+        if len(asns) >= min_group_size
+    ]
+    groups.sort(key=lambda group: (-len(group.asns), group.asns))
+    return groups
+
+
+def siblings_of(ir: Ir, asn: int, **kwargs) -> tuple[int, ...]:
+    """The sibling ASNs of one AS (empty when it stands alone)."""
+    for group in sibling_groups(ir, **kwargs):
+        if asn in group.asns:
+            return tuple(other for other in group.asns if other != asn)
+    return ()

@@ -1,0 +1,45 @@
+"""Shared fixtures: a tiny synthetic world and its derived artifacts.
+
+The tiny world (≈60 ASes) is generated once per session; tests that need
+an IR, a verifier, or collector routes share it instead of regenerating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.routegen import collector_routes
+from repro.core.verify import Verifier
+from repro.irr.synth import build_world, tiny_config
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A deterministic ~60-AS world with IRR dumps and collectors."""
+    return build_world(tiny_config(seed=42))
+
+
+@pytest.fixture(scope="session")
+def tiny_registry(tiny_world):
+    """The tiny world's dumps parsed into a multi-IRR registry."""
+    return tiny_world.registry()
+
+
+@pytest.fixture(scope="session")
+def tiny_ir(tiny_registry):
+    """The priority-merged IR of the tiny world."""
+    return tiny_registry.merged()
+
+
+@pytest.fixture(scope="session")
+def tiny_verifier(tiny_ir, tiny_world):
+    """A verifier over the tiny world with paper-default options."""
+    return Verifier(tiny_ir, tiny_world.topology)
+
+
+@pytest.fixture(scope="session")
+def tiny_routes(tiny_world):
+    """All collector routes of the tiny world, materialized."""
+    return list(
+        collector_routes(tiny_world.topology, tiny_world.announced, tiny_world.collectors)
+    )

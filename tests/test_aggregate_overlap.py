@@ -1,0 +1,122 @@
+"""Tests for prefix aggregation and cross-IRR overlap statistics."""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.bgpq4 import Bgpq4Resolver
+from repro.irr.dump import parse_dump_text
+from repro.net.prefix import Prefix, aggregate_prefixes
+from repro.stats.usage import cross_irr_overlap
+
+
+def prefixes(*texts):
+    return [Prefix.parse(text) for text in texts]
+
+
+class TestAggregation:
+    def test_empty(self):
+        assert aggregate_prefixes([]) == []
+
+    def test_contained_absorbed(self):
+        result = aggregate_prefixes(prefixes("10.0.0.0/8", "10.1.0.0/16"))
+        assert result == prefixes("10.0.0.0/8")
+
+    def test_siblings_merge(self):
+        result = aggregate_prefixes(prefixes("10.0.0.0/9", "10.128.0.0/9"))
+        assert result == prefixes("10.0.0.0/8")
+
+    def test_cascade_merge(self):
+        result = aggregate_prefixes(
+            prefixes("10.0.0.0/10", "10.64.0.0/10", "10.128.0.0/9")
+        )
+        assert result == prefixes("10.0.0.0/8")
+
+    def test_non_siblings_do_not_merge(self):
+        # /9s from different parents: 10.128/9 and 11.0/9 are not siblings.
+        result = aggregate_prefixes(prefixes("10.128.0.0/9", "11.0.0.0/9"))
+        assert len(result) == 2
+
+    def test_duplicates_collapse(self):
+        result = aggregate_prefixes(prefixes("10.0.0.0/8", "10.0.0.0/8"))
+        assert result == prefixes("10.0.0.0/8")
+
+    def test_mixed_versions_kept_separate(self):
+        result = aggregate_prefixes(prefixes("0.0.0.0/1", "128.0.0.0/1", "::/1"))
+        assert prefixes("0.0.0.0/0")[0] in result
+        assert any(p.version == 6 for p in result)
+
+    @staticmethod
+    def _interval_union(prefix_list):
+        intervals = sorted(
+            (p.network, p.network + (1 << (p.max_length - p.length)))
+            for p in prefix_list
+        )
+        merged = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**16 - 1), st.integers(min_value=8, max_value=24)
+            ).map(
+                lambda t: Prefix(4, (t[0] << 16) & ~((1 << (32 - t[1])) - 1), t[1])
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=200)
+    def test_same_address_space(self, input_prefixes):
+        aggregated = aggregate_prefixes(input_prefixes)
+        assert self._interval_union(input_prefixes) == self._interval_union(aggregated)
+        # minimality: no element contains another, no sibling pair remains
+        for index, left in enumerate(aggregated):
+            for right in aggregated[index + 1 :]:
+                assert not left.contains(right) and not right.contains(left)
+
+    def test_bgpq4_aggregate_flag(self):
+        dump = """
+route:  10.0.0.0/9
+origin: AS1
+
+route:  10.128.0.0/9
+origin: AS1
+
+route:  10.1.0.0/16
+origin: AS1
+"""
+        ir, _ = parse_dump_text(dump, "T")
+        resolver = Bgpq4Resolver(ir)
+        plain = resolver.resolve("AS1")
+        aggregated = resolver.resolve("AS1", aggregate=True)
+        assert len(plain) == 3
+        assert aggregated == prefixes("10.0.0.0/8")
+        text = resolver.render_prefix_list("AS1", aggregate=True)
+        assert text == "10.0.0.0/8"
+
+
+class TestCrossIrrOverlap:
+    def test_overlap_counts(self):
+        ripe, _ = parse_dump_text(
+            "aut-num: AS1\n\nas-set: AS-X\n\nroute: 10.0.0.0/8\norigin: AS1\n", "RIPE"
+        )
+        radb, _ = parse_dump_text(
+            "aut-num: AS1\n\naut-num: AS2\n\nroute: 10.0.0.0/8\norigin: AS1\n", "RADB"
+        )
+        overlap = cross_irr_overlap({"RIPE": ripe, "RADB": radb})
+        assert overlap["aut-num"] == {"defined": 2, "overlapping": 1, "max_copies": 2}
+        assert overlap["as-set"]["overlapping"] == 0
+        assert overlap["route"] == {"defined": 1, "overlapping": 1, "max_copies": 2}
+
+    def test_tiny_world_has_overlap(self, tiny_registry):
+        irs = {name: source.ir for name, source in tiny_registry.sources.items()}
+        overlap = cross_irr_overlap(irs)
+        # the generator duplicates a share of route objects into RADB
+        assert overlap["route"]["overlapping"] > 0
+        assert overlap["route"]["max_copies"] >= 2

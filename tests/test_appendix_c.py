@@ -1,0 +1,205 @@
+"""Fidelity test: the paper's Appendix C worked example, end to end.
+
+Reconstructs the IRR state and relationships behind the verification
+report for route ⟨103.162.114.0/23, {3257 1299 6939 133840 56239 141893}⟩
+and asserts the verifier reproduces the appendix's per-hop outcome:
+
+.. code-block:: text
+
+    BadExport  { from: 141893, to: 56239, ... }
+    MehImport  { from: 141893, to: 56239, ... OnlyProviderPolicies }
+    MehExport  { from: 56239, to: 133840, ... MatchFilterAsNum, SpecUphill }
+    MehImport  { from: 56239, to: 133840, ... OnlyProviderPolicies }
+    MehExport  { from: 133840, to: 6939, ... SpecUphill }
+    OkImport   { from: 133840, to: 6939 }
+    OkExport   { from: 6939, to: 1299 }
+    OkImport   { from: 6939, to: 1299 }
+    UnrecExport{ from: 1299, to: 3257, UnrecordedAsSet(...) }
+    MehImport  { from: 1299, to: 3257, ... SpecTier1Pair }
+
+Notably, the appendix shows Export Self *failing* for the 56239→133840
+hop because nothing in AS56239's customer cone registered the prefix —
+the route object for 103.162.114.0/23 is absent here for that reason, and
+the counterpoint test adds it back to watch Export Self fire.
+"""
+
+import pytest
+
+from repro.bgp.topology import AsRelationships
+from repro.core.report import ItemKind
+from repro.core.status import SpecialCase, VerifyStatus
+from repro.core.verify import Verifier
+from repro.irr.dump import parse_dump_text
+
+# Objects quoted in the appendix, plus the minimum consistent surroundings.
+DUMP = """
+aut-num:    AS141893
+export:     to AS58552 announce AS141893
+export:     to AS131755 announce AS141893
+import:     from AS58552 accept ANY
+
+aut-num:    AS56239
+import:     from AS55685 accept ANY
+import:     from AS133840 accept ANY
+export:     to AS133840 announce AS56239
+export:     to AS55685 announce AS56239
+
+aut-num:    AS133840
+import:     from AS55685 accept ANY
+import:     from AS6939 accept ANY
+export:     to AS55685 announce AS133840
+
+aut-num:    AS6939
+as-name:    HURRICANE
+import:     from AS-ANY accept ANY
+export:     to AS-ANY announce ANY
+
+aut-num:    AS1299
+as-name:    TWELVE99
+import:     from AS-ANY accept ANY
+export:     to AS3257 announce AS1299:AS-TWELVE99-CUSTOMER-V4 AS1299:AS-TWELVE99-PEER-V4
+export:     to AS6939 announce ANY
+
+aut-num:    AS3257
+as-name:    GTT
+import:     from AS12 accept ANY
+export:     to AS12 announce ANY
+
+route:      103.57.0.0/16
+origin:     AS56239
+
+route:      103.58.0.0/16
+origin:     AS133840
+"""
+# AS1299's customer/peer as-sets are *not* defined (the unrecorded case),
+# and 103.162.114.0/23 has no route object at all.
+
+AS_REL = """
+# providers above customers
+56239|141893|-1
+133840|56239|-1
+6939|133840|-1
+55685|56239|-1
+55685|133840|-1
+1299|6939|-1
+1299|3257|0
+"""
+
+PATH = (3257, 1299, 6939, 133840, 56239, 141893)
+PREFIX = "103.162.114.0/23"
+
+
+def build_verifier(extra_dump: str = "") -> Verifier:
+    ir, errors = parse_dump_text(DUMP + extra_dump, "RADB")
+    assert not errors.issues
+    relationships = AsRelationships.from_as_rel_text(AS_REL)
+    relationships.tier1 = {1299, 3257}
+    return Verifier(ir, relationships)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_verifier().verify_route(PREFIX, PATH)
+
+
+def hop_of(report, direction, from_asn, to_asn):
+    for hop in report.hops:
+        if (hop.direction, hop.from_asn, hop.to_asn) == (direction, from_asn, to_asn):
+            return hop
+    raise AssertionError(f"hop {direction} {from_asn}->{to_asn} missing")
+
+
+class TestAppendixC:
+    def test_hop_count(self, report):
+        assert len(report.hops) == 10  # 5 AS pairs × 2 directions
+
+    def test_bad_export_origin(self, report):
+        hop = hop_of(report, "export", 141893, 56239)
+        assert hop.status is VerifyStatus.UNVERIFIED
+        expected = {
+            (ItemKind.MATCH_REMOTE_AS_NUM, 58552),
+            (ItemKind.MATCH_REMOTE_AS_NUM, 131755),
+        }
+        assert {(item.kind, item.asn) for item in hop.items} == expected
+        assert not hop.peer_matched  # undeclared peering, the 98.98% case
+
+    def test_meh_import_only_provider(self, report):
+        hop = hop_of(report, "import", 141893, 56239)
+        assert hop.status is VerifyStatus.SAFELISTED
+        assert hop.special_case is SpecialCase.ONLY_PROVIDER_POLICIES
+        remote_items = {
+            item.asn for item in hop.items if item.kind is ItemKind.MATCH_REMOTE_AS_NUM
+        }
+        assert remote_items == {55685, 133840}
+
+    def test_meh_export_uphill_not_export_self(self, report):
+        # Peering matches, filter fails (MatchFilterAsNum(56239, NoOp)),
+        # export-self does NOT fire (nothing in the cone registered the
+        # prefix), uphill does.
+        hop = hop_of(report, "export", 56239, 133840)
+        assert hop.status is VerifyStatus.SAFELISTED
+        assert hop.special_case is SpecialCase.UPHILL
+        assert hop.peer_matched
+        filter_items = {
+            (item.kind, item.asn, item.op)
+            for item in hop.items
+            if item.kind is ItemKind.MATCH_FILTER_AS_NUM
+        }
+        assert (ItemKind.MATCH_FILTER_AS_NUM, 56239, "NoOp") in filter_items
+
+    def test_meh_import_mid(self, report):
+        hop = hop_of(report, "import", 56239, 133840)
+        assert hop.status is VerifyStatus.SAFELISTED
+        assert hop.special_case is SpecialCase.ONLY_PROVIDER_POLICIES
+
+    def test_meh_export_uphill_high_peering_mismatch(self, report):
+        # "does not even match the peering of any rule defined by AS133840"
+        hop = hop_of(report, "export", 133840, 6939)
+        assert hop.status is VerifyStatus.SAFELISTED
+        assert hop.special_case is SpecialCase.UPHILL
+        assert not hop.peer_matched
+
+    def test_ok_import_hurricane(self, report):
+        assert hop_of(report, "import", 133840, 6939).status is VerifyStatus.VERIFIED
+
+    def test_ok_both_6939_1299(self, report):
+        assert hop_of(report, "export", 6939, 1299).status is VerifyStatus.VERIFIED
+        assert hop_of(report, "import", 6939, 1299).status is VerifyStatus.VERIFIED
+
+    def test_unrec_export_twelve99(self, report):
+        hop = hop_of(report, "export", 1299, 3257)
+        assert hop.status is VerifyStatus.UNRECORDED
+        names = {item.name for item in hop.items if item.kind is ItemKind.UNRECORDED_AS_SET}
+        assert names == {
+            "AS1299:AS-TWELVE99-CUSTOMER-V4",
+            "AS1299:AS-TWELVE99-PEER-V4",
+        }
+
+    def test_meh_import_tier1(self, report):
+        hop = hop_of(report, "import", 1299, 3257)
+        assert hop.status is VerifyStatus.SAFELISTED
+        assert hop.special_case is SpecialCase.TIER1_PAIR
+
+    def test_rendered_report_shape(self, report):
+        lines = str(report).splitlines()[1:]
+        words = [line.split(" ", 1)[0] for line in lines]
+        assert words == [
+            "BadExport", "MehImport",
+            "MehExport", "MehImport",
+            "MehExport", "OkImport",
+            "OkExport", "OkImport",
+            "UnrecExport", "MehImport",
+        ]
+
+    def test_export_self_fires_when_cone_registers_route(self):
+        # Counterpoint: register the prefix to the customer (AS141893, in
+        # AS56239's cone here) and Export Self fires before Uphill.
+        verifier = build_verifier("\nroute: 103.162.114.0/23\norigin: AS141893\n")
+        report = verifier.verify_route(PREFIX, PATH)
+        hop = hop_of(report, "export", 56239, 133840)
+        assert hop.status is VerifyStatus.RELAXED
+        assert hop.special_case is SpecialCase.EXPORT_SELF
+        # And the first hop's export is now missing-routes relaxed? No —
+        # its peerings still do not cover AS56239: stays unverified.
+        first = hop_of(report, "export", 141893, 56239)
+        assert first.status is VerifyStatus.UNVERIFIED

@@ -1,0 +1,87 @@
+"""Tests for ASN parsing and address-family specifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.afi import Afi, AfiError, AfiFamily, AfiSafi
+from repro.net.asn import (
+    ASN_MAX,
+    AsnError,
+    format_asn,
+    is_private_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+
+
+class TestAsn:
+    def test_parse_basic(self):
+        assert parse_asn("AS174") == 174
+
+    def test_parse_case_insensitive(self):
+        assert parse_asn("as174") == 174
+        assert parse_asn("As174") == 174
+
+    def test_parse_strips_whitespace(self):
+        assert parse_asn("  AS42  ") == 42
+
+    def test_parse_32bit(self):
+        assert parse_asn("AS4200000000") == 4200000000
+
+    @pytest.mark.parametrize("bad", ["", "174", "ASX", "AS-FOO", "AS 174", "AS99999999999"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(AsnError):
+            parse_asn(bad)
+
+    def test_format(self):
+        assert format_asn(174) == "AS174"
+        with pytest.raises(AsnError):
+            format_asn(-1)
+        with pytest.raises(AsnError):
+            format_asn(ASN_MAX + 1)
+
+    def test_private_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(174)
+
+    def test_reserved(self):
+        assert is_reserved_asn(0)
+        assert is_reserved_asn(23456)
+        assert not is_reserved_asn(174)
+
+    @given(st.integers(min_value=0, max_value=ASN_MAX))
+    def test_roundtrip(self, asn):
+        assert parse_asn(format_asn(asn)) == asn
+
+
+class TestAfi:
+    def test_parse_families(self):
+        assert Afi.parse("ipv4") == Afi(AfiFamily.IPV4, AfiSafi.ANY)
+        assert Afi.parse("ipv6.unicast") == Afi(AfiFamily.IPV6, AfiSafi.UNICAST)
+        assert Afi.parse("any.unicast") == Afi(AfiFamily.ANY, AfiSafi.UNICAST)
+        assert Afi.parse("ANY") == Afi()
+
+    @pytest.mark.parametrize("bad", ["", "ipv5", "ipv4.anycast", "x.y"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(AfiError):
+            Afi.parse(bad)
+
+    def test_matches_version(self):
+        assert Afi.parse("ipv4.unicast").matches_version(4)
+        assert not Afi.parse("ipv4.unicast").matches_version(6)
+        assert Afi.parse("any.unicast").matches_version(6)
+        assert Afi.parse("any").matches_version(4)
+
+    def test_multicast_never_matches_table_routes(self):
+        assert not Afi.parse("ipv4.multicast").matches_version(4)
+        assert not Afi.parse("any.multicast").matches_version(6)
+
+    def test_str_roundtrip(self):
+        for text in ("any", "ipv4", "ipv6.unicast", "any.multicast"):
+            assert str(Afi.parse(text)) == text
+
+    def test_implicit_default(self):
+        assert Afi.IPV4_UNICAST.matches_version(4)
+        assert not Afi.IPV4_UNICAST.matches_version(6)

@@ -1,0 +1,163 @@
+"""Tests for the AS-path regex parser and unparser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpsl.aspath import (
+    ReAlt,
+    ReAsn,
+    ReAsnRange,
+    ReAsSet,
+    ReBegin,
+    ReCharSet,
+    ReEnd,
+    RePeerAs,
+    ReRepeat,
+    ReSeq,
+    ReWildcard,
+    parse_as_path_regex,
+    regex_flags,
+)
+from repro.rpsl.errors import RpslSyntaxError
+
+
+class TestAtoms:
+    def test_asn(self):
+        assert parse_as_path_regex("AS6327") == ReAsn(6327)
+
+    def test_delimiters_optional(self):
+        assert parse_as_path_regex("<AS6327>") == ReAsn(6327)
+
+    def test_as_set(self):
+        assert parse_as_path_regex("AS-IKS") == ReAsSet("AS-IKS")
+
+    def test_hierarchical_as_set(self):
+        assert parse_as_path_regex("AS1:AS-CUST") == ReAsSet("AS1:AS-CUST")
+
+    def test_peeras(self):
+        assert parse_as_path_regex("PeerAS") == RePeerAs()
+
+    def test_wildcard(self):
+        assert parse_as_path_regex(".") == ReWildcard()
+
+    def test_asn_range(self):
+        assert parse_as_path_regex("AS10-AS20") == ReAsnRange(10, 20)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_as_path_regex("AS20-AS10")
+
+    def test_unknown_atom_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_as_path_regex("BANANA")
+
+
+class TestStructure:
+    def test_anchored_sequence(self):
+        node = parse_as_path_regex("<^AS13911 AS6327+$>")
+        assert node == ReSeq(
+            (ReBegin(), ReAsn(13911), ReRepeat(ReAsn(6327), 1, None), ReEnd())
+        )
+
+    def test_alternation(self):
+        node = parse_as_path_regex("AS1 | AS2 | AS3")
+        assert node == ReAlt((ReAsn(1), ReAsn(2), ReAsn(3)))
+
+    def test_group_with_postfix(self):
+        node = parse_as_path_regex("(AS1 AS2)*")
+        assert node == ReRepeat(ReSeq((ReAsn(1), ReAsn(2))), 0, None)
+
+    def test_char_set(self):
+        node = parse_as_path_regex("[AS1 AS2 AS-X]")
+        assert node == ReCharSet((ReAsn(1), ReAsn(2), ReAsSet("AS-X")))
+
+    def test_complemented_char_set(self):
+        node = parse_as_path_regex("[^AS1]")
+        assert node == ReCharSet((ReAsn(1),), complemented=True)
+
+    def test_char_set_with_postfix(self):
+        node = parse_as_path_regex("[AS1 AS2]+")
+        assert isinstance(node, ReRepeat) and node.low == 1
+
+    def test_bounds(self):
+        assert parse_as_path_regex("AS1{3}") == ReRepeat(ReAsn(1), 3, 3)
+        assert parse_as_path_regex("AS1{2,5}") == ReRepeat(ReAsn(1), 2, 5)
+        assert parse_as_path_regex("AS1{2,}") == ReRepeat(ReAsn(1), 2, None)
+
+    def test_optional(self):
+        assert parse_as_path_regex("AS1?") == ReRepeat(ReAsn(1), 0, 1)
+
+    def test_same_pattern_ops(self):
+        node = parse_as_path_regex("AS-X~+")
+        assert node == ReRepeat(ReAsSet("AS-X"), 1, None, same_pattern=True)
+        node = parse_as_path_regex(".~*")
+        assert node == ReRepeat(ReWildcard(), 0, None, same_pattern=True)
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_as_path_regex("(AS1")
+
+    def test_unterminated_set_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_as_path_regex("[AS1")
+
+    def test_bad_bound_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_as_path_regex("AS1{5,2}")
+
+
+class TestFlags:
+    def test_plain_regex_no_flags(self):
+        assert regex_flags(parse_as_path_regex("<^AS1 .* $>")) == (False, False)
+
+    def test_range_flag(self):
+        assert regex_flags(parse_as_path_regex("<AS64512-AS65534>"))[0] is True
+
+    def test_same_pattern_flag(self):
+        assert regex_flags(parse_as_path_regex("<AS1~+>"))[1] is True
+
+    def test_nested_flags_found(self):
+        node = parse_as_path_regex("<(AS1 | [AS2 AS3-AS5])+>")
+        assert regex_flags(node)[0] is True
+
+
+# -- round-trip property test ---------------------------------------------
+
+atoms = st.one_of(
+    st.builds(ReAsn, st.integers(min_value=1, max_value=4_000_000_000)),
+    st.just(RePeerAs()),
+    st.just(ReWildcard()),
+    st.builds(lambda n: ReAsSet(f"AS-SET{n}"), st.integers(0, 99)),
+)
+
+
+def with_repeat(children):
+    return st.one_of(
+        children,
+        st.builds(
+            lambda inner, low_high, tilde: ReRepeat(inner, low_high[0], low_high[1], tilde),
+            children,
+            st.sampled_from([(0, None), (1, None), (0, 1), (2, 2), (1, 3)]),
+            st.booleans(),
+        ),
+    )
+
+
+regex_asts = st.recursive(
+    with_repeat(atoms),
+    lambda children: st.one_of(
+        st.builds(lambda parts: ReSeq(tuple(parts)), st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda opts: ReAlt(tuple(opts)), st.lists(children, min_size=2, max_size=3)),
+    ),
+    max_leaves=8,
+)
+
+
+@given(regex_asts)
+def test_unparse_parse_roundtrip(node):
+    text = node.to_rpsl()
+    reparsed = parse_as_path_regex(text)
+    # Parsing may flatten nesting; comparing the rendered form is the
+    # stable contract.
+    assert reparsed.to_rpsl() == parse_as_path_regex(reparsed.to_rpsl()).to_rpsl()

@@ -1,0 +1,160 @@
+"""Tests for AS-relationship inference and usage classification."""
+
+import pytest
+
+from repro.bgp.topology import AsRelationships, Rel
+from repro.irr.dump import parse_dump_text
+from repro.tools.asrel import infer_relationships, score_inference
+from repro.tools.classify import ARCHETYPES, classify_as, classify_ir
+
+TRANSIT_DUMP = """
+aut-num: AS10
+import:  from AS99 accept ANY
+export:  to AS99 announce AS10:AS-CONE
+import:  from AS20 accept AS20
+export:  to AS20 announce ANY
+
+aut-num: AS99
+export:  to AS10 announce ANY
+import:  from AS10 accept AS10:AS-CONE
+
+as-set:  AS10:AS-CONE
+members: AS10, AS20
+"""
+
+PEER_DUMP = """
+aut-num: AS1
+import:  from AS2 accept AS2:AS-CONE
+export:  to AS2 announce AS1:AS-CONE
+
+aut-num: AS2
+import:  from AS1 accept AS1:AS-CONE
+export:  to AS1 announce AS2:AS-CONE
+
+as-set:  AS1:AS-CONE
+members: AS1
+
+as-set:  AS2:AS-CONE
+members: AS2
+"""
+
+
+class TestInference:
+    def test_provider_inferred_from_import_any(self):
+        ir, _ = parse_dump_text(TRANSIT_DUMP, "T")
+        inferred = infer_relationships(ir)
+        assert inferred.rel(10, 99) is Rel.PROVIDER
+        assert inferred.rel(99, 10) is Rel.CUSTOMER
+
+    def test_customer_inferred_from_export_any(self):
+        ir, _ = parse_dump_text(TRANSIT_DUMP, "T")
+        inferred = infer_relationships(ir)
+        assert inferred.rel(10, 20) is Rel.CUSTOMER
+
+    def test_peer_inferred_from_cone_exchange(self):
+        ir, _ = parse_dump_text(PEER_DUMP, "T")
+        inferred = infer_relationships(ir)
+        assert inferred.rel(1, 2) is Rel.PEER
+
+    def test_contradiction_yields_nothing(self):
+        dump = """
+aut-num: AS1
+import:  from AS2 accept ANY
+
+aut-num: AS2
+import:  from AS1 accept ANY
+"""
+        ir, _ = parse_dump_text(dump, "T")
+        inferred = infer_relationships(ir)
+        assert inferred.rel(1, 2) is None
+
+    def test_empty_ir(self):
+        ir, _ = parse_dump_text("", "T")
+        assert infer_relationships(ir).ases() == set()
+
+    def test_inference_on_tiny_world(self, tiny_ir, tiny_world):
+        inferred = infer_relationships(tiny_ir)
+        score = score_inference(tiny_world.topology, inferred)
+        # The synthetic world documents most provider links with
+        # accept-ANY imports: inference should be precise where it speaks.
+        assert score.links_inferred > 20
+        assert score.transit_precision > 0.8
+        assert score.transit_recall > 0.2
+
+
+class TestScore:
+    def test_perfect_score(self):
+        truth = AsRelationships.from_as_rel_text("1|2|-1\n3|4|0\n")
+        score = score_inference(truth, truth)
+        assert score.transit_precision == 1.0
+        assert score.transit_recall == 1.0
+        assert score.peer_precision == 1.0
+        assert score.links_correct == 2
+
+    def test_direction_matters(self):
+        truth = AsRelationships.from_as_rel_text("1|2|-1\n")
+        wrong = AsRelationships.from_as_rel_text("2|1|-1\n")
+        score = score_inference(truth, wrong)
+        assert score.transit_precision == 0.0
+
+    def test_as_dict_keys(self):
+        truth = AsRelationships.from_as_rel_text("1|2|-1\n")
+        assert len(score_inference(truth, truth).as_dict()) == 7
+
+
+class TestClassification:
+    def classify_dump(self, dump: str, asn: int, rel_text: str | None = None):
+        ir, _ = parse_dump_text(dump, "T")
+        relationships = (
+            AsRelationships.from_as_rel_text(rel_text) if rel_text else None
+        )
+        return classify_as(ir.aut_nums.get(asn), relationships)
+
+    def test_silent(self):
+        assert classify_as(None) == "silent"
+
+    def test_ghost(self):
+        assert self.classify_dump("aut-num: AS1\n", 1) == "ghost"
+
+    def test_minimal(self):
+        dump = "aut-num: AS1\nimport: from AS2 accept ANY\n"
+        assert self.classify_dump(dump, 1) == "minimal"
+
+    def test_documented(self):
+        rules = "".join(
+            f"import: from AS{n} accept AS{n}\nexport: to AS{n} announce AS1\n"
+            for n in range(2, 8)
+        )
+        assert self.classify_dump(f"aut-num: AS1\n{rules}", 1) == "documented"
+
+    def test_power_user_regex(self):
+        dump = "aut-num: AS1\nimport: from AS2 accept <^AS2+$>\n"
+        assert self.classify_dump(dump, 1) == "power-user"
+
+    def test_power_user_structured(self):
+        dump = (
+            "aut-num: AS1\n"
+            "import: from AS2 accept ANY REFINE from AS2 accept AS3\n"
+        )
+        assert self.classify_dump(dump, 1) == "power-user"
+
+    def test_provider_mandated(self):
+        dump = (
+            "aut-num: AS1\nimport: from AS99 accept ANY\n"
+            "export: to AS99 announce AS1\n"
+        )
+        label = self.classify_dump(dump, 1, "99|1|-1\n1|5|-1\n")
+        assert label == "provider-mandated"
+
+    def test_classify_ir_census(self, tiny_ir, tiny_world):
+        labels, census = classify_ir(
+            tiny_ir, tiny_world.topology.ases(), tiny_world.topology
+        )
+        assert set(census) <= set(ARCHETYPES)
+        assert census["silent"] > 0
+        assert census["ghost"] > 0
+        assert sum(census.values()) == len(labels)
+        # ground-truth sanity: every generator-"absent" AS classifies silent
+        for asn, profile in tiny_world.profiles.items():
+            if profile == "absent":
+                assert labels[asn] == "silent"

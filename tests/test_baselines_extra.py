@@ -1,0 +1,140 @@
+"""Tests for origin validation and community-aware verification."""
+
+import pytest
+
+from repro.baseline.origin_validation import OriginStatus, OriginValidator
+from repro.bgp.table import RouteEntry, parse_table_text
+from repro.bgp.topology import AsRelationships
+from repro.core.status import VerifyStatus
+from repro.core.verify import Verifier, VerifyOptions
+from repro.irr.dump import parse_dump_text
+from repro.net.prefix import Prefix
+
+DUMP = """
+route:   10.1.0.0/16
+origin:  AS10
+
+route:   10.0.0.0/8
+origin:  AS10
+
+route:   10.2.0.0/16
+origin:  AS20
+"""
+
+
+@pytest.fixture(scope="module")
+def validator():
+    ir, _ = parse_dump_text(DUMP, "T")
+    return OriginValidator(ir)
+
+
+class TestOriginValidation:
+    def test_valid_exact(self, validator):
+        assert validator.validate(Prefix.parse("10.1.0.0/16"), 10) is OriginStatus.VALID
+
+    def test_valid_covering(self, validator):
+        # 10.5.0.0/16 is covered by 10.0.0.0/8 (AS10).
+        assert (
+            validator.validate(Prefix.parse("10.5.0.0/16"), 10)
+            is OriginStatus.VALID_COVERING
+        )
+
+    def test_invalid_origin_exact(self, validator):
+        assert (
+            validator.validate(Prefix.parse("10.2.0.0/16"), 99)
+            is OriginStatus.INVALID_ORIGIN
+        )
+
+    def test_invalid_origin_covering_only(self, validator):
+        # 10.2.5.0/24 covered by both AS20's /16 and AS10's /8 — neither is AS99.
+        assert (
+            validator.validate(Prefix.parse("10.2.5.0/24"), 99)
+            is OriginStatus.INVALID_ORIGIN
+        )
+
+    def test_unknown(self, validator):
+        assert (
+            validator.validate(Prefix.parse("192.0.2.0/24"), 10)
+            is OriginStatus.UNKNOWN
+        )
+
+    def test_census(self, validator):
+        entries = [
+            RouteEntry("c", 1, Prefix.parse("10.1.0.0/16"), (1, 10)),
+            RouteEntry("c", 1, Prefix.parse("192.0.2.0/24"), (1, 10)),
+        ]
+        census = validator.census(entries)
+        assert census[OriginStatus.VALID] == 1
+        assert census[OriginStatus.UNKNOWN] == 1
+
+    def test_blind_to_leaks(self, validator):
+        # A leaked path with a legitimate origin still validates — the
+        # limitation the paper's path verification overcomes.
+        leaked = RouteEntry("c", 1, Prefix.parse("10.1.0.0/16"), (1, 99, 10))
+        assert validator.validate_entry(leaked) is OriginStatus.VALID
+
+
+COMMUNITY_DUMP = """
+aut-num: AS10
+import:  from AS20 accept community(65535:666)
+
+route:   10.2.0.0/16
+origin:  AS20
+"""
+
+
+class TestCommunityMatching:
+    def make_verifier(self, community_matches: bool) -> Verifier:
+        ir, _ = parse_dump_text(COMMUNITY_DUMP, "T")
+        relationships = AsRelationships.from_as_rel_text("10|20|-1\n")
+        return Verifier(
+            ir, relationships, VerifyOptions(community_matches=community_matches)
+        )
+
+    def entry(self, tags) -> RouteEntry:
+        return RouteEntry(
+            "c", 10, Prefix.parse("10.2.0.0/16"), (10, 20), communities=frozenset(tags)
+        )
+
+    def import_hop(self, verifier, entry):
+        report = verifier.verify_entry(entry)
+        return next(h for h in report.hops if h.direction == "import")
+
+    def test_default_skips(self):
+        verifier = self.make_verifier(False)
+        hop = self.import_hop(verifier, self.entry({(65535, 666)}))
+        assert hop.status is VerifyStatus.SKIP
+
+    def test_enabled_matches_tagged_route(self):
+        verifier = self.make_verifier(True)
+        hop = self.import_hop(verifier, self.entry({(65535, 666)}))
+        assert hop.status is VerifyStatus.VERIFIED
+
+    def test_enabled_rejects_untagged_route(self):
+        verifier = self.make_verifier(True)
+        hop = self.import_hop(verifier, self.entry(set()))
+        assert hop.status is not VerifyStatus.VERIFIED
+        assert hop.status is not VerifyStatus.SKIP
+
+    def test_cache_distinguishes_communities(self):
+        verifier = self.make_verifier(True)
+        verified = self.import_hop(verifier, self.entry({(65535, 666)}))
+        rejected = self.import_hop(verifier, self.entry(set()))
+        assert verified.status is VerifyStatus.VERIFIED
+        assert rejected.status is not VerifyStatus.VERIFIED
+
+
+class TestCommunitySerialization:
+    def test_line_roundtrip_with_communities(self):
+        entry = RouteEntry(
+            "c", 1, Prefix.parse("10.0.0.0/8"), (1, 2),
+            communities=frozenset({(65535, 666), (65000, 30)}),
+        )
+        line = entry.to_line()
+        assert "65000:30 65535:666" in line
+        (parsed,) = list(parse_table_text(line))
+        assert parsed == entry
+
+    def test_plain_line_has_no_extra_field(self):
+        entry = RouteEntry("c", 1, Prefix.parse("10.0.0.0/8"), (1, 2))
+        assert entry.to_line().count("|") == 7

@@ -1,0 +1,133 @@
+"""Tests for the BGPq4-class baseline."""
+
+import pytest
+
+from repro.baseline.bgpq4 import (
+    Bgpq4Resolver,
+    bgpq4_skip_census,
+    is_filter_compatible,
+    is_rule_compatible,
+)
+from repro.irr.dump import parse_dump_text
+from repro.rpsl.filter import parse_filter_text
+from repro.rpsl.policy import parse_policy
+
+DUMP = """
+as-set:  AS-CUST
+members: AS10, AS20
+
+route-set: RS-X
+members:   192.0.2.0/24, 10.0.0.0/8^+, 172.16.0.0/12^-, AS30
+
+route:   10.10.0.0/16
+origin:  AS10
+
+route:   10.20.0.0/16
+origin:  AS20
+
+route6:  2001:db8::/32
+origin:  AS10
+
+route:   10.30.0.0/16
+origin:  AS30
+"""
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    ir, _ = parse_dump_text(DUMP, "TEST")
+    return Bgpq4Resolver(ir)
+
+
+class TestCompatibility:
+    @pytest.mark.parametrize(
+        "text", ["ANY", "PeerAS", "AS1", "AS-FOO", "RS-X", "{10.0.0.0/8}"]
+    )
+    def test_compatible_filters(self, text):
+        assert is_filter_compatible(parse_filter_text(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AS1 AND AS2",
+            "AS1 OR AS2",
+            "NOT AS1",
+            "<^AS1$>",
+            "community(65000:1)",
+            "FLTR-MARTIAN",
+        ],
+    )
+    def test_incompatible_filters(self, text):
+        assert not is_filter_compatible(parse_filter_text(text))
+
+    def test_compatible_rule(self):
+        assert is_rule_compatible(parse_policy("import", "from AS1 accept AS-FOO"))
+
+    def test_structured_policy_incompatible(self):
+        rule = parse_policy("import", "from AS1 accept ANY REFINE from AS1 accept AS2")
+        assert not is_rule_compatible(rule)
+
+    def test_census(self):
+        ir, _ = parse_dump_text(
+            "aut-num: AS1\nimport: from AS2 accept ANY\n"
+            "import: from AS2 accept <^AS2$>\n"
+            "import: from AS2 accept NONSENSE AND\n",
+            "T",
+        )
+        census = bgpq4_skip_census(ir)
+        assert census == {"total": 3, "skipped": 2}
+
+    def test_rpslyzer_skips_fewer_than_bgpq4(self, tiny_ir):
+        from repro.core.verify import rule_skip_census
+
+        ours = rule_skip_census(tiny_ir)
+        theirs = bgpq4_skip_census(tiny_ir)
+        assert ours["skipped"] <= theirs["skipped"]
+
+
+class TestResolver:
+    def test_resolve_asn(self, resolver):
+        assert [str(p) for p in resolver.resolve("AS10")] == ["10.10.0.0/16"]
+
+    def test_resolve_asn_v6(self, resolver):
+        assert [str(p) for p in resolver.resolve("AS10", version=6)] == ["2001:db8::/32"]
+
+    def test_resolve_as_set(self, resolver):
+        prefixes = [str(p) for p in resolver.resolve("AS-CUST")]
+        assert prefixes == ["10.10.0.0/16", "10.20.0.0/16"]
+
+    def test_resolve_route_set(self, resolver):
+        prefixes = [str(p) for p in resolver.resolve("RS-X")]
+        # ^- members are excluded (exclusive more-specifics have no base);
+        # AS30's route objects are included.
+        assert "192.0.2.0/24" in prefixes
+        assert "10.0.0.0/8" in prefixes
+        assert "10.30.0.0/16" in prefixes
+        assert "172.16.0.0/12" not in prefixes
+
+    def test_resolve_unknown_name_raises(self, resolver):
+        with pytest.raises(ValueError):
+            resolver.resolve("FLTR-MARTIAN")
+        with pytest.raises(ValueError):
+            resolver.resolve("banana")
+
+    def test_empty_for_unknown_asn(self, resolver):
+        assert resolver.resolve("AS999") == []
+
+    def test_render_plain(self, resolver):
+        text = resolver.render_prefix_list("AS-CUST")
+        assert text.splitlines() == ["10.10.0.0/16", "10.20.0.0/16"]
+
+    def test_render_junos(self, resolver):
+        text = resolver.render_prefix_list("AS-CUST", style="junos")
+        assert "prefix-list AS-CUST" in text
+        assert "    10.10.0.0/16;" in text
+
+    def test_render_cisco(self, resolver):
+        text = resolver.render_prefix_list("AS10", style="cisco")
+        assert text.splitlines()[0] == "no ip prefix-list AS10"
+        assert "ip prefix-list AS10 permit 10.10.0.0/16" in text
+
+    def test_render_unknown_style(self, resolver):
+        with pytest.raises(ValueError):
+            resolver.render_prefix_list("AS10", style="htmlx")

@@ -1,0 +1,128 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("world")
+    assert main(["synth", str(directory), "--preset", "tiny", "--routes"]) == 0
+    return directory
+
+
+class TestSynthCommand:
+    def test_outputs_exist(self, world_dir):
+        assert (world_dir / "ripe.db").exists()
+        assert (world_dir / "radb.db").exists()
+        assert (world_dir / "as-rel.txt").exists()
+        assert (world_dir / "table.txt").exists()
+
+
+class TestParseCommand:
+    def test_parse_to_json(self, world_dir, tmp_path):
+        output = tmp_path / "ir.json"
+        assert main(["parse", str(world_dir), "-o", str(output)]) == 0
+        data = json.loads(output.read_text())
+        assert data["format"] == "rpslyzer-ir"
+
+
+class TestVerifyCommand:
+    def test_verify_summary(self, world_dir, tmp_path, capsys):
+        ir_path = tmp_path / "ir.json"
+        main(["parse", str(world_dir), "-o", str(ir_path)])
+        code = main(
+            [
+                "verify",
+                "--ir", str(ir_path),
+                "--as-rel", str(world_dir / "as-rel.txt"),
+                "--table", str(world_dir / "table.txt"),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["routes"] > 0
+        assert summary["hops"] > 0
+        assert 0.99 < sum(summary["hop_fractions"].values()) < 1.01
+
+    def test_verify_parallel_and_figures(self, world_dir, tmp_path, capsys):
+        ir_path = tmp_path / "ir.json"
+        main(["parse", str(world_dir), "-o", str(ir_path)])
+        figures = tmp_path / "figs"
+        code = main(
+            [
+                "verify",
+                "--ir", str(ir_path),
+                "--as-rel", str(world_dir / "as-rel.txt"),
+                "--table", str(world_dir / "table.txt"),
+                "--processes", "2",
+                "--figures-dir", str(figures),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["routes"] > 0
+        for name in ("fig2_per_as", "fig3_per_pair", "fig4_per_route",
+                     "fig5_unrecorded", "fig6_special"):
+            assert (figures / f"{name}.csv").exists()
+
+    def test_verify_ablation_flags(self, world_dir, tmp_path, capsys):
+        ir_path = tmp_path / "ir.json"
+        main(["parse", str(world_dir), "-o", str(ir_path)])
+        main(
+            [
+                "verify",
+                "--ir", str(ir_path),
+                "--as-rel", str(world_dir / "as-rel.txt"),
+                "--table", str(world_dir / "table.txt"),
+                "--no-relaxations",
+                "--no-safelists",
+            ]
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["hop_fractions"]["relaxed"] == 0
+        assert summary["hop_fractions"]["safelisted"] == 0
+
+
+class TestVerifyReportMode:
+    def test_report_prints_hop_lines(self, world_dir, tmp_path, capsys):
+        ir_path = tmp_path / "ir.json"
+        main(["parse", str(world_dir), "-o", str(ir_path)])
+        capsys.readouterr()
+        # Shrink the table so --report output stays manageable.
+        table = tmp_path / "small.txt"
+        lines = (world_dir / "table.txt").read_text().splitlines()[:50]
+        table.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "verify",
+                "--ir", str(ir_path),
+                "--as-rel", str(world_dir / "as-rel.txt"),
+                "--table", str(table),
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "{ from:" in out
+        assert '"routes": 50' in out
+
+
+class TestStatsCommand:
+    def test_stats_output(self, world_dir, tmp_path, capsys):
+        ir_path = tmp_path / "ir.json"
+        main(["parse", str(world_dir), "-o", str(ir_path)])
+        capsys.readouterr()
+        assert main(["stats", "--ir", str(ir_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["counts"]["aut-num"] > 0
+        assert "as_sets" in stats
+
+
+class TestParserErrors:
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,201 @@
+"""A corpus of real-world-style RPSL, mostly lifted from RFC 2622 and the
+paper, parsed and structurally asserted — the parser's fidelity anchor."""
+
+import pytest
+
+from repro.irr.dump import parse_dump_text
+from repro.net.prefix import RangeOpKind
+from repro.rpsl.filter import (
+    FilterAnd,
+    FilterAsn,
+    FilterCommunity,
+    FilterPrefixSet,
+    parse_filter_text,
+)
+from repro.rpsl.policy import PolicyExcept, PolicyRefine, PolicyTerm, parse_policy
+
+
+class TestRfc2622Sets:
+    def test_as_set_example(self):
+        # RFC 2622 §5.1
+        ir, errors = parse_dump_text(
+            "as-set: as-foo\nmembers: AS1, AS2, as-bar\n", "T"
+        )
+        assert not errors.issues
+        as_set = ir.as_sets["AS-FOO"]
+        assert as_set.members_asn == [1, 2]
+        assert as_set.members_set == ["AS-BAR"]
+
+    def test_route_set_examples(self):
+        # RFC 2622 §5.2: rs-foo and rs-bar with range operators
+        ir, errors = parse_dump_text(
+            "route-set: rs-foo\nmembers: 128.9.0.0/16, 128.9.0.0/24\n\n"
+            "route-set: rs-bar\nmembers: 5.0.0.0/8^+, 30.0.0.0/8^24-32, rs-foo^+\n",
+            "T",
+        )
+        assert not errors.issues
+        bar = ir.route_sets["RS-BAR"]
+        ops = [op.kind for _, op in bar.prefix_members]
+        assert ops == [RangeOpKind.PLUS, RangeOpKind.RANGE]
+        assert bar.name_members[0].name == "RS-FOO"
+        assert bar.name_members[0].op.kind is RangeOpKind.PLUS
+
+    def test_hierarchical_set_names(self):
+        ir, errors = parse_dump_text(
+            "as-set: AS1:AS-CUSTOMERS\nmembers: AS2\n\n"
+            "route-set: AS1:RS-EXPORT:AS2\nmembers: 128.8.0.0/16\n",
+            "T",
+        )
+        assert not errors.issues
+        assert "AS1:AS-CUSTOMERS" in ir.as_sets
+        assert "AS1:RS-EXPORT:AS2" in ir.route_sets
+
+
+class TestRfc2622Policies:
+    def test_simple_pref(self):
+        # RFC 2622 §6.1 example 1
+        rule = parse_policy("import", "from AS2 action pref = 1; accept { 128.9.0.0/16 }")
+        factor = rule.expr.factors[0]
+        assert factor.peerings[0].actions[0].values == ("1",)
+        assert isinstance(factor.filter, FilterPrefixSet)
+
+    def test_action_list(self):
+        # RFC 2622 §6.1.1: med and community actions
+        rule = parse_policy(
+            "import",
+            "from AS2 action pref = 10; med = 0; community.append(10250, 3561:10); accept { 128.9.0.0/16 }",
+        )
+        actions = rule.expr.factors[0].peerings[0].actions
+        assert [a.attribute for a in actions] == ["pref", "med", "community"]
+        assert actions[2].values == ("10250", "3561:10")
+
+    def test_nested_except_inside_braces(self):
+        # RFC 2622 §6.6, verbatim shape
+        rule = parse_policy(
+            "import",
+            """from AS1 action pref = 1; accept as-foo;
+               except {
+                 from AS2 action pref = 2; accept AS226;
+                 except {
+                   from AS3 action pref = 3; accept {128.9.0.0/16};
+                 }
+               }""",
+        )
+        assert isinstance(rule.expr, PolicyExcept)
+        middle = rule.expr.rest
+        assert isinstance(middle, PolicyExcept)
+        inner = middle.rest
+        assert isinstance(inner, PolicyTerm)
+        assert isinstance(inner.factors[0].filter, FilterPrefixSet)
+
+    def test_nested_except_roundtrip(self):
+        rule = parse_policy(
+            "import",
+            "from AS1 accept as-foo; except { from AS2 accept AS226; "
+            "except { from AS3 accept {128.9.0.0/16}; } }",
+        )
+        once = rule.to_rpsl()
+        assert parse_policy("import", once).to_rpsl() == once
+
+    def test_refine_with_community_filter(self):
+        # RFC 2622 §6.6 refine example
+        rule = parse_policy(
+            "import",
+            "{ from AS-ANY action pref = 1; accept community(3560:10); } refine "
+            "{ from AS1 accept AS1; from AS2 accept AS2; }",
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+        head = rule.expr.term.factors[0]
+        assert isinstance(head.filter, FilterCommunity)
+        assert len(rule.expr.rest.factors) == 2
+
+    def test_as_path_regex_filter(self):
+        # RFC 2622 §5.4 style
+        node = parse_filter_text("<^AS1 .* AS2$> AND AS226")
+        assert isinstance(node, FilterAnd)
+        assert node.right == FilterAsn(226)
+
+    def test_protocol_qualified_rule(self):
+        # RFC 2622 §6.2: protocol injection
+        rule = parse_policy(
+            "import",
+            "protocol OSPF into RIP from AS1 accept {128.9.0.0/16}",
+        )
+        assert (rule.protocol, rule.into_protocol) == ("OSPF", "RIP")
+
+
+class TestPaperExamples:
+    def test_as38639_export(self):
+        rule = parse_policy("export", "to AS4713 announce AS-HANABI")
+        assert rule.expr.factors[0].filter.name == "AS-HANABI"
+
+    def test_as14595_compound(self):
+        rule = parse_policy(
+            "import",
+            "afi any.unicast from AS13911 accept ANY AND NOT {0.0.0.0/0, ::0/0} "
+            "REFINE afi ipv4.unicast from AS13911 action pref=200; "
+            "accept <^AS13911 AS6327+$>",
+            multiprotocol=True,
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+        assert rule.expr.afis[0].matches_version(4)
+        assert not rule.expr.afis[0].matches_version(6)
+
+    def test_as8323_shared_filter(self):
+        rule = parse_policy(
+            "import",
+            "from AS8267:AS-Krakow-1014 action pref=50; "
+            "from AS8267:AS-Krakow-1015 action pref=50; accept PeerAS",
+        )
+        factor = rule.expr.factors[0]
+        assert len(factor.peerings) == 2
+        assert all(pa.actions for pa in factor.peerings)
+
+    def test_whois_route_object(self):
+        ir, errors = parse_dump_text(
+            "route:      8.8.8.0/24\norigin:     AS15169\ndescr:      Google\n", "RADB"
+        )
+        assert not errors.issues
+        route = ir.route_objects[0]
+        assert (str(route.prefix), route.origin) == ("8.8.8.0/24", 15169)
+
+    def test_as199284_monster(self):
+        rule = parse_policy(
+            "import",
+            """afi any {
+    from AS-ANY action community.delete(64628:10, 64628:11, 64628:12);
+    accept ANY;
+} REFINE afi any {
+    from AS-ANY action pref = 65535; accept community(65535:0);
+    from AS-ANY action pref = 65435; accept ANY;
+} REFINE afi any {
+    from AS-ANY accept NOT AS199284^+;
+} REFINE afi ipv4 {
+    from AS-ANY accept NOT fltr-martian;
+} REFINE afi ipv4 {
+    from AS-ANY accept { 0.0.0.0/0^24 } AND NOT community(65535:666);
+    from AS-ANY accept { 0.0.0.0/0^24-32 } AND community(65535:666);
+} REFINE afi ipv6 {
+    from AS-ANY accept { 2000::/3^4-48 } AND NOT community(65535:666);
+} REFINE afi any {
+    from AS15725 action community .= { 64628:20 };
+    accept AS-IKS AND <AS-IKS+$>;
+    from AS199284:AS-UP action community .= { 64628:21 };
+    accept ANY;
+    from AS-ANY action community .= { 64628:22 };
+    accept PeerAS and <^PeerAS+$>;
+} REFINE afi any {
+    from AS-ANY EXCEPT (AS40027 OR AS63293 OR AS65535)
+    accept ANY;
+}""",
+            multiprotocol=True,
+        )
+        # seven chained REFINEs
+        depth = 0
+        expr = rule.expr
+        while isinstance(expr, PolicyRefine):
+            depth += 1
+            expr = expr.rest
+        assert depth == 7
+        once = rule.to_rpsl()
+        assert parse_policy("import", once, multiprotocol=True).to_rpsl() == once

@@ -1,0 +1,80 @@
+"""Tests for the ``default:`` attribute (RFC 2622 Section 6.5)."""
+
+import pytest
+
+from repro.ir.json_io import dumps_ir, loads_ir
+from repro.ir.render import render_aut_num
+from repro.irr.dump import parse_dump_text
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.filter import FilterAny, FilterPrefixSet
+from repro.rpsl.peering import PeerAsn
+from repro.rpsl.policy import parse_default
+
+
+class TestParseDefault:
+    def test_minimal(self):
+        rule = parse_default("to AS1")
+        assert rule.peering.as_expr == PeerAsn(1)
+        assert rule.actions == ()
+        assert rule.networks is None
+
+    def test_with_action(self):
+        rule = parse_default("to AS1 action pref = 100;")
+        assert rule.actions[0].attribute == "pref"
+
+    def test_with_networks(self):
+        rule = parse_default("to AS1 networks ANY")
+        assert rule.networks == FilterAny()
+
+    def test_full_form(self):
+        rule = parse_default("to AS1 action pref = 10; networks {0.0.0.0/0}")
+        assert isinstance(rule.networks, FilterPrefixSet)
+        assert rule.actions
+
+    def test_mp_default_with_afi(self):
+        rule = parse_default("afi ipv6.unicast to AS1", multiprotocol=True)
+        assert rule.afis[0].matches_version(6)
+
+    @pytest.mark.parametrize("bad", ["", "from AS1", "to", "to AS1 networks"])
+    def test_invalid(self, bad):
+        with pytest.raises(RpslSyntaxError):
+            parse_default(bad)
+
+    def test_roundtrip(self):
+        for text in (
+            "to AS1",
+            "to AS1 action pref = 10; networks ANY",
+            "afi ipv6.unicast to AS1 OR AS2",
+        ):
+            once = parse_default(text, multiprotocol=True).to_rpsl()
+            assert parse_default(once, multiprotocol=True).to_rpsl() == once
+
+
+class TestDefaultInObjects:
+    DUMP = """
+aut-num:    AS1
+import:     from AS2 accept ANY
+default:    to AS2 action pref = 50;
+mp-default: afi ipv6.unicast to AS2
+default:    broken nonsense
+"""
+
+    def test_parsed_into_aut_num(self):
+        ir, errors = parse_dump_text(self.DUMP, "T")
+        aut_num = ir.aut_nums[1]
+        assert len(aut_num.defaults) == 2
+        assert aut_num.defaults[1].multiprotocol
+        assert len(aut_num.bad_rules) == 1
+        assert len(errors) == 1
+
+    def test_render_roundtrip(self):
+        ir, _ = parse_dump_text(self.DUMP, "T")
+        text = render_aut_num(ir.aut_nums[1])
+        assert "default:" in text and "mp-default:" in text
+        reparsed, _ = parse_dump_text(text, "T")
+        assert reparsed.aut_nums[1].defaults == ir.aut_nums[1].defaults
+
+    def test_json_roundtrip(self):
+        ir, _ = parse_dump_text(self.DUMP, "T")
+        restored = loads_ir(dumps_ir(ir))
+        assert restored.aut_nums[1].defaults == ir.aut_nums[1].defaults

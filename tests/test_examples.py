@@ -1,0 +1,37 @@
+"""Every example script must run cleanly — they are living documentation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "characterize_registry.py",
+        "verify_bgp_routes.py",
+        "generate_filters.py",
+        "route_leak_detection.py",
+        "irr_tooling.py",
+        "update_stream_monitoring.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    if script.name in ("characterize_registry.py", "verify_bgp_routes.py"):
+        pytest.skip("default-scale worlds; exercised by the benchmarks")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"

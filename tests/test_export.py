@@ -1,0 +1,88 @@
+"""Tests for figure-data CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.parallel import verify_entries
+from repro.stats.export import (
+    fig1_rows,
+    fig2_rows,
+    fig3_rows,
+    fig4_rows,
+    fig5_rows,
+    fig6_rows,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def stats(tiny_ir, tiny_world, tiny_routes):
+    return verify_entries(tiny_ir, tiny_world.topology, tiny_routes[:4000])
+
+
+class TestFigureRows:
+    def test_fig1_monotone_ccdf(self, tiny_ir):
+        rows = fig1_rows(tiny_ir)
+        assert rows[0]["rules"] == 0 and rows[0]["ccdf_all"] == 1.0
+        values = [row["ccdf_all"] for row in rows]
+        assert values == sorted(values, reverse=True)
+        for row in rows:
+            assert row["ccdf_bgpq4"] <= row["ccdf_all"] + 1e-9
+
+    def test_fig2_one_row_per_as(self, stats):
+        rows = fig2_rows(stats)
+        assert len(rows) == len(stats.per_as)
+        for row in rows:
+            total = sum(
+                row[label]
+                for label in ("verified", "skip", "unrecorded", "relaxed", "safelisted", "unverified")
+            )
+            assert total == pytest.approx(1.0, abs=1e-3)
+        assert [row["x"] for row in rows] == list(range(len(rows)))
+        # correctness-ordered: verified fraction non-increasing
+        verified = [row["verified"] for row in rows]
+        assert verified == sorted(verified, reverse=True)
+
+    def test_fig3_directions(self, stats):
+        rows = fig3_rows(stats)
+        assert {row["direction"] for row in rows} == {"import", "export"}
+        assert len(rows) == len(stats.per_pair)
+
+    def test_fig4_series(self, stats):
+        rows = fig4_rows(stats)
+        series = {row["series"] for row in rows}
+        assert series == {"hop_fraction", "statuses_per_route", "single_status_route"}
+        hop_fractions = [r["value"] for r in rows if r["series"] == "hop_fraction"]
+        assert sum(hop_fractions) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig5_fig6_complete(self, stats):
+        assert len(fig5_rows(stats)) == 4
+        assert len(fig6_rows(stats)) == 6
+
+
+class TestCsvWriter:
+    def test_roundtrip(self, stats):
+        buffer = io.StringIO()
+        write_csv(fig5_rows(stats), buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert len(rows) == 4
+        assert set(rows[0]) == {"reason", "ases"}
+
+    def test_to_file(self, stats, tmp_path):
+        path = tmp_path / "fig6.csv"
+        write_csv(fig6_rows(stats), path)
+        assert path.read_text().startswith("case,ases")
+
+    def test_union_of_keys(self):
+        buffer = io.StringIO()
+        write_csv([{"a": 1}, {"a": 2, "b": 3}], buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert rows[0]["b"] == "" and rows[1]["b"] == "3"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            write_csv([], io.StringIO())

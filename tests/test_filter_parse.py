@@ -1,0 +1,170 @@
+"""Tests for the filter expression parser."""
+
+import pytest
+
+from repro.net.prefix import Prefix, RangeOp, RangeOpKind
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.filter import (
+    FilterAnd,
+    FilterAny,
+    FilterAsn,
+    FilterAsPathRegex,
+    FilterAsSet,
+    FilterCommunity,
+    FilterFltrSetRef,
+    FilterNot,
+    FilterOr,
+    FilterPeerAs,
+    FilterPrefixSet,
+    FilterRouteSet,
+    parse_filter_text,
+)
+
+
+class TestPrimaries:
+    def test_any(self):
+        assert parse_filter_text("ANY") == FilterAny()
+        assert parse_filter_text("any") == FilterAny()
+
+    def test_peeras(self):
+        assert parse_filter_text("PeerAS") == FilterPeerAs()
+
+    def test_asn(self):
+        assert parse_filter_text("AS174") == FilterAsn(174)
+
+    def test_asn_with_op(self):
+        assert parse_filter_text("AS174^+") == FilterAsn(174, RangeOp.parse("^+"))
+
+    def test_as_set_uppercased(self):
+        assert parse_filter_text("as-foo") == FilterAsSet("AS-FOO")
+
+    def test_as_set_hierarchical_with_op(self):
+        node = parse_filter_text("AS1:AS-CUST^16-24")
+        assert node == FilterAsSet("AS1:AS-CUST", RangeOp.parse("^16-24"))
+
+    def test_as_any_keyword(self):
+        node = parse_filter_text("AS-ANY")
+        assert isinstance(node, FilterAsSet) and node.any_member
+
+    def test_route_set(self):
+        assert parse_filter_text("RS-ROUTES") == FilterRouteSet("RS-ROUTES")
+
+    def test_route_set_with_op_nonstandard(self):
+        node = parse_filter_text("RS-ROUTES^24-28")
+        assert node == FilterRouteSet("RS-ROUTES", RangeOp.parse("^24-28"))
+
+    def test_rs_any(self):
+        node = parse_filter_text("RS-ANY")
+        assert isinstance(node, FilterRouteSet) and node.any_member
+
+    def test_filter_set(self):
+        assert parse_filter_text("fltr-martian") == FilterFltrSetRef("FLTR-MARTIAN")
+
+    def test_filter_set_with_op_rejected(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_filter_text("FLTR-MARTIAN^+")
+
+    def test_prefix_set(self):
+        node = parse_filter_text("{10.0.0.0/8^16-24, 192.0.2.0/24}")
+        assert isinstance(node, FilterPrefixSet)
+        assert node.members[0] == (Prefix.parse("10.0.0.0/8"), RangeOp.parse("^16-24"))
+        assert node.members[1][1].kind is RangeOpKind.NONE
+
+    def test_empty_prefix_set(self):
+        node = parse_filter_text("{}")
+        assert node == FilterPrefixSet(())
+
+    def test_prefix_set_outer_op(self):
+        node = parse_filter_text("{0.0.0.0/0} ^24-32")
+        assert node.op == RangeOp.parse("^24-32")
+
+    def test_prefix_set_attached_outer_op(self):
+        node = parse_filter_text("{0.0.0.0/0}^24")
+        assert node.op == RangeOp.parse("^24")
+
+    def test_bare_prefix_tolerated(self):
+        node = parse_filter_text("192.0.2.0/24^+")
+        assert isinstance(node, FilterPrefixSet)
+        assert node.members[0][1].kind is RangeOpKind.PLUS
+
+    def test_regex(self):
+        node = parse_filter_text("<^AS1 .* $>")
+        assert isinstance(node, FilterAsPathRegex)
+
+    def test_community_call(self):
+        node = parse_filter_text("community(65535:666)")
+        assert node == FilterCommunity("", ("65535:666",))
+
+    def test_community_method(self):
+        node = parse_filter_text("community.contains(65000:1, 65000:2)")
+        assert node == FilterCommunity("contains", ("65000:1", "65000:2"))
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_filter_text("NONSENSE")
+
+
+class TestOperators:
+    def test_and(self):
+        node = parse_filter_text("AS1 AND AS2")
+        assert node == FilterAnd(FilterAsn(1), FilterAsn(2))
+
+    def test_or(self):
+        node = parse_filter_text("AS1 OR AS2")
+        assert node == FilterOr(FilterAsn(1), FilterAsn(2))
+
+    def test_not(self):
+        node = parse_filter_text("NOT AS1")
+        assert node == FilterNot(FilterAsn(1))
+
+    def test_double_not(self):
+        assert parse_filter_text("NOT NOT AS1") == FilterNot(FilterNot(FilterAsn(1)))
+
+    def test_precedence_not_over_and_over_or(self):
+        node = parse_filter_text("AS1 OR NOT AS2 AND AS3")
+        assert node == FilterOr(FilterAsn(1), FilterAnd(FilterNot(FilterAsn(2)), FilterAsn(3)))
+
+    def test_parens_override(self):
+        node = parse_filter_text("(AS1 OR AS2) AND AS3")
+        assert node == FilterAnd(FilterOr(FilterAsn(1), FilterAsn(2)), FilterAsn(3))
+
+    def test_juxtaposition_is_or(self):
+        node = parse_filter_text("AS1 AS2 AS3")
+        assert node == FilterOr(FilterOr(FilterAsn(1), FilterAsn(2)), FilterAsn(3))
+
+    def test_paper_example(self):
+        node = parse_filter_text("ANY AND NOT {0.0.0.0/0, ::0/0}")
+        assert isinstance(node, FilterAnd)
+        assert isinstance(node.right, FilterNot)
+
+    def test_paren_with_trailing_op(self):
+        node = parse_filter_text("(AS1 OR AS2)^+")
+        assert node == FilterOr(
+            FilterAsn(1, RangeOp.parse("^+")), FilterAsn(2, RangeOp.parse("^+"))
+        )
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_filter_text("AS1 AND")
+
+
+class TestRoundTrip:
+    CASES = [
+        "ANY",
+        "PeerAS",
+        "AS174",
+        "AS174^-",
+        "AS-FOO^+",
+        "RS-BAR^24-28",
+        "FLTR-MARTIAN",
+        "{10.0.0.0/8^16-24, 192.0.2.0/24}",
+        "<^AS1 AS2+ $>",
+        "community(65535:666)",
+        "AS1 AND (NOT (AS2 OR AS-X))",
+        "ANY AND (NOT {0.0.0.0/0, ::/0})",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_stable(self, text):
+        once = parse_filter_text(text).to_rpsl()
+        assert parse_filter_text(once).to_rpsl() == once

@@ -1,0 +1,83 @@
+"""Fuzz tests: the parsers must never crash on arbitrary input.
+
+Registry dumps contain operator-typed text; the contract is that the
+object parsers record issues and keep going, and the expression parsers
+raise :class:`RpslSyntaxError` (never anything else) on garbage.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.table import parse_table_text
+from repro.bgp.updates import parse_update_text
+from repro.irr.dump import parse_dump_text
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.lexer import split_dump
+from repro.rpsl.policy import parse_default, parse_policy
+
+# Text biased toward RPSL-looking tokens so the fuzzer reaches deep paths.
+_TOKENS = (
+    list("abcdefgzAS0123456789-:./^+*?~$(){};,<>| \n\t#%=")
+    + ["from ", "to ", "accept ", "announce ", "action ", "AS-", "AS1 ",
+       "ANY ", "REFINE ", "EXCEPT ", "afi ", "ipv4", "pref=10; ", "<^AS1$>"]
+)
+rpsl_ish = st.lists(st.sampled_from(_TOKENS), max_size=60).map("".join)
+
+
+@given(rpsl_ish)
+@settings(max_examples=300)
+def test_policy_parser_total(text):
+    for kind in ("import", "export"):
+        try:
+            rule = parse_policy(kind, text)
+        except RpslSyntaxError:
+            continue
+        # Success must yield a renderable, re-parseable rule.
+        rendered = rule.to_rpsl()
+        assert parse_policy(kind, rendered, multiprotocol=True).to_rpsl() == rendered
+
+
+@given(rpsl_ish)
+@settings(max_examples=150)
+def test_default_parser_total(text):
+    try:
+        rule = parse_default(text)
+    except RpslSyntaxError:
+        return
+    assert rule.to_rpsl()
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=200)
+def test_dump_parser_never_raises(text):
+    ir, errors = parse_dump_text(text, "FUZZ")
+    # Every produced aut-num must be internally consistent.
+    for asn, aut_num in ir.aut_nums.items():
+        assert aut_num.asn == asn
+
+
+@given(rpsl_ish)
+@settings(max_examples=200)
+def test_dump_parser_never_raises_rpsl_ish(text):
+    dump = f"aut-num: AS1\nimport: {text}\n\nas-set: AS-X\nmembers: {text}\n"
+    ir, errors = parse_dump_text(dump, "FUZZ")
+    assert 1 in ir.aut_nums or errors.issues
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=200)
+def test_lexer_total(text):
+    paragraphs = list(split_dump(io.StringIO(text)))
+    for paragraph in paragraphs:
+        assert paragraph.attributes or paragraph.stray_lines
+
+
+@given(st.text(alphabet="TABLEDUMP2BGP4MW|0123456789./: abc{},", max_size=200))
+@settings(max_examples=200)
+def test_table_and_update_parsers_total(text):
+    for entry in parse_table_text(text):
+        assert entry.as_path or entry.as_set
+    for update in parse_update_text(text):
+        assert update.kind in ("A", "W")

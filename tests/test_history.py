@@ -1,0 +1,115 @@
+"""Tests for historical snapshots: churn and diffing."""
+
+import pytest
+
+from repro.irr.dump import parse_dump_text
+from repro.irr.history import (
+    ChurnConfig,
+    diff_irs,
+    evolution_stats,
+    evolve_ir,
+    snapshot_series,
+)
+
+DUMP = """
+aut-num: AS1
+import:  from AS2 accept ANY
+export:  to AS2 announce AS1
+
+aut-num: AS2
+import:  from AS1 accept AS1
+
+as-set:  AS-ONE
+members: AS1
+
+route:   10.1.0.0/16
+origin:  AS1
+
+route:   10.2.0.0/16
+origin:  AS2
+"""
+
+
+@pytest.fixture()
+def ir():
+    parsed, _ = parse_dump_text(DUMP, "TEST")
+    return parsed
+
+
+class TestDiff:
+    def test_identical_irs_no_diff(self, ir):
+        diff = diff_irs(ir, ir)
+        assert diff.summary() == {"added": 0, "removed": 0, "modified": 0}
+
+    def test_added_and_removed_routes(self, ir):
+        other, _ = parse_dump_text(
+            DUMP.replace("route:   10.2.0.0/16\norigin:  AS2", "route:   10.3.0.0/16\norigin:  AS3"),
+            "TEST",
+        )
+        diff = diff_irs(ir, other)
+        assert ("10.3.0.0/16", 3, "TEST") in diff.added["route"]
+        assert ("10.2.0.0/16", 2, "TEST") in diff.removed["route"]
+
+    def test_modified_aut_num(self, ir):
+        other, _ = parse_dump_text(
+            DUMP.replace("accept AS1", "accept ANY"), "TEST"
+        )
+        diff = diff_irs(ir, other)
+        assert 2 in diff.modified["aut-num"]
+        assert 1 not in diff.modified["aut-num"]
+
+    def test_added_set(self, ir):
+        other, _ = parse_dump_text(DUMP + "\nas-set: AS-TWO\nmembers: AS2\n", "TEST")
+        diff = diff_irs(ir, other)
+        assert "AS-TWO" in diff.added["as-set"]
+
+
+class TestEvolve:
+    def test_deterministic(self, ir):
+        left = evolve_ir(ir, ChurnConfig(seed=5), epoch=1)
+        right = evolve_ir(ir, ChurnConfig(seed=5), epoch=1)
+        assert diff_irs(left, right).summary()["modified"] == 0
+        assert left.counts() == right.counts()
+
+    def test_original_untouched(self, ir):
+        before = ir.counts()
+        evolve_ir(ir, ChurnConfig(route_addition=1.0))
+        assert ir.counts() == before
+
+    def test_registry_growth(self, ir):
+        config = ChurnConfig(route_removal=0.0, route_addition=1.0)
+        evolved = evolve_ir(ir, config)
+        assert evolved.counts()["route"] > ir.counts()["route"]
+
+    def test_route_removal(self, ir):
+        config = ChurnConfig(route_removal=1.0, route_addition=0.0)
+        evolved = evolve_ir(ir, config)
+        assert evolved.counts()["route"] == 0
+
+    def test_rule_addition(self, ir):
+        config = ChurnConfig(rule_addition=1.0, rule_removal=0.0)
+        evolved = evolve_ir(ir, config)
+        assert evolved.counts()["import"] > ir.counts()["import"]
+
+
+class TestSeries:
+    def test_series_length_and_head(self, ir):
+        series = snapshot_series(ir, epochs=3)
+        assert len(series) == 4
+        assert series[0] is ir
+
+    def test_evolution_stats_rows(self, ir):
+        series = snapshot_series(ir, epochs=2, config=ChurnConfig(route_addition=0.5))
+        rows = evolution_stats(series)
+        assert [row["epoch"] for row in rows] == [0, 1, 2]
+        assert "added" not in rows[0]
+        assert "added" in rows[1]
+
+    def test_snapshots_parse_back(self, ir):
+        from repro.ir.render import render_ir
+
+        series = snapshot_series(ir, epochs=2)
+        for snapshot in series[1:]:
+            reparsed, errors = parse_dump_text(render_ir(snapshot), "TEST")
+            assert not errors.issues
+            assert reparsed.counts() == snapshot.counts()

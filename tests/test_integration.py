@@ -1,0 +1,97 @@
+"""End-to-end integration: synth world → parse → verify → paper shapes.
+
+These tests assert the *shape* relationships the paper reports, on the
+tiny synthetic world: unrecorded dominates, special cases explain most
+mismatches, single-status pairs dominate, and so on.
+"""
+
+import pytest
+
+from repro.core.status import SpecialCase, VerifyStatus
+from repro.stats.verification import VerificationStats
+
+
+@pytest.fixture(scope="module")
+def stats(tiny_verifier, tiny_routes):
+    aggregate = VerificationStats()
+    for entry in tiny_routes:
+        aggregate.add_report(tiny_verifier.verify_entry(entry))
+    return aggregate
+
+
+class TestEndToEndShapes:
+    def test_routes_processed(self, stats):
+        assert stats.routes_verified() > 100
+
+    def test_all_statuses_observed(self, stats):
+        for status in (
+            VerifyStatus.VERIFIED,
+            VerifyStatus.UNRECORDED,
+            VerifyStatus.UNVERIFIED,
+        ):
+            assert stats.hop_totals[status] > 0, status
+
+    def test_skip_rare(self, stats):
+        total = sum(stats.hop_totals.values())
+        assert stats.hop_totals[VerifyStatus.SKIP] / total < 0.15
+
+    def test_unrecorded_largest_bucket(self, stats):
+        # ~half the ASes don't use the RPSL: unrecorded dominates.
+        unrecorded = stats.hop_totals[VerifyStatus.UNRECORDED]
+        assert unrecorded == max(stats.hop_totals.values())
+
+    def test_verified_substantial(self, stats):
+        total = sum(stats.hop_totals.values())
+        assert stats.hop_totals[VerifyStatus.VERIFIED] / total > 0.10
+
+    def test_most_pairs_single_status(self, stats):
+        single, total = stats.pairs_with_single_status("import")
+        assert single / total > 0.6
+
+    def test_few_routes_single_status(self, stats):
+        # Figure 4: only a small minority of routes are uniform.
+        assert stats.summary()["routes_single_status_fraction"] < 0.5
+
+    def test_most_unverified_is_undeclared_peering(self, stats):
+        # Paper: 98.98% of unverified hops are peering mismatches.
+        assert stats.unverified_hops > 0
+        assert stats.unverified_peering_only / stats.unverified_hops > 0.5
+
+    def test_uphill_dominates_special_cases(self, stats):
+        breakdown = stats.special_breakdown()
+        assert breakdown, "no special cases observed"
+        uphill = breakdown.get(SpecialCase.UPHILL, 0)
+        assert uphill == max(breakdown.values())
+
+    def test_unrecorded_breakdown_nonempty(self, stats):
+        assert sum(stats.unrecorded_breakdown().values()) > 0
+
+    def test_determinism(self, tiny_verifier, tiny_routes):
+        sample = tiny_routes[:50]
+        first = [str(tiny_verifier.verify_entry(e)) for e in sample]
+        second = [str(tiny_verifier.verify_entry(e)) for e in sample]
+        assert first == second
+
+
+class TestReportRendering:
+    def test_appendix_c_style(self, tiny_verifier, tiny_routes):
+        for entry in tiny_routes:
+            report = tiny_verifier.verify_entry(entry)
+            if report.ignored is None and len(report.hops) >= 4:
+                text = str(report)
+                assert "{ from:" in text
+                assert any(
+                    text.lstrip("#").lstrip().startswith(str(entry.prefix))
+                    for _ in (0,)
+                )
+                break
+        else:
+            pytest.fail("no multi-hop route found")
+
+    def test_every_status_renders(self, tiny_verifier, tiny_routes):
+        words = set()
+        for entry in tiny_routes[:2000]:
+            report = tiny_verifier.verify_entry(entry)
+            for hop in report.hops:
+                words.add(str(hop).split(" ")[0])
+        assert {"OkExport", "OkImport"} <= words

@@ -1,0 +1,84 @@
+"""Tests for the dump lexer: paragraphs, continuations, comments."""
+
+import io
+
+from repro.rpsl.lexer import lex_paragraph, split_dump, strip_comment
+
+
+def lex(text: str):
+    return list(split_dump(io.StringIO(text)))
+
+
+class TestParagraphSplitting:
+    def test_two_objects(self):
+        paragraphs = lex("aut-num: AS1\nas-name: ONE\n\nroute: 10.0.0.0/8\norigin: AS1\n")
+        assert len(paragraphs) == 2
+        assert paragraphs[0].object_class == "aut-num"
+        assert paragraphs[1].object_class == "route"
+
+    def test_blank_lines_collapsed(self):
+        paragraphs = lex("aut-num: AS1\n\n\n\nroute: 10.0.0.0/8\norigin: AS1\n")
+        assert len(paragraphs) == 2
+
+    def test_server_remarks_ignored(self):
+        paragraphs = lex("% RIPE header\n% more\n\naut-num: AS1\n")
+        assert len(paragraphs) == 1
+        assert paragraphs[0].object_name == "AS1"
+
+    def test_empty_input(self):
+        assert lex("") == []
+        assert lex("\n\n\n") == []
+
+
+class TestAttributeLexing:
+    def test_value_whitespace_normalized(self):
+        paragraph = lex("aut-num:     AS1   \n")[0]
+        assert paragraph.object_name == "AS1"
+
+    def test_continuation_with_space(self):
+        paragraph = lex("import: from AS1\n  accept ANY\n")[0]
+        assert paragraph.attributes[0].value == "from AS1 accept ANY"
+
+    def test_continuation_with_plus(self):
+        paragraph = lex("import: from AS1\n+accept ANY\n")[0]
+        assert paragraph.attributes[0].value == "from AS1 accept ANY"
+
+    def test_continuation_with_tab(self):
+        paragraph = lex("import: from AS1\n\taccept ANY\n")[0]
+        assert paragraph.attributes[0].value == "from AS1 accept ANY"
+
+    def test_comment_stripped(self):
+        paragraph = lex("import: from AS1 accept ANY # trust them\n")[0]
+        assert paragraph.attributes[0].value == "from AS1 accept ANY"
+
+    def test_comment_in_continuation(self):
+        paragraph = lex("import: from AS1 # peer\n  accept ANY # all\n")[0]
+        assert paragraph.attributes[0].value == "from AS1 accept ANY"
+
+    def test_stray_line_recorded(self):
+        paragraph = lex("aut-num: AS1\n!!! broken\nas-name: X\n")[0]
+        assert paragraph.stray_lines == ["!!! broken"]
+        assert paragraph.get("as-name") == "X"
+
+    def test_get_case_insensitive(self):
+        paragraph = lex("aut-num: AS1\nAS-NAME: X\n")[0]
+        assert paragraph.get("as-name") == "X"
+        assert paragraph.get("missing") is None
+
+    def test_get_all_ordered(self):
+        paragraph = lex("aut-num: AS1\nimport: a\nmp-import: b\nimport: c\n")[0]
+        values = [a.value for a in paragraph.get_all("import", "mp-import")]
+        assert values == ["a", "b", "c"]
+
+    def test_first_line_number(self):
+        paragraphs = lex("\naut-num: AS1\n\nroute: 10.0.0.0/8\norigin: AS1\n")
+        assert paragraphs[0].first_line == 2
+        assert paragraphs[1].first_line == 4
+
+    def test_strip_comment(self):
+        assert strip_comment("value # comment") == "value "
+        assert strip_comment("no comment") == "no comment"
+
+    def test_lex_paragraph_direct(self):
+        paragraph = lex_paragraph(1, ["as-set: AS-X", "members: AS1,", " AS2"])
+        assert paragraph.get("members") == "AS1, AS2"

@@ -1,0 +1,182 @@
+"""Tests for the RPSL linter."""
+
+import pytest
+
+from repro.bgp.topology import AsRelationships
+from repro.irr.dump import parse_dump_text
+from repro.tools.lint import Severity, lint_ir
+
+DUMP = """
+aut-num:    AS10
+import:     from AS20 action pref = 300; accept AS20:AS-CONE
+import:     from AS99 action pref = 50; accept ANY
+import:     from AS30 accept AS30
+export:     to AS99 announce AS10
+export:     to AS20 announce ANY
+export:     to AS777 announce AS-GONE
+
+aut-num:    AS20
+export:     to AS10 announce AS20:AS-CONE
+
+as-set:     AS20:AS-CONE
+members:    AS20
+
+as-set:     AS-EMPTY
+
+as-set:     AS-LOOPX
+members:    AS-LOOPY
+
+as-set:     AS-LOOPY
+members:    AS-LOOPX
+
+as-set:     AS-D1
+members:    AS-D2
+
+as-set:     AS-D2
+members:    AS-D3
+
+as-set:     AS-D3
+members:    AS1
+
+route-set:  RS-ORPHAN
+members:    192.0.2.0/24
+
+route:      10.10.0.0/16
+origin:     AS10
+
+route:      10.20.0.0/16
+origin:     AS20
+
+route:      10.20.0.0/16
+origin:     AS99
+"""
+
+AS_REL = """
+99|10|-1
+10|20|-1
+10|30|-1
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    ir, errors = parse_dump_text(DUMP, "TEST")
+    relationships = AsRelationships.from_as_rel_text(AS_REL)
+    return lint_ir(ir, errors, relationships, deep_threshold=3)
+
+
+class TestStructuralChecks:
+    def test_empty_as_set(self, report):
+        assert any(f.object_name == "AS-EMPTY" for f in report.by_code("RPS010"))
+
+    def test_singleton_as_set(self, report):
+        names = {f.object_name for f in report.by_code("RPS011")}
+        assert "AS20:AS-CONE" in names
+
+    def test_loop_detected(self, report):
+        names = {f.object_name for f in report.by_code("RPS012")}
+        assert {"AS-LOOPX", "AS-LOOPY"} <= names
+
+    def test_depth(self, report):
+        assert any(f.object_name == "AS-D1" for f in report.by_code("RPS013"))
+
+    def test_undefined_reference(self, report):
+        assert any(f.object_name == "AS-GONE" for f in report.by_code("RPS020"))
+
+    def test_zero_route_reference(self, report):
+        # AS777 is referenced, has no aut-num and no routes.
+        assert any(f.object_name == "AS777" for f in report.by_code("RPS021"))
+
+    def test_unused_route_set(self, report):
+        assert any(f.object_name == "RS-ORPHAN" for f in report.by_code("RPS041"))
+
+    def test_multi_origin_prefix(self, report):
+        findings = report.by_code("RPS051")
+        assert any("10.20.0.0/16" in f.object_name for f in findings)
+        assert any("AS20" in f.message and "AS99" in f.message for f in findings)
+
+
+class TestPolicyChecks:
+    def test_export_self(self, report):
+        # AS10 is transit (customers 20, 30) and announces only AS10 to
+        # its provider AS99.
+        findings = report.by_code("RPS030")
+        assert any(f.object_name == "AS10" for f in findings)
+
+    def test_import_customer(self, report):
+        findings = report.by_code("RPS031")
+        assert any("AS30" in f.message for f in findings)
+
+    def test_indirection_advice(self, report):
+        assert report.by_code("RPS040")
+
+    def test_pref_inversion(self, report):
+        # AS10: customer AS20 import pref 300 > provider AS99 pref 50 —
+        # lower-is-preferred means providers would win: suspicious.
+        findings = report.by_code("RPS050")
+        assert any(f.object_name == "AS10" for f in findings)
+        assert findings[0].severity is Severity.WARNING
+
+    def test_no_pref_inversion_when_correct(self):
+        dump = """
+aut-num: AS10
+import:  from AS20 action pref = 50; accept AS20
+import:  from AS99 action pref = 300; accept ANY
+"""
+        ir, _ = parse_dump_text(dump, "T")
+        relationships = AsRelationships.from_as_rel_text("99|10|-1\n10|20|-1\n")
+        assert not lint_ir(ir, None, relationships).by_code("RPS050")
+
+    def test_only_provider_info(self):
+        dump = """
+aut-num: AS10
+import:  from AS99 accept ANY
+export:  to AS99 announce AS10
+
+route:   10.0.0.0/16
+origin:  AS10
+"""
+        ir, _ = parse_dump_text(dump, "T")
+        relationships = AsRelationships.from_as_rel_text("99|10|-1\n10|20|-1\n")
+        report = lint_ir(ir, None, relationships)
+        assert report.by_code("RPS032")
+
+
+class TestSyntaxFindings:
+    def test_parse_errors_become_findings(self):
+        ir, errors = parse_dump_text(
+            "aut-num: AS1\nimport: from AS2 accept JUNK AND\n\nas-set: BADNAME\n", "T"
+        )
+        report = lint_ir(ir, errors)
+        assert report.by_code("RPS001")
+        assert report.by_code("RPS002")
+
+    def test_reserved_name_finding(self):
+        ir, errors = parse_dump_text("as-set: AS-X\nmembers: ANY\n", "T")
+        assert lint_ir(ir, errors).by_code("RPS003")
+
+
+class TestReportApi:
+    def test_counts_and_len(self, report):
+        counts = report.counts()
+        assert sum(counts.values()) == len(report)
+        assert counts["RPS012"] == 2
+
+    def test_render_orders_by_severity(self, report):
+        lines = report.render().splitlines()
+        severities = []
+        for line in lines:
+            severities.append(line.split("[")[1].split("]")[0])
+        order = {"error": 0, "warning": 1, "info": 2}
+        assert [order[s] for s in severities] == sorted(order[s] for s in severities)
+
+    def test_relationship_checks_skipped_without_topology(self):
+        ir, errors = parse_dump_text(DUMP, "TEST")
+        report = lint_ir(ir, errors)
+        assert not report.by_code("RPS030")
+        assert not report.by_code("RPS050")
+
+    def test_lint_tiny_world(self, tiny_ir, tiny_world, tiny_registry):
+        report = lint_ir(tiny_ir, tiny_registry.all_errors(), tiny_world.topology)
+        assert len(report) > 10
+        assert report.by_code("RPS030")  # export-self misuse injected

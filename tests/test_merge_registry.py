@@ -1,0 +1,87 @@
+"""Tests for multi-IRR priority merging and the registry model."""
+
+from repro.ir.merge import IRR_PRIORITY, merge_irs
+from repro.irr.dump import parse_dump_text
+from repro.irr.registry import Registry, parse_registry_dir
+
+
+def ir_of(text: str, source: str):
+    ir, _ = parse_dump_text(text, source)
+    return ir
+
+
+class TestMerge:
+    def test_priority_wins_for_aut_num(self):
+        ripe = ir_of("aut-num: AS1\nas-name: RIPE-VIEW\n", "RIPE")
+        radb = ir_of("aut-num: AS1\nas-name: RADB-VIEW\n", "RADB")
+        merged = merge_irs({"RADB": radb, "RIPE": ripe})
+        assert merged.aut_nums[1].as_name == "RIPE-VIEW"
+
+    def test_priority_wins_for_sets(self):
+        ripe = ir_of("as-set: AS-X\nmembers: AS1\n", "RIPE")
+        radb = ir_of("as-set: AS-X\nmembers: AS2\n", "RADB")
+        merged = merge_irs({"RADB": radb, "RIPE": ripe})
+        assert merged.as_sets["AS-X"].members_asn == [1]
+
+    def test_route_objects_all_kept(self):
+        ripe = ir_of("route: 10.0.0.0/8\norigin: AS1\n", "RIPE")
+        radb = ir_of("route: 10.0.0.0/8\norigin: AS2\n", "RADB")
+        merged = merge_irs({"RADB": radb, "RIPE": ripe})
+        assert len(merged.route_objects) == 2
+
+    def test_unknown_irr_appended(self):
+        custom = ir_of("aut-num: AS9\n", "CUSTOM")
+        merged = merge_irs({"CUSTOM": custom})
+        assert 9 in merged.aut_nums
+
+    def test_priority_covers_table1(self):
+        for name in ("RIPE", "APNIC", "RADB", "ALTDB", "LACNIC", "REACH"):
+            assert name in IRR_PRIORITY
+
+    def test_disjoint_union(self):
+        left = ir_of("aut-num: AS1\n", "RIPE")
+        right = ir_of("aut-num: AS2\n", "RADB")
+        merged = merge_irs({"RIPE": left, "RADB": right})
+        assert set(merged.aut_nums) == {1, 2}
+
+
+class TestRegistry:
+    def test_add_text_and_merge(self):
+        registry = Registry()
+        registry.add_text("RIPE", "aut-num: AS1\nimport: from AS2 accept ANY\n")
+        registry.add_text("RADB", "aut-num: AS2\n")
+        merged = registry.merged()
+        assert set(merged.aut_nums) == {1, 2}
+
+    def test_table1_rows(self):
+        registry = Registry()
+        registry.add_text(
+            "RIPE",
+            "aut-num: AS1\nimport: from AS2 accept ANY\nexport: to AS2 announce AS1\n"
+            "\nroute: 10.0.0.0/8\norigin: AS1\n",
+        )
+        rows = registry.table1()
+        names = [name for name, _ in rows]
+        assert names == ["RIPE", "Total"]
+        ripe_row = rows[0][1]
+        assert ripe_row["aut-num"] == 1
+        assert ripe_row["route"] == 1
+        assert ripe_row["import"] == 1
+        assert ripe_row["export"] == 1
+        assert rows[-1][1]["aut-num"] == 1
+
+    def test_all_errors_concatenated(self):
+        registry = Registry()
+        registry.add_text("RIPE", "aut-num: AS1\nimport: from AS2 accept NONSENSE\n")
+        registry.add_text("RADB", "aut-num: ASX\n")
+        assert len(registry.all_errors()) == 2
+
+    def test_parse_registry_dir(self, tmp_path):
+        (tmp_path / "ripe.db").write_text("aut-num: AS1\n", encoding="utf-8")
+        (tmp_path / "radb.db").write_text("aut-num: AS2\n", encoding="utf-8")
+        registry = parse_registry_dir(tmp_path)
+        assert set(registry.sources) == {"RIPE", "RADB"}
+        assert registry.sources["RIPE"].raw_bytes > 0
+
+    def test_world_registry_matches_names(self, tiny_world, tiny_registry):
+        assert set(tiny_registry.sources) == set(tiny_world.irr_dumps)

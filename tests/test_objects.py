@@ -1,0 +1,191 @@
+"""Tests for object-class parsing (paragraph → IR) and error recording."""
+
+import io
+
+from repro.ir.model import Ir
+from repro.net.prefix import RangeOpKind
+from repro.rpsl.errors import ErrorCollector, ErrorKind
+from repro.rpsl.lexer import split_dump
+from repro.rpsl.names import NameKind
+from repro.rpsl.objects import collect_into_ir
+
+
+def parse(text: str):
+    errors = ErrorCollector()
+    ir = collect_into_ir(split_dump(io.StringIO(text)), "TEST", errors)
+    return ir, errors
+
+
+class TestAutNum:
+    def test_basic(self):
+        ir, errors = parse(
+            "aut-num: AS1\nas-name: ONE\nimport: from AS2 accept ANY\n"
+            "export: to AS2 announce AS1\nmnt-by: MNT-ONE\n"
+        )
+        aut = ir.aut_nums[1]
+        assert aut.as_name == "ONE"
+        assert len(aut.imports) == 1
+        assert len(aut.exports) == 1
+        assert aut.mnt_by == ["MNT-ONE"]
+        assert not errors.issues
+
+    def test_mp_rules(self):
+        ir, _ = parse(
+            "aut-num: AS1\nmp-import: afi ipv6.unicast from AS2 accept ANY\n"
+        )
+        assert ir.aut_nums[1].imports[0].multiprotocol
+
+    def test_bad_rule_recorded_good_rules_kept(self):
+        ir, errors = parse(
+            "aut-num: AS1\nimport: from AS2 accept ANY\nimport: from AS3 accept NONSENSE\n"
+        )
+        aut = ir.aut_nums[1]
+        assert len(aut.imports) == 1
+        assert len(aut.bad_rules) == 1
+        assert errors.count_by_kind()[ErrorKind.SYNTAX] == 1
+
+    def test_invalid_asn_dropped(self):
+        ir, errors = parse("aut-num: ASX\n")
+        assert not ir.aut_nums
+        assert errors.count_by_kind()[ErrorKind.INVALID_ASN] == 1
+
+    def test_stray_lines_are_syntax_errors(self):
+        _, errors = parse("aut-num: AS1\n*** corrupted line\n")
+        assert errors.count_by_kind()[ErrorKind.SYNTAX] == 1
+
+    def test_member_of(self):
+        ir, _ = parse("aut-num: AS1\nmember-of: AS-FOO, AS-BAR\n")
+        assert ir.aut_nums[1].member_of == ["AS-FOO", "AS-BAR"]
+
+    def test_duplicate_kept_first(self):
+        ir, _ = parse(
+            "aut-num: AS1\nas-name: FIRST\n\naut-num: AS1\nas-name: SECOND\n"
+        )
+        assert ir.aut_nums[1].as_name == "FIRST"
+
+
+class TestAsSet:
+    def test_members(self):
+        ir, _ = parse("as-set: AS-FOO\nmembers: AS1, AS2, AS-BAR\n")
+        as_set = ir.as_sets["AS-FOO"]
+        assert as_set.members_asn == [1, 2]
+        assert as_set.members_set == ["AS-BAR"]
+
+    def test_name_uppercased(self):
+        ir, _ = parse("as-set: as-foo\n")
+        assert "AS-FOO" in ir.as_sets
+
+    def test_any_member_flagged(self):
+        ir, errors = parse("as-set: AS-FOO\nmembers: ANY\n")
+        assert ir.as_sets["AS-FOO"].contains_any
+        assert errors.count_by_kind()[ErrorKind.RESERVED_NAME] == 1
+
+    def test_invalid_member_recorded(self):
+        _, errors = parse("as-set: AS-FOO\nmembers: banana\n")
+        assert errors.count_by_kind()[ErrorKind.SYNTAX] == 1
+
+    def test_invalid_name_recorded_but_kept(self):
+        ir, errors = parse("as-set: WRONG-NAME\nmembers: AS1\n")
+        assert "WRONG-NAME" in ir.as_sets
+        assert errors.count_by_kind()[ErrorKind.INVALID_AS_SET_NAME] == 1
+
+    def test_mbrs_by_ref(self):
+        ir, _ = parse("as-set: AS-FOO\nmbrs-by-ref: ANY\n")
+        assert ir.as_sets["AS-FOO"].mbrs_by_ref == ["ANY"]
+
+
+class TestRouteSet:
+    def test_prefix_members_with_ops(self):
+        ir, _ = parse("route-set: RS-X\nmembers: 10.0.0.0/8^16-24, 192.0.2.0/24\n")
+        route_set = ir.route_sets["RS-X"]
+        assert len(route_set.prefix_members) == 2
+        assert route_set.prefix_members[0][1].kind is RangeOpKind.RANGE
+
+    def test_name_members(self):
+        ir, _ = parse("route-set: RS-X\nmembers: RS-Y, AS-FOO, AS174\n")
+        kinds = [member.kind for member in ir.route_sets["RS-X"].name_members]
+        assert kinds == [NameKind.ROUTE_SET, NameKind.AS_SET, NameKind.ASN]
+
+    def test_name_member_with_op(self):
+        ir, _ = parse("route-set: RS-X\nmembers: RS-Y^+\n")
+        member = ir.route_sets["RS-X"].name_members[0]
+        assert member.op.kind is RangeOpKind.PLUS
+
+    def test_invalid_prefix_recorded(self):
+        _, errors = parse("route-set: RS-X\nmembers: 10.0.0.0/99\n")
+        assert errors.count_by_kind()[ErrorKind.INVALID_PREFIX] == 1
+
+    def test_mp_members(self):
+        ir, _ = parse("route-set: RS-X\nmp-members: 2001:db8::/32\n")
+        assert ir.route_sets["RS-X"].prefix_members[0][0].version == 6
+
+
+class TestRoute:
+    def test_route4(self):
+        ir, _ = parse("route: 10.0.0.0/8\norigin: AS1\nmnt-by: M1\n")
+        route = ir.route_objects[0]
+        assert (str(route.prefix), route.origin) == ("10.0.0.0/8", 1)
+
+    def test_route6(self):
+        ir, _ = parse("route6: 2001:db8::/32\norigin: AS1\n")
+        assert ir.route_objects[0].prefix.version == 6
+
+    def test_missing_origin_dropped(self):
+        ir, errors = parse("route: 10.0.0.0/8\n")
+        assert not ir.route_objects
+        assert len(errors) == 1
+
+    def test_bad_prefix_dropped(self):
+        ir, errors = parse("route: banana\norigin: AS1\n")
+        assert not ir.route_objects
+        assert errors.count_by_kind()[ErrorKind.INVALID_PREFIX] == 1
+
+    def test_member_of(self):
+        ir, _ = parse("route: 10.0.0.0/8\norigin: AS1\nmember-of: RS-X\n")
+        assert ir.route_objects[0].member_of == ["RS-X"]
+
+    def test_duplicates_all_kept(self):
+        ir, _ = parse(
+            "route: 10.0.0.0/8\norigin: AS1\n\nroute: 10.0.0.0/8\norigin: AS2\n"
+        )
+        assert len(ir.route_objects) == 2
+
+
+class TestPeeringAndFilterSets:
+    def test_peering_set(self):
+        ir, _ = parse("peering-set: PRNG-X\npeering: AS1\npeering: AS2 192.0.2.1\n")
+        assert len(ir.peering_sets["PRNG-X"].peerings) == 2
+
+    def test_peering_set_bad_peering_recorded(self):
+        ir, errors = parse("peering-set: PRNG-X\npeering: banana\n")
+        assert len(ir.peering_sets["PRNG-X"].peerings) == 0
+        assert len(errors) == 1
+
+    def test_filter_set(self):
+        ir, _ = parse("filter-set: FLTR-X\nfilter: AS1 AND NOT {0.0.0.0/0}\n")
+        assert ir.filter_sets["FLTR-X"].filter is not None
+
+    def test_filter_set_mp_filter_fallback(self):
+        ir, _ = parse("filter-set: FLTR-X\nmp-filter: ANY\n")
+        assert ir.filter_sets["FLTR-X"].filter is not None
+
+    def test_filter_set_missing_filter(self):
+        ir, errors = parse("filter-set: FLTR-X\n")
+        assert ir.filter_sets["FLTR-X"].filter is None
+        assert len(errors) == 1
+
+
+class TestDispatch:
+    def test_unknown_classes_ignored(self):
+        ir, errors = parse("person: John Doe\naddress: nowhere\n\nmntner: M1\n")
+        assert ir.counts()["aut-num"] == 0
+        assert not errors.issues
+
+    def test_accumulation_into_existing_ir(self):
+        errors = ErrorCollector()
+        ir = Ir()
+        collect_into_ir(split_dump(io.StringIO("aut-num: AS1\n")), "A", errors, ir)
+        collect_into_ir(split_dump(io.StringIO("aut-num: AS2\n")), "B", errors, ir)
+        assert set(ir.aut_nums) == {1, 2}
+        assert ir.aut_nums[1].source == "A"
+        assert ir.aut_nums[2].source == "B"

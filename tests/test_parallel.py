@@ -1,0 +1,64 @@
+"""Tests for parallel bulk verification."""
+
+import pytest
+
+from repro.core.parallel import verify_entries, verify_entries_parallel
+from repro.stats.verification import VerificationStats
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_ir, tiny_world, tiny_routes):
+    return verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
+
+
+class TestSequential:
+    def test_aggregates_whole_table(self, baseline, tiny_routes):
+        assert baseline.routes_total == len(tiny_routes)
+        assert sum(baseline.hop_totals.values()) > 0
+
+
+class TestMerge:
+    def test_merge_equals_whole(self, tiny_ir, tiny_world, tiny_routes):
+        half = len(tiny_routes) // 2
+        first = verify_entries(tiny_ir, tiny_world.topology, tiny_routes[:half])
+        second = verify_entries(tiny_ir, tiny_world.topology, tiny_routes[half:])
+        first.merge(second)
+        whole = verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
+        assert first.hop_totals == whole.hop_totals
+        assert first.routes_total == whole.routes_total
+        assert first.route_single_status == whole.route_single_status
+        assert first.summary() == whole.summary()
+
+    def test_merge_into_empty(self, baseline):
+        empty = VerificationStats()
+        empty.merge(baseline)
+        assert empty.hop_totals == baseline.hop_totals
+        assert empty.unverified_hops == baseline.unverified_hops
+
+
+class TestParallel:
+    def test_parallel_matches_sequential(self, tiny_ir, tiny_world, tiny_routes, baseline):
+        sample = tiny_routes[:3000]
+        expected = verify_entries(tiny_ir, tiny_world.topology, sample)
+        parallel = verify_entries_parallel(
+            tiny_ir, tiny_world.topology, sample, processes=2, chunk_size=500
+        )
+        assert parallel.hop_totals == expected.hop_totals
+        assert parallel.routes_total == expected.routes_total
+        assert parallel.per_as.keys() == expected.per_as.keys()
+        for asn in expected.per_as:
+            assert parallel.per_as[asn].counts == expected.per_as[asn].counts
+
+    def test_small_input_falls_back(self, tiny_ir, tiny_world, tiny_routes):
+        sample = tiny_routes[:10]
+        stats = verify_entries_parallel(
+            tiny_ir, tiny_world.topology, sample, processes=4, chunk_size=2000
+        )
+        assert stats.routes_total == 10
+
+    def test_single_process_requested(self, tiny_ir, tiny_world, tiny_routes):
+        sample = tiny_routes[:50]
+        stats = verify_entries_parallel(
+            tiny_ir, tiny_world.topology, sample, processes=1
+        )
+        assert stats.routes_total == 50

@@ -1,0 +1,134 @@
+"""Tests for peering expressions and action lists."""
+
+import pytest
+
+from repro.rpsl.action import parse_action_tokens
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.peering import (
+    PeerAnd,
+    PeerAny,
+    PeerAsn,
+    PeerAsSet,
+    PeerExcept,
+    PeerOr,
+    PeeringSetRef,
+    parse_peering_text,
+)
+from repro.rpsl.tokens import tokenize
+
+
+class TestPeeringParse:
+    def test_single_asn(self):
+        peering = parse_peering_text("AS174")
+        assert peering.as_expr == PeerAsn(174)
+        assert peering.remote_router is None
+
+    def test_as_set(self):
+        assert parse_peering_text("AS-FOO").as_expr == PeerAsSet("AS-FOO")
+
+    def test_as_any(self):
+        assert parse_peering_text("AS-ANY").as_expr == PeerAny()
+
+    def test_peering_set_ref(self):
+        assert parse_peering_text("PRNG-PEERS").as_expr == PeeringSetRef("PRNG-PEERS")
+
+    def test_and_or_except(self):
+        expr = parse_peering_text("AS1 AND AS-X OR AS2 EXCEPT AS3").as_expr
+        assert expr == PeerExcept(
+            PeerOr(PeerAnd(PeerAsn(1), PeerAsSet("AS-X")), PeerAsn(2)), PeerAsn(3)
+        )
+
+    def test_parens(self):
+        expr = parse_peering_text("AS-ANY EXCEPT (AS40027 OR AS63293)").as_expr
+        assert expr == PeerExcept(PeerAny(), PeerOr(PeerAsn(40027), PeerAsn(63293)))
+
+    def test_remote_router_ip(self):
+        peering = parse_peering_text("AS1 192.0.2.1")
+        assert peering.remote_router == "192.0.2.1"
+
+    def test_at_local_router(self):
+        peering = parse_peering_text("AS1 192.0.2.1 at 192.0.2.2")
+        assert peering.remote_router == "192.0.2.1"
+        assert peering.local_router == "192.0.2.2"
+
+    def test_router_dns_names(self):
+        peering = parse_peering_text("AS8267 rtr.example.net at peer.example.net")
+        assert peering.remote_router == "rtr.example.net"
+        assert peering.local_router == "peer.example.net"
+
+    def test_at_without_router_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_peering_text("AS1 at")
+
+    def test_garbage_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_peering_text("NOTANAS")
+
+    def test_roundtrip(self):
+        for text in (
+            "AS174",
+            "AS-FOO",
+            "AS-ANY",
+            "AS1 AND (AS2 OR AS3)",
+            "AS1 192.0.2.1 at 192.0.2.2",
+        ):
+            once = parse_peering_text(text).to_rpsl()
+            assert parse_peering_text(once).to_rpsl() == once
+
+
+def actions(text: str):
+    return parse_action_tokens(tokenize(text))
+
+
+class TestActionParse:
+    def test_simple_assignment(self):
+        items = actions("pref=100")
+        assert len(items) == 1
+        assert (items[0].attribute, items[0].operator, items[0].values) == (
+            "pref", "=", ("100",),
+        )
+
+    def test_spaced_assignment(self):
+        items = actions("pref = 65535")
+        assert items[0].values == ("65535",)
+
+    def test_multiple_items(self):
+        items = actions("pref=10; med=0;")
+        assert [item.attribute for item in items] == ["pref", "med"]
+
+    def test_method_call(self):
+        items = actions("community.append(8226:1102)")
+        assert items[0].method == "append"
+        assert items[0].values == ("8226:1102",)
+
+    def test_method_call_multi_args(self):
+        items = actions("community.delete(64628:10, 64628:11)")
+        assert items[0].values == ("64628:10", "64628:11")
+
+    def test_braced_append(self):
+        items = actions("community .= { 64628:20 }")
+        assert items[0].operator == ".="
+        assert items[0].braced
+        assert items[0].values == ("64628:20",)
+
+    def test_prepend(self):
+        items = actions("aspath.prepend(AS1, AS1)")
+        assert items[0].attribute == "aspath"
+        assert items[0].method == "prepend"
+
+    def test_invalid_raises(self):
+        with pytest.raises(RpslSyntaxError):
+            actions("pref")
+
+    def test_roundtrip(self):
+        for text in (
+            "pref = 100",
+            "community.append(8226:1102)",
+            "community .= {64628:20}",
+            "med = igp",
+        ):
+            items = actions(text)
+            rendered = "; ".join(item.to_rpsl() for item in items)
+            assert [i.to_rpsl() for i in actions(rendered)] == [
+                i.to_rpsl() for i in items
+            ]

@@ -1,0 +1,194 @@
+"""Tests for import/export rule parsing, including Structured Policies."""
+
+import pytest
+
+from repro.net.afi import Afi, AfiFamily, AfiSafi
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.filter import FilterAny, FilterAsn, FilterAsSet, FilterPeerAs
+from repro.rpsl.peering import PeerAsn
+from repro.rpsl.policy import PolicyExcept, PolicyRefine, PolicyTerm, parse_policy
+
+
+class TestSimpleRules:
+    def test_basic_import(self):
+        rule = parse_policy("import", "from AS1 accept ANY")
+        assert isinstance(rule.expr, PolicyTerm)
+        factor = rule.expr.factors[0]
+        assert factor.peerings[0].peering.as_expr == PeerAsn(1)
+        assert factor.filter == FilterAny()
+
+    def test_basic_export(self):
+        rule = parse_policy("export", "to AS4713 announce AS-HANABI")
+        factor = rule.expr.factors[0]
+        assert factor.filter == FilterAsSet("AS-HANABI")
+
+    def test_action(self):
+        rule = parse_policy("import", "from AS1 action pref=50; accept ANY")
+        factor = rule.expr.factors[0]
+        assert factor.peerings[0].actions[0].attribute == "pref"
+
+    def test_multiple_peerings_share_filter(self):
+        rule = parse_policy(
+            "import",
+            "from AS8267:AS-K1 action pref=50; from AS8267:AS-K2 action pref=50; accept PeerAS",
+        )
+        factor = rule.expr.factors[0]
+        assert len(factor.peerings) == 2
+        assert factor.filter == FilterPeerAs()
+
+    def test_default_afi_ipv4_unicast(self):
+        rule = parse_policy("import", "from AS1 accept ANY")
+        assert rule.effective_afis() == (Afi.IPV4_UNICAST,)
+
+    def test_mp_default_afi_any(self):
+        rule = parse_policy("import", "from AS1 accept ANY", multiprotocol=True)
+        assert rule.effective_afis() == (Afi(),)
+
+    def test_explicit_afi(self):
+        rule = parse_policy(
+            "import", "afi ipv6.unicast from AS1 accept ANY", multiprotocol=True
+        )
+        assert rule.afis == (Afi(AfiFamily.IPV6, AfiSafi.UNICAST),)
+
+    def test_afi_list(self):
+        rule = parse_policy(
+            "import", "afi ipv4.unicast, ipv6.unicast from AS1 accept ANY",
+            multiprotocol=True,
+        )
+        assert len(rule.afis) == 2
+
+    def test_protocol_clause(self):
+        rule = parse_policy("import", "protocol BGP4 into OSPF from AS1 accept ANY")
+        assert rule.protocol == "BGP4"
+        assert rule.into_protocol == "OSPF"
+
+    def test_trailing_semicolon_ok(self):
+        rule = parse_policy("import", "from AS1 accept ANY;")
+        assert isinstance(rule.expr, PolicyTerm)
+
+
+class TestErrors:
+    def test_wrong_direction_keyword(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "to AS1 accept ANY")
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("export", "from AS1 announce ANY")
+
+    def test_wrong_verb(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "from AS1 announce ANY")
+
+    def test_missing_filter(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "from AS1 accept")
+
+    def test_missing_peering(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "from accept ANY")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "from AS1 accept ANY garbage-at-end AND")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parse_policy("default", "from AS1 accept ANY")
+
+    def test_empty_braces(self):
+        with pytest.raises(RpslSyntaxError):
+            parse_policy("import", "{ }")
+
+
+class TestStructuredPolicies:
+    def test_refine(self):
+        rule = parse_policy(
+            "import",
+            "from AS1 accept ANY REFINE from AS1 accept AS2",
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+        assert isinstance(rule.expr.rest, PolicyTerm)
+
+    def test_refine_with_afi(self):
+        rule = parse_policy(
+            "import",
+            "afi any.unicast from AS13911 accept ANY REFINE afi ipv4.unicast "
+            "from AS13911 action pref=200; accept <^AS13911 AS6327+$>",
+            multiprotocol=True,
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+        assert rule.expr.afis[0].family is AfiFamily.IPV4
+
+    def test_except(self):
+        rule = parse_policy(
+            "export",
+            "to AS-ANY announce ANY EXCEPT to AS1 announce AS2",
+        )
+        assert isinstance(rule.expr, PolicyExcept)
+
+    def test_braced_terms(self):
+        rule = parse_policy(
+            "import",
+            "{ from AS1 accept AS1; from AS2 accept AS2; }",
+        )
+        assert isinstance(rule.expr, PolicyTerm)
+        assert rule.expr.braced
+        assert len(rule.expr.factors) == 2
+
+    def test_chained_refines(self):
+        rule = parse_policy(
+            "import",
+            "afi any { from AS-ANY accept ANY; } REFINE afi any "
+            "{ from AS-ANY accept NOT AS199284^+; } REFINE afi ipv4 "
+            "{ from AS-ANY accept NOT fltr-martian; }",
+            multiprotocol=True,
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+        assert isinstance(rule.expr.rest, PolicyRefine)
+
+    def test_peering_except_inside_factor(self):
+        # EXCEPT inside the peering expression, not a structured policy.
+        rule = parse_policy(
+            "import", "from AS-ANY EXCEPT (AS40027 OR AS63293) accept ANY"
+        )
+        assert isinstance(rule.expr, PolicyTerm)
+
+    def test_paper_as199284_style(self):
+        rule = parse_policy(
+            "import",
+            """afi any {
+                from AS-ANY action community.delete(64628:10); accept ANY;
+            } REFINE afi any {
+                from AS-ANY action pref = 65535; accept community(65535:0);
+                from AS-ANY action pref = 65435; accept ANY;
+            } REFINE afi ipv4 {
+                from AS-ANY accept { 0.0.0.0/0^24 } AND NOT community(65535:666);
+            } REFINE afi any {
+                from AS-ANY EXCEPT (AS40027 OR AS63293 OR AS65535) accept ANY;
+            }""",
+            multiprotocol=True,
+        )
+        assert isinstance(rule.expr, PolicyRefine)
+
+    def test_attribute_name(self):
+        assert parse_policy("import", "from AS1 accept ANY").attribute_name == "import"
+        assert (
+            parse_policy("export", "to AS1 announce ANY", multiprotocol=True).attribute_name
+            == "mp-export"
+        )
+
+
+class TestRoundTrip:
+    CASES = [
+        ("import", "from AS1 accept ANY"),
+        ("export", "to AS4713 announce AS-HANABI"),
+        ("import", "from AS1 action pref = 50; accept PeerAS"),
+        ("import", "{ from AS1 accept AS1; from AS2 accept AS2; }"),
+        ("import", "from AS1 accept ANY REFINE from AS1 accept AS2"),
+        ("export", "to AS-ANY announce ANY EXCEPT to AS1 announce AS2"),
+    ]
+
+    @pytest.mark.parametrize("kind,text", CASES)
+    def test_stable(self, kind, text):
+        once = parse_policy(kind, text, multiprotocol=True).to_rpsl()
+        again = parse_policy(kind, once, multiprotocol=True).to_rpsl()
+        assert once == again

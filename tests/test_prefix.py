@@ -1,0 +1,186 @@
+"""Unit and property tests for prefixes and range operators."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    Prefix,
+    PrefixError,
+    RangeOp,
+    RangeOpKind,
+    parse_prefix_with_op,
+)
+
+
+class TestPrefixParse:
+    def test_parse_v4(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert (prefix.version, prefix.length) == (4, 24)
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_v6(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert (prefix.version, prefix.length) == (6, 32)
+        assert str(prefix) == "2001:db8::/32"
+
+    def test_parse_default_route(self):
+        assert str(Prefix.parse("0.0.0.0/0")) == "0.0.0.0/0"
+        assert str(Prefix.parse("::0/0")) == "::/0"
+
+    def test_host_bits_masked(self):
+        assert str(Prefix.parse("192.0.2.1/24")) == "192.0.2.0/24"
+
+    @pytest.mark.parametrize("bad", ["", "10.0.0.0/33", "nonsense", "10.0.0.0/-1", "1.2.3/8x"])
+    def test_invalid_raises(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_constructor_validates_version(self):
+        with pytest.raises(PrefixError):
+            Prefix(5, 0, 0)
+
+    def test_constructor_validates_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 0, 33)
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(prefix)
+
+    def test_no_cross_version_containment(self):
+        assert not Prefix.parse("0.0.0.0/0").contains(Prefix.parse("::/0"))
+
+    def test_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(Prefix.parse("11.0.0.0/8"))
+
+    def test_overlaps_symmetric(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.255.0.0/16")
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+
+    def test_supernet(self):
+        prefix = Prefix.parse("10.1.2.0/24")
+        assert str(prefix.supernet(8)) == "10.0.0.0/8"
+        with pytest.raises(PrefixError):
+            prefix.supernet(25)
+
+
+class TestRangeOp:
+    def test_parse_all_forms(self):
+        assert RangeOp.parse("^-").kind is RangeOpKind.MINUS
+        assert RangeOp.parse("^+").kind is RangeOpKind.PLUS
+        exact = RangeOp.parse("^24")
+        assert (exact.kind, exact.low, exact.high) == (RangeOpKind.EXACT, 24, 24)
+        ranged = RangeOp.parse("^19-24")
+        assert (ranged.kind, ranged.low, ranged.high) == (RangeOpKind.RANGE, 19, 24)
+
+    @pytest.mark.parametrize("bad", ["^", "^x", "^24-19", "24", "^-+"])
+    def test_invalid(self, bad):
+        with pytest.raises(PrefixError):
+            RangeOp.parse(bad)
+
+    def test_allows_none(self):
+        op = RangeOp()
+        assert op.allows(24, 24)
+        assert not op.allows(24, 25)
+
+    def test_allows_minus_excludes_exact(self):
+        op = RangeOp.parse("^-")
+        assert not op.allows(16, 16)
+        assert op.allows(16, 17)
+
+    def test_allows_plus_includes_exact(self):
+        op = RangeOp.parse("^+")
+        assert op.allows(16, 16)
+        assert op.allows(16, 32)
+
+    def test_allows_range(self):
+        op = RangeOp.parse("^19-24")
+        assert not op.allows(16, 18)
+        assert op.allows(16, 19)
+        assert op.allows(16, 24)
+        assert not op.allows(16, 25)
+
+    def test_compose_outer_wins(self):
+        inner = RangeOp.parse("^+")
+        outer = RangeOp.parse("^27")
+        assert inner.compose(outer) == outer
+        assert inner.compose(RangeOp()) == inner
+
+    def test_str_roundtrip(self):
+        for text in ("^-", "^+", "^24", "^19-24"):
+            assert str(RangeOp.parse(text)) == text
+        assert str(RangeOp()) == ""
+
+
+class TestParseWithOp:
+    def test_plain(self):
+        prefix, op = parse_prefix_with_op("10.0.0.0/8")
+        assert op.kind is RangeOpKind.NONE
+        assert str(prefix) == "10.0.0.0/8"
+
+    def test_with_op(self):
+        prefix, op = parse_prefix_with_op("10.0.0.0/8^16-24")
+        assert op == RangeOp(RangeOpKind.RANGE, 16, 24)
+
+    def test_matches_with_op(self):
+        declared, op = parse_prefix_with_op("10.0.0.0/8^16-24")
+        assert declared.matches_with_op(Prefix.parse("10.5.0.0/16"), op)
+        assert not declared.matches_with_op(Prefix.parse("10.0.0.0/8"), op)
+        assert not declared.matches_with_op(Prefix.parse("11.0.0.0/16"), op)
+
+
+# -- property-based tests ----------------------------------------------------
+
+v4_prefixes = st.builds(
+    lambda addr, length: Prefix(4, (addr >> (32 - length)) << (32 - length) if length else 0, length),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+v6_prefixes = st.builds(
+    lambda addr, length: Prefix(6, (addr >> (128 - length)) << (128 - length) if length else 0, length),
+    st.integers(min_value=0, max_value=2**128 - 1),
+    st.integers(min_value=0, max_value=128),
+)
+
+any_prefix = st.one_of(v4_prefixes, v6_prefixes)
+
+
+@given(any_prefix)
+def test_str_parse_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(v4_prefixes, v4_prefixes)
+def test_containment_matches_ipaddress(left, right):
+    reference = ipaddress.ip_network(str(right)).subnet_of(ipaddress.ip_network(str(left)))
+    assert left.contains(right) == reference
+
+
+@given(any_prefix)
+def test_supernet_contains(prefix):
+    for length in range(0, prefix.length + 1, max(1, prefix.length // 4 or 1)):
+        assert prefix.supernet(length).contains(prefix)
+
+
+@given(
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=32),
+)
+def test_plus_equals_minus_or_exact(declared, announced):
+    plus = RangeOp.parse("^+").allows(declared, announced)
+    minus = RangeOp.parse("^-").allows(declared, announced)
+    none = RangeOp().allows(declared, announced)
+    assert plus == (minus or none)

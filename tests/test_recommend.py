@@ -1,0 +1,126 @@
+"""Tests for the route-set migration advisor."""
+
+import pytest
+
+from repro.bgp.topology import AsRelationships
+from repro.core.status import VerifyStatus
+from repro.core.verify import Verifier, VerifyOptions
+from repro.irr.dump import parse_dump_text
+from repro.tools.recommend import apply_recommendation, recommend_route_set
+
+DUMP = """
+aut-num: AS10
+import:  from AS99 accept ANY
+export:  to AS99 announce AS10
+import:  from AS20 accept AS20
+export:  to AS20 announce ANY
+mnt-by:  MNT-TEN
+
+aut-num: AS20
+import:  from AS10 accept ANY
+export:  to AS10 announce AS20
+
+route:   10.10.0.0/16
+origin:  AS10
+
+route:   10.20.0.0/16
+origin:  AS20
+
+aut-num: AS99
+import:  from AS10 accept AS10:RS-EXPORT
+export:  to AS10 announce ANY
+"""
+
+AS_REL = "99|10|-1\n10|20|-1\n"
+
+
+@pytest.fixture()
+def ir():
+    parsed, errors = parse_dump_text(DUMP, "RIPE")
+    assert not errors.issues
+    return parsed
+
+
+class TestRecommendation:
+    def test_detects_export_self(self, ir):
+        relationships = AsRelationships.from_as_rel_text(AS_REL)
+        recommendation = recommend_route_set(ir, 10, relationships=relationships)
+        assert recommendation is not None
+        assert recommendation.route_set.name == "AS10:RS-EXPORT"
+        # the cone's prefixes: AS10's own plus customer AS20's
+        assert {str(prefix) for prefix in recommendation.prefixes} == {
+            "10.10.0.0/16", "10.20.0.0/16",
+        }
+        assert len(recommendation.old_rules) == 1
+        assert "AS10:RS-EXPORT" in recommendation.new_rules[0].to_rpsl()
+
+    def test_rpsl_text_parses(self, ir):
+        recommendation = recommend_route_set(ir, 10)
+        reparsed, errors = parse_dump_text(recommendation.rpsl, "RIPE")
+        assert not errors.issues
+        assert "AS10:RS-EXPORT" in reparsed.route_sets
+
+    def test_summary_mentions_rewrite(self, ir):
+        summary = recommend_route_set(ir, 10).summary()
+        assert "- export:" in summary and "+ export:" in summary
+
+    def test_not_applicable_cases(self, ir):
+        assert recommend_route_set(ir, 12345) is None  # no aut-num
+        assert recommend_route_set(ir, 20) is None or recommend_route_set(ir, 20)
+        # AS99 announces ANY only: nothing to rewrite
+        dump = "aut-num: AS7\nexport: to AS8 announce ANY\n"
+        lone, _ = parse_dump_text(dump, "T")
+        assert recommend_route_set(lone, 7) is None
+
+    def test_no_prefixes_no_recommendation(self):
+        dump = "aut-num: AS7\nexport: to AS8 announce AS7\n"
+        lone, _ = parse_dump_text(dump, "T")
+        assert recommend_route_set(lone, 7) is None
+
+
+class TestMigrationEffect:
+    def test_export_self_becomes_verified(self, ir):
+        relationships = AsRelationships.from_as_rel_text(AS_REL)
+        strict = VerifyOptions(relaxations=False, safelists=False)
+
+        before = Verifier(ir, relationships, strict)
+        hop = next(
+            h
+            for h in before.verify_route("10.20.0.0/16", (99, 10, 20)).hops
+            if h.direction == "export" and h.from_asn == 10
+        )
+        # "announce AS10" does not cover the customer route: unverified.
+        assert hop.status is VerifyStatus.UNVERIFIED
+
+        recommendation = recommend_route_set(ir, 10, relationships=relationships)
+        apply_recommendation(ir, recommendation)
+
+        after = Verifier(ir, relationships, strict)
+        hop = next(
+            h
+            for h in after.verify_route("10.20.0.0/16", (99, 10, 20)).hops
+            if h.direction == "export" and h.from_asn == 10
+        )
+        assert hop.status is VerifyStatus.VERIFIED
+
+    def test_provider_side_verifies_too(self, ir):
+        # AS99 already imports AS10:RS-EXPORT; once defined, it verifies.
+        relationships = AsRelationships.from_as_rel_text(AS_REL)
+        recommendation = recommend_route_set(ir, 10, relationships=relationships)
+        apply_recommendation(ir, recommendation)
+        verifier = Verifier(ir, relationships)
+        hop = next(
+            h
+            for h in verifier.verify_route("10.20.0.0/16", (99, 10, 20)).hops
+            if h.direction == "import" and h.to_asn == 99
+        )
+        assert hop.status is VerifyStatus.VERIFIED
+
+    def test_old_rules_removed(self, ir):
+        recommendation = recommend_route_set(ir, 10)
+        apply_recommendation(ir, recommendation)
+        rendered = [rule.to_rpsl() for rule in ir.aut_nums[10].exports]
+        assert "to AS99 announce AS10" not in rendered
+        assert any("AS10:RS-EXPORT" in text for text in rendered)
+        # untouched rules stay
+        assert "to AS20 announce ANY" in rendered

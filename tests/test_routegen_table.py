@@ -1,0 +1,171 @@
+"""Tests for Gao–Rexford propagation and BGP table I/O."""
+
+import random
+
+import pytest
+
+from repro.bgp.routegen import (
+    Collector,
+    RouteGenConfig,
+    collector_routes,
+    default_collectors,
+    propagate,
+)
+from repro.bgp.table import (
+    RouteEntry,
+    parse_table_text,
+    write_table_file,
+    parse_table_file,
+)
+from repro.bgp.topology import AsRelationships, Rel
+from repro.net.prefix import Prefix
+
+
+def diamond() -> AsRelationships:
+    # 1-2 Tier-1 peers; 3 customer of 1; 4 customer of 2; 5 customer of 3+4.
+    rel = AsRelationships()
+    rel.add_peering(1, 2)
+    rel.add_transit(1, 3)
+    rel.add_transit(2, 4)
+    rel.add_transit(3, 5)
+    rel.add_transit(4, 5)
+    return rel
+
+
+class TestPropagate:
+    def test_origin_path(self):
+        paths = propagate(diamond(), 5)
+        assert paths[5] == (5,)
+
+    def test_customers_prefer_customer_routes(self):
+        paths = propagate(diamond(), 5)
+        assert paths[3] == (3, 5)
+        assert paths[4] == (4, 5)
+        assert paths[1] == (1, 3, 5)
+        assert paths[2] == (2, 4, 5)
+
+    def test_peer_route_not_reexported_to_peer(self):
+        # 6 is a peer of 1 only; it must reach 5 via 1 (peer edge at 6-1),
+        # and 2 must NOT have a path through peer 1's peer-learned route.
+        rel = diamond()
+        rel.add_peering(6, 1)
+        paths = propagate(rel, 5)
+        assert paths[6] == (6, 1, 3, 5)
+
+    def test_provider_routes_flow_downhill(self):
+        rel = diamond()
+        rel.add_transit(2, 7)  # 7 customer of 2
+        paths = propagate(rel, 5)
+        assert paths[7] == (7, 2, 4, 5)
+
+    def test_unreachable_isolated_as(self):
+        rel = diamond()
+        rel.add_peering(8, 9)  # island
+        paths = propagate(rel, 5)
+        assert 8 not in paths and 9 not in paths
+
+    def test_deterministic(self):
+        assert propagate(diamond(), 5) == propagate(diamond(), 5)
+
+    def test_paths_are_simple(self):
+        rng = random.Random(7)
+        rel = AsRelationships()
+        ases = list(range(1, 40))
+        for asn in ases[1:]:
+            provider = rng.choice(ases[: ases.index(asn)] or [1])
+            if provider != asn:
+                rel.add_transit(provider, asn)
+        for _ in range(15):
+            left, right = rng.sample(ases, 2)
+            if rel.rel(left, right) is None:
+                rel.add_peering(left, right)
+        for origin in rng.sample(ases, 5):
+            for asn, path in propagate(rel, origin).items():
+                assert len(set(path)) == len(path), "loop in path"
+                assert path[0] == asn and path[-1] == origin
+
+    def test_valley_free_types(self):
+        """No AS re-exports a peer/provider route to a peer or provider."""
+        rel = diamond()
+        rel.add_peering(3, 4)
+        for origin in (1, 2, 3, 4, 5):
+            paths = propagate(rel, origin)
+            for asn, path in paths.items():
+                # count peer edges along the path: at most one in valley-free
+                peer_edges = sum(
+                    1 for a, b in zip(path, path[1:]) if rel.rel(a, b) is Rel.PEER
+                )
+                assert peer_edges <= 1
+
+
+class TestCollectorRoutes:
+    def test_routes_emitted_per_peer_origin_prefix(self):
+        rel = diamond()
+        prefixes = {5: [Prefix.parse("10.5.0.0/16"), Prefix.parse("10.6.0.0/16")]}
+        collectors = [Collector("rrc00", (1, 2))]
+        config = RouteGenConfig(prepend_probability=0.0, as_set_probability=0.0)
+        entries = list(collector_routes(rel, prefixes, collectors, config))
+        assert len(entries) == 4  # 2 peers × 2 prefixes
+        assert {entry.as_path for entry in entries} == {(1, 3, 5), (2, 4, 5)}
+
+    def test_prepending_injected(self):
+        rel = diamond()
+        prefixes = {5: [Prefix.parse("10.5.0.0/16")]}
+        collectors = [Collector("rrc00", (1,))]
+        config = RouteGenConfig(prepend_probability=1.0, seed=3)
+        (entry,) = list(collector_routes(rel, prefixes, collectors, config))
+        deprepended = entry.deprepended_path()
+        assert deprepended == (1, 3, 5)
+        assert len(entry.as_path) > len(deprepended)
+
+    def test_default_collectors_have_peers(self):
+        collectors = default_collectors(diamond(), count=2, peers_per_collector=3)
+        assert len(collectors) == 2
+        for collector in collectors:
+            assert collector.peer_asns
+
+
+class TestTableFormat:
+    def entry(self) -> RouteEntry:
+        return RouteEntry(
+            collector="rrc00",
+            peer_asn=1,
+            prefix=Prefix.parse("10.5.0.0/16"),
+            as_path=(1, 3, 5),
+        )
+
+    def test_line_roundtrip(self):
+        entry = self.entry()
+        (parsed,) = list(parse_table_text(entry.to_line()))
+        assert parsed == entry
+
+    def test_as_set_roundtrip(self):
+        entry = RouteEntry(
+            collector="rrc00",
+            peer_asn=1,
+            prefix=Prefix.parse("10.5.0.0/16"),
+            as_path=(1, 3),
+            as_set=frozenset({5, 6}),
+        )
+        (parsed,) = list(parse_table_text(entry.to_line()))
+        assert parsed.as_set == frozenset({5, 6})
+
+    def test_origin_and_deprepend(self):
+        entry = RouteEntry("c", 1, Prefix.parse("10.0.0.0/8"), (1, 3, 3, 3, 5))
+        assert entry.origin == 5
+        assert entry.deprepended_path() == (1, 3, 5)
+
+    def test_malformed_lines_skipped(self):
+        text = "garbage\nTABLE_DUMP2|0|B|c|x|10.0.0.0/8|1 2|IGP\n# comment\n"
+        assert list(parse_table_text(text)) == []
+
+    def test_file_roundtrip(self, tmp_path):
+        entries = [self.entry()]
+        path = tmp_path / "table.txt"
+        assert write_table_file(path, entries) == 1
+        assert list(parse_table_file(path)) == entries
+
+    def test_ipv6_route(self):
+        entry = RouteEntry("c", 1, Prefix.parse("2001:db8::/32"), (1, 5))
+        (parsed,) = list(parse_table_text(entry.to_line()))
+        assert parsed.prefix.version == 6

@@ -1,0 +1,103 @@
+"""Tests for sibling-AS inference and the action census."""
+
+from repro.irr.dump import parse_dump_text
+from repro.stats.usage import action_census
+from repro.tools.siblings import sibling_groups, siblings_of
+
+SIBLING_DUMP = """
+aut-num: AS10
+mnt-by:  MNT-ACME
+
+aut-num: AS11
+mnt-by:  MNT-ACME
+
+aut-num: AS12
+mnt-by:  MNT-ACME, MNT-OTHER
+
+aut-num: AS20
+mnt-by:  MNT-SOLO
+
+aut-num: AS30
+mnt-by:  MNT-OTHER
+"""
+
+
+class TestSiblingGroups:
+    def test_shared_maintainer_clusters(self):
+        ir, _ = parse_dump_text(SIBLING_DUMP, "T")
+        groups = sibling_groups(ir)
+        assert len(groups) == 1
+        group = groups[0]
+        # MNT-OTHER bridges AS12 and AS30 into the ACME component.
+        assert group.asns == (10, 11, 12, 30)
+        assert "MNT-ACME" in group.maintainers
+
+    def test_solo_as_not_grouped(self):
+        ir, _ = parse_dump_text(SIBLING_DUMP, "T")
+        assert siblings_of(ir, 20) == ()
+
+    def test_siblings_of(self):
+        ir, _ = parse_dump_text(SIBLING_DUMP, "T")
+        assert siblings_of(ir, 10) == (11, 12, 30)
+
+    def test_spread_cutoff_drops_registry_maintainers(self):
+        dump = "\n\n".join(
+            f"aut-num: AS{n}\nmnt-by:  MNT-REGISTRY" for n in range(1, 10)
+        )
+        ir, _ = parse_dump_text(dump, "T")
+        assert sibling_groups(ir, max_maintainer_spread=5) == []
+        assert len(sibling_groups(ir, max_maintainer_spread=20)) == 1
+
+    def test_groups_sorted_largest_first(self):
+        dump = SIBLING_DUMP + "\naut-num: AS40\nmnt-by: MNT-PAIR\n\naut-num: AS41\nmnt-by: MNT-PAIR\n"
+        ir, _ = parse_dump_text(dump, "T")
+        groups = sibling_groups(ir)
+        assert [len(g) for g in groups] == sorted([len(g) for g in groups], reverse=True)
+
+    def test_synth_ground_truth_recovered(self, tiny_world, tiny_ir):
+        if not tiny_world.sibling_orgs:
+            return
+        groups = sibling_groups(tiny_ir)
+        clustered = {asn for group in groups for asn in group.asns}
+        recovered = 0
+        for sibling, owner in tiny_world.sibling_orgs.items():
+            if sibling in tiny_ir.aut_nums and owner in tiny_ir.aut_nums:
+                together = any(
+                    sibling in group.asns and owner in group.asns for group in groups
+                )
+                recovered += together
+        # Every co-present sibling pair shares a maintainer, so it clusters.
+        pairs = sum(
+            1
+            for sibling, owner in tiny_world.sibling_orgs.items()
+            if sibling in tiny_ir.aut_nums and owner in tiny_ir.aut_nums
+        )
+        assert recovered == pairs
+        assert clustered  # some structure was found at all
+
+
+class TestActionCensus:
+    DUMP = """
+aut-num: AS1
+import:  from AS2 action pref = 10; med = 0; accept ANY
+import:  from AS3 action community.append(65000:1); accept ANY
+export:  to AS2 action aspath.prepend(AS1, AS1); announce AS1
+export:  to AS3 announce AS1
+"""
+
+    def test_counts(self):
+        ir, _ = parse_dump_text(self.DUMP, "T")
+        census = action_census(ir)
+        assert census["pref="] == 1
+        assert census["med="] == 1
+        assert census["community.append()"] == 1
+        assert census["aspath.prepend()"] == 1
+        assert census["rules-with-actions"] == 3
+
+    def test_empty_ir(self):
+        ir, _ = parse_dump_text("", "T")
+        assert action_census(ir) == {}
+
+    def test_tiny_world_uses_pref(self, tiny_ir):
+        census = action_census(tiny_ir)
+        assert census.get("pref=", 0) > 0

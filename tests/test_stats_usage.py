@@ -1,0 +1,218 @@
+"""Tests for the Section 4 characterization statistics."""
+
+import pytest
+
+from repro.irr.dump import parse_dump_text
+from repro.rpsl.errors import ErrorCollector
+from repro.stats.ccdf import ccdf_points, fraction_at_least
+from repro.stats.as_sets import as_set_stats
+from repro.stats.routes import multi_origin_prefixes, route_object_stats
+from repro.stats.usage import (
+    error_census,
+    filter_kind_census,
+    peering_simplicity,
+    reference_census,
+    rules_ccdf,
+    rules_per_aut_num,
+)
+
+DUMP = """
+aut-num:    AS1
+import:     from AS2 accept AS-TWO
+export:     to AS2 announce AS1
+import:     from AS-GROUP accept RS-SET
+import:     from AS3 accept <^AS3+$>
+import:     from PRNG-P accept fltr-martian
+export:     to AS9 announce ANY
+
+aut-num:    AS2
+import:     from AS1 accept ANY AND NOT {0.0.0.0/0}
+
+aut-num:    AS3
+
+as-set:     AS-TWO
+members:    AS2
+
+as-set:     AS-GROUP
+members:    AS1, AS3
+
+as-set:     AS-UNUSED
+members:    AS-DEEP
+
+as-set:     AS-DEEP
+members:    AS-DEEPER
+
+as-set:     AS-DEEPER
+
+route-set:  RS-SET
+members:    10.0.0.0/8
+
+peering-set: PRNG-P
+peering:    AS7
+
+route:      10.1.0.0/16
+origin:     AS1
+mnt-by:     M1
+
+route:      10.1.0.0/16
+origin:     AS2
+mnt-by:     M2
+
+route:      10.2.0.0/16
+origin:     AS1
+mnt-by:     M1
+
+route:      10.2.0.0/16
+origin:     AS1
+mnt-by:     M1
+"""
+
+
+@pytest.fixture(scope="module")
+def sample():
+    ir, errors = parse_dump_text(DUMP, "TEST")
+    return ir, errors
+
+
+class TestCcdf:
+    def test_points_descend_from_one(self):
+        points = ccdf_points([0, 0, 1, 5])
+        assert points[0] == (0, 1.0)
+        assert points[-1][0] == 5
+        assert points[-1][1] == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert ccdf_points([]) == []
+
+    def test_fraction_at_least(self):
+        assert fraction_at_least([0, 1, 2, 3], 2) == 0.5
+        assert fraction_at_least([], 1) == 0.0
+
+
+class TestRulesPerAutNum:
+    def test_counts(self, sample):
+        ir, _ = sample
+        counts = rules_per_aut_num(ir)
+        assert counts[1] == 6
+        assert counts[2] == 1
+        assert counts[3] == 0
+
+    def test_bgpq4_compatible_subset(self, sample):
+        ir, _ = sample
+        compatible = rules_per_aut_num(ir, bgpq4_compatible_only=True)
+        assert compatible[1] < rules_per_aut_num(ir)[1]
+
+    def test_ccdf_shape(self, sample):
+        ir, _ = sample
+        points = rules_ccdf(ir)
+        assert points[0] == (0, 1.0)
+
+
+class TestPeeringAndFilterCensus:
+    def test_peering_simplicity(self, sample):
+        ir, _ = sample
+        census = peering_simplicity(ir)
+        assert census["single-asn"] == 5
+        assert census["as-set"] == 1
+        assert census["peering-set"] == 1
+
+    def test_filter_kinds(self, sample):
+        ir, _ = sample
+        census = filter_kind_census(ir)
+        assert census["as-set"] == 1
+        assert census["asn"] == 1
+        assert census["route-set"] == 1
+        assert census["as-path-regex"] == 1
+        assert census["filter-set"] == 1
+        assert census["any"] == 1
+        assert census["composite"] == 1
+
+
+class TestReferenceCensus:
+    def test_table_shape(self, sample):
+        ir, _ = sample
+        census = reference_census(ir)
+        rows = {row[0]: row for row in census.table()}
+        assert rows["aut-num"][1] == 3  # defined
+        # referenced & defined aut-nums: AS2 (peering+filter), AS1, AS3
+        assert rows["aut-num"][2] == 3
+        assert rows["as-set"][2] == 2  # AS-TWO (filter), AS-GROUP (peering)
+        assert rows["route-set"][2] == 1
+        assert rows["peering-set"][2] == 1
+
+    def test_split_by_location(self, sample):
+        ir, _ = sample
+        census = reference_census(ir)
+        assert 2 in census.referenced_peering["aut-num"]
+        assert 1 in census.referenced_filter["aut-num"]  # announce AS1
+        assert "AS-GROUP" in census.referenced_peering["as-set"]
+        assert "AS-TWO" in census.referenced_filter["as-set"]
+
+    def test_dangling_references(self, sample):
+        ir, _ = sample
+        census = reference_census(ir)
+        assert 9 in census.dangling["aut-num"]  # announce to AS9, undefined
+
+
+class TestRouteObjectStats:
+    def test_counts(self, sample):
+        ir, _ = sample
+        stats = route_object_stats(ir)
+        assert stats.total_objects == 4
+        assert stats.unique_prefix_origin_pairs == 3
+        assert stats.unique_prefixes == 2
+        assert stats.prefixes_with_multiple_objects == 2
+        assert stats.prefixes_with_multiple_origins == 1
+        assert stats.prefixes_with_multiple_maintainers == 1
+
+    def test_multi_origin_map(self, sample):
+        ir, _ = sample
+        multi = multi_origin_prefixes(ir)
+        assert len(multi) == 1
+        assert set(next(iter(multi.values()))) == {1, 2}
+
+    def test_as_dict_keys(self, sample):
+        ir, _ = sample
+        assert len(route_object_stats(ir).as_dict()) == 6
+
+
+class TestAsSetStats:
+    def test_structure_counts(self, sample):
+        ir, _ = sample
+        stats = as_set_stats(ir, deep_threshold=3)
+        assert stats.total == 5
+        assert stats.empty == 1  # AS-DEEPER
+        assert stats.single_member == 3  # AS-TWO, AS-UNUSED, AS-DEEP
+        assert stats.recursive == 2  # AS-UNUSED, AS-DEEP
+        assert stats.deep == 1  # AS-UNUSED has depth 3
+        assert stats.looping == 0
+
+    def test_loop_detection(self):
+        ir, _ = parse_dump_text(
+            "as-set: AS-A\nmembers: AS-B\n\nas-set: AS-B\nmembers: AS-A\n", "T"
+        )
+        stats = as_set_stats(ir)
+        assert stats.looping == 2
+
+    def test_huge_threshold(self):
+        members = ", ".join(f"AS{i}" for i in range(1, 30))
+        ir, _ = parse_dump_text(f"as-set: AS-BIG\nmembers: {members}\n", "T")
+        assert as_set_stats(ir, huge_threshold=10).huge == 1
+        assert as_set_stats(ir, huge_threshold=100).huge == 0
+
+
+class TestErrorCensus:
+    def test_census_keys(self):
+        ir, errors = parse_dump_text(
+            "aut-num: AS1\nimport: from AS2 accept BAD SYNTAX AND\n\n"
+            "as-set: NOT-VALID\n\nroute-set: ALSO-BAD\n",
+            "T",
+        )
+        census = error_census(errors)
+        assert census["syntax"] == 1
+        assert census["invalid-as-set-name"] == 1
+        assert census["invalid-route-set-name"] == 1
+        assert census["total"] == 3
+
+    def test_empty_collector(self):
+        assert error_census(ErrorCollector())["total"] == 0

@@ -1,0 +1,137 @@
+"""Tests for the synthetic world generator."""
+
+from collections import Counter
+
+from repro.bgp.topology import Rel
+from repro.irr.synth import IRR_NAMES, build_world, tiny_config
+
+
+class TestTopologyGeneration:
+    def test_deterministic(self):
+        left = build_world(tiny_config(seed=1))
+        right = build_world(tiny_config(seed=1))
+        assert left.irr_dumps == right.irr_dumps
+        assert left.topology.to_as_rel_text() == right.topology.to_as_rel_text()
+
+    def test_seed_changes_world(self):
+        left = build_world(tiny_config(seed=1))
+        right = build_world(tiny_config(seed=2))
+        assert left.irr_dumps != right.irr_dumps
+
+    def test_scale(self, tiny_world):
+        config = tiny_world.config
+        expected = config.n_tier1 + config.n_tier2 + config.n_tier3 + config.n_stub
+        assert len(tiny_world.topology.ases()) == expected
+
+    def test_tier1_clique(self, tiny_world):
+        tier1 = sorted(tiny_world.topology.tier1)
+        assert len(tier1) == tiny_world.config.n_tier1
+        for index, left in enumerate(tier1):
+            for right in tier1[index + 1 :]:
+                assert tiny_world.topology.rel(left, right) is Rel.PEER
+
+    def test_everyone_reaches_tier1(self, tiny_world):
+        topology = tiny_world.topology
+        for asn in topology.ases():
+            if asn in topology.tier1:
+                continue
+            # walk up providers; must terminate at a tier-1
+            seen = set()
+            frontier = {asn}
+            reached = False
+            while frontier:
+                current = frontier.pop()
+                if current in topology.tier1:
+                    reached = True
+                    break
+                seen.add(current)
+                frontier.update(topology.providers.get(current, set()) - seen)
+            assert reached, f"AS{asn} cannot reach the tier-1 clique"
+
+    def test_prefixes_allocated_disjoint_v4(self, tiny_world):
+        seen = set()
+        for prefixes in tiny_world.announced.values():
+            for prefix in prefixes:
+                if prefix.version == 4:
+                    assert prefix not in seen
+                    seen.add(prefix)
+
+
+class TestDumpGeneration:
+    def test_all_irrs_present(self, tiny_world):
+        assert set(tiny_world.irr_dumps) == set(IRR_NAMES)
+
+    def test_dumps_parse_with_few_errors(self, tiny_registry):
+        # Injected syntax errors are rare; everything else must parse.
+        errors = sum(len(s.errors) for s in tiny_registry.sources.values())
+        objects = sum(
+            s.ir.counts()["aut-num"] + s.ir.counts()["route"]
+            for s in tiny_registry.sources.values()
+        )
+        assert errors <= max(10, objects // 20)
+
+    def test_profiles_respected(self, tiny_world, tiny_ir):
+        for asn, profile in tiny_world.profiles.items():
+            if profile == "absent":
+                assert asn not in tiny_ir.aut_nums
+            elif profile == "documented":
+                # LACNIC-homed ASes lose their rules (dump quirk).
+                aut = tiny_ir.aut_nums.get(asn)
+                assert aut is not None
+
+    def test_lacnic_has_no_rules(self, tiny_registry):
+        lacnic = tiny_registry.sources["LACNIC"].ir
+        for aut in lacnic.aut_nums.values():
+            assert aut.rule_count == 0
+
+    def test_as_any_pathology_present(self, tiny_ir):
+        assert "AS-ANY" in tiny_ir.as_sets
+
+    def test_route_set_adopters_export_them(self, tiny_world, tiny_ir):
+        adopters = [
+            name for name in tiny_ir.route_sets if name.startswith("RS-SYNTH")
+        ]
+        referenced = Counter()
+        for aut in tiny_ir.aut_nums.values():
+            for rule in aut.exports:
+                if any(name in rule.raw for name in adopters):
+                    referenced[aut.asn] += 1
+        if adopters:
+            assert referenced, "route-sets generated but never referenced"
+
+    def test_collectors_peer_with_real_ases(self, tiny_world):
+        ases = tiny_world.topology.ases()
+        for collector in tiny_world.collectors:
+            assert set(collector.peer_asns) <= ases
+            assert collector.peer_asns
+
+    def test_write_to_dir(self, tiny_world, tmp_path):
+        tiny_world.write_to_dir(tmp_path)
+        assert (tmp_path / "ripe.db").exists()
+        assert (tmp_path / "as-rel.txt").exists()
+        assert (tmp_path / "collectors.txt").exists()
+        from repro.bgp.topology import AsRelationships
+
+        restored = AsRelationships.load(tmp_path / "as-rel.txt")
+        assert restored.providers == tiny_world.topology.providers
+
+
+class TestWorldShape:
+    def test_majority_of_documented_rules_parse(self, tiny_ir):
+        bad = sum(len(a.bad_rules) for a in tiny_ir.aut_nums.values())
+        good = sum(a.rule_count for a in tiny_ir.aut_nums.values())
+        assert good > 10 * max(bad, 1)
+
+    def test_profile_mix_close_to_config(self, tiny_world):
+        profiles = Counter(tiny_world.profiles.values())
+        total = sum(profiles.values())
+        absent_fraction = profiles["absent"] / total
+        # loose bounds — the tiny world is small
+        assert 0.1 < absent_fraction < 0.45
+
+    def test_merged_counts_nonzero(self, tiny_ir):
+        counts = tiny_ir.counts()
+        assert counts["aut-num"] > 0
+        assert counts["route"] > 0
+        assert counts["as-set"] > 0
+        assert counts["import"] > 0

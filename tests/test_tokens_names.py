@@ -1,0 +1,135 @@
+"""Tests for the expression tokenizer and name classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpsl.errors import RpslSyntaxError
+from repro.rpsl.names import NameKind, classify_name, is_valid_set_name, normalize_name
+from repro.rpsl.tokens import TokenKind, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_words_and_punct(self):
+        tokens = tokenize("from AS1 accept {1.2.3.0/24, 2.0.0.0/8};")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            TokenKind.WORD, TokenKind.WORD, TokenKind.WORD,
+            TokenKind.LBRACE, TokenKind.WORD, TokenKind.COMMA,
+            TokenKind.WORD, TokenKind.RBRACE, TokenKind.SEMI,
+        ]
+
+    def test_regex_single_token(self):
+        tokens = tokenize("accept <^AS1 AS2+$> AND ANY")
+        assert tokens[1].kind is TokenKind.REGEX
+        assert tokens[1].text == "<^AS1 AS2+$>"
+
+    def test_unterminated_regex(self):
+        with pytest.raises(RpslSyntaxError):
+            tokenize("accept <^AS1")
+
+    def test_attached_operators_stay_in_word(self):
+        tokens = tokenize("AS-FOO^+ pref=100")
+        assert tokens[0].text == "AS-FOO^+"
+        assert tokens[1].text == "pref=100"
+
+    def test_positions(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_empty(self):
+        assert tokenize("   ") == []
+
+    @given(st.text(alphabet="ABCas- 0123:^+", max_size=40))
+    def test_tokenize_never_crashes_on_word_text(self, text):
+        tokens = tokenize(text)
+        # Re-joining tokens loses only whitespace.
+        assert "".join(t.text for t in tokens) == "".join(text.split())
+
+
+class TestTokenStream:
+    def test_peek_next_expect(self):
+        stream = TokenStream.of("from AS1")
+        assert stream.peek().text == "from"
+        assert stream.next().text == "from"
+        assert stream.expect(TokenKind.WORD).text == "AS1"
+        assert stream.exhausted()
+
+    def test_next_past_end_raises(self):
+        stream = TokenStream.of("")
+        with pytest.raises(RpslSyntaxError):
+            stream.next()
+
+    def test_expect_wrong_kind_raises(self):
+        stream = TokenStream.of("word")
+        with pytest.raises(RpslSyntaxError):
+            stream.expect(TokenKind.LBRACE)
+
+    def test_keywords_case_insensitive(self):
+        stream = TokenStream.of("FROM AS1")
+        assert stream.at_keyword("from")
+        assert stream.take_keyword("from")
+        assert not stream.take_keyword("from")
+
+    def test_rest_text(self):
+        stream = TokenStream.of("a b c")
+        stream.next()
+        assert stream.rest_text() == "b c"
+
+
+class TestNameClassification:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("AS174", NameKind.ASN),
+            ("as174", NameKind.ASN),
+            ("AS-FOO", NameKind.AS_SET),
+            ("AS1:AS-CUST", NameKind.AS_SET),
+            ("AS1:AS-CUST:AS2", NameKind.AS_SET),
+            ("RS-ROUTES", NameKind.ROUTE_SET),
+            ("AS1:RS-X", NameKind.ROUTE_SET),
+            ("FLTR-MARTIAN", NameKind.FILTER_SET),
+            ("PRNG-PEERS", NameKind.PEERING_SET),
+            ("RTRS-SET", NameKind.RTR_SET),
+            ("ANY", NameKind.ANY),
+            ("AS-ANY", NameKind.AS_ANY),
+            ("RS-ANY", NameKind.RS_ANY),
+            ("PeerAS", NameKind.PEER_AS),
+            ("garbage", NameKind.UNKNOWN),
+            ("AS1x", NameKind.UNKNOWN),
+        ],
+    )
+    def test_classify(self, word, expected):
+        assert classify_name(word) is expected
+
+    def test_normalize(self):
+        assert normalize_name(" as-foo ") == "AS-FOO"
+
+
+class TestSetNameValidity:
+    def test_valid_flat(self):
+        assert is_valid_set_name("AS-FOO", "as-set")
+        assert is_valid_set_name("RS-BAR", "route-set")
+
+    def test_valid_hierarchical(self):
+        assert is_valid_set_name("AS8267:AS-KRAKOW", "as-set")
+        assert is_valid_set_name("AS1:RS-X:AS2", "route-set")
+
+    def test_wrong_prefix(self):
+        assert not is_valid_set_name("RS-BAR", "as-set")
+        assert not is_valid_set_name("AS-FOO", "route-set")
+
+    def test_asn_only_invalid(self):
+        assert not is_valid_set_name("AS1:AS2", "as-set")
+
+    def test_reserved_names_invalid(self):
+        assert not is_valid_set_name("AS-ANY", "as-set")
+        assert not is_valid_set_name("RS-ANY", "route-set")
+
+    def test_empty_component_invalid(self):
+        assert not is_valid_set_name("AS1::AS-X", "as-set")
+        assert not is_valid_set_name("", "as-set")
+
+    def test_bare_prefix_invalid(self):
+        assert not is_valid_set_name("AS-", "as-set")

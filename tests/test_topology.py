@@ -1,0 +1,100 @@
+"""Tests for the AS relationship model and as-rel I/O."""
+
+from repro.bgp.topology import AsRelationships, Rel
+
+
+def small_topology() -> AsRelationships:
+    rel = AsRelationships()
+    # 1 - 2 Tier-1 clique; 3, 4 mid; 5, 6 stubs.
+    rel.add_peering(1, 2)
+    rel.add_transit(1, 3)
+    rel.add_transit(2, 4)
+    rel.add_transit(3, 5)
+    rel.add_transit(4, 6)
+    rel.add_peering(3, 4)
+    return rel
+
+
+class TestRelationships:
+    def test_rel_provider(self):
+        rel = small_topology()
+        assert rel.rel(3, 1) is Rel.PROVIDER
+        assert rel.rel(1, 3) is Rel.CUSTOMER
+
+    def test_rel_peer_symmetric(self):
+        rel = small_topology()
+        assert rel.rel(3, 4) is Rel.PEER
+        assert rel.rel(4, 3) is Rel.PEER
+
+    def test_rel_none_for_strangers(self):
+        assert small_topology().rel(5, 6) is None
+
+    def test_neighbors(self):
+        rel = small_topology()
+        assert rel.neighbors(3) == {1, 4, 5}
+
+    def test_ases(self):
+        assert small_topology().ases() == {1, 2, 3, 4, 5, 6}
+
+    def test_customer_cone(self):
+        rel = small_topology()
+        assert rel.customer_cone(1) == {3, 5}
+        assert rel.customer_cone(5) == frozenset()
+
+    def test_customer_cone_cached_and_invalidated(self):
+        rel = small_topology()
+        assert rel.customer_cone(1) == {3, 5}
+        rel.add_transit(5, 6)
+        assert rel.customer_cone(1) == {3, 5, 6}
+
+    def test_cone_survives_cycles(self):
+        rel = AsRelationships()
+        rel.add_transit(1, 2)
+        rel.add_transit(2, 1)  # pathological mutual transit
+        assert 2 in rel.customer_cone(1)
+
+
+class TestTier1Inference:
+    def test_clique_detected(self):
+        rel = small_topology()
+        assert rel.infer_tier1() == {1, 2}
+
+    def test_non_clique_pruned(self):
+        rel = AsRelationships()
+        rel.add_peering(1, 2)
+        rel.add_peering(2, 3)  # 1-3 missing: not a clique
+        rel.add_peering(1, 3)
+        rel.add_peering(4, 1)  # 4 peers with only one member
+        inferred = rel.infer_tier1()
+        assert {1, 2, 3} <= inferred
+        # 4 has no providers either, but lacks clique connectivity
+        assert 4 not in inferred or len(inferred) == 4
+
+
+class TestAsRelFormat:
+    def test_roundtrip(self):
+        rel = small_topology()
+        text = rel.to_as_rel_text()
+        restored = AsRelationships.from_as_rel_text(text)
+        assert restored.providers == rel.providers
+        assert restored.customers == rel.customers
+        assert restored.peers == rel.peers
+
+    def test_tier1_populated_on_parse(self):
+        restored = AsRelationships.from_as_rel_text(small_topology().to_as_rel_text())
+        assert restored.tier1 == {1, 2}
+
+    def test_malformed_lines_skipped(self):
+        text = "# comment\n1|2|-1\ngarbage\n3|4\n5|x|0\n"
+        rel = AsRelationships.from_as_rel_text(text)
+        assert rel.rel(2, 1) is Rel.PROVIDER
+        assert rel.ases() == {1, 2}
+
+    def test_save_load(self, tmp_path):
+        rel = small_topology()
+        path = tmp_path / "as-rel.txt"
+        rel.save(path)
+        assert AsRelationships.load(path).providers == rel.providers
+
+    def test_deterministic_text(self):
+        assert small_topology().to_as_rel_text() == small_topology().to_as_rel_text()

@@ -1,0 +1,300 @@
+"""Tests for per-hop verification: the status lattice and special cases.
+
+The scenario mirrors the paper's running examples: a small hierarchy with
+each of the six special cases reproducible on demand.
+
+Topology (providers above customers; = is peering):
+
+    T1a(1001) = T1b(1002)          Tier-1 clique
+       |           |
+    MID(2001)   MID2(2002)         transit
+       |      /    |
+    EDGE(3001)  ONLYP(3002)        edge ASes
+"""
+
+import pytest
+
+from repro.bgp.topology import AsRelationships
+from repro.core.status import SpecialCase, VerifyStatus
+from repro.core.verify import Verifier, VerifyOptions, rule_skip_census
+from repro.core.report import ItemKind
+from repro.irr.dump import parse_dump_text
+
+DUMP = """
+aut-num:    AS1001
+import:     from AS-ANY accept ANY
+export:     to AS-ANY announce ANY
+
+aut-num:    AS2001
+import:     from AS3001 accept AS3001
+export:     to AS1001 announce AS2001
+import:     from AS1001 accept ANY
+export:     to AS3001 announce ANY
+
+aut-num:    AS3001
+import:     from AS2001 accept ANY
+export:     to AS2001 announce AS3001
+
+aut-num:    AS3002
+import:     from AS2002 accept ANY
+export:     to AS2002 announce AS3002
+
+aut-num:    AS4001
+import:     from AS9999 accept community(65000:1)
+export:     to AS9999 announce ANY
+
+route:      10.31.0.0/16
+origin:     AS3001
+
+route:      10.20.0.0/16
+origin:     AS2001
+"""
+# Note: AS3002 has NO route objects (missing-routes case); AS2002 has no
+# aut-num at all (unrecorded); AS1002 is a rule-less Tier-1.
+
+TOPOLOGY = """
+1001|1002|0
+1001|2001|-1
+1002|2002|-1
+2001|3001|-1
+2002|3001|-1
+2002|3002|-1
+"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    extra = (
+        "\naut-num: AS1002\n"
+        "import: from AS7777 accept ANY\nexport: to AS7777 announce ANY\n"
+        "\naut-num: AS1003\n"
+    )
+    ir, _ = parse_dump_text(DUMP + extra, "TEST")
+    relationships = AsRelationships.from_as_rel_text(TOPOLOGY)
+    relationships.tier1 = {1001, 1002}
+    return ir, relationships
+
+
+@pytest.fixture(scope="module")
+def verifier(world):
+    ir, relationships = world
+    return Verifier(ir, relationships)
+
+
+def hop(verifier, direction, from_asn, to_asn, prefix, path):
+    report = verifier.verify_route(prefix, tuple(path))
+    for entry in report.hops:
+        if (entry.direction, entry.from_asn, entry.to_asn) == (direction, from_asn, to_asn):
+            return entry
+    raise AssertionError(f"hop not found in {report}")
+
+
+class TestStatuses:
+    def test_verified_export_and_import(self, verifier):
+        export = hop(verifier, "export", 3001, 2001, "10.31.0.0/16", (2001, 3001))
+        assert export.status is VerifyStatus.VERIFIED
+        imported = hop(verifier, "import", 3001, 2001, "10.31.0.0/16", (2001, 3001))
+        assert imported.status is VerifyStatus.VERIFIED
+
+    def test_unrecorded_no_aut_num(self, verifier):
+        imported = hop(verifier, "import", 3001, 2002, "10.31.0.0/16", (2002, 3001))
+        assert imported.status is VerifyStatus.UNRECORDED
+        assert imported.items[0].kind is ItemKind.UNRECORDED_AUT_NUM
+
+    def test_unrecorded_no_rules(self, verifier):
+        imported = hop(verifier, "import", 2001, 1003, "10.31.0.0/16",
+                       (1003, 2001, 3001))
+        # AS1003 exists but has no rules at all.
+        assert imported.status is VerifyStatus.UNRECORDED
+        assert imported.unrecorded_reason is not None
+
+    def test_ignored_single_as(self, verifier):
+        report = verifier.verify_route("10.31.0.0/16", (3001,))
+        assert report.ignored == "single-as"
+        assert not report.hops
+
+    def test_ignored_as_set_path(self, verifier):
+        from repro.bgp.table import RouteEntry
+        from repro.net.prefix import Prefix
+
+        entry = RouteEntry(
+            "c", 2001, Prefix.parse("10.31.0.0/16"), (2001, 3001), frozenset({7})
+        )
+        assert verifier.verify_entry(entry).ignored == "as-set-path"
+
+    def test_prepending_removed(self, verifier):
+        export = hop(
+            verifier, "export", 3001, 2001, "10.31.0.0/16", (2001, 2001, 2001, 3001, 3001)
+        )
+        assert export.status is VerifyStatus.VERIFIED
+
+    def test_skip_community_rule(self, verifier):
+        imported = hop(verifier, "import", 9999, 4001, "10.31.0.0/16", (4001, 9999))
+        assert imported.status is VerifyStatus.SKIP
+
+    def test_hops_ordered_origin_first(self, verifier):
+        report = verifier.verify_route("10.31.0.0/16", (1001, 2001, 3001))
+        assert report.hops[0].from_asn == 3001
+        assert report.hops[0].direction == "export"
+        assert report.hops[1].direction == "import"
+        assert report.hops[-1].to_asn == 1001
+
+
+class TestRelaxations:
+    def test_export_self(self, verifier):
+        # AS2001 announces only AS2001 to its provider, but the route came
+        # from its customer AS3001 → Export Self.
+        export = hop(verifier, "export", 2001, 1001, "10.31.0.0/16",
+                     (1001, 2001, 3001))
+        assert export.status is VerifyStatus.RELAXED
+        assert export.special_case is SpecialCase.EXPORT_SELF
+
+    def test_export_self_strict_for_own_route(self, verifier):
+        # The same rule strictly matches AS2001's own prefix.
+        export = hop(verifier, "export", 2001, 1001, "10.20.0.0/16", (1001, 2001))
+        assert export.status is VerifyStatus.VERIFIED
+
+    def test_import_customer(self, verifier):
+        # AS2001 imports "from AS3001 accept AS3001" but the route was
+        # originated by AS3001's customer... here by AS3001 itself with a
+        # prefix lacking a route object? Use a prefix not registered:
+        imported = hop(verifier, "import", 3001, 2001, "10.99.0.0/16", (2001, 3001))
+        # filter AS3001 fails (no route object for 10.99/16) but the peer
+        # is the customer itself → Import Customer (checked before
+        # missing-routes in 5.1.1 order).
+        assert imported.status is VerifyStatus.RELAXED
+        assert imported.special_case is SpecialCase.IMPORT_CUSTOMER
+
+    def test_missing_routes(self, verifier):
+        # AS3002 exports "announce AS3002" but has no route objects at all;
+        # origin == the filter's AS → missing routes... except zero routes
+        # is UNRECORDED by the paper's order. Use import side at provider?
+        export = hop(verifier, "export", 3002, 2002, "10.42.0.0/16", (2002, 3002))
+        assert export.status is VerifyStatus.UNRECORDED
+        assert export.items[0].kind is ItemKind.UNRECORDED_AS_ROUTES
+
+    def test_missing_routes_relaxation_with_some_routes(self):
+        # An AS with SOME route objects but not this one → RELAXED.
+        dump = """
+aut-num: AS10
+export:  to AS20 announce AS10
+
+aut-num: AS20
+import:  from AS10 accept AS10
+
+route:   10.1.0.0/16
+origin:  AS10
+"""
+        relationships = AsRelationships.from_as_rel_text("20|10|-1\n")
+        ir, _ = parse_dump_text(dump, "T")
+        verifier = Verifier(ir, relationships)
+        export = hop(verifier, "export", 10, 20, "10.2.0.0/16", (20, 10))
+        assert export.status is VerifyStatus.RELAXED
+        assert export.special_case is SpecialCase.MISSING_ROUTES
+        # import side: peering AS10 matched, filter AS10 misses, AS10 is a
+        # customer → import-customer fires first (5.1.1 order).
+        imported = hop(verifier, "import", 10, 20, "10.2.0.0/16", (20, 10))
+        assert imported.status is VerifyStatus.RELAXED
+
+
+class TestSafelists:
+    def test_tier1_pair(self, verifier):
+        imported = hop(verifier, "import", 1001, 1002, "10.31.0.0/16",
+                       (1002, 1001, 2001, 3001))
+        assert imported.status is VerifyStatus.SAFELISTED
+        assert imported.special_case is SpecialCase.TIER1_PAIR
+
+    def test_uphill_export_for_transited_route(self, verifier):
+        # AS2001 → AS1001 is customer→provider; a route AS2001 transits
+        # (origin AS9999, unrelated) is uphill-safelisted on export — but
+        # only because AS2001 is not the origin.
+        export = hop(verifier, "export", 2001, 1001, "10.99.0.0/16",
+                     (1001, 2001, 9999))
+        assert export.status is VerifyStatus.SAFELISTED
+        assert export.special_case is SpecialCase.UPHILL
+
+    def test_uphill_never_excuses_origins_own_export(self, verifier):
+        # Appendix C: the origin's own uphill export is NOT safelisted
+        # (BadExport for AS141893→AS56239) — first-hop filtering is where
+        # the RPSL prevents hijacks.
+        export = hop(verifier, "export", 3001, 2002, "10.99.0.0/16", (2002, 3001))
+        assert export.status is VerifyStatus.UNVERIFIED
+        # The import side of the same hop is still rescued.
+        imported = hop(verifier, "import", 3001, 2002, "10.99.0.0/16", (2002, 3001))
+        assert imported.status is not VerifyStatus.UNVERIFIED
+
+    def test_only_provider_policies(self):
+        dump = """
+aut-num: AS10
+import:  from AS99 accept ANY
+export:  to AS99 announce AS10
+
+aut-num: AS30
+export:  to AS10 announce AS30
+
+route:   10.30.0.0/16
+origin:  AS30
+"""
+        # AS10's rules reference only AS99 (its provider); AS30 is a peer.
+        relationships = AsRelationships.from_as_rel_text("99|10|-1\n10|30|0\n")
+        ir, _ = parse_dump_text(dump, "T")
+        verifier = Verifier(ir, relationships)
+        imported = hop(verifier, "import", 30, 10, "10.30.0.0/16", (10, 30))
+        assert imported.status is VerifyStatus.SAFELISTED
+        assert imported.special_case is SpecialCase.ONLY_PROVIDER_POLICIES
+        assert imported.items[-1].kind is ItemKind.SPEC_OTHER_ONLY_PROVIDER_POLICIES
+
+    def test_unverified_when_nothing_applies(self, verifier):
+        # Peer-to-peer hop T1a→MID2's customer? Use AS2001 importing from a
+        # stranger AS the rules don't cover and no relationship explains.
+        imported = hop(verifier, "import", 9999, 2001, "10.99.0.0/16", (2001, 9999))
+        assert imported.status is VerifyStatus.UNVERIFIED
+        assert all(item.kind is ItemKind.MATCH_REMOTE_AS_NUM for item in imported.items)
+
+
+class TestOptions:
+    def test_relaxations_disabled(self, world):
+        ir, relationships = world
+        strict = Verifier(ir, relationships, VerifyOptions(relaxations=False))
+        export = hop(strict, "export", 2001, 1001, "10.31.0.0/16", (1001, 2001, 3001))
+        assert export.status is not VerifyStatus.RELAXED
+
+    def test_safelists_disabled(self, world):
+        ir, relationships = world
+        strict = Verifier(
+            ir, relationships, VerifyOptions(relaxations=False, safelists=False)
+        )
+        imported = hop(strict, "import", 1001, 1002, "10.31.0.0/16",
+                       (1002, 1001, 2001, 3001))
+        assert imported.status is VerifyStatus.UNVERIFIED  # no safelist rescue
+
+    def test_afi_gating(self):
+        dump = """
+aut-num: AS10
+mp-import: afi ipv6.unicast from AS20 accept ANY
+import:    from AS20 accept {10.0.0.0/8^+}
+"""
+        ir, _ = parse_dump_text(dump, "T")
+        relationships = AsRelationships.from_as_rel_text("20|10|-1\n")
+        verifier = Verifier(ir, relationships)
+        v6 = hop(verifier, "import", 20, 10, "2001:db8::/32", (10, 20))
+        assert v6.status is VerifyStatus.VERIFIED  # via the mp-import rule
+        v4 = hop(verifier, "import", 20, 10, "10.1.0.0/16", (10, 20))
+        assert v4.status is VerifyStatus.VERIFIED  # via the v4 rule
+
+
+class TestSkipCensus:
+    def test_census_counts(self, world):
+        ir, _ = world
+        census = rule_skip_census(ir)
+        assert census["total"] >= 10
+        assert census["community-filter"] == 1
+        assert census["skipped"] >= 1
+
+    def test_census_counts_unparsed(self):
+        ir, _ = parse_dump_text(
+            "aut-num: AS1\nimport: from AS2 accept GARBAGE IN\n", "T"
+        )
+        census = rule_skip_census(ir)
+        assert census["unparsed"] == 1
+        assert census["skipped"] == 1
