@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures lint-world clean
+.PHONY: install test ci bench examples figures lint-world clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -10,6 +10,15 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Mirror .github/workflows/ci.yml locally: lint (when ruff is present) + tier-1.
+ci:
+	@if command -v ruff >/dev/null 2>&1; then \
+	  ruff check src tests; \
+	else \
+	  echo "ruff not installed; skipping lint"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -32,12 +32,12 @@ def test_verify_throughput(benchmark, verifier, routes):
 
 
 def test_verify_throughput_parallel(benchmark, ir, world, routes):
-    from repro.core.parallel import verify_entries_parallel
+    from repro.core.parallel import verify_table
 
     sample = routes[:6000]
 
     def run():
-        return verify_entries_parallel(
+        return verify_table(
             ir, world.topology, sample, processes=4, chunk_size=1000
         )
 

@@ -1,46 +1,71 @@
 """RPSLyzer reproduction: parse, characterize, and verify RPSL policies.
 
-Public API tour:
+The supported entry point is the :mod:`repro.api` facade, re-exported
+here; it mirrors the paper's pipeline stages:
 
-* parse IRR dumps — :func:`repro.irr.parse_dump_text` /
-  :func:`repro.irr.parse_registry_dir`, merged via
-  :class:`repro.irr.Registry`;
-* the intermediate representation — :class:`repro.ir.Ir`, JSON round-trip
-  in :mod:`repro.ir.json_io`;
-* verify BGP routes — :class:`repro.core.Verifier` over an IR plus an
-  :class:`repro.bgp.AsRelationships` database;
-* characterize — :mod:`repro.stats`;
-* generate an offline world — :func:`repro.irr.synth.build_world`.
+* :func:`synthesize` — generate an offline world (IRR dumps + topology);
+* :func:`parse_dumps` — parse a directory of dumps into one merged
+  :class:`Ir` plus its parse issues;
+* :func:`verify_table` — verify BGP routes, serial or multi-process, into
+  :class:`VerificationStats`;
+* :func:`characterize` — the Section 4 characterization.
+
+Observability for all of it lives in :mod:`repro.obs` (metrics registry,
+phase spans, run manifests); lower-level pieces (:class:`Verifier`,
+:class:`Registry`, the RPSL parsers) remain importable for tooling but are
+implementation detail.
 
 Quickstart::
 
-    from repro import Verifier, parse_dump_text
-    from repro.bgp.topology import AsRelationships
+    from repro import parse_dumps, verify_table, AsRelationships
+    from repro.bgp.table import parse_table_file
 
-    ir, errors = parse_dump_text(open("ripe.db").read(), "RIPE")
-    verifier = Verifier(ir, AsRelationships.load("as-rel.txt"))
-    report = verifier.verify_route("192.0.2.0/24", (3356, 1299, 64500))
-    print(report)
+    ir, errors = parse_dumps("dumps/")
+    stats = verify_table(
+        ir,
+        AsRelationships.load("as-rel.txt"),
+        parse_table_file("table.txt"),
+        processes=4,
+    )
+    print(stats.summary())
 """
 
+from repro.api import (
+    characterize,
+    make_verifier,
+    parse_dumps,
+    parse_registry,
+    synthesize,
+    verify_table,
+)
 from repro.bgp.topology import AsRelationships
-from repro.core.verify import Verifier, VerifyOptions
 from repro.core.status import SpecialCase, VerifyStatus
+from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.model import Ir
 from repro.irr.dump import parse_dump_file, parse_dump_text
 from repro.irr.registry import Registry, parse_registry_dir
 from repro.net.prefix import Prefix
+from repro.stats.verification import VerificationStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the supported facade
+    "characterize",
+    "make_verifier",
+    "parse_dumps",
+    "parse_registry",
+    "synthesize",
+    "verify_table",
+    "VerificationStats",
+    "VerifyOptions",
+    # core model and lower-level pieces
     "AsRelationships",
     "Ir",
     "Prefix",
     "Registry",
     "SpecialCase",
     "Verifier",
-    "VerifyOptions",
     "VerifyStatus",
     "__version__",
     "parse_dump_file",

@@ -1,0 +1,172 @@
+"""``repro.api`` — the single supported entry point to the pipeline.
+
+The facade mirrors the paper's four stages and is what the CLI itself
+runs on; everything else under ``repro.core``/``repro.irr`` is
+implementation detail and may change between versions:
+
+* :func:`synthesize` — build an offline world (IRR dumps + topology);
+* :func:`parse_dumps` — parse a directory of dumps into one merged IR;
+* :func:`verify_table` — verify routes, serial or multi-process;
+* :func:`characterize` — the Section 4 characterization of an IR.
+
+All stages report into the current :mod:`repro.obs` metrics registry when
+one is installed, so a caller gets phase timings and counters with::
+
+    from repro import api
+    from repro.obs import MetricsRegistry, use_registry, build_manifest
+
+    with use_registry(MetricsRegistry()) as registry:
+        ir, errors = api.parse_dumps("dumps/")
+        stats = api.verify_table(ir, rels, entries, processes=8)
+    manifest = build_manifest("my-run", registry)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.bgp.table import RouteEntry
+from repro.bgp.topology import AsRelationships
+from repro.core.parallel import verify_table as _verify_table
+from repro.core.query import QueryEngine
+from repro.core.report import RouteReport
+from repro.core.verify import Verifier, VerifyOptions
+from repro.ir.model import Ir
+from repro.irr.registry import Registry, parse_registry_dir
+from repro.irr.synth import SynthConfig, SynthWorld, build_world, default_config, tiny_config
+from repro.irr.whois import WhoisServer
+from repro.obs import get_registry
+from repro.rpsl.errors import ErrorCollector
+from repro.stats.as_sets import as_set_stats
+from repro.stats.routes import route_object_stats
+from repro.stats.usage import filter_kind_census, peering_simplicity, rules_ccdf
+from repro.stats.verification import VerificationStats
+from repro.tools.recommend import RouteSetRecommendation, recommend_route_set
+
+__all__ = [
+    "synthesize",
+    "parse_dumps",
+    "parse_registry",
+    "make_verifier",
+    "verify_table",
+    "characterize",
+    "recommend_migrations",
+    "serve_whois",
+]
+
+
+def synthesize(
+    config: SynthConfig | str | None = None, *, seed: int = 42
+) -> SynthWorld:
+    """Generate a synthetic world (Section 3's offline evaluation setup).
+
+    ``config`` is a :class:`SynthConfig`, a preset name (``"tiny"`` or
+    ``"default"``), or None for the default preset; ``seed`` applies to
+    preset names only.
+    """
+    if config is None:
+        config = default_config(seed)
+    elif isinstance(config, str):
+        if config == "tiny":
+            config = tiny_config(seed)
+        elif config == "default":
+            config = default_config(seed)
+        else:
+            raise ValueError(f"unknown preset {config!r} (try 'tiny' or 'default')")
+    with get_registry().span("synth"):
+        return build_world(config)
+
+
+def parse_registry(directory: str | Path) -> Registry:
+    """Parse every ``*.db`` dump in a directory into a multi-IRR registry."""
+    return parse_registry_dir(directory)
+
+
+def parse_dumps(directory: str | Path) -> tuple[Ir, ErrorCollector]:
+    """Parse and priority-merge a directory of IRR dumps.
+
+    Returns the merged IR plus every parse issue across all dumps.  Use
+    :func:`parse_registry` instead when per-IRR views (Table 1) are needed.
+    """
+    registry = parse_registry_dir(directory)
+    return registry.merged(), registry.all_errors()
+
+
+def make_verifier(
+    ir: Ir,
+    relationships: AsRelationships,
+    options: VerifyOptions | None = None,
+) -> Verifier:
+    """A single-route verifier for ad-hoc ⟨prefix, AS-path⟩ checks."""
+    return Verifier(ir, relationships, options)
+
+
+def verify_table(
+    ir: Ir,
+    relationships: AsRelationships,
+    entries: Iterable[RouteEntry],
+    *,
+    options: VerifyOptions | None = None,
+    processes: int | None = 1,
+    chunk_size: int = 2000,
+    start_method: str | None = None,
+    on_report: Callable[[RouteReport], None] | None = None,
+) -> VerificationStats:
+    """Verify a table of routes (Section 5), serial or multi-process.
+
+    ``entries`` may be any iterable — including the streaming generator
+    from :func:`repro.bgp.table.parse_table_file` — and is chunked lazily.
+    ``processes=1`` verifies in-process; ``N`` fans out to worker
+    processes; ``None`` uses every CPU.  Both paths return equal
+    :class:`VerificationStats`.  ``on_report`` receives every per-route
+    report (forces the serial path).
+    """
+    return _verify_table(
+        ir,
+        relationships,
+        entries,
+        options=options,
+        processes=processes,
+        chunk_size=chunk_size,
+        start_method=start_method,
+        on_report=on_report,
+    )
+
+
+def characterize(ir: Ir) -> dict:
+    """The Section 4 characterization of an IR as one JSON-able dict."""
+    with get_registry().span("characterize"):
+        return {
+            "counts": ir.counts(),
+            "rules_ccdf_head": rules_ccdf(ir)[:20],
+            "peering_simplicity": peering_simplicity(ir),
+            "filter_kinds": filter_kind_census(ir),
+            "route_objects": route_object_stats(ir).as_dict(),
+            "as_sets": as_set_stats(ir).as_dict(),
+        }
+
+
+def recommend_migrations(
+    ir: Ir,
+    asns: Iterable[int] | None = None,
+    relationships: AsRelationships | None = None,
+    limit: int = 0,
+) -> Iterator[RouteSetRecommendation]:
+    """Yield route-set migration proposals (the paper's Section 4 advice)."""
+    query = QueryEngine(ir)
+    targets = sorted(ir.aut_nums) if asns is None else [int(asn) for asn in asns]
+    emitted = 0
+    for asn in targets:
+        recommendation = recommend_route_set(ir, asn, query, relationships)
+        if recommendation is None:
+            continue
+        yield recommendation
+        emitted += 1
+        if limit and emitted >= limit:
+            return
+
+
+def serve_whois(ir: Ir, host: str = "127.0.0.1", port: int = 4343) -> WhoisServer:
+    """A WHOIS/IRRd-style server over an IR (caller starts/stops it)."""
+    return WhoisServer(ir, host=host, port=port)

@@ -9,7 +9,16 @@ Subcommands mirror the paper's pipeline:
 * ``verify --ir ir.json --as-rel as-rel.txt --table dump.txt`` — verify a
   BGP table dump and print summary statistics (or per-route reports with
   ``--report``);
-* ``stats --ir ir.json`` — print the Section 4 characterization.
+* ``stats --ir ir.json`` — print the Section 4 characterization;
+* ``metrics run.json`` — render a run manifest as Prometheus-style text.
+
+The pipeline subcommands accept ``--metrics <path>`` to record the run —
+phase wall/CPU timings, counters, histograms, input digests — into a JSON
+run manifest for diffable, auditable benchmarking (see
+``docs/observability.md``).
+
+Every subcommand is a thin shell over :mod:`repro.api`, the supported
+programmatic entry point; the CLI touches no pipeline internals.
 """
 
 from __future__ import annotations
@@ -17,32 +26,48 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
-from repro.bgp.table import parse_table_file, write_table_file
+from repro import VerifyOptions, api
 from repro.bgp.routegen import collector_routes
+from repro.bgp.table import parse_table_file, write_table_file
 from repro.bgp.topology import AsRelationships
-from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.json_io import dump_ir, load_ir
-from repro.irr.registry import parse_registry_dir
-from repro.stats.as_sets import as_set_stats
-from repro.stats.routes import route_object_stats
-from repro.stats.usage import filter_kind_census, peering_simplicity, rules_ccdf
-from repro.stats.verification import VerificationStats
+from repro.obs import (
+    MetricsRegistry,
+    build_manifest,
+    load_manifest,
+    render_prometheus,
+    use_registry,
+    write_manifest,
+)
 
 __all__ = ["main"]
 
 
-def _cmd_synth(args: argparse.Namespace) -> int:
-    from repro.irr.synth import SynthConfig, build_world, default_config, tiny_config
+@contextmanager
+def _metrics_session(args: argparse.Namespace, inputs: list, config: dict):
+    """Record the run into a manifest when ``--metrics <path>`` was given."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        yield
+        return
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield
+    manifest = build_manifest(
+        command=" ".join([args.command, *map(str, inputs)]),
+        registry=registry,
+        inputs=inputs,
+        config=config,
+    )
+    write_manifest(path, manifest)
+    print(f"run manifest written to {path}", file=sys.stderr)
 
-    if args.preset == "tiny":
-        config = tiny_config(args.seed)
-    elif args.preset == "default":
-        config = default_config(args.seed)
-    else:
-        config = SynthConfig(seed=args.seed)
-    world = build_world(config)
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    world = api.synthesize(args.preset, seed=args.seed)
     world.write_to_dir(args.directory)
     if args.routes:
         entries = collector_routes(world.topology, world.announced, world.collectors)
@@ -53,10 +78,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
-    registry = parse_registry_dir(args.directory)
-    merged = registry.merged()
-    errors = registry.all_errors()
-    dump_ir(merged, args.output)
+    with _metrics_session(args, [args.directory], {"output": args.output}):
+        merged, errors = api.parse_dumps(args.directory)
+        dump_ir(merged, args.output)
     counts = merged.counts()
     print(
         f"parsed {counts['aut-num']} aut-nums, {counts['route']} routes, "
@@ -68,27 +92,32 @@ def _cmd_parse(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    ir = load_ir(args.ir)
-    relationships = AsRelationships.load(args.as_rel)
     options = VerifyOptions(
         relaxations=not args.no_relaxations, safelists=not args.no_safelists
     )
-    if args.processes > 1 and not args.report:
-        from repro.core.parallel import verify_entries_parallel
+    config = {
+        "relaxations": options.relaxations,
+        "safelists": options.safelists,
+        "processes": args.processes,
+        "report": bool(args.report),
+    }
+    with _metrics_session(args, [args.ir, args.as_rel, args.table], config):
+        ir = load_ir(args.ir)
+        relationships = AsRelationships.load(args.as_rel)
 
-        entries = list(parse_table_file(args.table))
-        stats = verify_entries_parallel(
-            ir, relationships, entries, options, processes=args.processes
-        )
-    else:
-        verifier = Verifier(ir, relationships, options)
-        stats = VerificationStats()
-        for entry in parse_table_file(args.table):
-            report = verifier.verify_entry(entry)
-            stats.add_report(report)
-            if args.report and report.ignored is None:
+        def print_report(report) -> None:
+            if report.ignored is None:
                 print(report)
                 print()
+
+        stats = api.verify_table(
+            ir,
+            relationships,
+            parse_table_file(args.table),
+            options=options,
+            processes=args.processes,
+            on_report=print_report if args.report else None,
+        )
     if args.figures_dir:
         from repro.stats import export
 
@@ -106,17 +135,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    ir = load_ir(args.ir)
-    result = {
-        "counts": ir.counts(),
-        "rules_ccdf_head": rules_ccdf(ir)[:20],
-        "peering_simplicity": peering_simplicity(ir),
-        "filter_kinds": filter_kind_census(ir),
-        "route_objects": route_object_stats(ir).as_dict(),
-        "as_sets": as_set_stats(ir).as_dict(),
-    }
+    with _metrics_session(args, [args.ir], {}):
+        ir = load_ir(args.ir)
+        result = api.characterize(ir)
     json.dump(result, sys.stdout, indent=2, default=str)
     print()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.manifest)
+    sys.stdout.write(render_prometheus(manifest))
     return 0
 
 
@@ -164,33 +193,24 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
-    from repro.core.query import QueryEngine
-    from repro.tools.recommend import recommend_route_set
-
     ir = load_ir(args.ir)
     relationships = AsRelationships.load(args.as_rel) if args.as_rel else None
-    query = QueryEngine(ir)
-    targets = [int(asn) for asn in args.asn] if args.asn else sorted(ir.aut_nums)
+    asns = [int(asn) for asn in args.asn] if args.asn else None
     emitted = 0
-    for asn in targets:
-        recommendation = recommend_route_set(ir, asn, query, relationships)
-        if recommendation is None:
-            continue
+    for recommendation in api.recommend_migrations(
+        ir, asns, relationships, limit=args.limit
+    ):
         print(recommendation.summary())
         print(recommendation.rpsl)
         print()
         emitted += 1
-        if args.limit and emitted >= args.limit:
-            break
     print(f"{emitted} migration(s) proposed", file=sys.stderr)
     return 0
 
 
 def _cmd_whois(args: argparse.Namespace) -> int:
-    from repro.irr.whois import WhoisServer
-
     ir = load_ir(args.ir)
-    server = WhoisServer(ir, host=args.host, port=args.port)
+    server = api.serve_whois(ir, host=args.host, port=args.port)
     print(f"whois server on {args.host}:{server.port} (Ctrl-C to stop)", file=sys.stderr)
     try:
         server.start()
@@ -203,6 +223,14 @@ def _cmd_whois(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON run manifest (timings, counters, input digests) here",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     parse = subparsers.add_parser("parse", help="parse IRR dumps to IR JSON")
     parse.add_argument("directory")
     parse.add_argument("-o", "--output", default="ir.json")
+    _add_metrics_flag(parse)
     parse.set_defaults(func=_cmd_parse)
 
     verify = subparsers.add_parser("verify", help="verify a BGP table dump")
@@ -233,11 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-safelists", action="store_true")
     verify.add_argument("--processes", type=int, default=1, help="worker processes")
     verify.add_argument("--figures-dir", help="also write Figures 2-6 CSV data here")
+    _add_metrics_flag(verify)
     verify.set_defaults(func=_cmd_verify)
 
     stats = subparsers.add_parser("stats", help="characterize an IR")
     stats.add_argument("--ir", required=True)
+    _add_metrics_flag(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render a run manifest as Prometheus-style text"
+    )
+    metrics.add_argument("manifest")
+    metrics.set_defaults(func=_cmd_metrics)
 
     lint = subparsers.add_parser("lint", help="lint RPSL policies")
     lint.add_argument("--ir", required=True)

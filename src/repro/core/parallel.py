@@ -1,28 +1,260 @@
-"""Parallel bulk verification across processes.
+"""Bulk verification: one entry point for serial and multi-process runs.
 
-The paper verifies 779 M routes on a dual-64-core server; this module is
-the multi-core path for the Python reproduction.  Each worker process
-builds one :class:`~repro.core.verify.Verifier` (the query-engine indexes
-are per-process, so no shared mutable state), verifies its chunk of
-routes, folds them into a local :class:`VerificationStats`, and the
-per-worker aggregates are merged — reports themselves never cross process
-boundaries, keeping IPC traffic tiny.
+The paper verifies 779 M routes on a dual-64-core server;
+:func:`verify_table` is this reproduction's bulk path.  With
+``processes=1`` it streams entries through one
+:class:`~repro.core.verify.Verifier`; with more, entries are chunked
+*lazily* from the input iterable (dumps never have to fit in memory as a
+list), each worker process builds its own Verifier (the query-engine
+indexes are per-process, so no shared mutable state), folds its chunk into
+a local :class:`VerificationStats`, and the per-worker aggregates are
+merged — reports themselves never cross process boundaries, keeping IPC
+traffic tiny.
+
+Worker processes fork where the platform supports it (cheapest: the parsed
+IR is shared copy-on-write) and fall back to ``spawn`` elsewhere
+(macOS/Windows), where the IR is pickled to each worker instead.  Metrics
+follow the same merge discipline as the stats: when the parent has a live
+:class:`~repro.obs.MetricsRegistry`, each worker records into its own
+registry and per-chunk snapshot *deltas* ride back with the chunk results
+to be folded into the parent's registry.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterable, Sequence
+import warnings
+from itertools import islice
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.bgp.table import RouteEntry
 from repro.bgp.topology import AsRelationships
+from repro.core.report import RouteReport
 from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.model import Ir
+from repro.obs import MetricsRegistry, get_registry, set_registry
 from repro.stats.verification import VerificationStats
 
-__all__ = ["verify_entries", "verify_entries_parallel"]
+__all__ = ["verify_table", "verify_entries", "verify_entries_parallel"]
 
 _WORKER_VERIFIER: Verifier | None = None
+_WORKER_COLLECT_METRICS = False
+_WORKER_LAST_SNAPSHOT: dict | None = None
+
+
+def _iter_chunks(
+    entries: Iterable[RouteEntry], chunk_size: int
+) -> Iterator[list[RouteEntry]]:
+    iterator = iter(entries)
+    while chunk := list(islice(iterator, chunk_size)):
+        yield chunk
+
+
+def _chain_first(
+    first: list[RouteEntry], rest: Iterator[list[RouteEntry]]
+) -> Iterator[list[RouteEntry]]:
+    yield first
+    yield from rest
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _record_cache_hit_rate(registry) -> None:
+    """Derive the hop-cache hit-rate gauge from the merged counters."""
+    hits = registry.counter("verify_hop_cache_total", result="hit").value
+    misses = registry.counter("verify_hop_cache_total", result="miss").value
+    total = hits + misses
+    registry.gauge("verify_hop_cache_hit_rate").set(hits / total if total else 0.0)
+
+
+def _snapshot_delta(current: dict, previous: dict | None) -> dict:
+    """What ``current`` adds over ``previous`` (worker chunk boundaries).
+
+    The worker's registry accumulates for its whole life (so the verifier's
+    pre-bound instruments stay valid and the hop cache survives across
+    chunks); each chunk ships only the delta so the parent's merge stays an
+    exact sum.  Gauges are point-in-time and pass through unchanged.
+    """
+    if previous is None:
+        return current
+
+    def key(record: dict) -> tuple:
+        return (record["name"], tuple(sorted(record["labels"].items())))
+
+    prev_counters = {key(r): r for r in previous.get("counters", ())}
+    counters = []
+    for record in current.get("counters", ()):
+        before = prev_counters.get(key(record))
+        value = record["value"] - (before["value"] if before else 0)
+        if value:
+            counters.append({**record, "value": value})
+
+    prev_hists = {key(r): r for r in previous.get("histograms", ())}
+    histograms = []
+    for record in current.get("histograms", ()):
+        before = prev_hists.get(key(record))
+        if before is None:
+            if record["count"]:
+                histograms.append(record)
+            continue
+        count = record["count"] - before["count"]
+        if not count:
+            continue
+        histograms.append(
+            {
+                **record,
+                "bucket_counts": [
+                    now - then
+                    for now, then in zip(
+                        record["bucket_counts"], before["bucket_counts"]
+                    )
+                ],
+                "sum": record["sum"] - before["sum"],
+                "count": count,
+            }
+        )
+
+    prev_spans = {r["path"]: r for r in previous.get("spans", ())}
+    spans = []
+    for record in current.get("spans", ()):
+        before = prev_spans.get(record["path"])
+        if before is None:
+            spans.append(record)
+            continue
+        count = record["count"] - before["count"]
+        if not count:
+            continue
+        spans.append(
+            {
+                **record,
+                "count": count,
+                "wall_s": record["wall_s"] - before["wall_s"],
+                "cpu_s": record["cpu_s"] - before["cpu_s"],
+            }
+        )
+
+    return {
+        "counters": counters,
+        "gauges": current.get("gauges", []),
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
+def _verify_serial(
+    ir: Ir,
+    relationships: AsRelationships,
+    entries: Iterable[RouteEntry],
+    options: VerifyOptions | None,
+    on_report: Callable[[RouteReport], None] | None,
+) -> VerificationStats:
+    verifier = Verifier(ir, relationships, options)
+    stats = VerificationStats()
+    for entry in entries:
+        report = verifier.verify_entry(entry)
+        stats.add_report(report)
+        if on_report is not None:
+            on_report(report)
+    return stats
+
+
+def _init_worker(
+    ir: Ir,
+    relationships: AsRelationships,
+    options: VerifyOptions | None,
+    collect_metrics: bool,
+) -> None:
+    global _WORKER_VERIFIER, _WORKER_COLLECT_METRICS, _WORKER_LAST_SNAPSHOT
+    _WORKER_COLLECT_METRICS = collect_metrics
+    _WORKER_LAST_SNAPSHOT = None
+    # A fresh registry per worker (never the parent's — under fork the
+    # child would otherwise write into an inherited copy that nobody reads).
+    set_registry(MetricsRegistry() if collect_metrics else None)
+    _WORKER_VERIFIER = Verifier(ir, relationships, options)
+
+
+def _verify_chunk(
+    entries: Sequence[RouteEntry],
+) -> tuple[VerificationStats, dict | None]:
+    global _WORKER_LAST_SNAPSHOT
+    assert _WORKER_VERIFIER is not None
+    registry = get_registry()
+    stats = VerificationStats()
+    with registry.span("verify/worker"):
+        for entry in entries:
+            stats.add_report(_WORKER_VERIFIER.verify_entry(entry))
+    if not _WORKER_COLLECT_METRICS:
+        return stats, None
+    snapshot = registry.snapshot()
+    delta = _snapshot_delta(snapshot, _WORKER_LAST_SNAPSHOT)
+    _WORKER_LAST_SNAPSHOT = snapshot
+    return stats, delta
+
+
+def verify_table(
+    ir: Ir,
+    relationships: AsRelationships,
+    entries: Iterable[RouteEntry],
+    *,
+    options: VerifyOptions | None = None,
+    processes: int | None = 1,
+    chunk_size: int = 2000,
+    start_method: str | None = None,
+    on_report: Callable[[RouteReport], None] | None = None,
+) -> VerificationStats:
+    """Verify a table of routes; serial and parallel return equal stats.
+
+    ``entries`` may be any iterable (e.g. the streaming
+    :func:`~repro.bgp.table.parse_table_file` generator) — the parallel
+    path chunks it lazily, so the whole table is never materialized.
+    ``processes=None`` uses every CPU; ``1`` (the default) stays
+    in-process.  ``on_report`` is called with every
+    :class:`~repro.core.report.RouteReport` and forces the serial path
+    (reports do not cross process boundaries).  ``start_method`` overrides
+    the multiprocessing start method; by default ``fork`` is used where
+    available and ``spawn`` otherwise.
+    """
+    if processes is None:
+        processes = multiprocessing.cpu_count()
+    registry = get_registry()
+    with registry.span("verify"):
+        if processes <= 1 or on_report is not None:
+            stats = _verify_serial(ir, relationships, entries, options, on_report)
+            if registry.enabled:
+                _record_cache_hit_rate(registry)
+            return stats
+
+        chunks = _iter_chunks(entries, chunk_size)
+        first = next(chunks, None)
+        if first is None:
+            return VerificationStats()
+        if len(first) < chunk_size:
+            # The whole table fit in one chunk: process start-up would not
+            # amortize, so verify in-process instead.
+            stats = _verify_serial(ir, relationships, first, options, None)
+            if registry.enabled:
+                _record_cache_hit_rate(registry)
+            return stats
+
+        total = VerificationStats()
+        collect_metrics = registry.enabled
+        context = multiprocessing.get_context(start_method or _default_start_method())
+        with context.Pool(
+            processes=processes,
+            initializer=_init_worker,
+            initargs=(ir, relationships, options, collect_metrics),
+        ) as pool:
+            chained = _chain_first(first, chunks)
+            for partial, snapshot in pool.imap_unordered(_verify_chunk, chained):
+                total.merge(partial)
+                if snapshot is not None:
+                    registry.merge_snapshot(snapshot)
+        if collect_metrics:
+            registry.gauge("verify_workers").set(processes)
+            _record_cache_hit_rate(registry)
+        return total
 
 
 def verify_entries(
@@ -31,25 +263,13 @@ def verify_entries(
     entries: Iterable[RouteEntry],
     options: VerifyOptions | None = None,
 ) -> VerificationStats:
-    """Single-process bulk verification into an aggregate."""
-    verifier = Verifier(ir, relationships, options)
-    stats = VerificationStats()
-    for entry in entries:
-        stats.add_report(verifier.verify_entry(entry))
-    return stats
-
-
-def _init_worker(ir: Ir, relationships: AsRelationships, options: VerifyOptions | None) -> None:
-    global _WORKER_VERIFIER
-    _WORKER_VERIFIER = Verifier(ir, relationships, options)
-
-
-def _verify_chunk(entries: Sequence[RouteEntry]) -> VerificationStats:
-    assert _WORKER_VERIFIER is not None
-    stats = VerificationStats()
-    for entry in entries:
-        stats.add_report(_WORKER_VERIFIER.verify_entry(entry))
-    return stats
+    """Deprecated alias for :func:`verify_table` with ``processes=1``."""
+    warnings.warn(
+        "verify_entries() is deprecated; use repro.api.verify_table(processes=1)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return verify_table(ir, relationships, entries, options=options, processes=1)
 
 
 def verify_entries_parallel(
@@ -60,27 +280,17 @@ def verify_entries_parallel(
     processes: int | None = None,
     chunk_size: int = 2000,
 ) -> VerificationStats:
-    """Verify routes across worker processes; results merge exactly.
-
-    Falls back to the single-process path when one worker (or a trivially
-    small input) would not amortize the process start-up cost.
-    """
-    if processes is None:
-        processes = multiprocessing.cpu_count()
-    if processes <= 1 or len(entries) <= chunk_size:
-        return verify_entries(ir, relationships, entries, options)
-
-    chunks = [
-        entries[start : start + chunk_size]
-        for start in range(0, len(entries), chunk_size)
-    ]
-    total = VerificationStats()
-    context = multiprocessing.get_context("fork")
-    with context.Pool(
+    """Deprecated alias for :func:`verify_table` with ``processes=N``."""
+    warnings.warn(
+        "verify_entries_parallel() is deprecated; use repro.api.verify_table()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return verify_table(
+        ir,
+        relationships,
+        entries,
+        options=options,
         processes=processes,
-        initializer=_init_worker,
-        initargs=(ir, relationships, options),
-    ) as pool:
-        for partial in pool.imap_unordered(_verify_chunk, chunks):
-            total.merge(partial)
-    return total
+        chunk_size=chunk_size,
+    )

@@ -19,6 +19,7 @@ rules and Y's import rules.  Every check is classified, in order, as:
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 
@@ -33,6 +34,7 @@ from repro.core.special import SpecialCaseChecker
 from repro.core.status import VerifyStatus
 from repro.ir.model import Ir
 from repro.net.prefix import Prefix
+from repro.obs import get_registry
 from repro.rpsl.aspath import regex_flags
 from repro.rpsl.filter import Filter, FilterAsPathRegex, FilterCommunity
 from repro.rpsl.policy import (
@@ -102,6 +104,32 @@ def _combine_and(left: _RuleEval, right: _RuleEval) -> _RuleEval:
     )
 
 
+class _VerifierMetrics:
+    """Pre-bound instruments for the verifier's hot path.
+
+    Bound once per :class:`Verifier` so each hop check costs plain method
+    calls, never a registry lookup.  A Verifier built under the null
+    registry gets no ``_VerifierMetrics`` at all — the disabled cost is one
+    ``is None`` branch per hop.
+    """
+
+    __slots__ = ("registry", "status", "cache_hits", "cache_misses", "latency", "routes")
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.status = {
+            status: registry.counter("verify_hops_total", status=status.label)
+            for status in VerifyStatus
+        }
+        self.cache_hits = registry.counter("verify_hop_cache_total", result="hit")
+        self.cache_misses = registry.counter("verify_hop_cache_total", result="miss")
+        self.latency = registry.histogram("verify_hop_seconds")
+        self.routes = registry.counter("verify_routes_total")
+
+    def ignored(self, reason: str) -> None:
+        self.registry.counter("verify_routes_ignored_total", reason=reason).inc()
+
+
 class Verifier:
     """Verifies BGP routes against the policies of one (merged) IR."""
 
@@ -128,18 +156,27 @@ class Verifier:
         self._hop_cache: dict[tuple, HopReport] = {}
         self.hop_cache_hits = 0
         self.hop_cache_misses = 0
+        registry = get_registry()
+        self._metrics = _VerifierMetrics(registry) if registry.enabled else None
 
     # -- route-level entry points ---------------------------------------
 
     def verify_entry(self, entry: RouteEntry) -> RouteReport:
         """Verify one observed route; hops are reported origin side first."""
         report = RouteReport(entry=entry)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.routes.inc()
         if entry.as_set is not None:
             report.ignored = "as-set-path"
+            if metrics is not None:
+                metrics.ignored(report.ignored)
             return report
         path = entry.deprepended_path()
         if len(path) <= 1:
             report.ignored = "single-as"
+            if metrics is not None:
+                metrics.ignored(report.ignored)
             return report
         for index in range(len(path) - 2, -1, -1):
             exporter = path[index + 1]
@@ -185,20 +222,46 @@ class Verifier:
         endpoints, the prefix, and the sub-path toward the origin — so a
         hit is exact, and reports are immutable so sharing is safe.
         """
+        metrics = self._metrics
         cache_size = self.options.hop_cache_size
         if cache_size:
             key = (direction, from_asn, to_asn, ctx.prefix, ctx.as_path, ctx.communities)
             cached = self._hop_cache.get(key)
             if cached is not None:
                 self.hop_cache_hits += 1
+                if metrics is not None:
+                    metrics.cache_hits.inc()
+                    metrics.status[cached.status].inc()
                 return cached
             self.hop_cache_misses += 1
-            report = self._check_uncached(direction, from_asn, to_asn, ctx)
+            report = self._checked(direction, from_asn, to_asn, ctx, metrics)
+            if metrics is not None:
+                metrics.cache_misses.inc()
+                metrics.status[report.status].inc()
             if len(self._hop_cache) >= cache_size:
                 self._hop_cache.clear()
             self._hop_cache[key] = report
             return report
-        return self._check_uncached(direction, from_asn, to_asn, ctx)
+        report = self._checked(direction, from_asn, to_asn, ctx, metrics)
+        if metrics is not None:
+            metrics.status[report.status].inc()
+        return report
+
+    def _checked(
+        self,
+        direction: str,
+        from_asn: int,
+        to_asn: int,
+        ctx: MatchContext,
+        metrics: _VerifierMetrics | None,
+    ) -> HopReport:
+        """Run an uncached check, timing it when metrics are enabled."""
+        if metrics is None:
+            return self._check_uncached(direction, from_asn, to_asn, ctx)
+        started = time.perf_counter()
+        report = self._check_uncached(direction, from_asn, to_asn, ctx)
+        metrics.latency.observe(time.perf_counter() - started)
+        return report
 
     def _check_uncached(
         self, direction: str, from_asn: int, to_asn: int, ctx: MatchContext

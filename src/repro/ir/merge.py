@@ -11,6 +11,7 @@ the duplicates.
 from __future__ import annotations
 
 from repro.ir.model import Ir
+from repro.obs import get_registry
 
 __all__ = ["IRR_PRIORITY", "merge_irs"]
 
@@ -44,18 +45,33 @@ def merge_irs(irs: dict[str, Ir], priority: tuple[str, ...] = IRR_PRIORITY) -> I
     """
     order = [name for name in priority if name in irs]
     order += sorted(name for name in irs if name not in priority)
+    registry = get_registry()
     merged = Ir()
-    for name in order:
-        ir = irs[name]
-        for asn, aut_num in ir.aut_nums.items():
-            merged.aut_nums.setdefault(asn, aut_num)
-        for set_name, as_set in ir.as_sets.items():
-            merged.as_sets.setdefault(set_name, as_set)
-        for set_name, route_set in ir.route_sets.items():
-            merged.route_sets.setdefault(set_name, route_set)
-        for set_name, peering_set in ir.peering_sets.items():
-            merged.peering_sets.setdefault(set_name, peering_set)
-        for set_name, filter_set in ir.filter_sets.items():
-            merged.filter_sets.setdefault(set_name, filter_set)
-        merged.route_objects.extend(ir.route_objects)
+    with registry.span("merge"):
+        for name in order:
+            ir = irs[name]
+            keyed = 0
+            shadowed = 0
+            for target, objects in (
+                (merged.aut_nums, ir.aut_nums),
+                (merged.as_sets, ir.as_sets),
+                (merged.route_sets, ir.route_sets),
+                (merged.peering_sets, ir.peering_sets),
+                (merged.filter_sets, ir.filter_sets),
+            ):
+                for key, value in objects.items():
+                    if key in target:
+                        shadowed += 1
+                    else:
+                        target[key] = value
+                        keyed += 1
+            merged.route_objects.extend(ir.route_objects)
+            if registry.enabled:
+                # "Wins": keyed objects this IRR contributed to the merged
+                # view; "shadowed": definitions a higher-priority IRR beat.
+                registry.counter("merge_wins_total", irr=name).inc(keyed)
+                registry.counter("merge_shadowed_total", irr=name).inc(shadowed)
+                registry.counter("merge_route_objects_total", irr=name).inc(
+                    len(ir.route_objects)
+                )
     return merged

@@ -10,11 +10,32 @@ import io
 from pathlib import Path
 
 from repro.ir.model import Ir
+from repro.obs import get_registry, timed_iter
 from repro.rpsl.errors import ErrorCollector
 from repro.rpsl.lexer import split_dump
 from repro.rpsl.objects import collect_into_ir
 
 __all__ = ["parse_dump_text", "parse_dump_file"]
+
+
+def _collect(stream, source: str, errors: ErrorCollector, ir: Ir | None) -> Ir:
+    """Lex and parse one dump; with metrics live, split lex/object time.
+
+    The lexer feeds the object parser through a generator, so their work is
+    interleaved; :func:`~repro.obs.timed_iter` charges the generator's
+    production time to a ``lex`` sub-span of the enclosing span (the
+    registry's ``parse/<irr>``) — the remainder of that span is object and
+    policy construction.
+    """
+    registry = get_registry()
+    paragraphs = split_dump(stream)
+    if not registry.enabled:
+        return collect_into_ir(paragraphs, source, errors, ir)
+    before = len(errors)
+    paragraphs = timed_iter(paragraphs, registry.spans, "lex")
+    ir = collect_into_ir(paragraphs, source, errors, ir)
+    registry.counter("parse_errors_total", irr=source or "?").inc(len(errors) - before)
+    return ir
 
 
 def parse_dump_text(
@@ -27,7 +48,7 @@ def parse_dump_text(
     """
     if errors is None:
         errors = ErrorCollector()
-    ir = collect_into_ir(split_dump(io.StringIO(text)), source, errors, ir)
+    ir = _collect(io.StringIO(text), source, errors, ir)
     return ir, errors
 
 
@@ -42,5 +63,5 @@ def parse_dump_file(
         errors = ErrorCollector()
     source = source or Path(path).stem.upper()
     with open(path, encoding="utf-8", errors="replace") as stream:
-        ir = collect_into_ir(split_dump(stream), source, errors, ir)
+        ir = _collect(stream, source, errors, ir)
     return ir, errors

@@ -14,9 +14,25 @@ from pathlib import Path
 from repro.ir.merge import IRR_PRIORITY, merge_irs
 from repro.ir.model import Ir
 from repro.irr.dump import parse_dump_file, parse_dump_text
+from repro.obs import get_registry
 from repro.rpsl.errors import ErrorCollector
 
 __all__ = ["IrrSource", "Registry", "parse_registry_dir"]
+
+
+def _record_source(source: IrrSource) -> None:
+    """Fold one parsed IRR's object/rule counts into the live registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    counts = source.ir.counts()
+    objects = registry.counter("parse_objects_total", irr=source.name)
+    for kind in ("aut-num", "as-set", "route-set", "peering-set", "filter-set", "route"):
+        objects.inc(counts[kind])
+    registry.counter("parse_rules_total", irr=source.name).inc(
+        counts["import"] + counts["export"]
+    )
+    registry.counter("parse_bytes_total", irr=source.name).inc(source.raw_bytes)
 
 
 @dataclass(slots=True)
@@ -49,18 +65,24 @@ class Registry:
 
     def add_text(self, name: str, text: str) -> IrrSource:
         """Parse one IRR's dump text and register it."""
-        ir, errors = parse_dump_text(text, source=name)
+        registry = get_registry()
+        with registry.span("parse"), registry.span(name):
+            ir, errors = parse_dump_text(text, source=name)
         source = IrrSource(name=name, ir=ir, errors=errors, raw_bytes=len(text))
         self.sources[name] = source
+        _record_source(source)
         return source
 
     def add_file(self, name: str, path: str | Path) -> IrrSource:
         """Parse one IRR's dump file and register it."""
-        ir, errors = parse_dump_file(path, source=name)
+        registry = get_registry()
+        with registry.span("parse"), registry.span(name):
+            ir, errors = parse_dump_file(path, source=name)
         source = IrrSource(
             name=name, ir=ir, errors=errors, raw_bytes=Path(path).stat().st_size
         )
         self.sources[name] = source
+        _record_source(source)
         return source
 
     def merged(self) -> Ir:

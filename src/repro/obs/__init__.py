@@ -1,0 +1,70 @@
+"""``repro.obs`` — pipeline observability: metrics, phase spans, manifests.
+
+Three pieces, designed to cost nothing when unused:
+
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  fixed-bucket histograms.  The module-level default is a *null* registry
+  whose instruments are shared no-ops, so instrumented hot paths (the
+  lexer, the verifier's per-hop check) add no measurable overhead until a
+  caller installs a real registry;
+* :mod:`repro.obs.spans` — nested phase timers aggregating wall and CPU
+  seconds per slash-separated path (``parse/RIPE/lex``, ``verify``);
+* :mod:`repro.obs.manifest` — one diffable JSON document per run (input
+  digests, config, per-phase timings, full metric dump, versions), plus a
+  Prometheus-style text rendering used by ``rpslyzer metrics``.
+
+Typical use::
+
+    from repro.obs import MetricsRegistry, use_registry, build_manifest
+
+    with use_registry(MetricsRegistry()) as registry:
+        stats = api.verify_table(ir, rels, entries, processes=4)
+    manifest = build_manifest("verify", registry, inputs=["table.txt"])
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    digest_file,
+    digest_inputs,
+    load_manifest,
+    render_prometheus,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import NULL_SPAN, SpanAggregate, SpanStore, timed_iter
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_FORMAT",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "SpanAggregate",
+    "SpanStore",
+    "build_manifest",
+    "digest_file",
+    "digest_inputs",
+    "get_registry",
+    "load_manifest",
+    "render_prometheus",
+    "set_registry",
+    "timed_iter",
+    "use_registry",
+    "write_manifest",
+]

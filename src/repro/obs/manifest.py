@@ -1,0 +1,201 @@
+"""Run manifests: one JSON document per pipeline run, built for diffing.
+
+A manifest captures everything needed to audit or compare two benchmark
+runs: what ran (command, config), on what (input files with SHA-256
+digests), with which code (python/package versions), how long each phase
+took (wall and CPU seconds per span path), and every metric the run
+recorded.  ``rpslyzer metrics <manifest.json>`` renders the metric dump as
+a Prometheus-style text table for eyeballing or scraping.
+
+Keys are emitted sorted so two runs over the same inputs produce
+line-diffable documents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "digest_file",
+    "digest_inputs",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "render_prometheus",
+]
+
+MANIFEST_FORMAT = "rpslyzer-run-manifest/1"
+
+
+def digest_file(path: str | Path) -> dict:
+    """``{path, bytes, sha256}`` for one input file."""
+    path = Path(path)
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as stream:
+        for block in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(block)
+            size += len(block)
+    return {"path": str(path), "bytes": size, "sha256": digest.hexdigest()}
+
+
+def digest_inputs(paths: Iterable[str | Path]) -> list[dict]:
+    """Digest input files; directories expand to their ``*.db`` dumps."""
+    records = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            records.extend(digest_file(dump) for dump in sorted(path.glob("*.db")))
+        elif path.exists():
+            records.append(digest_file(path))
+        else:
+            records.append({"path": str(path), "bytes": 0, "sha256": None})
+    return sorted(records, key=lambda record: record["path"])
+
+
+def _versions() -> dict:
+    import repro
+
+    return {
+        "repro": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def build_manifest(
+    command: str,
+    registry: MetricsRegistry,
+    *,
+    inputs: Iterable[str | Path] = (),
+    config: dict | None = None,
+) -> dict:
+    """Assemble the manifest document from a finished run's registry."""
+    snapshot = registry.snapshot()
+    phases = {
+        record["path"]: {
+            "count": record["count"],
+            "wall_s": record["wall_s"],
+            "cpu_s": record["cpu_s"],
+        }
+        for record in snapshot.pop("spans")
+    }
+    return {
+        "format": MANIFEST_FORMAT,
+        "command": command,
+        "versions": _versions(),
+        "inputs": digest_inputs(inputs),
+        "config": config or {},
+        "phases": phases,
+        "metrics": snapshot,
+    }
+
+
+def write_manifest(destination: str | Path | IO[str], manifest: dict) -> None:
+    """Serialize a manifest as stable, sorted, indented JSON."""
+    if hasattr(destination, "write"):
+        json.dump(manifest, destination, indent=2, sort_keys=True)
+        destination.write("\n")
+        return
+    with open(destination, "w", encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load_manifest(source: str | Path | IO[str]) -> dict:
+    """Read a manifest back; rejects documents of an unknown format."""
+    if hasattr(source, "read"):
+        manifest = json.load(source)
+    else:
+        with open(source, encoding="utf-8") as stream:
+            manifest = json.load(stream)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"not a run manifest: format={manifest.get('format')!r}")
+    return manifest
+
+
+# -- Prometheus-style rendering --------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{merged[key]}"' for key in sorted(merged))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(manifest: dict) -> str:
+    """The manifest's metrics and phases as Prometheus exposition text."""
+    lines: list[str] = []
+    metrics = manifest.get("metrics", {})
+
+    by_name: dict[str, list[dict]] = {}
+    kinds: dict[str, str] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        for record in metrics.get(kind, ()):
+            name = _metric_name(record["name"])
+            by_name.setdefault(name, []).append(record)
+            kinds[name] = kind.rstrip("s")
+
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for record in by_name[name]:
+            labels = record.get("labels", {})
+            if kinds[name] == "histogram":
+                running = 0
+                for bound, bucket_count in zip(
+                    record["buckets"], record["bucket_counts"]
+                ):
+                    running += bucket_count
+                    le = _label_text(labels, {"le": _format_value(float(bound))})
+                    lines.append(f"{name}_bucket{le} {running}")
+                le = _label_text(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {record['count']}")
+                lines.append(f"{name}_sum{_label_text(labels)} {record['sum']!r}")
+                lines.append(f"{name}_count{_label_text(labels)} {record['count']}")
+            else:
+                value = record["value"]
+                text = value if isinstance(value, int) else repr(float(value))
+                lines.append(f"{name}{_label_text(labels)} {text}")
+
+    phases = manifest.get("phases", {})
+    if phases:
+        lines.append("# TYPE repro_phase_wall_seconds gauge")
+        for path in sorted(phases):
+            label = _label_text({"phase": path})
+            lines.append(
+                f"repro_phase_wall_seconds{label} {phases[path]['wall_s']!r}"
+            )
+        lines.append("# TYPE repro_phase_cpu_seconds gauge")
+        for path in sorted(phases):
+            label = _label_text({"phase": path})
+            lines.append(
+                f"repro_phase_cpu_seconds{label} {phases[path]['cpu_s']!r}"
+            )
+        lines.append("# TYPE repro_phase_count gauge")
+        for path in sorted(phases):
+            label = _label_text({"phase": path})
+            lines.append(f"repro_phase_count{label} {phases[path]['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,310 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instrumented pipeline code asks the *current* registry (see
+:func:`get_registry`) for named instruments and updates them on hot paths.
+By default the current registry is :data:`NULL_REGISTRY`, whose instruments
+are shared no-op singletons — so an un-instrumented run pays one attribute
+lookup per instrumentation site at *setup* time and nothing per event.
+Callers that want metrics install a real :class:`MetricsRegistry` with
+:func:`set_registry` or the :func:`use_registry` context manager (the CLI's
+``--metrics`` flag does exactly this).
+
+Instruments are keyed by ``(name, sorted labels)`` the way Prometheus keys
+time series; asking twice for the same key returns the same instrument.
+Registries are deliberately not thread-safe: the pipeline parallelizes by
+*process*, and per-worker registries are folded back into the parent with
+:meth:`MetricsRegistry.merge_snapshot` (the same discipline as
+:class:`~repro.stats.verification.VerificationStats`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.spans import NULL_SPAN, SpanStore
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+LabelItems = tuple[tuple[str, str], ...]
+
+# Upper bounds (seconds) for latency histograms: 1 µs .. ~4 s, doubling.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    1e-6 * 2**i for i in range(23)
+)
+
+
+def _label_items(labels: dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, objects, errors)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (hit rate, queue depth, worker count)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A distribution over fixed bucket upper bounds (Prometheus ``le``).
+
+    ``buckets`` are inclusive upper bounds in increasing order; an implicit
+    overflow bucket (``+Inf``) catches everything beyond the last bound.
+    ``bucket_counts[i]`` is the *non-cumulative* count of observations with
+    ``buckets[i-1] < v <= buckets[i]`` (rendering cumulates them).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} needs increasing bucket bounds")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(inf, count)``."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.bucket_counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """A live collection of instruments plus the phase-span store."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], object] = {}
+        self.spans = SpanStore()
+
+    # -- instrument access -------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict[str, str], **kwargs):
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def span(self, name: str):
+        """A nested phase timer (see :class:`repro.obs.spans.SpanStore`)."""
+        return self.spans.span(name)
+
+    # -- snapshots and merging ---------------------------------------------
+
+    def instruments(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def snapshot(self) -> dict:
+        """A JSON-able dump of every instrument and span aggregate."""
+        metrics = [instrument.as_dict() for instrument in self._instruments.values()]
+        kinds = [instrument.kind for instrument in self._instruments.values()]
+        return {
+            "counters": [m for m, k in zip(metrics, kinds) if k == "counter"],
+            "gauges": [m for m, k in zip(metrics, kinds) if k == "gauge"],
+            "histograms": [m for m, k in zip(metrics, kinds) if k == "histogram"],
+            "spans": self.spans.snapshot(),
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one (exact sums).
+
+        Counters and histogram buckets add; gauges take the incoming value
+        (last writer wins); span aggregates add wall/CPU/count.  This is the
+        cross-process merge used by parallel verification.
+        """
+        for data in snapshot.get("counters", ()):
+            self.counter(data["name"], **data["labels"]).inc(data["value"])
+        for data in snapshot.get("gauges", ()):
+            self.gauge(data["name"], **data["labels"]).set(data["value"])
+        for data in snapshot.get("histograms", ()):
+            histogram = self.histogram(
+                data["name"], buckets=tuple(data["buckets"]), **data["labels"]
+            )
+            if list(histogram.buckets) != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {data['name']!r} bucket bounds differ across merges"
+                )
+            for index, bucket_count in enumerate(data["bucket_counts"]):
+                histogram.bucket_counts[index] += bucket_count
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+        for data in snapshot.get("spans", ()):
+            self.spans.add_timing(
+                data["path"], data["wall_s"], data["cpu_s"], data["count"]
+            )
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    ``enabled`` is False so hot paths can hoist a single boolean check and
+    skip instrumentation entirely; code that does not bother checking still
+    works, it just updates the shared null instrument.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS, **labels: str):
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str):
+        return NULL_SPAN
+
+    def snapshot(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": [], "spans": []}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_current: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code should report to right now."""
+    return _current
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (None restores the null registry); returns the
+    previously installed one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Temporarily install a registry (a fresh one if none is given)."""
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,135 @@
+"""Nested phase timers ("spans") with wall- and CPU-time aggregates.
+
+A span names one pipeline phase (``parse``, ``verify``); nesting builds
+slash-separated paths (``parse/RIPE/lex``, ``verify/worker``).  The store
+keeps only *aggregates* per path — count, total wall seconds, total CPU
+seconds — never individual events, so memory stays flat over arbitrarily
+long runs, mirroring :class:`~repro.stats.verification.VerificationStats`.
+
+Wall time is :func:`time.perf_counter`, CPU time is
+:func:`time.process_time` (so a multi-second span that mostly waits on I/O
+shows a small CPU total — that difference is the point of recording both).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TypeVar
+
+__all__ = ["SpanAggregate", "SpanStore", "NULL_SPAN", "timed_iter"]
+
+T = TypeVar("T")
+
+
+@dataclass(slots=True)
+class SpanAggregate:
+    """All completions of one span path, folded together."""
+
+    path: str
+    count: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "count": self.count,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+
+
+class SpanStore:
+    """Aggregates span timings by nested path."""
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self._totals: dict[str, SpanAggregate] = {}
+
+    def current_path(self) -> str:
+        """The active nesting path, '' at top level."""
+        return "/".join(self._stack)
+
+    def add_timing(
+        self, path: str, wall_s: float, cpu_s: float = 0.0, count: int = 1
+    ) -> None:
+        """Fold an externally measured duration into a path's aggregate."""
+        aggregate = self._totals.get(path)
+        if aggregate is None:
+            aggregate = self._totals[path] = SpanAggregate(path)
+        aggregate.count += count
+        aggregate.wall_s += wall_s
+        aggregate.cpu_s += cpu_s
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a phase; nested calls extend the path with ``/name``."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield self
+        finally:
+            wall = time.perf_counter() - wall_start
+            cpu = time.process_time() - cpu_start
+            self._stack.pop()
+            self.add_timing(path, wall, cpu)
+
+    def get(self, path: str) -> SpanAggregate | None:
+        return self._totals.get(path)
+
+    def snapshot(self) -> list[dict]:
+        """JSON-able aggregates, sorted by path for diffable manifests."""
+        return [
+            self._totals[path].as_dict() for path in sorted(self._totals)
+        ]
+
+
+class _NullSpan:
+    """A reusable no-op context manager for the disabled registry."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def timed_iter(iterable: Iterable[T], store: SpanStore, name: str) -> Iterator[T]:
+    """Attribute an iterable's *production* time to a sub-span.
+
+    Wraps a generator (e.g. the RPSL lexer feeding the object parser) so
+    that only the time spent inside ``next()`` is charged to
+    ``<current path>/name`` — the consumer's share stays with the enclosing
+    span.  Timing is accumulated locally and folded in once on exhaustion,
+    so the per-item overhead is two clock reads.
+    """
+    base = store.current_path()
+    path = f"{base}/{name}" if base else name
+    iterator = iter(iterable)
+    wall = 0.0
+    cpu = 0.0
+    items = 0
+    try:
+        while True:
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            finally:
+                wall += time.perf_counter() - wall_start
+                cpu += time.process_time() - cpu_start
+            items += 1
+            yield item
+    finally:
+        store.add_timing(path, wall, cpu, count=max(items, 1))

@@ -131,6 +131,30 @@ def lex_paragraph(block_start: int, lines: list[str]) -> RpslParagraph:
 
 
 def split_dump(stream: TextIO | Iterable[str]) -> Iterator[RpslParagraph]:
-    """Lex a whole dump file (or any iterable of lines) into paragraphs."""
-    for block_start, lines in iter_paragraphs(stream):
-        yield lex_paragraph(block_start, lines)
+    """Lex a whole dump file (or any iterable of lines) into paragraphs.
+
+    When a metrics registry is live, object and stray-line counts are
+    accumulated locally and folded in once at exhaustion — the per-object
+    cost of instrumentation is two integer adds.
+    """
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    if not registry.enabled:
+        for block_start, lines in iter_paragraphs(stream):
+            yield lex_paragraph(block_start, lines)
+        return
+    paragraphs = 0
+    stray_lines = 0
+    attributes = 0
+    try:
+        for block_start, lines in iter_paragraphs(stream):
+            paragraph = lex_paragraph(block_start, lines)
+            paragraphs += 1
+            stray_lines += len(paragraph.stray_lines)
+            attributes += len(paragraph.attributes)
+            yield paragraph
+    finally:
+        registry.counter("lex_objects_total").inc(paragraphs)
+        registry.counter("lex_attributes_total").inc(attributes)
+        registry.counter("lex_stray_lines_total").inc(stray_lines)

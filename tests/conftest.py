@@ -38,6 +38,20 @@ def tiny_verifier(tiny_ir, tiny_world):
 
 
 @pytest.fixture(scope="session")
+def tiny_world_dir(tiny_world, tmp_path_factory):
+    """The tiny world written to disk (dumps, as-rel, collectors, table)."""
+    from repro.bgp.table import write_table_file
+
+    directory = tmp_path_factory.mktemp("tiny-world")
+    tiny_world.write_to_dir(directory)
+    entries = collector_routes(
+        tiny_world.topology, tiny_world.announced, tiny_world.collectors
+    )
+    write_table_file(directory / "table.txt", entries)
+    return directory
+
+
+@pytest.fixture(scope="session")
 def tiny_routes(tiny_world):
     """All collector routes of the tiny world, materialized."""
     return list(

@@ -5,7 +5,7 @@ import io
 
 import pytest
 
-from repro.core.parallel import verify_entries
+from repro.core.parallel import verify_table
 from repro.stats.export import (
     fig1_rows,
     fig2_rows,
@@ -19,7 +19,7 @@ from repro.stats.export import (
 
 @pytest.fixture(scope="module")
 def stats(tiny_ir, tiny_world, tiny_routes):
-    return verify_entries(tiny_ir, tiny_world.topology, tiny_routes[:4000])
+    return verify_table(tiny_ir, tiny_world.topology, tiny_routes[:4000])
 
 
 class TestFigureRows:

@@ -1,14 +1,20 @@
-"""Tests for parallel bulk verification."""
+"""Tests for bulk verification: serial/parallel parity and merging."""
+
+import multiprocessing
 
 import pytest
 
-from repro.core.parallel import verify_entries, verify_entries_parallel
+from repro.core.parallel import verify_entries, verify_entries_parallel, verify_table
 from repro.stats.verification import VerificationStats
+
+
+def _serial(ir, world, routes):
+    return verify_table(ir, world.topology, routes, processes=1)
 
 
 @pytest.fixture(scope="module")
 def baseline(tiny_ir, tiny_world, tiny_routes):
-    return verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
+    return _serial(tiny_ir, tiny_world, tiny_routes)
 
 
 class TestSequential:
@@ -16,14 +22,25 @@ class TestSequential:
         assert baseline.routes_total == len(tiny_routes)
         assert sum(baseline.hop_totals.values()) > 0
 
+    def test_accepts_streaming_iterable(self, tiny_ir, tiny_world, tiny_routes, baseline):
+        stats = verify_table(tiny_ir, tiny_world.topology, iter(tiny_routes))
+        assert stats.hop_totals == baseline.hop_totals
+
+    def test_on_report_sees_every_route(self, tiny_ir, tiny_world, tiny_routes):
+        seen = []
+        verify_table(
+            tiny_ir, tiny_world.topology, tiny_routes[:100], on_report=seen.append
+        )
+        assert len(seen) == 100
+
 
 class TestMerge:
     def test_merge_equals_whole(self, tiny_ir, tiny_world, tiny_routes):
         half = len(tiny_routes) // 2
-        first = verify_entries(tiny_ir, tiny_world.topology, tiny_routes[:half])
-        second = verify_entries(tiny_ir, tiny_world.topology, tiny_routes[half:])
+        first = _serial(tiny_ir, tiny_world, tiny_routes[:half])
+        second = _serial(tiny_ir, tiny_world, tiny_routes[half:])
         first.merge(second)
-        whole = verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
+        whole = _serial(tiny_ir, tiny_world, tiny_routes)
         assert first.hop_totals == whole.hop_totals
         assert first.routes_total == whole.routes_total
         assert first.route_single_status == whole.route_single_status
@@ -37,10 +54,10 @@ class TestMerge:
 
 
 class TestParallel:
-    def test_parallel_matches_sequential(self, tiny_ir, tiny_world, tiny_routes, baseline):
+    def test_parallel_matches_sequential(self, tiny_ir, tiny_world, tiny_routes):
         sample = tiny_routes[:3000]
-        expected = verify_entries(tiny_ir, tiny_world.topology, sample)
-        parallel = verify_entries_parallel(
+        expected = _serial(tiny_ir, tiny_world, sample)
+        parallel = verify_table(
             tiny_ir, tiny_world.topology, sample, processes=2, chunk_size=500
         )
         assert parallel.hop_totals == expected.hop_totals
@@ -49,16 +66,64 @@ class TestParallel:
         for asn in expected.per_as:
             assert parallel.per_as[asn].counts == expected.per_as[asn].counts
 
+    def test_parallel_streams_chunks_lazily(self, tiny_ir, tiny_world, tiny_routes):
+        sample = tiny_routes[:1500]
+        expected = _serial(tiny_ir, tiny_world, sample)
+        stats = verify_table(
+            tiny_ir, tiny_world.topology, iter(sample), processes=2, chunk_size=300
+        )
+        assert stats.hop_totals == expected.hop_totals
+
     def test_small_input_falls_back(self, tiny_ir, tiny_world, tiny_routes):
-        sample = tiny_routes[:10]
-        stats = verify_entries_parallel(
-            tiny_ir, tiny_world.topology, sample, processes=4, chunk_size=2000
+        stats = verify_table(
+            tiny_ir, tiny_world.topology, tiny_routes[:10], processes=4, chunk_size=2000
         )
         assert stats.routes_total == 10
 
+    def test_empty_input(self, tiny_ir, tiny_world):
+        stats = verify_table(tiny_ir, tiny_world.topology, [], processes=4)
+        assert stats.routes_total == 0
+
     def test_single_process_requested(self, tiny_ir, tiny_world, tiny_routes):
-        sample = tiny_routes[:50]
-        stats = verify_entries_parallel(
-            tiny_ir, tiny_world.topology, sample, processes=1
+        stats = verify_table(tiny_ir, tiny_world.topology, tiny_routes[:50], processes=1)
+        assert stats.routes_total == 50
+
+
+class TestStartMethods:
+    """The parallel path must not depend on fork being available."""
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_start_method_matches_serial(
+        self, tiny_ir, tiny_world, tiny_routes, start_method
+    ):
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {start_method!r} unavailable here")
+        sample = tiny_routes[:1200]
+        expected = _serial(tiny_ir, tiny_world, sample)
+        stats = verify_table(
+            tiny_ir,
+            tiny_world.topology,
+            sample,
+            processes=2,
+            chunk_size=300,
+            start_method=start_method,
         )
+        assert stats.hop_totals == expected.hop_totals
+        assert stats.summary() == expected.summary()
+
+
+class TestDeprecatedAliases:
+    def test_verify_entries_warns_and_works(self, tiny_ir, tiny_world, tiny_routes, baseline):
+        with pytest.deprecated_call():
+            stats = verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
+        assert stats.hop_totals == baseline.hop_totals
+
+    def test_verify_entries_parallel_warns_and_works(
+        self, tiny_ir, tiny_world, tiny_routes
+    ):
+        sample = tiny_routes[:50]
+        with pytest.deprecated_call():
+            stats = verify_entries_parallel(
+                tiny_ir, tiny_world.topology, sample, processes=2
+            )
         assert stats.routes_total == 50
