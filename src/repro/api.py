@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.bgp.table import RouteEntry
 from repro.bgp.topology import AsRelationships
+from repro.core.degradation import DegradationReport
 from repro.core.parallel import verify_table as _verify_table
 from repro.core.query import QueryEngine
 from repro.core.report import RouteReport
@@ -45,6 +46,7 @@ from repro.stats.verification import VerificationStats
 from repro.tools.recommend import RouteSetRecommendation, recommend_route_set
 
 __all__ = [
+    "DegradationReport",
     "synthesize",
     "parse_dumps",
     "parse_registry",
@@ -52,6 +54,7 @@ __all__ = [
     "verify_table",
     "characterize",
     "recommend_migrations",
+    "run_chaos",
     "serve_whois",
 ]
 
@@ -112,6 +115,7 @@ def verify_table(
     chunk_size: int = 2000,
     start_method: str | None = None,
     on_report: Callable[[RouteReport], None] | None = None,
+    fault_hook: Callable[[int], None] | None = None,
 ) -> VerificationStats:
     """Verify a table of routes (Section 5), serial or multi-process.
 
@@ -121,6 +125,12 @@ def verify_table(
     processes; ``None`` uses every CPU.  Both paths return equal
     :class:`VerificationStats`.  ``on_report`` receives every per-route
     report (forces the serial path).
+
+    The parallel path survives worker death: failed chunks are requeued
+    and, if they keep failing, verified serially in-process; what happened
+    is recorded on the returned stats' ``degradation``
+    (:class:`DegradationReport`) and in the run manifest.  ``fault_hook``
+    is chaos-harness instrumentation (see :mod:`repro.chaos`).
     """
     return _verify_table(
         ir,
@@ -131,6 +141,7 @@ def verify_table(
         chunk_size=chunk_size,
         start_method=start_method,
         on_report=on_report,
+        fault_hook=fault_hook,
     )
 
 
@@ -170,3 +181,16 @@ def recommend_migrations(
 def serve_whois(ir: Ir, host: str = "127.0.0.1", port: int = 4343) -> WhoisServer:
     """A WHOIS/IRRd-style server over an IR (caller starts/stops it)."""
     return WhoisServer(ir, host=host, port=port)
+
+
+def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2):
+    """Run the fault-injection suite; returns a ``repro.chaos.ChaosReport``.
+
+    Every mutator and fault in the catalogue is driven against a seeded
+    synthetic world (see ``docs/robustness.md``); the report carries
+    pass/fail resilience checks plus the aggregated
+    :class:`DegradationReport`.
+    """
+    from repro.chaos import run_chaos as _run_chaos
+
+    return _run_chaos(seed=seed, preset=preset, processes=processes)

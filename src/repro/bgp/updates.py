@@ -82,7 +82,10 @@ def parse_update_text(text: str | Iterable[str]) -> Iterator[UpdateEntry]:
             continue
         if len(parts) < 7:
             continue
-        path, as_set = _parse_path(parts[6])
+        try:
+            path, as_set = _parse_path(parts[6])
+        except ValueError:  # garbage in the as-path field: skip the line
+            continue
         if not path or as_set is not None:
             continue
         yield UpdateEntry(timestamp, "A", parts[3], peer_asn, prefix, path)

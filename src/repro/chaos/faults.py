@@ -1,0 +1,160 @@
+"""Runtime faults: dead workers and flaky networks, on demand.
+
+These are the injection points the mutators cannot reach — failures of
+the *processes and sockets* around the pipeline rather than of its
+inputs.  Both are built to be driven from tests and the chaos harness:
+
+* :class:`KillWorkerChunk` / :class:`RaiseOnChunk` plug into
+  ``verify_table(fault_hook=...)`` (picklable, so they survive the trip
+  into spawn-started workers);
+* :class:`FlakyTcpProxy` sits in front of a live server and RST-drops
+  the first N connections, exercising client retry paths.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+
+__all__ = ["KillWorkerChunk", "RaiseOnChunk", "FlakyTcpProxy"]
+
+
+@dataclass(frozen=True)
+class KillWorkerChunk:
+    """Kill the worker process that picks up one specific chunk.
+
+    The hook fires in the worker before verification, so the chunk's work
+    is lost entirely — the parent sees ``BrokenProcessPool``.  The kill
+    repeats every time the chunk is retried in a worker (no cross-process
+    state exists to count attempts), which is exactly what drives the
+    requeue path to its serial fallback.
+    """
+
+    chunk_index: int
+    signum: int = signal.SIGKILL
+
+    def __call__(self, index: int) -> None:
+        if index == self.chunk_index:
+            os.kill(os.getpid(), self.signum)
+
+
+@dataclass(frozen=True)
+class RaiseOnChunk:
+    """Raise inside the worker for one specific chunk (worker survives).
+
+    Distinguishes the chunk-scoped retry path from pool breakage: the
+    exception travels back through the future, the pool stays alive.
+    """
+
+    chunk_index: int
+    message: str = "injected chunk failure"
+
+    def __call__(self, index: int) -> None:
+        if index == self.chunk_index:
+            raise RuntimeError(f"{self.message} (chunk {index})")
+
+
+class FlakyTcpProxy:
+    """A TCP proxy that RST-drops the first ``failures`` connections.
+
+    Later connections are piped byte-for-byte to the target.  The drop
+    uses ``SO_LINGER(0)`` so the client sees a hard connection reset (an
+    ``OSError``), not a polite empty response — the failure mode retry
+    logic must actually handle.
+
+    Use as a context manager::
+
+        with WhoisServer(ir) as server, FlakyTcpProxy("127.0.0.1", server.port, failures=2) as proxy:
+            text = whois_query("127.0.0.1", proxy.port, "AS64512", retries=3)
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        failures: int = 1,
+        host: str = "127.0.0.1",
+    ):
+        self.target = (target_host, target_port)
+        self.failures = failures
+        self.connections = 0
+        self._listener = socket.create_server((host, 0))
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The proxy's bound TCP port."""
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "FlakyTcpProxy":
+        """Accept connections in a daemon thread."""
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        self._stopping.set()
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "FlakyTcpProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _serve(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.failures:
+                # linger(0) turns close() into a RST: the client's next
+                # read/write raises instead of seeing a clean EOF.
+                client.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+                client.close()
+                continue
+            threading.Thread(target=self._pipe, args=(client,), daemon=True).start()
+
+    def _pipe(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(self.target, timeout=5)
+        except OSError:
+            client.close()
+            return
+        back = threading.Thread(
+            target=self._pump, args=(upstream, client), daemon=True
+        )
+        back.start()
+        self._pump(client, upstream)
+        back.join(timeout=5)
+        for sock in (client, upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _pump(source: socket.socket, sink: socket.socket) -> None:
+        try:
+            while data := source.recv(65536):
+                sink.sendall(data)
+        except OSError:
+            pass
+        finally:
+            try:
+                sink.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass

@@ -1,0 +1,270 @@
+"""The chaos harness: drive every mutator and fault, report degradation.
+
+:func:`run_chaos` builds a seeded synthetic world, damages its dumps and
+route table with every mutator in the catalogue, kills a verification
+worker mid-run, and puts a flaky proxy in front of the WHOIS server —
+then asserts the pipeline's resilience contract on each: **no crash, no
+hang, bounded memory, and a structured account of what was lost**.  The
+result is a :class:`ChaosReport`: pass/fail checks plus the aggregated
+:class:`~repro.core.degradation.DegradationReport`.
+
+Everything derives from one seed, so ``rpslyzer chaos --seed 42`` is a
+deterministic regression gate (CI runs it as the ``chaos-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import gzip
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bgp.routegen import collector_routes
+from repro.bgp.table import parse_table_text, route_entry_lines
+from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk
+from repro.chaos.mutators import DUMP_MUTATORS, TABLE_MUTATORS
+from repro.core.degradation import DegradationReport
+from repro.core.parallel import verify_table
+from repro.irr.dump import parse_dump_file, parse_dump_text
+from repro.irr.synth import build_world, default_config, tiny_config
+from repro.irr.whois import WhoisServer, whois_query
+from repro.rpsl.errors import ErrorKind
+from repro.rpsl.lexer import LexLimits
+
+__all__ = ["ChaosCheck", "ChaosReport", "run_chaos", "CHAOS_LIMITS"]
+
+# Tight ingestion caps so the oversized mutator actually trips them (the
+# production defaults allow 16 MB objects; chaos wants the drop path).
+CHAOS_LIMITS = LexLimits(
+    max_object_lines=2000, max_object_bytes=256 << 10, max_line_bytes=128 << 10
+)
+
+
+@dataclass(slots=True)
+class ChaosCheck:
+    """One assertion of the resilience contract."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-able form of the check."""
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Everything one chaos run established."""
+
+    seed: int
+    preset: str
+    checks: list[ChaosCheck] = field(default_factory=list)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(check.ok for check in self.checks)
+
+    def as_dict(self) -> dict:
+        """JSON-able form of the whole run."""
+        return {
+            "seed": self.seed,
+            "preset": self.preset,
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "checks": [check.as_dict() for check in self.checks],
+            "degradation": self.degradation.as_dict(),
+        }
+
+    def render(self) -> str:
+        """A human-readable run summary."""
+        lines = [
+            f"chaos run: seed={self.seed} preset={self.preset} "
+            f"checks={len(self.checks)} elapsed={self.elapsed_s:.1f}s"
+        ]
+        for check in self.checks:
+            mark = "ok  " if check.ok else "FAIL"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  {mark} {check.name}{detail}")
+        lines.append(f"degradation ({len(self.degradation)} events):")
+        for key, count in sorted(self.degradation.by_kind().items()):
+            lines.append(f"  {key}: {count}")
+        lines.append("result: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _rng_for(seed: int, name: str) -> random.Random:
+    # str seeding hashes the bytes (PYTHONHASHSEED-independent), so every
+    # mutator gets its own deterministic stream.
+    return random.Random(f"{seed}:{name}")
+
+
+def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2) -> ChaosReport:
+    """Run the full fault-injection suite against a seeded world."""
+    started = time.monotonic()
+    report = ChaosReport(seed=seed, preset=preset)
+    check = report.checks.append
+
+    config = tiny_config(seed) if preset == "tiny" else default_config(seed)
+    world = build_world(config)
+    # The largest dump gives the mutators the most structure to damage.
+    irr = max(world.irr_dumps, key=lambda name: len(world.irr_dumps[name]))
+    clean_text = world.irr_dumps[irr]
+    clean_ir, clean_errors = parse_dump_text(clean_text, source=irr, limits=CHAOS_LIMITS)
+    clean_objects = sum(clean_ir.counts().values())
+
+    with tempfile.TemporaryDirectory(prefix="rpslyzer-chaos-") as tmp:
+        tmpdir = Path(tmp)
+
+        # -- layer 1: ingestion under every dump mutator --------------------
+        for name, mutator in DUMP_MUTATORS.items():
+            damaged = mutator(_rng_for(seed, name), clean_text)
+            path = tmpdir / f"{irr.lower()}-{name}.db"
+            path.write_bytes(damaged)
+            try:
+                ir, errors = parse_dump_file(path, source=irr, limits=CHAOS_LIMITS)
+            except Exception as exc:  # noqa: BLE001 - the contract under test
+                check(ChaosCheck(f"ingest/{name}", False, f"raised {exc!r}"))
+                continue
+            kinds = errors.count_by_kind()
+            for kind, count in kinds.items():
+                report.degradation.record("ingest", kind.value, name, count)
+            objects = sum(ir.counts().values())
+            detail = f"{objects} objects, {len(errors)} issues"
+            check(ChaosCheck(f"ingest/{name}", True, detail))
+            if name == "truncate-mid-paragraph":
+                check(
+                    ChaosCheck(
+                        "ingest/truncation-recorded",
+                        ErrorKind.TRUNCATED in kinds,
+                        "final partial paragraph dropped and recorded",
+                    )
+                )
+            if name == "oversized-paragraph":
+                check(
+                    ChaosCheck(
+                        "ingest/oversized-bounded-memory",
+                        ErrorKind.OVERSIZED in kinds and objects <= clean_objects,
+                        "over-cap object dropped without buffering it whole",
+                    )
+                )
+
+        # -- gzip transparency ----------------------------------------------
+        gz_path = tmpdir / f"{irr.lower()}.db.gz"
+        with gzip.open(gz_path, "wt", encoding="utf-8") as stream:
+            stream.write(clean_text)
+        gz_ir, gz_errors = parse_dump_file(gz_path, source=irr, limits=CHAOS_LIMITS)
+        check(
+            ChaosCheck(
+                "ingest/gzip-roundtrip",
+                sum(gz_ir.counts().values()) == clean_objects
+                and len(gz_errors) == len(clean_errors),
+                f"{clean_objects} objects through .gz",
+            )
+        )
+        garbage = tmpdir / "garbage.db.gz"
+        garbage.write_bytes(b"\x1f\x8b" + bytes(_rng_for(seed, "gz").randrange(256) for _ in range(512)))
+        _, bad_errors = parse_dump_file(garbage, limits=CHAOS_LIMITS)
+        bad_kinds = bad_errors.count_by_kind()
+        if ErrorKind.UNREADABLE_INPUT in bad_kinds:
+            report.degradation.record("ingest", "unreadable-input", "garbage-gzip")
+        check(
+            ChaosCheck(
+                "ingest/garbage-gzip",
+                ErrorKind.UNREADABLE_INPUT in bad_kinds,
+                "corrupt compressed stream recorded, not raised",
+            )
+        )
+
+    # -- layer 1b: route-table corruption ------------------------------------
+    entries = list(
+        collector_routes(world.topology, world.announced, world.collectors)
+    )
+    table_text = "\n".join(route_entry_lines(entries)) + "\n"
+    for name, mutator in TABLE_MUTATORS.items():
+        damaged = mutator(_rng_for(seed, name), table_text)
+        try:
+            parsed = parse_table_text(damaged.decode("utf-8", errors="replace"))
+            kept = sum(1 for _ in parsed)
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            check(ChaosCheck(f"table/{name}", False, f"raised {exc!r}"))
+            continue
+        if kept < len(entries):
+            report.degradation.record(
+                "table", "lines-dropped", name, len(entries) - kept
+            )
+        check(
+            ChaosCheck(
+                f"table/{name}",
+                0 < kept <= len(entries),
+                f"kept {kept}/{len(entries)} routes",
+            )
+        )
+
+    # -- layer 2: verification with a worker killed mid-run -------------------
+    ir = world.merged_ir()
+    baseline = verify_table(ir, world.topology, entries, processes=1)
+    chunk_size = max(1, len(entries) // 8)
+    chaotic = verify_table(
+        ir,
+        world.topology,
+        entries,
+        processes=processes,
+        chunk_size=chunk_size,
+        fault_hook=KillWorkerChunk(1),
+    )
+    expected = baseline.summary()
+    observed = chaotic.summary()
+    expected.pop("degradation")
+    observed.pop("degradation")
+    check(
+        ChaosCheck(
+            "verify/worker-kill-exact-stats",
+            observed == expected,
+            f"{len(entries)} routes, chunk_size={chunk_size}, worker SIGKILLed",
+        )
+    )
+    kinds = chaotic.degradation.by_kind()
+    check(
+        ChaosCheck(
+            "verify/degradation-recorded",
+            kinds.get("verify/worker-lost", 0) >= 1
+            and kinds.get("verify/chunk-serial-fallback", 0) >= 1,
+            str(dict(sorted(kinds.items()))),
+        )
+    )
+    report.degradation.merge(chaotic.degradation)
+
+    # -- layer 3: WHOIS behind a flaky network --------------------------------
+    asn = min(ir.aut_nums)
+    with WhoisServer(ir) as server:
+        with FlakyTcpProxy("127.0.0.1", server.port, failures=2) as proxy:
+            try:
+                answer = whois_query(
+                    "127.0.0.1", proxy.port, f"AS{asn}", retries=4, backoff=0.02
+                )
+                ok = "aut-num" in answer
+                detail = f"answered after {proxy.connections} connections"
+            except OSError as exc:
+                ok, detail = False, f"raised {exc!r}"
+            if proxy.connections > 1:
+                report.degradation.record(
+                    "whois", "connection-retried", count=proxy.connections - 1
+                )
+            check(ChaosCheck("whois/retry-through-flaky-proxy", ok, detail))
+        overlong = whois_query("127.0.0.1", server.port, "A" * 8192)
+        check(
+            ChaosCheck(
+                "whois/query-line-cap",
+                overlong.startswith("F query line too long"),
+                "over-long query refused, connection dropped",
+            )
+        )
+
+    report.elapsed_s = time.monotonic() - started
+    return report

@@ -10,7 +10,9 @@ Subcommands mirror the paper's pipeline:
   BGP table dump and print summary statistics (or per-route reports with
   ``--report``);
 * ``stats --ir ir.json`` — print the Section 4 characterization;
-* ``metrics run.json`` — render a run manifest as Prometheus-style text.
+* ``metrics run.json`` — render a run manifest as Prometheus-style text;
+* ``chaos --seed 42`` — run the fault-injection suite and print its
+  degradation report (exit 1 if any resilience check fails).
 
 The pipeline subcommands accept ``--metrics <path>`` to record the run —
 phase wall/CPU timings, counters, histograms, input digests — into a JSON
@@ -47,8 +49,14 @@ __all__ = ["main"]
 
 
 @contextmanager
-def _metrics_session(args: argparse.Namespace, inputs: list, config: dict):
-    """Record the run into a manifest when ``--metrics <path>`` was given."""
+def _metrics_session(
+    args: argparse.Namespace, inputs: list, config: dict, extras: dict | None = None
+):
+    """Record the run into a manifest when ``--metrics <path>`` was given.
+
+    ``extras`` lets the command deposit values computed inside the session
+    (currently ``extras["degradation"]``) for inclusion in the manifest.
+    """
     path = getattr(args, "metrics", None)
     if not path:
         yield
@@ -61,6 +69,7 @@ def _metrics_session(args: argparse.Namespace, inputs: list, config: dict):
         registry=registry,
         inputs=inputs,
         config=config,
+        degradation=(extras or {}).get("degradation"),
     )
     write_manifest(path, manifest)
     print(f"run manifest written to {path}", file=sys.stderr)
@@ -101,7 +110,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         "processes": args.processes,
         "report": bool(args.report),
     }
-    with _metrics_session(args, [args.ir, args.as_rel, args.table], config):
+    extras: dict = {}
+    with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
         ir = load_ir(args.ir)
         relationships = AsRelationships.load(args.as_rel)
 
@@ -118,6 +128,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             processes=args.processes,
             on_report=print_report if args.report else None,
         )
+        extras["degradation"] = stats.degradation.as_dict()
     if args.figures_dir:
         from repro.stats import export
 
@@ -206,6 +217,18 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         emitted += 1
     print(f"{emitted} migration(s) proposed", file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos
+
+    report = run_chaos(seed=args.seed, preset=args.preset, processes=args.processes)
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_whois(args: argparse.Namespace) -> int:
@@ -304,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--asn", nargs="*", help="specific ASNs (default: all)")
     recommend.add_argument("--limit", type=int, default=0)
     recommend.set_defaults(func=_cmd_recommend)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run the fault-injection suite (see docs/robustness.md)"
+    )
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--preset", choices=("tiny", "default"), default="tiny")
+    chaos.add_argument("--processes", type=int, default=2)
+    chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     whois = subparsers.add_parser("whois", help="serve the IR over WHOIS/IRRd")
     whois.add_argument("--ir", required=True)

@@ -18,12 +18,25 @@ follow the same merge discipline as the stats: when the parent has a live
 :class:`~repro.obs.MetricsRegistry`, each worker records into its own
 registry and per-chunk snapshot *deltas* ride back with the chunk results
 to be folded into the parent's registry.
+
+The parallel path survives worker death (see ``docs/robustness.md``): a
+chunk whose worker was killed (OOM killer, operator signal, or the chaos
+harness's injected faults) is requeued with bounded retries; a chunk that
+fails :data:`MAX_CHUNK_ATTEMPTS` times in workers is verified serially
+in-process; and if the pool itself keeps collapsing the whole remainder of
+the table is drained serially.  Every such step is recorded in the
+returned stats' :class:`~repro.core.degradation.DegradationReport` and, if
+metrics are live, as ``verify_degradation_total`` counters — the run
+completes with exact stats either way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from itertools import islice
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -35,11 +48,25 @@ from repro.ir.model import Ir
 from repro.obs import MetricsRegistry, get_registry, set_registry
 from repro.stats.verification import VerificationStats
 
-__all__ = ["verify_table", "verify_entries", "verify_entries_parallel"]
+__all__ = [
+    "verify_table",
+    "verify_entries",
+    "verify_entries_parallel",
+    "MAX_CHUNK_ATTEMPTS",
+    "MAX_POOL_REBUILDS",
+]
+
+# A chunk is tried this many times in worker processes before the parent
+# gives up on parallelism for it and verifies it serially in-process.
+MAX_CHUNK_ATTEMPTS = 2
+# The pool is rebuilt after worker death at most this many times; beyond
+# it, the remainder of the table is drained serially.
+MAX_POOL_REBUILDS = 5
 
 _WORKER_VERIFIER: Verifier | None = None
 _WORKER_COLLECT_METRICS = False
 _WORKER_LAST_SNAPSHOT: dict | None = None
+_WORKER_FAULT_HOOK: Callable[[int], None] | None = None
 
 
 def _iter_chunks(
@@ -165,10 +192,13 @@ def _init_worker(
     relationships: AsRelationships,
     options: VerifyOptions | None,
     collect_metrics: bool,
+    fault_hook: Callable[[int], None] | None = None,
 ) -> None:
     global _WORKER_VERIFIER, _WORKER_COLLECT_METRICS, _WORKER_LAST_SNAPSHOT
+    global _WORKER_FAULT_HOOK
     _WORKER_COLLECT_METRICS = collect_metrics
     _WORKER_LAST_SNAPSHOT = None
+    _WORKER_FAULT_HOOK = fault_hook
     # A fresh registry per worker (never the parent's — under fork the
     # child would otherwise write into an inherited copy that nobody reads).
     set_registry(MetricsRegistry() if collect_metrics else None)
@@ -176,21 +206,172 @@ def _init_worker(
 
 
 def _verify_chunk(
-    entries: Sequence[RouteEntry],
-) -> tuple[VerificationStats, dict | None]:
+    task: tuple[int, Sequence[RouteEntry]],
+) -> tuple[int, VerificationStats, dict | None]:
+    index, entries = task
     global _WORKER_LAST_SNAPSHOT
     assert _WORKER_VERIFIER is not None
+    if _WORKER_FAULT_HOOK is not None:
+        # Chaos instrumentation: lets the fault-injection harness kill this
+        # worker (or raise) at a chosen chunk.  Never set in production runs.
+        _WORKER_FAULT_HOOK(index)
     registry = get_registry()
     stats = VerificationStats()
     with registry.span("verify/worker"):
         for entry in entries:
             stats.add_report(_WORKER_VERIFIER.verify_entry(entry))
     if not _WORKER_COLLECT_METRICS:
-        return stats, None
+        return index, stats, None
     snapshot = registry.snapshot()
     delta = _snapshot_delta(snapshot, _WORKER_LAST_SNAPSHOT)
     _WORKER_LAST_SNAPSHOT = snapshot
-    return stats, delta
+    return index, stats, delta
+
+
+def _verify_parallel(
+    ir: Ir,
+    relationships: AsRelationships,
+    chunk_source: Iterator[tuple[int, list[RouteEntry]]],
+    options: VerifyOptions | None,
+    processes: int,
+    context,
+    collect_metrics: bool,
+    registry,
+    fault_hook: Callable[[int], None] | None,
+) -> VerificationStats:
+    """The resilient fan-out: submit chunks, survive worker death."""
+    total = VerificationStats()
+    degradation = total.degradation
+    fallback_verifier: Verifier | None = None
+
+    def verify_serially(chunk: list[RouteEntry]) -> None:
+        nonlocal fallback_verifier
+        if fallback_verifier is None:
+            fallback_verifier = Verifier(ir, relationships, options)
+        for entry in chunk:
+            total.add_report(fallback_verifier.verify_entry(entry))
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(ir, relationships, options, collect_metrics, fault_hook),
+        )
+
+    executor: ProcessPoolExecutor | None = None
+    pending: dict[Future, tuple[int, list[RouteEntry]]] = {}
+    requeued: deque[tuple[int, list[RouteEntry]]] = deque()
+    attempts: dict[int, int] = {}
+    rebuilds = 0
+    exhausted = False
+    parallel_abandoned = False
+    max_inflight = processes + 2
+
+    def handle_failure(index: int, chunk: list[RouteEntry], why: str) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] >= MAX_CHUNK_ATTEMPTS:
+            degradation.record(
+                "verify", "chunk-serial-fallback", f"chunk {index}: {why}"
+            )
+            verify_serially(chunk)
+        else:
+            degradation.record("verify", "chunk-requeued", f"chunk {index}: {why}")
+            requeued.append((index, chunk))
+
+    def pool_broke() -> None:
+        """Fail over everything in flight and retire the dead executor."""
+        nonlocal executor, rebuilds, parallel_abandoned
+        rebuilds += 1
+        degradation.record(
+            "verify", "worker-lost", f"process pool rebuild #{rebuilds}"
+        )
+        # Every still-pending future is collateral damage of the same
+        # breakage; their results were never consumed, so requeuing keeps
+        # the count exact.
+        for _, (index, chunk) in list(pending.items()):
+            handle_failure(index, chunk, "pool broken")
+        pending.clear()
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = None
+        if rebuilds >= MAX_POOL_REBUILDS:
+            parallel_abandoned = True
+            degradation.record(
+                "verify",
+                "parallel-abandoned",
+                f"pool collapsed {rebuilds} times; draining serially",
+            )
+
+    try:
+        while True:
+            # Submission: requeued chunks first, then fresh ones from the
+            # lazy source, keeping a bounded number in flight.
+            while not parallel_abandoned and len(pending) < max_inflight:
+                if requeued:
+                    index, chunk = requeued.popleft()
+                elif not exhausted:
+                    item = next(chunk_source, None)
+                    if item is None:
+                        exhausted = True
+                        continue
+                    index, chunk = item
+                else:
+                    break
+                if executor is None:
+                    executor = make_executor()
+                try:
+                    future = executor.submit(_verify_chunk, (index, chunk))
+                except BrokenProcessPool:
+                    # The pool died between wait-loop iterations, before
+                    # any of its futures surfaced the failure to us.
+                    handle_failure(index, chunk, "pool broken at submit")
+                    pool_broke()
+                    continue
+                pending[future] = (index, chunk)
+            if not pending:
+                if parallel_abandoned:
+                    # Workers keep dying: drain everything left serially.
+                    for _, chunk in requeued:
+                        verify_serially(chunk)
+                    requeued.clear()
+                    for _, chunk in chunk_source:
+                        verify_serially(chunk)
+                break
+
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                index, chunk = pending.pop(future)
+                try:
+                    _, partial, snapshot = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    handle_failure(index, chunk, "worker process died")
+                except Exception as exc:  # noqa: BLE001 - chunk-scoped retry
+                    # The worker survived but the chunk failed; retry it,
+                    # and let a deterministic error surface from the serial
+                    # fallback instead of killing the whole run here.
+                    handle_failure(index, chunk, f"{type(exc).__name__}: {exc}")
+                else:
+                    total.merge(partial)
+                    if snapshot is not None:
+                        registry.merge_snapshot(snapshot)
+            if pool_broken:
+                pool_broke()
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    if collect_metrics:
+        registry.gauge("verify_workers").set(processes)
+        for event in degradation.events():
+            registry.counter(
+                "verify_degradation_total",
+                component=event.component,
+                kind=event.kind,
+            ).inc(event.count)
+    return total
 
 
 def verify_table(
@@ -203,6 +384,7 @@ def verify_table(
     chunk_size: int = 2000,
     start_method: str | None = None,
     on_report: Callable[[RouteReport], None] | None = None,
+    fault_hook: Callable[[int], None] | None = None,
 ) -> VerificationStats:
     """Verify a table of routes; serial and parallel return equal stats.
 
@@ -215,6 +397,13 @@ def verify_table(
     (reports do not cross process boundaries).  ``start_method`` overrides
     the multiprocessing start method; by default ``fork`` is used where
     available and ``spawn`` otherwise.
+
+    The parallel path tolerates dying workers: failed chunks are requeued
+    (bounded by :data:`MAX_CHUNK_ATTEMPTS`), then verified serially, and
+    every degradation is recorded on the returned stats'
+    ``degradation`` report.  ``fault_hook`` is chaos-harness
+    instrumentation — a picklable callable invoked in each worker with the
+    chunk index before verification (see :mod:`repro.chaos`).
     """
     if processes is None:
         processes = multiprocessing.cpu_count()
@@ -238,21 +427,19 @@ def verify_table(
                 _record_cache_hit_rate(registry)
             return stats
 
-        total = VerificationStats()
-        collect_metrics = registry.enabled
         context = multiprocessing.get_context(start_method or _default_start_method())
-        with context.Pool(
-            processes=processes,
-            initializer=_init_worker,
-            initargs=(ir, relationships, options, collect_metrics),
-        ) as pool:
-            chained = _chain_first(first, chunks)
-            for partial, snapshot in pool.imap_unordered(_verify_chunk, chained):
-                total.merge(partial)
-                if snapshot is not None:
-                    registry.merge_snapshot(snapshot)
-        if collect_metrics:
-            registry.gauge("verify_workers").set(processes)
+        total = _verify_parallel(
+            ir,
+            relationships,
+            enumerate(_chain_first(first, chunks)),
+            options,
+            processes,
+            context,
+            registry.enabled,
+            registry,
+            fault_hook,
+        )
+        if registry.enabled:
             _record_cache_hit_rate(registry)
         return total
 

@@ -1,24 +1,46 @@
 """Reading RPSL dump files into the IR.
 
-A dump file is the standard flat-text serialization IRRs publish (e.g.
-``ripe.db.gz`` uncompressed): RPSL paragraphs separated by blank lines.
+A dump file is the standard flat-text serialization IRRs publish: RPSL
+paragraphs separated by blank lines.  The paper's Table 1 inputs ship
+gzip-compressed (``ripe.db.gz``); :func:`parse_dump_file` opens both the
+compressed and the uncompressed form transparently.
+
+File ingestion is hardened against real-world damage (see
+``docs/robustness.md``): a dump truncated mid-object drops only the
+damaged final paragraph (recorded as a ``TRUNCATED``
+:class:`~repro.rpsl.errors.ParseIssue`), a pathologically large object is
+dropped as ``OVERSIZED``, and a garbage or corrupt-compressed file yields
+whatever parsed before the damage plus an ``UNREADABLE_INPUT`` issue —
+never an exception.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
+import zlib
 from pathlib import Path
+from typing import IO, Iterator
 
 from repro.ir.model import Ir
 from repro.obs import get_registry, timed_iter
-from repro.rpsl.errors import ErrorCollector
-from repro.rpsl.lexer import split_dump
+from repro.rpsl.errors import ErrorCollector, ErrorKind
+from repro.rpsl.lexer import LexLimits, split_dump
 from repro.rpsl.objects import collect_into_ir
 
 __all__ = ["parse_dump_text", "parse_dump_file"]
 
+_GZIP_MAGIC = b"\x1f\x8b"
 
-def _collect(stream, source: str, errors: ErrorCollector, ir: Ir | None) -> Ir:
+
+def _collect(
+    stream,
+    source: str,
+    errors: ErrorCollector,
+    ir: Ir | None,
+    limits: LexLimits | None = None,
+    detect_truncation: bool = False,
+) -> Ir:
     """Lex and parse one dump; with metrics live, split lex/object time.
 
     The lexer feeds the object parser through a generator, so their work is
@@ -28,7 +50,7 @@ def _collect(stream, source: str, errors: ErrorCollector, ir: Ir | None) -> Ir:
     policy construction.
     """
     registry = get_registry()
-    paragraphs = split_dump(stream)
+    paragraphs = split_dump(stream, limits=limits, detect_truncation=detect_truncation)
     if not registry.enabled:
         return collect_into_ir(paragraphs, source, errors, ir)
     before = len(errors)
@@ -39,17 +61,62 @@ def _collect(stream, source: str, errors: ErrorCollector, ir: Ir | None) -> Ir:
 
 
 def parse_dump_text(
-    text: str, source: str = "", errors: ErrorCollector | None = None, ir: Ir | None = None
+    text: str,
+    source: str = "",
+    errors: ErrorCollector | None = None,
+    ir: Ir | None = None,
+    limits: LexLimits | None = None,
 ) -> tuple[Ir, ErrorCollector]:
     """Parse an in-memory dump into an IR.
 
     ``source`` tags every produced object with its registry name; ``ir`` may
-    be supplied to accumulate several dumps into one IR.
+    be supplied to accumulate several dumps into one IR.  In-memory text is
+    trusted to be complete, so truncation detection stays off (a missing
+    trailing newline in a Python string is a formatting quirk, not damage).
     """
     if errors is None:
         errors = ErrorCollector()
-    ir = _collect(io.StringIO(text), source, errors, ir)
+    ir = _collect(io.StringIO(text), source, errors, ir, limits=limits)
     return ir, errors
+
+
+def _is_gzip(path: Path) -> bool:
+    if path.suffix == ".gz":
+        return True
+    try:
+        with open(path, "rb") as probe:
+            return probe.read(2) == _GZIP_MAGIC
+    except OSError:
+        return False
+
+
+def _open_dump(path: Path) -> IO[str]:
+    """Open a dump for text reading, decompressing gzip transparently."""
+    if _is_gzip(path):
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return open(path, encoding="utf-8", errors="replace")
+
+
+def _resilient_lines(
+    stream: IO[str], source: str, name: str, errors: ErrorCollector
+) -> Iterator[str]:
+    """Yield lines, converting read-time failures into a recorded issue.
+
+    Corrupt-compressed input raises mid-iteration (``BadGzipFile``,
+    ``EOFError``, zlib errors surfacing as ``OSError``); whatever
+    decompressed and parsed before the damage is kept, the failure is
+    recorded as ``UNREADABLE_INPUT``, and iteration ends cleanly.
+    """
+    try:
+        yield from stream
+    except (OSError, EOFError, UnicodeError, zlib.error) as exc:
+        errors.record(
+            ErrorKind.UNREADABLE_INPUT,
+            "dump",
+            name,
+            source,
+            f"unreadable input, kept what parsed before the damage: {exc}",
+        )
 
 
 def parse_dump_file(
@@ -57,11 +124,28 @@ def parse_dump_file(
     source: str = "",
     errors: ErrorCollector | None = None,
     ir: Ir | None = None,
+    limits: LexLimits | None = None,
 ) -> tuple[Ir, ErrorCollector]:
-    """Parse a dump file from disk, streaming line by line."""
+    """Parse a dump file from disk, streaming line by line.
+
+    ``.gz`` dumps (by suffix or magic bytes) are decompressed on the fly.
+    Unreadable files — garbage where gzip data should be, undecodable
+    bytes, I/O errors mid-read — record an ``UNREADABLE_INPUT`` issue and
+    return whatever parsed up to the damage instead of raising.
+    """
     if errors is None:
         errors = ErrorCollector()
-    source = source or Path(path).stem.upper()
-    with open(path, encoding="utf-8", errors="replace") as stream:
-        ir = _collect(stream, source, errors, ir)
+    path = Path(path)
+    name = path.name
+    source = source or name.removesuffix(".gz").rsplit(".", 1)[0].upper()
+    try:
+        stream = _open_dump(path)
+    except OSError as exc:
+        errors.record(
+            ErrorKind.UNREADABLE_INPUT, "dump", name, source, f"cannot open: {exc}"
+        )
+        return (ir if ir is not None else Ir()), errors
+    with stream:
+        lines = _resilient_lines(stream, source, name, errors)
+        ir = _collect(lines, source, errors, ir, limits=limits, detect_truncation=True)
     return ir, errors

@@ -110,8 +110,15 @@ class Registry:
 
 
 def parse_registry_dir(directory: str | Path) -> Registry:
-    """Parse every ``*.db`` dump file in a directory into a Registry."""
+    """Parse every ``*.db`` / ``*.db.gz`` dump in a directory into a Registry.
+
+    When both the plain and the gzipped form of one IRR are present, the
+    plain file wins (it is parsed last under the same name).
+    """
     registry = Registry()
-    for path in sorted(Path(directory).glob("*.db")):
-        registry.add_file(path.stem.upper(), path)
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.db.gz")) + sorted(directory.glob("*.db"))
+    for path in paths:
+        name = path.name.removesuffix(".gz").removesuffix(".db").upper()
+        registry.add_file(name, path)
     return registry

@@ -23,9 +23,12 @@ IRRd bang commands (``!`` prefix; responses framed ``A<len>\\n...C\\n``,
 
 from __future__ import annotations
 
+import logging
+import random
 import socket
 import socketserver
 import threading
+import time
 
 from repro.core.query import QueryEngine
 from repro.ir.model import Ir
@@ -41,7 +44,13 @@ from repro.net.asn import AsnError, parse_asn
 from repro.net.prefix import Prefix, PrefixError
 from repro.rpsl.names import NameKind, classify_name, normalize_name
 
-__all__ = ["WhoisEngine", "WhoisServer", "whois_query"]
+__all__ = ["WhoisEngine", "WhoisServer", "whois_query", "MAX_QUERY_BYTES"]
+
+logger = logging.getLogger(__name__)
+
+# Longest query line the server will read; real queries are a few dozen
+# bytes, so anything near this cap is garbage or abuse, not a lookup.
+MAX_QUERY_BYTES = 4096
 
 
 class WhoisEngine:
@@ -163,9 +172,18 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via client
         engine: WhoisEngine = self.server.engine  # type: ignore[attr-defined]
         while True:
-            line = self.rfile.readline()
+            line = self.rfile.readline(MAX_QUERY_BYTES + 1)
             if not line:
                 return
+            if len(line) > MAX_QUERY_BYTES and not line.endswith(b"\n"):
+                # An over-long line would otherwise buffer unboundedly;
+                # refuse it, then discard (in bounded reads) up to the next
+                # newline so the connection stays in sync for later queries.
+                self.wfile.write(b"F query line too long\n\n")
+                self.wfile.flush()
+                while line and not line.endswith(b"\n"):
+                    line = self.rfile.readline(MAX_QUERY_BYTES + 1)
+                continue
             text = line.decode("utf-8", errors="replace").strip()
             if text in ("!q", "!e", "-k q", "q"):
                 return
@@ -210,12 +228,25 @@ class WhoisServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the server down and join the service thread."""
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Shut the server down, join the service thread, close the socket.
+
+        If the service thread refuses to exit within ``join_timeout`` (a
+        handler wedged on a dead client, say), the leak is logged and the
+        listening socket is force-closed anyway so the port is released;
+        the daemon thread then dies with the process instead of pinning it.
+        """
         self._server.shutdown()
-        self._server.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=join_timeout)
+            if self._thread.is_alive():
+                logger.warning(
+                    "whois service thread still alive after %.1fs; "
+                    "force-closing its socket",
+                    join_timeout,
+                )
+        self._server.server_close()
+        self._thread = None
 
     def __enter__(self) -> "WhoisServer":
         return self.start()
@@ -224,8 +255,7 @@ class WhoisServer:
         self.stop()
 
 
-def whois_query(host: str, port: int, query: str, timeout: float = 5.0) -> str:
-    """Send one query and return the response text (trailing blanks stripped)."""
+def _query_once(host: str, port: int, query: str, timeout: float) -> str:
     with socket.create_connection((host, port), timeout=timeout) as connection:
         connection.sendall(query.encode("utf-8") + b"\n")
         connection.sendall(b"!q\n")
@@ -236,3 +266,32 @@ def whois_query(host: str, port: int, query: str, timeout: float = 5.0) -> str:
                 break
             chunks.append(data)
     return b"".join(chunks).decode("utf-8").rstrip()
+
+
+def whois_query(
+    host: str,
+    port: int,
+    query: str,
+    timeout: float = 5.0,
+    *,
+    retries: int = 0,
+    backoff: float = 0.1,
+    max_backoff: float = 2.0,
+) -> str:
+    """Send one query and return the response text (trailing blanks stripped).
+
+    With ``retries`` > 0, connection-level failures (refused, reset,
+    timed out) are retried up to that many extra times with exponential
+    backoff starting at ``backoff`` seconds, jittered by ±50% so a herd of
+    retrying clients does not re-synchronize; the final failure re-raises.
+    """
+    attempt = 0
+    while True:
+        try:
+            return _query_once(host, port, query, timeout)
+        except OSError:
+            if attempt >= retries:
+                raise
+            delay = min(backoff * (2**attempt), max_backoff)
+            time.sleep(delay * (0.5 + random.random()))
+            attempt += 1

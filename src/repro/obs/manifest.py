@@ -47,12 +47,13 @@ def digest_file(path: str | Path) -> dict:
 
 
 def digest_inputs(paths: Iterable[str | Path]) -> list[dict]:
-    """Digest input files; directories expand to their ``*.db`` dumps."""
+    """Digest input files; directories expand to their ``*.db``/``*.db.gz`` dumps."""
     records = []
     for path in paths:
         path = Path(path)
         if path.is_dir():
-            records.extend(digest_file(dump) for dump in sorted(path.glob("*.db")))
+            dumps = sorted(path.glob("*.db")) + sorted(path.glob("*.db.gz"))
+            records.extend(digest_file(dump) for dump in dumps)
         elif path.exists():
             records.append(digest_file(path))
         else:
@@ -76,8 +77,16 @@ def build_manifest(
     *,
     inputs: Iterable[str | Path] = (),
     config: dict | None = None,
+    degradation: dict | None = None,
 ) -> dict:
-    """Assemble the manifest document from a finished run's registry."""
+    """Assemble the manifest document from a finished run's registry.
+
+    ``degradation`` is the run's
+    :meth:`~repro.core.degradation.DegradationReport.as_dict` — how the
+    run deviated from the clean path (requeued chunks, dropped objects);
+    always present in the document so clean and degraded runs stay
+    line-diffable.
+    """
     snapshot = registry.snapshot()
     phases = {
         record["path"]: {
@@ -95,6 +104,7 @@ def build_manifest(
         "config": config or {},
         "phases": phases,
         "metrics": snapshot,
+        "degradation": degradation if degradation is not None else {"events": [], "total": 0},
     }
 
 

@@ -11,7 +11,7 @@ Layers, bottom to top:
 """
 
 from repro.rpsl.errors import ErrorCollector, ErrorKind, ParseIssue, RpslSyntaxError
-from repro.rpsl.lexer import Attribute, RpslParagraph, split_dump
+from repro.rpsl.lexer import Attribute, LexLimits, RpslParagraph, split_dump
 from repro.rpsl.names import NameKind, classify_name, is_valid_set_name
 from repro.rpsl.policy import PolicyRule, parse_policy
 
@@ -24,6 +24,7 @@ __all__ = [
     "Attribute",
     "ErrorCollector",
     "ErrorKind",
+    "LexLimits",
     "NameKind",
     "ParseIssue",
     "PolicyRule",

@@ -36,6 +36,11 @@ class ErrorKind(Enum):
     INVALID_ASN = "invalid-asn"
     RESERVED_NAME = "reserved-name"
     UNKNOWN_CLASS = "unknown-class"
+    # ingestion-level damage (see docs/robustness.md): the object or the
+    # input around it was corrupt, not merely mis-written RPSL.
+    OVERSIZED = "oversized"
+    TRUNCATED = "truncated"
+    UNREADABLE_INPUT = "unreadable-input"
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,9 +62,19 @@ class ParseIssue:
 
 @dataclass(slots=True)
 class ErrorCollector:
-    """Accumulates :class:`ParseIssue` records during a parse run."""
+    """Accumulates :class:`ParseIssue` records during a parse run.
+
+    ``max_issues`` bounds how many full :class:`ParseIssue` records are
+    *stored*; a hostile dump that is nothing but errors can otherwise grow
+    the list without limit.  Past the cap, issues are still *counted* per
+    kind in ``overflow``, so the Section 4 census stays exact while memory
+    stays flat.  The default (None) keeps the historical unlimited
+    behaviour.
+    """
 
     issues: list[ParseIssue] = field(default_factory=list)
+    max_issues: int | None = None
+    overflow: Counter = field(default_factory=Counter)
 
     def record(
         self,
@@ -70,15 +85,37 @@ class ErrorCollector:
         message: str,
     ) -> None:
         """Append one issue; cheap enough to call inside parsing loops."""
+        if self.max_issues is not None and len(self.issues) >= self.max_issues:
+            self.overflow[kind] += 1
+            return
         self.issues.append(ParseIssue(kind, object_class, object_name, source, message))
 
     def count_by_kind(self) -> Counter:
-        """Error counts per :class:`ErrorKind` (the Section 4 census)."""
-        return Counter(issue.kind for issue in self.issues)
+        """Error counts per :class:`ErrorKind` (the Section 4 census).
+
+        Includes issues counted past ``max_issues``.
+        """
+        counts = Counter(issue.kind for issue in self.issues)
+        counts.update(self.overflow)
+        return counts
 
     def extend(self, other: "ErrorCollector") -> None:
-        """Merge another collector's issues into this one."""
-        self.issues.extend(other.issues)
+        """Merge another collector's issues into this one (cap respected)."""
+        if self.max_issues is None:
+            self.issues.extend(other.issues)
+        else:
+            room = self.max_issues - len(self.issues)
+            if room > 0:
+                self.issues.extend(other.issues[:room])
+            for issue in other.issues[max(room, 0):]:
+                self.overflow[issue.kind] += 1
+        self.overflow.update(other.overflow)
+
+    @property
+    def truncated(self) -> bool:
+        """True when some issues were counted but not stored."""
+        return bool(self.overflow)
 
     def __len__(self) -> int:
-        return len(self.issues)
+        """Total issues *recorded*, stored or merely counted."""
+        return len(self.issues) + sum(self.overflow.values())

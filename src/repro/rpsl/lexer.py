@@ -10,6 +10,21 @@ ignored.
 This module is deliberately tolerant: anything that does not look like an
 attribute line becomes a *stray line*, which the object parsers report as a
 syntax error — mirroring how RPSLyzer counts "out-of-place text".
+
+Two ingestion hazards are handled here rather than upstream (see
+``docs/robustness.md``):
+
+* **oversized paragraphs** — an operator-typed (or hostile) dump can hold
+  a multi-megabyte single object; :class:`LexLimits` caps the lines and
+  bytes buffered per paragraph.  An over-cap paragraph keeps only its
+  first line (so the object class and key survive for the error report),
+  is flagged ``oversized``, and is dropped by the object parsers with an
+  ``OVERSIZED`` :class:`~repro.rpsl.errors.ErrorKind`;
+* **truncated dumps** — a download cut off mid-object ends with an
+  unterminated line.  With ``detect_truncation`` enabled (file ingestion
+  turns it on; in-memory text does not), the final paragraph of such a
+  stream is flagged ``truncated`` and dropped with a ``TRUNCATED`` issue
+  instead of silently producing a half-parsed object.
 """
 
 from __future__ import annotations
@@ -18,7 +33,15 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, TextIO
 
-__all__ = ["Attribute", "RpslParagraph", "iter_paragraphs", "split_dump", "lex_paragraph"]
+__all__ = [
+    "Attribute",
+    "LexLimits",
+    "DEFAULT_LIMITS",
+    "RpslParagraph",
+    "iter_paragraphs",
+    "split_dump",
+    "lex_paragraph",
+]
 
 # Attribute names: letters, digits, hyphens; must start with a letter
 # (RFC 2622 allows leading digits in practice for e.g. "*xxte" IRRd metadata,
@@ -34,13 +57,47 @@ class Attribute:
     value: str
 
 
+@dataclass(frozen=True, slots=True)
+class LexLimits:
+    """Per-paragraph buffering caps applied while lexing a dump.
+
+    Defaults are far above anything a legitimate registry object reaches
+    (the largest real-world objects are sets with tens of thousands of
+    members, well under a megabyte) while still bounding what one
+    paragraph can make the lexer hold in memory.
+    """
+
+    max_object_lines: int = 100_000
+    max_object_bytes: int = 16 << 20  # 16 MiB of buffered paragraph text
+    max_line_bytes: int = 1 << 20  # one attribute line
+
+    def line_over(self, line: str) -> bool:
+        """Whether one line exceeds the per-line cap."""
+        return len(line) > self.max_line_bytes
+
+    def block_over(self, lines: int, size: int) -> bool:
+        """Whether a paragraph of ``lines`` lines / ``size`` chars is over cap."""
+        return lines > self.max_object_lines or size > self.max_object_bytes
+
+
+DEFAULT_LIMITS = LexLimits()
+
+
 @dataclass(slots=True)
 class RpslParagraph:
-    """One raw object: its attributes plus any stray (non-attribute) lines."""
+    """One raw object: its attributes plus any stray (non-attribute) lines.
+
+    ``oversized`` marks a paragraph whose body blew the :class:`LexLimits`
+    caps (only its first line was kept); ``truncated`` marks the final
+    paragraph of a stream that ended mid-line.  Both are dropped by
+    :func:`~repro.rpsl.objects.collect_into_ir` with a recorded issue.
+    """
 
     attributes: list[Attribute] = field(default_factory=list)
     stray_lines: list[str] = field(default_factory=list)
     first_line: int = 0
+    oversized: bool = False
+    truncated: bool = False
 
     @property
     def object_class(self) -> str:
@@ -74,28 +131,56 @@ def strip_comment(line: str) -> str:
     return line[:position]
 
 
-def iter_paragraphs(lines: Iterable[str]) -> Iterator[tuple[int, list[str]]]:
+def iter_paragraphs(
+    lines: Iterable[str], limits: LexLimits | None = None
+) -> Iterator[tuple[int, list[str], bool]]:
     """Group raw dump lines into paragraphs.
 
-    Yields ``(first_line_number, lines)`` with server remarks (``%``) and
-    blank separators removed.  Line numbers are 1-based.
+    Yields ``(first_line_number, lines, oversized)`` with server remarks
+    (``%``) and blank separators removed.  Line numbers are 1-based.  When
+    a paragraph exceeds ``limits`` (default :data:`DEFAULT_LIMITS`), only
+    its first line is retained and the paragraph is flagged oversized; the
+    rest of its lines are consumed without being buffered, so a hostile
+    multi-megabyte object costs one line of memory.
     """
+    if limits is None:
+        limits = DEFAULT_LIMITS
     block: list[str] = []
     block_start = 0
+    block_bytes = 0
+    block_lines = 0
+    oversized = False
     for number, raw in enumerate(lines, start=1):
         line = raw.rstrip("\n").rstrip("\r")
         if line.startswith("%"):
             continue
         if not line.strip():
             if block:
-                yield block_start, block
+                yield block_start, block, oversized
                 block = []
+                block_bytes = 0
+                block_lines = 0
+                oversized = False
             continue
         if not block:
             block_start = number
+        block_lines += 1
+        block_bytes += len(line) + 1
+        if oversized:
+            continue  # drain the oversized paragraph without buffering
+        if limits.line_over(line):
+            line = line[: limits.max_line_bytes]
+            oversized = True
+        if limits.block_over(block_lines, block_bytes):
+            oversized = True
+        if oversized:
+            del block[1:]
+            if not block:
+                block.append(line)
+            continue
         block.append(line)
     if block:
-        yield block_start, block
+        yield block_start, block, oversized
 
 
 def lex_paragraph(block_start: int, lines: list[str]) -> RpslParagraph:
@@ -130,8 +215,48 @@ def lex_paragraph(block_start: int, lines: list[str]) -> RpslParagraph:
     return paragraph
 
 
-def split_dump(stream: TextIO | Iterable[str]) -> Iterator[RpslParagraph]:
+def _track_termination(stream: Iterable[str], state: dict) -> Iterator[str]:
+    """Pass lines through, remembering whether the last one ended in ``\\n``."""
+    for raw in stream:
+        state["terminated"] = raw.endswith("\n")
+        yield raw
+
+
+def _lex_stream(
+    stream: TextIO | Iterable[str],
+    limits: LexLimits | None,
+    detect_truncation: bool,
+) -> Iterator[RpslParagraph]:
+    state = {"terminated": True}
+    lines: Iterable[str] = (
+        _track_termination(stream, state) if detect_truncation else stream
+    )
+    # One-paragraph lookahead so the *final* paragraph (the only one a
+    # truncated stream can damage) can be flagged before it is yielded.
+    previous: RpslParagraph | None = None
+    for block_start, block, oversized in iter_paragraphs(lines, limits):
+        if previous is not None:
+            yield previous
+        previous = lex_paragraph(block_start, block)
+        previous.oversized = oversized
+    if previous is not None:
+        if detect_truncation and not state["terminated"]:
+            previous.truncated = True
+        yield previous
+
+
+def split_dump(
+    stream: TextIO | Iterable[str],
+    limits: LexLimits | None = None,
+    detect_truncation: bool = False,
+) -> Iterator[RpslParagraph]:
     """Lex a whole dump file (or any iterable of lines) into paragraphs.
+
+    ``limits`` caps per-paragraph buffering (default
+    :data:`DEFAULT_LIMITS`); ``detect_truncation`` flags the final
+    paragraph when the stream ends with an unterminated line — file-based
+    ingestion enables it, in-memory parsing (where a missing trailing
+    newline is a formatting quirk, not damage) does not.
 
     When a metrics registry is live, object and stray-line counts are
     accumulated locally and folded in once at exhaustion — the per-object
@@ -139,17 +264,16 @@ def split_dump(stream: TextIO | Iterable[str]) -> Iterator[RpslParagraph]:
     """
     from repro.obs import get_registry
 
+    paragraphs_iter = _lex_stream(stream, limits, detect_truncation)
     registry = get_registry()
     if not registry.enabled:
-        for block_start, lines in iter_paragraphs(stream):
-            yield lex_paragraph(block_start, lines)
+        yield from paragraphs_iter
         return
     paragraphs = 0
     stray_lines = 0
     attributes = 0
     try:
-        for block_start, lines in iter_paragraphs(stream):
-            paragraph = lex_paragraph(block_start, lines)
+        for paragraph in paragraphs_iter:
             paragraphs += 1
             stray_lines += len(paragraph.stray_lines)
             attributes += len(paragraph.attributes)

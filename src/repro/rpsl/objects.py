@@ -318,11 +318,35 @@ def collect_into_ir(
 
     Unknown (non-routing) object classes are skipped silently, as they are
     plentiful in real dumps (*person*, *mntner*, *inetnum*, ...).
+
+    Paragraphs the lexer flagged as damaged — ``oversized`` (blew the
+    :class:`~repro.rpsl.lexer.LexLimits` caps) or ``truncated`` (cut off
+    by the end of a partial dump) — are dropped with an ``OVERSIZED`` /
+    ``TRUNCATED`` issue rather than half-parsed: a partial object is worse
+    than an accounted-for missing one.
     """
     if ir is None:
         ir = Ir()
     for paragraph in paragraphs:
         object_class = paragraph.object_class
+        if paragraph.oversized:
+            errors.record(
+                ErrorKind.OVERSIZED,
+                object_class,
+                paragraph.object_name,
+                source,
+                "object exceeded the per-paragraph size cap; dropped",
+            )
+            continue
+        if paragraph.truncated:
+            errors.record(
+                ErrorKind.TRUNCATED,
+                object_class,
+                paragraph.object_name,
+                source,
+                "dump ended mid-object; dropped the partial paragraph",
+            )
+            continue
         if object_class == "aut-num":
             aut_num = parse_aut_num(paragraph, source, errors)
             if aut_num is not None and aut_num.asn not in ir.aut_nums:

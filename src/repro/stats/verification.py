@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.core.degradation import DegradationReport
 from repro.core.report import RouteReport
 from repro.core.status import SpecialCase, UnrecordedReason, VerifyStatus
 
@@ -69,6 +70,9 @@ class VerificationStats:
         # undeclared peerings")
         self.unverified_hops = 0
         self.unverified_peering_only = 0
+        # how the run degraded (requeued chunks, serial fallbacks, ...);
+        # empty on a clean run
+        self.degradation = DegradationReport()
 
     # -- ingestion ---------------------------------------------------------
 
@@ -128,6 +132,7 @@ class VerificationStats:
             self.special_per_as.setdefault(asn, Counter()).update(cases)
         self.unverified_hops += other.unverified_hops
         self.unverified_peering_only += other.unverified_peering_only
+        self.degradation.merge(other.degradation)
 
     # -- Figure 2: per AS -----------------------------------------------
 
@@ -212,6 +217,7 @@ class VerificationStats:
     def summary(self) -> dict[str, object]:
         """The headline numbers of Section 5.2 in one dict."""
         hop_total = sum(self.hop_totals.values()) or 1
+        routes = self.routes_verified()
         import_single, import_total = self.pairs_with_single_status("import")
         export_single, export_total = self.pairs_with_single_status("export")
         return {
@@ -231,8 +237,11 @@ class VerificationStats:
             "export_pairs_single_status_fraction": (
                 export_single / export_total if export_total else 0.0
             ),
-            "routes_single_status_fraction": sum(
-                self.single_status_route_fractions().values()
+            # one division, not a sum of per-status floats: float addition
+            # is order-sensitive and merge order differs between serial and
+            # parallel runs, which must produce bit-identical summaries
+            "routes_single_status_fraction": (
+                sum(self.route_single_status.values()) / routes if routes else 0.0
             ),
             "unverified_hops_peering_only_fraction": (
                 self.unverified_peering_only / self.unverified_hops
@@ -240,4 +249,5 @@ class VerificationStats:
                 else 0.0
             ),
             "ases_with_special_cases": self.ases_with_special_cases(),
+            "degradation": self.degradation.as_dict(),
         }

@@ -6,11 +6,22 @@ an IR, a verifier, or collector routes share it instead of regenerating.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.bgp.routegen import collector_routes
 from repro.core.verify import Verifier
 from repro.irr.synth import build_world, tiny_config
+
+# Hypothesis effort is profile-driven: the default keeps local runs and
+# per-commit CI fast; "nightly" raises example counts for the scheduled
+# fuzz job (CI exports HYPOTHESIS_PROFILE=nightly).  Tests that pin their
+# own @settings(max_examples=...) keep their pinned value.
+settings.register_profile("default", max_examples=100, deadline=None)
+settings.register_profile("nightly", max_examples=2000, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

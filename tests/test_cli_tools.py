@@ -92,5 +92,5 @@ class TestParserWiring:
         )
         assert set(subparsers.choices) == {
             "synth", "parse", "verify", "stats", "metrics", "lint", "asrel",
-            "classify", "recommend", "whois",
+            "classify", "recommend", "whois", "chaos",
         }

@@ -2,7 +2,15 @@
 
 Registry dumps contain operator-typed text; the contract is that the
 object parsers record issues and keep going, and the expression parsers
-raise :class:`RpslSyntaxError` (never anything else) on garbage.
+raise :class:`RpslSyntaxError` (never anything else) on garbage.  On top
+of free-form text, the chaos mutators supply *structured* damage —
+truncation and binary splices over realistic dumps and TABLE_DUMP2 /
+BGP4MP text — so the fuzzer also exercises the almost-valid neighborhood
+real corruption lives in.
+
+Example counts follow the loaded hypothesis profile (see
+``tests/conftest.py``): ``HYPOTHESIS_PROFILE=nightly`` raises them in the
+scheduled CI run.
 """
 
 import io
@@ -12,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.bgp.table import parse_table_text
 from repro.bgp.updates import parse_update_text
+from repro.chaos.mutators import corrupt_table, splice_binary, truncate_mid_paragraph
 from repro.irr.dump import parse_dump_text
 from repro.rpsl.errors import RpslSyntaxError
 from repro.rpsl.lexer import split_dump
@@ -81,3 +90,63 @@ def test_table_and_update_parsers_total(text):
         assert entry.as_path or entry.as_set
     for update in parse_update_text(text):
         assert update.kind in ("A", "W")
+
+
+# -- structured damage: the chaos mutators over realistic inputs -------------
+
+_DUMP = (
+    "aut-num:        AS64500\n"
+    "import:         from AS64501 accept ANY\n"
+    "export:         to AS64501 announce AS64500\n\n"
+    "as-set:         AS-FUZZ\n"
+    "members:        AS64500, AS64501\n\n"
+    "route:          192.0.2.0/24\n"
+    "origin:         AS64500\n"
+) * 3
+
+_TABLE = "\n".join(
+    f"TABLE_DUMP2|1696000000|B|rrc00|64500|10.{i}.0.0/16|64500 6450{i % 10}|IGP"
+    for i in range(24)
+) + "\n"
+
+_UPDATES = "\n".join(
+    f"BGP4MP|1696000000|A|rrc00|64500|10.{i}.0.0/16|64500 6450{i % 10}|IGP"
+    if i % 3
+    else f"BGP4MP|1696000000|W|rrc00|64500|10.{i}.0.0/16"
+    for i in range(24)
+) + "\n"
+
+
+@given(st.integers(min_value=0, max_value=len(_DUMP)))
+def test_dump_truncated_at_any_offset_never_raises(cut):
+    ir, errors = parse_dump_text(_DUMP[:cut], "FUZZ")
+    for asn, aut_num in ir.aut_nums.items():
+        assert aut_num.asn == asn
+
+
+@given(st.randoms(use_true_random=False))
+def test_dump_binary_splice_never_raises(rng):
+    text = splice_binary(rng, _DUMP).decode("utf-8", errors="replace")
+    ir, errors = parse_dump_text(text, "FUZZ")
+    for asn, aut_num in ir.aut_nums.items():
+        assert aut_num.asn == asn
+
+
+@given(st.randoms(use_true_random=False))
+def test_dump_truncation_mutator_never_raises(rng):
+    text = truncate_mid_paragraph(rng, _DUMP).decode("utf-8", errors="replace")
+    ir, errors = parse_dump_text(text, "FUZZ")
+    assert sum(ir.counts().values()) <= 9  # never *more* objects than clean
+
+
+@given(st.randoms(use_true_random=False), st.integers(min_value=0, max_value=2))
+def test_corrupted_table_and_updates_never_raise(rng, flavor):
+    for clean, parser in ((_TABLE, parse_table_text), (_UPDATES, parse_update_text)):
+        damaged = corrupt_table(rng, clean)
+        if flavor == 1:
+            damaged = splice_binary(rng, damaged.decode("utf-8", errors="replace"))
+        elif flavor == 2:
+            damaged = damaged[: rng.randrange(len(damaged) + 1)]
+        text = damaged.decode("utf-8", errors="replace")
+        for record in parser(text):
+            assert record is not None

@@ -16,6 +16,7 @@ import repro
 PACKAGES = [
     "repro", "repro.net", "repro.rpsl", "repro.ir", "repro.irr",
     "repro.bgp", "repro.core", "repro.stats", "repro.baseline", "repro.tools",
+    "repro.chaos",
 ]
 
 
