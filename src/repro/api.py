@@ -28,6 +28,16 @@ from typing import Callable, Iterable, Iterator
 
 from repro.bgp.table import RouteEntry
 from repro.bgp.topology import AsRelationships
+from repro.core.compiled import (
+    CompiledIndex,
+    IndexCacheError,
+    get_or_compile,
+    index_cache_path,
+    ir_digest,
+    load_index,
+    save_index,
+)
+from repro.core.compiled import compile_index as _compile_index
 from repro.core.degradation import DegradationReport
 from repro.core.parallel import verify_table as _verify_table
 from repro.core.query import QueryEngine
@@ -46,7 +56,15 @@ from repro.stats.verification import VerificationStats
 from repro.tools.recommend import RouteSetRecommendation, recommend_route_set
 
 __all__ = [
+    "CompiledIndex",
     "DegradationReport",
+    "IndexCacheError",
+    "compile_index",
+    "get_or_compile",
+    "index_cache_path",
+    "ir_digest",
+    "load_index",
+    "save_index",
     "synthesize",
     "parse_dumps",
     "parse_registry",
@@ -100,9 +118,30 @@ def make_verifier(
     ir: Ir,
     relationships: AsRelationships,
     options: VerifyOptions | None = None,
+    *,
+    index: CompiledIndex | None = None,
 ) -> Verifier:
-    """A single-route verifier for ad-hoc ⟨prefix, AS-path⟩ checks."""
-    return Verifier(ir, relationships, options)
+    """A single-route verifier for ad-hoc ⟨prefix, AS-path⟩ checks.
+
+    Pass ``index`` (see :func:`compile_index`) to start the verifier from
+    precompiled query caches instead of deriving them lazily.
+    """
+    return Verifier(ir, relationships, options, index=index)
+
+
+def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
+    """Compile an IR's query plans once, ahead of verification.
+
+    The returned :class:`CompiledIndex` is immutable and picklable: every
+    as-set closure, route-/filter-/peering-set resolution, prefix index,
+    and AS-path regex program is materialized eagerly, so verifiers built
+    from it never resolve anything in the hot loop.  Feed it to
+    :func:`verify_table`/:func:`make_verifier`, persist it with
+    :func:`save_index`, or let :func:`get_or_compile` manage an on-disk
+    cache keyed by :func:`ir_digest`.  ``digest`` stamps the artifact for
+    cache validation (defaults to unstamped).
+    """
+    return _compile_index(ir, digest=digest)
 
 
 def verify_table(
@@ -116,6 +155,7 @@ def verify_table(
     start_method: str | None = None,
     on_report: Callable[[RouteReport], None] | None = None,
     fault_hook: Callable[[int], None] | None = None,
+    index: CompiledIndex | None = None,
 ) -> VerificationStats:
     """Verify a table of routes (Section 5), serial or multi-process.
 
@@ -131,6 +171,11 @@ def verify_table(
     is recorded on the returned stats' ``degradation``
     (:class:`DegradationReport`) and in the run manifest.  ``fault_hook``
     is chaos-harness instrumentation (see :mod:`repro.chaos`).
+
+    ``index`` is a precompiled :class:`CompiledIndex` (see
+    :func:`compile_index`/:func:`get_or_compile`); the multi-process path
+    compiles one automatically when none is given, so workers share the
+    artifact instead of re-deriving caches per process.
     """
     return _verify_table(
         ir,
@@ -142,6 +187,7 @@ def verify_table(
         start_method=start_method,
         on_report=on_report,
         fault_hook=fault_hook,
+        index=index,
     )
 
 

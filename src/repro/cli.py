@@ -8,7 +8,10 @@ Subcommands mirror the paper's pipeline:
   and export the IR as JSON;
 * ``verify --ir ir.json --as-rel as-rel.txt --table dump.txt`` — verify a
   BGP table dump and print summary statistics (or per-route reports with
-  ``--report``);
+  ``--report``); the verification index is compiled once and cached on
+  disk keyed by the IR digest (``--no-index-cache`` opts out);
+* ``compile --ir ir.json`` — precompile the verification index into the
+  cache (or ``-o artifact.pkl``) ahead of a verify run;
 * ``stats --ir ir.json`` — print the Section 4 characterization;
 * ``metrics run.json`` — render a run manifest as Prometheus-style text;
 * ``chaos --seed 42`` — run the fault-injection suite and print its
@@ -39,6 +42,7 @@ from repro.ir.json_io import dump_ir, load_ir
 from repro.obs import (
     MetricsRegistry,
     build_manifest,
+    cache_summary,
     load_manifest,
     render_prometheus,
     use_registry,
@@ -100,6 +104,25 @@ def _cmd_parse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_index(args: argparse.Namespace, ir, config: dict):
+    """The compiled index for a verify run, per the CLI cache knobs.
+
+    ``--index PATH`` loads a specific artifact; ``--no-index-cache``
+    compiles in-memory without touching disk; the default consults (and
+    populates) the on-disk cache keyed by the IR content digest.
+    """
+    digest = api.ir_digest(ir)
+    config["ir_digest"] = digest
+    if getattr(args, "index", None):
+        config["index"] = {"source": str(args.index)}
+        return api.load_index(args.index, expect_digest=digest)
+    if args.no_index_cache:
+        config["index"] = {"source": "compiled", "cache": False}
+        return api.get_or_compile(ir, digest=digest, use_cache=False)
+    config["index"] = {"source": "cache", "cache": True}
+    return api.get_or_compile(ir, digest=digest, cache_dir=args.cache_dir)
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     options = VerifyOptions(
         relaxations=not args.no_relaxations, safelists=not args.no_safelists
@@ -114,6 +137,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
         ir = load_ir(args.ir)
         relationships = AsRelationships.load(args.as_rel)
+        index = _resolve_index(args, ir, config)
 
         def print_report(report) -> None:
             if report.ignored is None:
@@ -127,6 +151,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             options=options,
             processes=args.processes,
             on_report=print_report if args.report else None,
+            index=index,
         )
         extras["degradation"] = stats.degradation.as_dict()
     if args.figures_dir:
@@ -154,9 +179,55 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    config = {"output": args.output, "cache_dir": args.cache_dir}
+    with _metrics_session(args, [args.ir], config):
+        ir = load_ir(args.ir)
+        digest = api.ir_digest(ir)
+        config["ir_digest"] = digest
+        destination = (
+            Path(args.output)
+            if args.output
+            else api.index_cache_path(digest, args.cache_dir)
+        )
+        if destination.exists() and not args.force:
+            print(
+                f"{destination} already exists (use --force to recompile)",
+                file=sys.stderr,
+            )
+            return 0
+        index = api.compile_index(ir, digest=digest)
+        api.save_index(index, destination)
+    stats = index.stats()
+    print(
+        f"compiled index for IR {digest[:16]} -> {destination} "
+        f"({stats['as_sets']} as-sets, {stats['route_sets']} route-sets, "
+        f"{stats['aspath_regexes']} regexes, "
+        f"{stats['compile_seconds']:.2f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     manifest = load_manifest(args.manifest)
     sys.stdout.write(render_prometheus(manifest))
+    caches = cache_summary(manifest)
+    if any(caches.values()):
+        print(
+            "caches: hop {hits}/{total} hits ({rate:.1%}), "
+            "{evictions} evictions; index {index_hits} hits / "
+            "{index_misses} misses, compile {compile:.2f}s".format(
+                hits=caches["hop_cache_hits"],
+                total=caches["hop_cache_hits"] + caches["hop_cache_misses"],
+                rate=caches["hop_cache_hit_rate"],
+                evictions=caches["hop_cache_evictions"],
+                index_hits=caches["index_cache_hits"],
+                index_misses=caches["index_cache_misses"],
+                compile=caches["index_compile_seconds"],
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -285,8 +356,44 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-safelists", action="store_true")
     verify.add_argument("--processes", type=int, default=1, help="worker processes")
     verify.add_argument("--figures-dir", help="also write Figures 2-6 CSV data here")
+    verify.add_argument(
+        "--index",
+        metavar="PATH",
+        help="use a compiled index artifact (see 'rpslyzer compile')",
+    )
+    verify.add_argument(
+        "--no-index-cache",
+        action="store_true",
+        help="compile the index in-memory; never read or write the disk cache",
+    )
+    verify.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="compiled-index cache directory (default: ~/.cache/rpslyzer)",
+    )
     _add_metrics_flag(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    compile_ = subparsers.add_parser(
+        "compile",
+        help="precompile the verification index for an IR (docs/performance.md)",
+    )
+    compile_.add_argument("--ir", required=True)
+    compile_.add_argument(
+        "-o",
+        "--output",
+        help="artifact path (default: the digest-keyed cache entry)",
+    )
+    compile_.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="compiled-index cache directory (default: ~/.cache/rpslyzer)",
+    )
+    compile_.add_argument(
+        "--force", action="store_true", help="recompile even if the artifact exists"
+    )
+    _add_metrics_flag(compile_)
+    compile_.set_defaults(func=_cmd_compile)
 
     stats = subparsers.add_parser("stats", help="characterize an IR")
     stats.add_argument("--ir", required=True)

@@ -7,13 +7,24 @@ by hop, classifying every import and export into the status lattice
 Verified → Skip → Unrecorded → Relaxed → Safelisted → Unverified.
 """
 
+from repro.core.compiled import (
+    CompiledIndex,
+    IndexCacheError,
+    compile_index,
+    get_or_compile,
+    ir_digest,
+    load_index,
+    save_index,
+)
 from repro.core.query import QueryEngine
 from repro.core.report import HopReport, ReportItem, RouteReport
 from repro.core.status import SpecialCase, VerifyStatus
 from repro.core.verify import Verifier, VerifyOptions
 
 __all__ = [
+    "CompiledIndex",
     "HopReport",
+    "IndexCacheError",
     "QueryEngine",
     "ReportItem",
     "RouteReport",
@@ -21,4 +32,9 @@ __all__ = [
     "Verifier",
     "VerifyOptions",
     "VerifyStatus",
+    "compile_index",
+    "get_or_compile",
+    "ir_digest",
+    "load_index",
+    "save_index",
 ]

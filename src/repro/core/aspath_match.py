@@ -136,12 +136,24 @@ class _Compiler:
 
 
 class AsPathMatcher:
-    """Evaluates AS-path regexes against observed paths via a QueryEngine."""
+    """Evaluates AS-path regexes against observed paths via a QueryEngine.
 
-    def __init__(self, query: QueryEngine, product_cap: int = 65536):
+    ``compiled`` pre-seeds the regex→program cache (the compile-once
+    pass); the dict is copied so lazy compilations never mutate the shared
+    artifact.
+    """
+
+    def __init__(
+        self,
+        query: QueryEngine,
+        product_cap: int = 65536,
+        compiled: dict[AsPathRegexNode, CompiledAsPathRegex] | None = None,
+    ):
         self.query = query
         self.product_cap = product_cap
-        self._compiled: dict[AsPathRegexNode, CompiledAsPathRegex] = {}
+        self._compiled: dict[AsPathRegexNode, CompiledAsPathRegex] = (
+            dict(compiled) if compiled else {}
+        )
 
     def compile(self, node: AsPathRegexNode) -> CompiledAsPathRegex:
         """Compile (and cache) a regex AST."""

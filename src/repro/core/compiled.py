@@ -1,0 +1,352 @@
+"""The compile-once verification index (see ``docs/performance.md``).
+
+Bulk verification evaluates the same immutable IR hundreds of millions of
+times, yet the :class:`~repro.core.query.QueryEngine` resolves as-sets,
+route-sets, and AS-path regexes *lazily per process*: every pool worker
+re-derives the same memo caches cold, and every run re-derives them from
+zero.  This module adds the missing compilation pass:
+
+* :func:`compile_index` turns an :class:`~repro.ir.model.Ir` into an
+  immutable, picklable :class:`CompiledIndex` — the global route index,
+  per-origin prefix sets, members-by-reference maps, fully flattened
+  as-set closures, resolved route-/peering-sets, and AS-path regexes
+  pre-lowered to their matcher programs;
+* a :class:`~repro.core.verify.Verifier` (or ``QueryEngine``/
+  ``AsPathMatcher``) built with ``index=`` starts with every one of those
+  tables warm, so the hot loop is pure lookups;
+* :func:`verify_table <repro.core.parallel.verify_table>` ships the
+  artifact to workers instead of letting each worker re-derive it
+  (``fork``: built pre-fork, shared copy-on-write; ``spawn``: pickled
+  once per worker);
+* :func:`get_or_compile` persists the artifact under
+  ``~/.cache/rpslyzer/`` keyed by the IR content digest, so later runs
+  over the same IR start warm too (``rpslyzer compile`` /
+  ``--no-index-cache`` are the CLI knobs).
+
+Everything in the artifact is produced by the *same* resolution code the
+lazy path runs on demand, so verification over a compiled index is
+bit-identical to the lazy path — ``tests/test_compiled_index.py`` checks
+this differentially, including under injected worker death.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.aspath_match import AsPathMatcher, CompiledAsPathRegex
+from repro.core.query import AsSetResolution, QueryEngine, ResolvedRouteSet
+from repro.ir import serialize
+from repro.ir.json_io import ir_to_jsonable  # noqa: F401 - registers IR classes
+from repro.ir.model import Ir
+from repro.obs import get_registry
+from repro.rpsl.aspath import AsPathRegexNode
+from repro.rpsl.filter import Filter, FilterAsPathRegex, FilterAsSet, FilterRouteSet
+from repro.rpsl.names import NameKind
+from repro.rpsl.peering import PeerAsSet, Peering, PeeringSetRef
+from repro.rpsl.walk import iter_as_expr_nodes, iter_filter_nodes, iter_policy_factors
+
+__all__ = [
+    "INDEX_FORMAT",
+    "CompiledIndex",
+    "IndexCacheError",
+    "compile_index",
+    "ir_digest",
+    "default_cache_dir",
+    "index_cache_path",
+    "save_index",
+    "load_index",
+    "get_or_compile",
+]
+
+# Bump whenever the artifact layout (or the dataclasses inside it) changes
+# incompatibly; mismatched cache files are recompiled, never half-read.
+INDEX_FORMAT = "rpslyzer-compiled-index/1"
+
+
+class IndexCacheError(RuntimeError):
+    """A cache file exists but cannot be used (format/digest mismatch)."""
+
+
+@dataclass(slots=True)
+class CompiledIndex:
+    """Every query-engine table, materialized eagerly from one IR.
+
+    Instances are treated as immutable once built: engines adopting one
+    copy the memo-cache dicts (cheap, shallow) and share the read-only
+    index tables, so a single artifact can back the parent's serial
+    fallback and every worker simultaneously.
+    """
+
+    digest: str | None
+    route_index: dict[tuple[int, int, int], set[int]]
+    origin_prefixes: dict[int, set[tuple[int, int, int]]]
+    as_set_byref: dict[str, set[int]]
+    route_set_byref: dict[str, list]
+    as_sets: dict[str, AsSetResolution]
+    route_sets: dict[str, ResolvedRouteSet]
+    peering_sets: dict[str, tuple[Peering, ...] | None]
+    aspath_regexes: dict[AsPathRegexNode, CompiledAsPathRegex]
+    compile_seconds: float = 0.0
+    skipped_regexes: int = 0
+    format: str = INDEX_FORMAT
+
+    def stats(self) -> dict:
+        """Entry counts per table (for logs, manifests, and tests)."""
+        return {
+            "route_index": len(self.route_index),
+            "origins": len(self.origin_prefixes),
+            "as_sets": len(self.as_sets),
+            "route_sets": len(self.route_sets),
+            "peering_sets": len(self.peering_sets),
+            "aspath_regexes": len(self.aspath_regexes),
+            "skipped_regexes": self.skipped_regexes,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+@dataclass(slots=True)
+class _Referenced:
+    """Set names and regex nodes collected from every policy AST."""
+
+    as_sets: set[str] = field(default_factory=set)
+    route_sets: set[str] = field(default_factory=set)
+    peering_sets: set[str] = field(default_factory=set)
+    regexes: list[AsPathRegexNode] = field(default_factory=list)
+    _seen_regexes: set[AsPathRegexNode] = field(default_factory=set)
+
+    def add_filter(self, node: Filter) -> None:
+        for inner in iter_filter_nodes(node):
+            if isinstance(inner, FilterAsSet) and not inner.any_member:
+                self.as_sets.add(inner.name)
+            elif isinstance(inner, FilterRouteSet) and not inner.any_member:
+                self.route_sets.add(inner.name)
+            elif isinstance(inner, FilterAsPathRegex):
+                if inner.regex not in self._seen_regexes:
+                    self._seen_regexes.add(inner.regex)
+                    self.regexes.append(inner.regex)
+
+    def add_peering(self, peering: Peering) -> None:
+        for inner in iter_as_expr_nodes(peering.as_expr):
+            if isinstance(inner, PeerAsSet):
+                self.as_sets.add(inner.name)
+            elif isinstance(inner, PeeringSetRef):
+                self.peering_sets.add(inner.name)
+
+
+def _collect_references(ir: Ir) -> _Referenced:
+    """Every set name and regex any verification check could resolve.
+
+    Referenced-but-unrecorded names matter too: their (negative)
+    resolutions are memoized by the lazy engine, so the compiled artifact
+    carries them as well.
+    """
+    refs = _Referenced()
+    refs.as_sets.update(ir.as_sets)
+    refs.route_sets.update(ir.route_sets)
+    refs.peering_sets.update(ir.peering_sets)
+    for aut_num in ir.aut_nums.values():
+        for rule in (*aut_num.imports, *aut_num.exports):
+            for factor in iter_policy_factors(rule.expr):
+                refs.add_filter(factor.filter)
+                for peering_action in factor.peerings:
+                    refs.add_peering(peering_action.peering)
+    for filter_set in ir.filter_sets.values():
+        if filter_set.filter is not None:
+            refs.add_filter(filter_set.filter)
+    for peering_set in ir.peering_sets.values():
+        for peering in peering_set.peerings:
+            refs.add_peering(peering)
+    for route_set in ir.route_sets.values():
+        for member in route_set.name_members:
+            if member.kind is NameKind.AS_SET:
+                refs.as_sets.add(member.name)
+            elif member.kind is NameKind.ROUTE_SET:
+                refs.route_sets.add(member.name)
+    return refs
+
+
+def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
+    """Compile an IR into a :class:`CompiledIndex` (the whole pass).
+
+    The pass drives the ordinary :class:`QueryEngine`/:class:`AsPathMatcher`
+    resolution code eagerly over every referenced name, then captures the
+    resulting tables — so compiled lookups are the lazy path's answers,
+    computed once.
+    """
+    registry = get_registry()
+    started = time.perf_counter()
+    with registry.span("compile/index"):
+        engine = QueryEngine(ir)
+        matcher = AsPathMatcher(engine)
+        refs = _collect_references(ir)
+        for name in sorted(refs.as_sets):
+            engine.flatten_as_set(name)
+        for name in sorted(refs.route_sets):
+            engine.resolve_route_set(name)
+        for name in sorted(refs.peering_sets):
+            engine.resolve_peering_set(name)
+        skipped = 0
+        for node in refs.regexes:
+            try:
+                matcher.compile(node)
+            except Exception:  # noqa: BLE001 - mirror the lazy path
+                # A regex the matcher cannot lower compiles lazily (and
+                # fails identically) if a check ever reaches it.
+                skipped += 1
+        elapsed = time.perf_counter() - started
+        index = CompiledIndex(
+            digest=digest,
+            route_index=engine.route_index,
+            origin_prefixes=engine.origin_prefixes,
+            as_set_byref=engine._as_set_byref,
+            route_set_byref=engine._route_set_byref,
+            as_sets=engine._as_set_cache,
+            route_sets=engine._route_set_cache,
+            peering_sets=engine._peering_set_cache,
+            aspath_regexes=matcher._compiled,
+            compile_seconds=elapsed,
+            skipped_regexes=skipped,
+        )
+    if registry.enabled:
+        registry.gauge("index_compile_seconds").set(elapsed)
+        for kind, count in index.stats().items():
+            if kind in ("compile_seconds",):
+                continue
+            registry.gauge("index_entries", table=kind).set(count)
+    return index
+
+
+def ir_digest(ir: Ir) -> str:
+    """The IR content digest the on-disk cache is keyed by.
+
+    SHA-256 over the canonical JSON encoding — the same encoding
+    ``rpslyzer parse`` exports — so the key survives re-serialization and
+    never depends on in-memory identity.
+    """
+    return serialize.stable_digest(ir)
+
+
+# -- the on-disk cache ------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$RPSLYZER_CACHE_DIR``, else ``$XDG_CACHE_HOME/rpslyzer``, else
+    ``~/.cache/rpslyzer``."""
+    override = os.environ.get("RPSLYZER_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "rpslyzer"
+
+
+def index_cache_path(digest: str, cache_dir: str | Path | None = None) -> Path:
+    """Where the artifact for an IR digest lives in the cache."""
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return directory / f"index-{digest[:32]}.pkl"
+
+
+def _library_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def save_index(index: CompiledIndex, path: str | Path) -> None:
+    """Persist an artifact atomically (write-temp-then-rename).
+
+    The envelope carries the format string, the library version, and the
+    IR digest; :func:`load_index` refuses anything that does not match all
+    three, so a stale cache can only ever cost a recompile.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {
+        "format": INDEX_FORMAT,
+        "version": _library_version(),
+        "digest": index.digest,
+        "index": index,
+    }
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            pickle.dump(envelope, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_index(path: str | Path, expect_digest: str | None = None) -> CompiledIndex:
+    """Load a persisted artifact, validating format, version, and digest."""
+    with open(path, "rb") as stream:
+        envelope = pickle.load(stream)
+    if not isinstance(envelope, dict) or envelope.get("format") != INDEX_FORMAT:
+        raise IndexCacheError(
+            f"{path}: not a compiled index (format={envelope.get('format')!r}"
+            if isinstance(envelope, dict)
+            else f"{path}: not a compiled index"
+        )
+    if envelope.get("version") != _library_version():
+        raise IndexCacheError(
+            f"{path}: compiled by repro {envelope.get('version')!r}, "
+            f"running {_library_version()!r}"
+        )
+    if expect_digest is not None and envelope.get("digest") != expect_digest:
+        raise IndexCacheError(
+            f"{path}: IR digest mismatch "
+            f"(cached {envelope.get('digest')!r}, expected {expect_digest!r})"
+        )
+    return envelope["index"]
+
+
+def get_or_compile(
+    ir: Ir,
+    *,
+    digest: str | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    refresh: bool = False,
+) -> CompiledIndex:
+    """The caching entry point: load the artifact for this IR or build it.
+
+    ``digest`` defaults to :func:`ir_digest` of the IR.  With
+    ``use_cache=False`` the pass always runs and nothing touches disk
+    (the ``--no-index-cache`` escape hatch); ``refresh=True`` recompiles
+    and overwrites an existing cache entry.  Cache I/O failures are never
+    fatal — a corrupt or unwritable cache degrades to a recompile.
+    """
+    registry = get_registry()
+    if digest is None:
+        digest = ir_digest(ir)
+    if not use_cache:
+        return compile_index(ir, digest=digest)
+    path = index_cache_path(digest, cache_dir)
+    if not refresh:
+        try:
+            index = load_index(path, expect_digest=digest)
+        except FileNotFoundError:
+            pass
+        except (IndexCacheError, pickle.PickleError, EOFError, OSError):
+            # Unusable cache entry: recompile and overwrite below.
+            pass
+        else:
+            if registry.enabled:
+                registry.counter("index_cache_total", result="hit").inc()
+            return index
+    if registry.enabled:
+        registry.counter("index_cache_total", result="miss").inc()
+    index = compile_index(ir, digest=digest)
+    try:
+        save_index(index, path)
+    except OSError:
+        pass  # read-only cache dir: the compile still succeeded
+    return index

@@ -39,7 +39,13 @@ from repro.rpsl.filter import (
     FilterRouteSet,
 )
 
-__all__ = ["Val", "Eval", "MatchContext", "FilterEvaluator"]
+__all__ = ["MAX_ITEMS", "Val", "Eval", "MatchContext", "FilterEvaluator"]
+
+# Evidence items per evaluation are capped here, *during* combination —
+# reports themselves cap at the same bound, so truncating the (prefix of
+# the) concatenation early changes nothing downstream while keeping the
+# combinators from allocating unbounded intermediate tuples.
+MAX_ITEMS = 12
 
 
 class Val(IntEnum):
@@ -51,13 +57,32 @@ class Val(IntEnum):
     TRUE = 3
 
 
+def _merge_items(
+    left: tuple[ReportItem, ...], right: tuple[ReportItem, ...]
+) -> tuple[ReportItem, ...]:
+    """Concatenate evidence, reusing either side when the other is empty.
+
+    Millions of hop checks combine evals whose sides carry no items at
+    all; short-circuiting those avoids allocating a fresh tuple per
+    combinator call on the hot path.
+    """
+    if not right:
+        return left
+    if not left:
+        return right
+    room = MAX_ITEMS - len(left)
+    if room <= 0:
+        return left
+    return left + right[:room]
+
+
 def _and(left: "Eval", right: "Eval") -> "Eval":
     if left.value is Val.FALSE or right.value is Val.FALSE:
-        return Eval(Val.FALSE, left.items + right.items)
+        return Eval(Val.FALSE, _merge_items(left.items, right.items))
     if Val.SKIP in (left.value, right.value):
-        return Eval(Val.SKIP, left.items + right.items)
+        return Eval(Val.SKIP, _merge_items(left.items, right.items))
     if Val.UNREC in (left.value, right.value):
-        return Eval(Val.UNREC, left.items + right.items)
+        return Eval(Val.UNREC, _merge_items(left.items, right.items))
     return Eval(Val.TRUE)
 
 
@@ -65,10 +90,10 @@ def _or(left: "Eval", right: "Eval") -> "Eval":
     if left.value is Val.TRUE or right.value is Val.TRUE:
         return Eval(Val.TRUE)
     if Val.SKIP in (left.value, right.value):
-        return Eval(Val.SKIP, left.items + right.items)
+        return Eval(Val.SKIP, _merge_items(left.items, right.items))
     if Val.UNREC in (left.value, right.value):
-        return Eval(Val.UNREC, left.items + right.items)
-    return Eval(Val.FALSE, left.items + right.items)
+        return Eval(Val.UNREC, _merge_items(left.items, right.items))
+    return Eval(Val.FALSE, _merge_items(left.items, right.items))
 
 
 @dataclass(frozen=True, slots=True)

@@ -42,6 +42,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.bgp.table import RouteEntry
 from repro.bgp.topology import AsRelationships
+from repro.core.compiled import CompiledIndex, compile_index
 from repro.core.report import RouteReport
 from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.model import Ir
@@ -176,8 +177,9 @@ def _verify_serial(
     entries: Iterable[RouteEntry],
     options: VerifyOptions | None,
     on_report: Callable[[RouteReport], None] | None,
+    index: CompiledIndex | None = None,
 ) -> VerificationStats:
-    verifier = Verifier(ir, relationships, options)
+    verifier = Verifier(ir, relationships, options, index=index)
     stats = VerificationStats()
     for entry in entries:
         report = verifier.verify_entry(entry)
@@ -193,6 +195,7 @@ def _init_worker(
     options: VerifyOptions | None,
     collect_metrics: bool,
     fault_hook: Callable[[int], None] | None = None,
+    index: CompiledIndex | None = None,
 ) -> None:
     global _WORKER_VERIFIER, _WORKER_COLLECT_METRICS, _WORKER_LAST_SNAPSHOT
     global _WORKER_FAULT_HOOK
@@ -202,7 +205,10 @@ def _init_worker(
     # A fresh registry per worker (never the parent's — under fork the
     # child would otherwise write into an inherited copy that nobody reads).
     set_registry(MetricsRegistry() if collect_metrics else None)
-    _WORKER_VERIFIER = Verifier(ir, relationships, options)
+    # The compiled index arrives pre-built: shared copy-on-write under
+    # fork, pickled once per worker under spawn — either way the worker's
+    # verifier starts warm instead of re-deriving every memo cache cold.
+    _WORKER_VERIFIER = Verifier(ir, relationships, options, index=index)
 
 
 def _verify_chunk(
@@ -238,6 +244,7 @@ def _verify_parallel(
     collect_metrics: bool,
     registry,
     fault_hook: Callable[[int], None] | None,
+    compiled_index: CompiledIndex | None,
 ) -> VerificationStats:
     """The resilient fan-out: submit chunks, survive worker death."""
     total = VerificationStats()
@@ -247,7 +254,9 @@ def _verify_parallel(
     def verify_serially(chunk: list[RouteEntry]) -> None:
         nonlocal fallback_verifier
         if fallback_verifier is None:
-            fallback_verifier = Verifier(ir, relationships, options)
+            fallback_verifier = Verifier(
+                ir, relationships, options, index=compiled_index
+            )
         for entry in chunk:
             total.add_report(fallback_verifier.verify_entry(entry))
 
@@ -256,7 +265,14 @@ def _verify_parallel(
             max_workers=processes,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(ir, relationships, options, collect_metrics, fault_hook),
+            initargs=(
+                ir,
+                relationships,
+                options,
+                collect_metrics,
+                fault_hook,
+                compiled_index,
+            ),
         )
 
     executor: ProcessPoolExecutor | None = None
@@ -385,6 +401,7 @@ def verify_table(
     start_method: str | None = None,
     on_report: Callable[[RouteReport], None] | None = None,
     fault_hook: Callable[[int], None] | None = None,
+    index: CompiledIndex | None = None,
 ) -> VerificationStats:
     """Verify a table of routes; serial and parallel return equal stats.
 
@@ -404,13 +421,22 @@ def verify_table(
     ``degradation`` report.  ``fault_hook`` is chaos-harness
     instrumentation — a picklable callable invoked in each worker with the
     chunk index before verification (see :mod:`repro.chaos`).
+
+    ``index`` is a :class:`~repro.core.compiled.CompiledIndex` for ``ir``
+    (see :func:`~repro.core.compiled.compile_index`); every verifier —
+    serial, worker, and fallback — then starts from the same precompiled
+    caches.  The parallel path compiles one automatically when none is
+    given, so workers inherit it (copy-on-write under fork, pickled once
+    under spawn) instead of re-deriving set closures per process.
     """
     if processes is None:
         processes = multiprocessing.cpu_count()
     registry = get_registry()
     with registry.span("verify"):
         if processes <= 1 or on_report is not None:
-            stats = _verify_serial(ir, relationships, entries, options, on_report)
+            stats = _verify_serial(
+                ir, relationships, entries, options, on_report, index
+            )
             if registry.enabled:
                 _record_cache_hit_rate(registry)
             return stats
@@ -422,11 +448,15 @@ def verify_table(
         if len(first) < chunk_size:
             # The whole table fit in one chunk: process start-up would not
             # amortize, so verify in-process instead.
-            stats = _verify_serial(ir, relationships, first, options, None)
+            stats = _verify_serial(ir, relationships, first, options, None, index)
             if registry.enabled:
                 _record_cache_hit_rate(registry)
             return stats
 
+        if index is None:
+            # Compile once in the parent, before the pool exists: under
+            # fork every worker then shares the artifact copy-on-write.
+            index = compile_index(ir)
         context = multiprocessing.get_context(start_method or _default_start_method())
         total = _verify_parallel(
             ir,
@@ -438,6 +468,7 @@ def verify_table(
             registry.enabled,
             registry,
             fault_hook,
+            index,
         )
         if registry.enabled:
             _record_cache_hit_rate(registry)

@@ -17,8 +17,12 @@ data structures that keep each check near-constant-time:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.ir.model import Ir
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids an import cycle
+    from repro.core.compiled import CompiledIndex
 from repro.net.prefix import Prefix, RangeOp, RangeOpKind
 from repro.rpsl.filter import Filter, FilterPrefixSet
 from repro.rpsl.names import NameKind
@@ -62,13 +66,17 @@ class PrefixOpIndex:
         if not self.entries:
             return False
         announced = prefix.length
-        for key, declared_length in _ancestor_keys(prefix):
-            ops = self.entries.get(key)
-            if ops is None:
-                continue
-            if override is not None and override.kind is not RangeOpKind.NONE:
-                if override.allows(declared_length, announced):
+        if override is not None and override.kind is RangeOpKind.NONE:
+            override = None  # a no-op override: invariant across the walk
+        entries = self.entries
+        if override is not None:
+            for key, declared_length in _ancestor_keys(prefix):
+                if key in entries and override.allows(declared_length, announced):
                     return True
+            return False
+        for key, declared_length in _ancestor_keys(prefix):
+            ops = entries.get(key)
+            if ops is None:
                 continue
             for op in ops:
                 if op.allows(declared_length, announced):
@@ -137,11 +145,26 @@ BUILTIN_FILTER_SETS: dict[str, Filter] = {
 
 
 class QueryEngine:
-    """Indexed access to one (usually merged) IR."""
+    """Indexed access to one (usually merged) IR.
 
-    def __init__(self, ir: Ir, max_depth: int = 64):
+    ``index`` (a :class:`~repro.core.compiled.CompiledIndex`) pre-seeds
+    every table and memo cache from the compile-once pass: the read-only
+    index tables are adopted as-is, while the memo caches are shallow-
+    copied so lazy fills never mutate the shared artifact.
+    """
+
+    def __init__(self, ir: Ir, max_depth: int = 64, index: "CompiledIndex | None" = None):
         self.ir = ir
         self.max_depth = max_depth
+        if index is not None:
+            self.route_index = index.route_index
+            self.origin_prefixes = index.origin_prefixes
+            self._as_set_byref = index.as_set_byref
+            self._route_set_byref = index.route_set_byref
+            self._as_set_cache = dict(index.as_sets)
+            self._route_set_cache = dict(index.route_sets)
+            self._peering_set_cache = dict(index.peering_sets)
+            return
 
         # Global route index and per-origin declared-prefix sets.
         self.route_index: dict[_PrefixKey, set[int]] = {}

@@ -23,10 +23,12 @@ import time
 from collections import Counter
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.bgp.table import RouteEntry
 from repro.bgp.topology import AsRelationships
 from repro.core.aspath_match import AsPathMatcher
-from repro.core.filter_match import Eval, FilterEvaluator, MatchContext, Val
+from repro.core.filter_match import MAX_ITEMS, Eval, FilterEvaluator, MatchContext, Val
 from repro.core.peering_match import PeeringEvaluator
 from repro.core.query import QueryEngine
 from repro.core.report import HopReport, ItemKind, ReportItem, RouteReport
@@ -46,9 +48,12 @@ from repro.rpsl.policy import (
 )
 from repro.rpsl.walk import iter_filter_nodes, iter_policy_factors
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids an import cycle
+    from repro.core.compiled import CompiledIndex
+
 __all__ = ["VerifyOptions", "Verifier", "rule_skip_census"]
 
-_MAX_ITEMS = 12
+_MAX_ITEMS = MAX_ITEMS  # single source of truth: repro.core.filter_match
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,12 +91,23 @@ class _RuleEval:
     peer_matched_filters: tuple[Filter, ...] = ()
 
 
+def _merge_filters(
+    left: tuple[Filter, ...], right: tuple[Filter, ...]
+) -> tuple[Filter, ...]:
+    """Combine peer-matched filter lists, reusing a side when one is empty."""
+    if not right:
+        return left
+    if not left:
+        return right
+    return (left + right)[:_MAX_ITEMS]
+
+
 def _combine_or(left: _RuleEval, right: _RuleEval) -> _RuleEval:
     merged = Eval(left.value, left.items).or_(Eval(right.value, right.items))
     return _RuleEval(
         merged.value,
-        merged.items[:_MAX_ITEMS],
-        (left.peer_matched_filters + right.peer_matched_filters)[:_MAX_ITEMS],
+        merged.items,
+        _merge_filters(left.peer_matched_filters, right.peer_matched_filters),
     )
 
 
@@ -99,8 +115,8 @@ def _combine_and(left: _RuleEval, right: _RuleEval) -> _RuleEval:
     merged = Eval(left.value, left.items).and_(Eval(right.value, right.items))
     return _RuleEval(
         merged.value,
-        merged.items[:_MAX_ITEMS],
-        (left.peer_matched_filters + right.peer_matched_filters)[:_MAX_ITEMS],
+        merged.items,
+        _merge_filters(left.peer_matched_filters, right.peer_matched_filters),
     )
 
 
@@ -113,7 +129,15 @@ class _VerifierMetrics:
     ``is None`` branch per hop.
     """
 
-    __slots__ = ("registry", "status", "cache_hits", "cache_misses", "latency", "routes")
+    __slots__ = (
+        "registry",
+        "status",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "latency",
+        "routes",
+    )
 
     def __init__(self, registry):
         self.registry = registry
@@ -123,6 +147,7 @@ class _VerifierMetrics:
         }
         self.cache_hits = registry.counter("verify_hop_cache_total", result="hit")
         self.cache_misses = registry.counter("verify_hop_cache_total", result="miss")
+        self.cache_evictions = registry.counter("verify_hop_cache_evictions_total")
         self.latency = registry.histogram("verify_hop_seconds")
         self.routes = registry.counter("verify_routes_total")
 
@@ -131,19 +156,30 @@ class _VerifierMetrics:
 
 
 class Verifier:
-    """Verifies BGP routes against the policies of one (merged) IR."""
+    """Verifies BGP routes against the policies of one (merged) IR.
+
+    ``index`` (a :class:`~repro.core.compiled.CompiledIndex` from
+    :func:`repro.core.compiled.compile_index`) pre-seeds the query engine
+    and the AS-path matcher, turning their hot-loop resolutions into pure
+    lookups; without one, everything resolves lazily as before.
+    """
 
     def __init__(
         self,
         ir: Ir,
         relationships: AsRelationships,
         options: VerifyOptions | None = None,
+        index: "CompiledIndex | None" = None,
     ):
         self.ir = ir
         self.relationships = relationships
         self.options = options if options is not None else VerifyOptions()
-        self.query = QueryEngine(ir)
-        matcher = AsPathMatcher(self.query, self.options.regex_product_cap)
+        self.query = QueryEngine(ir, index=index)
+        matcher = AsPathMatcher(
+            self.query,
+            self.options.regex_product_cap,
+            compiled=None if index is None else index.aspath_regexes,
+        )
         self.filters = FilterEvaluator(
             self.query,
             matcher,
@@ -156,6 +192,7 @@ class Verifier:
         self._hop_cache: dict[tuple, HopReport] = {}
         self.hop_cache_hits = 0
         self.hop_cache_misses = 0
+        self.hop_cache_evictions = 0
         registry = get_registry()
         self._metrics = _VerifierMetrics(registry) if registry.enabled else None
 
@@ -240,6 +277,9 @@ class Verifier:
                 metrics.status[report.status].inc()
             if len(self._hop_cache) >= cache_size:
                 self._hop_cache.clear()
+                self.hop_cache_evictions += 1
+                if metrics is not None:
+                    metrics.cache_evictions.inc()
             self._hop_cache[key] = report
             return report
         report = self._checked(direction, from_asn, to_asn, ctx, metrics)

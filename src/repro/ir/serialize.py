@@ -15,6 +15,8 @@ is a plain dict tree tagged with ``"__t"`` type markers:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import types
 import typing
 from enum import Enum
@@ -22,7 +24,7 @@ from functools import lru_cache
 
 from repro.net.prefix import Prefix
 
-__all__ = ["register", "encode", "decode", "registered_types"]
+__all__ = ["register", "encode", "decode", "registered_types", "stable_digest"]
 
 _DATACLASSES: dict[str, type] = {}
 _ENUMS: dict[str, type] = {}
@@ -67,6 +69,17 @@ def encode(obj: object) -> object:
             encoded[field.name] = encode(getattr(obj, field.name))
         return encoded
     raise TypeError(f"cannot encode {type(obj).__name__}")
+
+
+def stable_digest(obj: object) -> str:
+    """SHA-256 of an object graph's canonical JSON encoding.
+
+    The content digest used to key derived artifacts (the compiled
+    verification index): identical object graphs digest identically
+    regardless of where or when they were built.
+    """
+    payload = json.dumps(encode(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @lru_cache(maxsize=None)

@@ -25,6 +25,7 @@ Typical use::
 from repro.obs.manifest import (
     MANIFEST_FORMAT,
     build_manifest,
+    cache_summary,
     digest_file,
     digest_inputs,
     load_manifest,
@@ -58,6 +59,7 @@ __all__ = [
     "SpanAggregate",
     "SpanStore",
     "build_manifest",
+    "cache_summary",
     "digest_file",
     "digest_inputs",
     "get_registry",

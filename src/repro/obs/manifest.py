@@ -29,6 +29,7 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     "render_prometheus",
+    "cache_summary",
 ]
 
 MANIFEST_FORMAT = "rpslyzer-run-manifest/1"
@@ -129,6 +130,45 @@ def load_manifest(source: str | Path | IO[str]) -> dict:
     if manifest.get("format") != MANIFEST_FORMAT:
         raise ValueError(f"not a run manifest: format={manifest.get('format')!r}")
     return manifest
+
+
+def cache_summary(manifest: dict) -> dict:
+    """Cache-effectiveness figures extracted from a run manifest.
+
+    Gathers the verifier's per-hop memo cache (hits, misses, evictions,
+    hit rate) and the compiled-index cache (disk hits/misses, compile
+    seconds) into one flat dict, so ``rpslyzer metrics`` and the benchmark
+    suite can report cache behaviour without re-parsing the raw metric
+    dump.  Counters that the run never touched read as zero.
+    """
+    metrics = manifest.get("metrics", {})
+
+    def counter(name: str, **labels: str) -> int:
+        for record in metrics.get("counters", ()):
+            if record["name"] == name and record.get("labels", {}) == labels:
+                return record["value"]
+        return 0
+
+    def gauge(name: str) -> float:
+        for record in metrics.get("gauges", ()):
+            if record["name"] == name and not record.get("labels"):
+                return record["value"]
+        return 0.0
+
+    hop_hits = counter("verify_hop_cache_total", result="hit")
+    hop_misses = counter("verify_hop_cache_total", result="miss")
+    hop_total = hop_hits + hop_misses
+    index_hits = counter("index_cache_total", result="hit")
+    index_misses = counter("index_cache_total", result="miss")
+    return {
+        "hop_cache_hits": hop_hits,
+        "hop_cache_misses": hop_misses,
+        "hop_cache_evictions": counter("verify_hop_cache_evictions_total"),
+        "hop_cache_hit_rate": hop_hits / hop_total if hop_total else 0.0,
+        "index_cache_hits": index_hits,
+        "index_cache_misses": index_misses,
+        "index_compile_seconds": gauge("index_compile_seconds"),
+    }
 
 
 # -- Prometheus-style rendering --------------------------------------------

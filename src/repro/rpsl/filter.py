@@ -218,7 +218,10 @@ def _split_range_op(word: str) -> tuple[str, RangeOp]:
     caret = word.find("^")
     if caret < 0:
         return word, RangeOp()
-    return word[:caret], RangeOp.parse(word[caret:])
+    try:
+        return word[:caret], RangeOp.parse(word[caret:])
+    except PrefixError as exc:
+        raise RpslSyntaxError(str(exc)) from exc
 
 
 def _parse_prefix_member(word: str) -> tuple[Prefix, RangeOp]:
@@ -250,7 +253,10 @@ def _maybe_trailing_op(stream: TokenStream) -> RangeOp:
     token = stream.peek()
     if token is not None and token.kind is TokenKind.WORD and token.text.startswith("^"):
         stream.next()
-        return RangeOp.parse(token.text)
+        try:
+            return RangeOp.parse(token.text)
+        except PrefixError as exc:
+            raise RpslSyntaxError(str(exc)) from exc
     return RangeOp()
 
 

@@ -1,0 +1,221 @@
+"""Differential tests for the compile-once verification index.
+
+The contract under test: verification over a :class:`CompiledIndex` is
+*bit-identical* to the lazy path — same :class:`VerificationStats`, same
+per-route reports — serial, multi-process, and under injected worker
+death.  Plus the cache envelope (digest keying, format/version refusal)
+and the evidence-merging fast path the compilation pass leans on.
+"""
+
+import pickle
+
+import pytest
+
+from repro.chaos.faults import KillWorkerChunk
+from repro.core.compiled import (
+    CompiledIndex,
+    IndexCacheError,
+    compile_index,
+    get_or_compile,
+    index_cache_path,
+    ir_digest,
+    load_index,
+    save_index,
+)
+from repro.core.filter_match import MAX_ITEMS, _merge_items
+from repro.core.parallel import verify_table
+from repro.core.report import ItemKind, ReportItem
+from repro.core.verify import Verifier
+from repro.obs import MetricsRegistry, use_registry
+
+
+@pytest.fixture(scope="module")
+def index(tiny_ir):
+    return compile_index(tiny_ir, digest=ir_digest(tiny_ir))
+
+
+@pytest.fixture(scope="module")
+def lazy_stats(tiny_ir, tiny_world, tiny_routes):
+    return verify_table(tiny_ir, tiny_world.topology, tiny_routes, processes=1)
+
+
+def _assert_stats_equal(actual, expected):
+    assert actual.summary() == expected.summary()
+    assert actual.hop_totals == expected.hop_totals
+    assert actual.route_single_status == expected.route_single_status
+    assert actual.per_as.keys() == expected.per_as.keys()
+    for asn in expected.per_as:
+        assert actual.per_as[asn].counts == expected.per_as[asn].counts
+    assert actual.per_pair.keys() == expected.per_pair.keys()
+    for key in expected.per_pair:
+        assert actual.per_pair[key].counts == expected.per_pair[key].counts
+
+
+class TestCompilation:
+    def test_tables_are_populated(self, index, tiny_ir):
+        stats = index.stats()
+        assert stats["as_sets"] >= len(tiny_ir.as_sets)
+        assert stats["route_index"] > 0
+        assert stats["origins"] > 0
+        assert index.compile_seconds > 0
+
+    def test_artifact_is_picklable(self, index):
+        clone = pickle.loads(pickle.dumps(index))
+        assert isinstance(clone, CompiledIndex)
+        assert clone.stats() == index.stats()
+        assert clone.as_sets.keys() == index.as_sets.keys()
+
+    def test_digest_is_content_addressed(self, tiny_ir):
+        assert ir_digest(tiny_ir) == ir_digest(tiny_ir)
+        assert len(ir_digest(tiny_ir)) == 64
+
+    def test_adopting_engines_do_not_mutate_the_artifact(
+        self, index, tiny_ir, tiny_world, tiny_routes
+    ):
+        before = {
+            "as_sets": dict(index.as_sets),
+            "regexes": dict(index.aspath_regexes),
+        }
+        verifier = Verifier(tiny_ir, tiny_world.topology, index=index)
+        for entry in tiny_routes[:200]:
+            verifier.verify_entry(entry)
+        assert index.as_sets == before["as_sets"]
+        assert index.aspath_regexes == before["regexes"]
+
+
+class TestDifferentialIdentity:
+    def test_serial_compiled_matches_lazy(
+        self, tiny_ir, tiny_world, tiny_routes, index, lazy_stats
+    ):
+        compiled = verify_table(
+            tiny_ir, tiny_world.topology, tiny_routes, processes=1, index=index
+        )
+        _assert_stats_equal(compiled, lazy_stats)
+
+    def test_per_route_reports_match_lazy(
+        self, tiny_ir, tiny_world, tiny_routes, index
+    ):
+        lazy = Verifier(tiny_ir, tiny_world.topology)
+        compiled = Verifier(tiny_ir, tiny_world.topology, index=index)
+        for entry in tiny_routes[:500]:
+            assert compiled.verify_entry(entry) == lazy.verify_entry(entry)
+
+    def test_parallel_compiled_matches_lazy(
+        self, tiny_ir, tiny_world, tiny_routes, index, lazy_stats
+    ):
+        parallel = verify_table(
+            tiny_ir,
+            tiny_world.topology,
+            tiny_routes,
+            processes=2,
+            chunk_size=200,
+            index=index,
+        )
+        _assert_stats_equal(parallel, lazy_stats)
+
+    def test_parallel_auto_compiles_when_no_index_given(
+        self, tiny_ir, tiny_world, tiny_routes, lazy_stats
+    ):
+        parallel = verify_table(
+            tiny_ir, tiny_world.topology, tiny_routes, processes=2, chunk_size=200
+        )
+        _assert_stats_equal(parallel, lazy_stats)
+
+    def test_identical_under_worker_death(
+        self, tiny_ir, tiny_world, tiny_routes, index, lazy_stats
+    ):
+        chaotic = verify_table(
+            tiny_ir,
+            tiny_world.topology,
+            tiny_routes,
+            processes=2,
+            chunk_size=200,
+            index=index,
+            fault_hook=KillWorkerChunk(2),
+        )
+        # Degradation events differ by design (the run *was* degraded);
+        # every verification aggregate must still be exact.
+        assert chaotic.degradation.events()
+        assert chaotic.hop_totals == lazy_stats.hop_totals
+        assert chaotic.routes_total == lazy_stats.routes_total
+        assert chaotic.route_single_status == lazy_stats.route_single_status
+
+
+class TestOnDiskCache:
+    def test_save_load_roundtrip(self, index, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_index(index, path)
+        loaded = load_index(path, expect_digest=index.digest)
+        assert loaded.stats() == index.stats()
+
+    def test_load_rejects_digest_mismatch(self, index, tmp_path):
+        path = tmp_path / "index.pkl"
+        save_index(index, path)
+        with pytest.raises(IndexCacheError, match="digest mismatch"):
+            load_index(path, expect_digest="0" * 64)
+
+    def test_load_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "bogus.pkl"
+        path.write_bytes(pickle.dumps({"format": "something-else/9"}))
+        with pytest.raises(IndexCacheError, match="not a compiled index"):
+            load_index(path)
+
+    def test_load_rejects_version_skew(self, index, tmp_path, monkeypatch):
+        path = tmp_path / "index.pkl"
+        save_index(index, path)
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "0.0.0-other")
+        with pytest.raises(IndexCacheError, match="compiled by repro"):
+            load_index(path)
+
+    def test_get_or_compile_miss_then_hit(self, tiny_ir, tmp_path):
+        with use_registry(MetricsRegistry()) as registry:
+            first = get_or_compile(tiny_ir, cache_dir=tmp_path)
+            assert registry.counter("index_cache_total", result="miss").value == 1
+            second = get_or_compile(tiny_ir, cache_dir=tmp_path)
+            assert registry.counter("index_cache_total", result="hit").value == 1
+        assert first.stats() == second.stats()
+        assert index_cache_path(ir_digest(tiny_ir), tmp_path).exists()
+
+    def test_corrupt_cache_degrades_to_recompile(self, tiny_ir, tmp_path):
+        path = index_cache_path(ir_digest(tiny_ir), tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        index = get_or_compile(tiny_ir, cache_dir=tmp_path)
+        assert index.stats()["route_index"] > 0
+        # ... and the recompile heals the cache entry in place.
+        assert load_index(path).stats() == index.stats()
+
+    def test_use_cache_false_never_touches_disk(self, tiny_ir, tmp_path):
+        get_or_compile(tiny_ir, cache_dir=tmp_path, use_cache=False)
+        assert not index_cache_path(ir_digest(tiny_ir), tmp_path).exists()
+
+
+class TestMergeItems:
+    def test_reuses_existing_tuples(self):
+        items = (ReportItem.of(ItemKind.MATCH_FILTER_AS_PATH),)
+        assert _merge_items(items, ()) is items
+        assert _merge_items((), items) is items
+        assert _merge_items((), ()) == ()
+
+    def test_caps_at_max_items(self):
+        left = tuple(
+            ReportItem.of(ItemKind.UNRECORDED_AS_SET, name=f"AS-L{i}")
+            for i in range(MAX_ITEMS - 2)
+        )
+        right = tuple(
+            ReportItem.of(ItemKind.UNRECORDED_AS_SET, name=f"AS-R{i}")
+            for i in range(5)
+        )
+        merged = _merge_items(left, right)
+        assert len(merged) == MAX_ITEMS
+        assert merged == (left + right)[:MAX_ITEMS]
+
+    def test_full_left_side_short_circuits(self):
+        left = tuple(
+            ReportItem.of(ItemKind.UNRECORDED_AS_SET, name=f"AS-L{i}")
+            for i in range(MAX_ITEMS)
+        )
+        right = (ReportItem.of(ItemKind.MATCH_FILTER_AS_PATH),)
+        assert _merge_items(left, right) is left
