@@ -1,0 +1,77 @@
+"""P3 — decision-trace overhead: default-sampled tracing vs no tracing.
+
+One comparison over the mid-scale world with a warm compiled index: the
+serial verification pass with the null tracer against the same pass with
+a default :class:`TraceConfig` (1-in-128 head sampling plus always-trace
+non-verified verdicts) — the configuration ``rpslyzer verify --trace``
+installs.
+
+The differential gate is always enforced: tracing must not change a
+single aggregate of the verification output.  The overhead ceiling
+(traced within 10% of untraced wall time) only fails under
+``RPSLYZER_PERF_STRICT`` so a noisy CI runner cannot flake the build; the
+measured figures are recorded as gauges and land in the emitted manifest
+either way.
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.core.compiled import compile_index
+from repro.core.parallel import verify_table
+from repro.obs import get_registry
+from repro.obs.trace import TraceConfig, Tracer, use_tracer
+
+STRICT = bool(os.environ.get("RPSLYZER_PERF_STRICT"))
+
+
+def _best_of(runs, fn):
+    """Min-of-N wall time plus the last result (comparison-friendly)."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_default_sampled_tracing_overhead(ir, world, routes):
+    index = compile_index(ir)
+
+    base_s, base = _best_of(
+        2, lambda: verify_table(ir, world.topology, routes, processes=1, index=index)
+    )
+
+    def traced_run():
+        with use_tracer(Tracer(TraceConfig())) as tracer:
+            stats = verify_table(
+                ir, world.topology, routes, processes=1, index=index
+            )
+        return stats, tracer
+
+    traced_s, (traced, tracer) = _best_of(2, traced_run)
+
+    # The differential gate: tracing is observation, never interference.
+    assert traced.summary() == base.summary()
+    assert traced.hop_totals == base.hop_totals
+    assert tracer.emitted > 0  # the default config does sample this world
+
+    overhead = traced_s / base_s - 1.0
+    registry = get_registry()
+    registry.gauge("bench_verify_untraced_seconds").set(base_s)
+    registry.gauge("bench_verify_traced_seconds").set(traced_s)
+    registry.gauge("bench_trace_overhead_ratio").set(traced_s / base_s)
+    emit(
+        "perf_trace_overhead",
+        f"routes: {len(routes)} (serial, warm index)\n"
+        f"untraced: {base_s:.3f}s\ntraced (default sampling): {traced_s:.3f}s\n"
+        f"overhead: {overhead:+.1%}\n"
+        f"events: {tracer.emitted} "
+        f"({tracer.sampled['head']} head / {tracer.sampled['verdict']} verdict)",
+    )
+    if STRICT:
+        # The acceptance ceiling: default-sampled tracing adds <10% wall.
+        assert traced_s <= base_s * 1.10

@@ -48,6 +48,7 @@ from repro.irr.registry import Registry, parse_registry_dir
 from repro.irr.synth import SynthConfig, SynthWorld, build_world, default_config, tiny_config
 from repro.irr.whois import WhoisServer
 from repro.obs import get_registry
+from repro.obs.trace import TraceConfig, Tracer, use_tracer
 from repro.rpsl.errors import ErrorCollector
 from repro.stats.as_sets import as_set_stats
 from repro.stats.routes import route_object_stats
@@ -69,6 +70,7 @@ __all__ = [
     "parse_dumps",
     "parse_registry",
     "make_verifier",
+    "explain_route",
     "verify_table",
     "characterize",
     "recommend_migrations",
@@ -127,6 +129,31 @@ def make_verifier(
     precompiled query caches instead of deriving them lazily.
     """
     return Verifier(ir, relationships, options, index=index)
+
+
+def explain_route(
+    ir: Ir,
+    relationships: AsRelationships,
+    prefix: str,
+    as_path: Iterable[int],
+    *,
+    options: VerifyOptions | None = None,
+    index: CompiledIndex | None = None,
+    collector: str = "explain",
+):
+    """Replay one ⟨prefix, AS-path⟩ with tracing forced on.
+
+    Returns ``(report, events)``: the :class:`~repro.core.report.
+    RouteReport` plus the full decision-provenance event list (sample rate
+    1, deep chains always recorded — the verifier is fresh, so every hop is
+    a cache miss and its filter-evaluation path is captured).  This is what
+    ``rpslyzer explain`` prints.
+    """
+    tracer = Tracer(TraceConfig(sample_rate=1, deep=True))
+    with use_tracer(tracer):
+        verifier = Verifier(ir, relationships, options, index=index)
+        report = verifier.verify_route(prefix, tuple(as_path), collector=collector)
+    return report, tracer.events
 
 
 def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:

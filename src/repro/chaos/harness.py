@@ -30,6 +30,13 @@ from repro.core.parallel import verify_table
 from repro.irr.dump import parse_dump_file, parse_dump_text
 from repro.irr.synth import build_world, default_config, tiny_config
 from repro.irr.whois import WhoisServer, whois_query
+from repro.obs.trace import (
+    TraceConfig,
+    Tracer,
+    canonical_events,
+    route_trace_id,
+    use_tracer,
+)
 from repro.rpsl.errors import ErrorKind
 from repro.rpsl.lexer import LexLimits
 
@@ -239,6 +246,52 @@ def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2) -> Chaos
         )
     )
     report.degradation.merge(chaotic.degradation)
+
+    # -- layer 2b: decision traces survive worker death -----------------------
+    # The same table traced serially and in parallel with a SIGKILLed worker
+    # must canonicalize to the same events (spilled per-worker files +
+    # merge-time dedup make chunk retries idempotent), and tail sampling
+    # must have kept every route with an unverified hop.
+    trace_config = TraceConfig(sample_rate=7, seed=seed)
+    unverified_routes: set[str] = set()
+
+    def note_unverified(route_report) -> None:
+        if any(hop.status.label == "unverified" for hop in route_report.hops):
+            unverified_routes.add(route_trace_id(route_report.entry, trace_config.seed))
+
+    with use_tracer(Tracer(trace_config)) as serial_tracer:
+        verify_table(
+            ir, world.topology, entries, processes=1, on_report=note_unverified
+        )
+    with use_tracer(Tracer(trace_config)) as chaos_tracer:
+        verify_table(
+            ir,
+            world.topology,
+            entries,
+            processes=processes,
+            chunk_size=chunk_size,
+            fault_hook=KillWorkerChunk(1),
+        )
+    check(
+        ChaosCheck(
+            "trace/survives-worker-kill",
+            canonical_events(serial_tracer.events)
+            == canonical_events(chaos_tracer.events),
+            f"{chaos_tracer.emitted} events, worker SIGKILLed mid-run",
+        )
+    )
+    traced = {
+        event["trace"]
+        for event in chaos_tracer.events
+        if event.get("event") == "route"
+    }
+    check(
+        ChaosCheck(
+            "trace/unverified-coverage",
+            unverified_routes <= traced,
+            f"{len(unverified_routes)} unverified route(s), all traced",
+        )
+    )
 
     # -- layer 3: WHOIS behind a flaky network --------------------------------
     asn = min(ir.aut_nums)

@@ -13,7 +13,13 @@ Subcommands mirror the paper's pipeline:
 * ``compile --ir ir.json`` — precompile the verification index into the
   cache (or ``-o artifact.pkl``) ahead of a verify run;
 * ``stats --ir ir.json`` — print the Section 4 characterization;
-* ``metrics run.json`` — render a run manifest as Prometheus-style text;
+* ``metrics run.json`` — render a run manifest as Prometheus exposition
+  text (``--format json`` for the raw manifest, ``--out`` to a file);
+* ``explain --ir ir.json --as-rel as-rel.txt 10.0.0.0/24 64500 64501`` —
+  replay one route with tracing forced on and print which rule, filter
+  term, and relaxation tier decided each hop;
+* ``trace events.jsonl`` — summarize or filter a trace file written by
+  ``verify --trace``;
 * ``chaos --seed 42`` — run the fault-injection suite and print its
   degradation report (exit 1 if any resilience check fails).
 
@@ -41,10 +47,16 @@ from repro.bgp.topology import AsRelationships
 from repro.ir.json_io import dump_ir, load_ir
 from repro.obs import (
     MetricsRegistry,
+    PhaseProfiler,
+    TraceConfig,
+    Tracer,
     build_manifest,
     cache_summary,
     load_manifest,
+    read_trace_events,
     render_prometheus,
+    set_tracer,
+    summarize_events,
     use_registry,
     write_manifest,
 )
@@ -59,21 +71,34 @@ def _metrics_session(
     """Record the run into a manifest when ``--metrics <path>`` was given.
 
     ``extras`` lets the command deposit values computed inside the session
-    (currently ``extras["degradation"]``) for inclusion in the manifest.
+    (``extras["degradation"]``, ``extras["trace"]``) for inclusion in the
+    manifest.  ``--profile`` additionally runs the background resource
+    sampler for the session and records its timeline.
     """
     path = getattr(args, "metrics", None)
     if not path:
+        if getattr(args, "profile", False):
+            print("--profile requires --metrics; ignoring", file=sys.stderr)
         yield
         return
     registry = MetricsRegistry()
+    profiler = PhaseProfiler(registry) if getattr(args, "profile", False) else None
     with use_registry(registry):
-        yield
+        if profiler is not None:
+            profiler.start()
+        try:
+            yield
+        finally:
+            if profiler is not None:
+                profiler.stop()
     manifest = build_manifest(
         command=" ".join([args.command, *map(str, inputs)]),
         registry=registry,
         inputs=inputs,
         config=config,
         degradation=(extras or {}).get("degradation"),
+        profile=profiler.snapshot() if profiler is not None else None,
+        trace=(extras or {}).get("trace"),
     )
     write_manifest(path, manifest)
     print(f"run manifest written to {path}", file=sys.stderr)
@@ -133,27 +158,46 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         "processes": args.processes,
         "report": bool(args.report),
     }
+    tracer = None
+    if args.trace:
+        tracer = Tracer(TraceConfig(sample_rate=args.trace_sample))
+        config["trace"] = {"path": str(args.trace), "sample_rate": args.trace_sample}
     extras: dict = {}
-    with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
-        ir = load_ir(args.ir)
-        relationships = AsRelationships.load(args.as_rel)
-        index = _resolve_index(args, ir, config)
+    previous_tracer = set_tracer(tracer) if tracer is not None else None
+    try:
+        with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
+            ir = load_ir(args.ir)
+            relationships = AsRelationships.load(args.as_rel)
+            index = _resolve_index(args, ir, config)
 
-        def print_report(report) -> None:
-            if report.ignored is None:
-                print(report)
-                print()
+            def print_report(report) -> None:
+                if report.ignored is None:
+                    print(report)
+                    print()
 
-        stats = api.verify_table(
-            ir,
-            relationships,
-            parse_table_file(args.table),
-            options=options,
-            processes=args.processes,
-            on_report=print_report if args.report else None,
-            index=index,
+            stats = api.verify_table(
+                ir,
+                relationships,
+                parse_table_file(args.table),
+                options=options,
+                processes=args.processes,
+                on_report=print_report if args.report else None,
+                index=index,
+            )
+            extras["degradation"] = stats.degradation.as_dict()
+            if tracer is not None:
+                extras["trace"] = {"path": str(args.trace), **tracer.stats()}
+    finally:
+        if tracer is not None:
+            set_tracer(previous_tracer)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(
+            f"trace: {tracer.emitted} event(s) "
+            f"({tracer.sampled['head']} head / {tracer.sampled['verdict']} verdict "
+            f"sampled route(s)) -> {args.trace}",
+            file=sys.stderr,
         )
-        extras["degradation"] = stats.degradation.as_dict()
     if args.figures_dir:
         from repro.stats import export
 
@@ -209,11 +253,33 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+_CACHE_FIGURES = (
+    "hop_cache_hits",
+    "hop_cache_misses",
+    "hop_cache_evictions",
+    "hop_cache_hit_rate",
+    "index_cache_hits",
+    "index_cache_misses",
+    "index_compile_seconds",
+)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     manifest = load_manifest(args.manifest)
-    sys.stdout.write(render_prometheus(manifest))
-    caches = cache_summary(manifest)
-    if any(caches.values()):
+    if args.format == "json":
+        rendered = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    else:
+        rendered = render_prometheus(manifest)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(rendered)
+        print(f"metrics ({args.format}) written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    caches = cache_summary(manifest, cache_dir=args.cache_dir)
+    # The run's own cache counters; disk figures are reported separately
+    # below (disk_cache_dir is always set, so it must not gate this line).
+    if any(caches[figure] for figure in _CACHE_FIGURES):
         print(
             "caches: hop {hits}/{total} hits ({rate:.1%}), "
             "{evictions} evictions; index {index_hits} hits / "
@@ -228,6 +294,113 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
+    if caches["disk_cache_entries"] is None:
+        print(
+            f"index disk cache: none ({caches['disk_cache_dir']} does not exist)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "index disk cache: {entries} artifact(s), {size} bytes in {directory}".format(
+                entries=caches["disk_cache_entries"],
+                size=caches["disk_cache_bytes"],
+                directory=caches["disk_cache_dir"],
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    ir = load_ir(args.ir)
+    relationships = AsRelationships.load(args.as_rel)
+    report, events = api.explain_route(ir, relationships, args.prefix, args.as_path)
+    if args.json:
+        json.dump(
+            {"report": str(report), "events": events},
+            sys.stdout,
+            indent=2,
+            sort_keys=True,
+        )
+        print()
+        return 0
+    print(f"route {args.prefix} path {' '.join(map(str, args.as_path))}")
+    if report.ignored is not None:
+        print(f"  ignored: {report.ignored}")
+        return 0
+    hop_events = [event for event in events if event.get("event") == "hop"]
+    for hop, event in zip(report.hops, hop_events):
+        subject = hop.subject_asn
+        print(
+            f"  {hop.direction} {hop.from_asn} -> {hop.to_asn}: "
+            f"{hop.status.label} (rules of AS{subject})"
+        )
+        rule_index = event.get("rule")
+        if rule_index is not None:
+            aut_num = ir.aut_nums.get(subject)
+            rules = (
+                aut_num.imports if hop.direction == "import" else aut_num.exports
+            ) if aut_num is not None else []
+            if 0 <= rule_index < len(rules) and rules[rule_index].raw:
+                print(f"    rule[{rule_index}]: {' '.join(rules[rule_index].raw.split())}")
+            else:
+                print(f"    rule[{rule_index}]")
+        if event.get("registry"):
+            print(f"    registry: {event['registry']}")
+        if event.get("tier"):
+            print(f"    tier: {event['tier']}")
+        if event.get("unrecorded"):
+            print(f"    unrecorded: {event['unrecorded']}")
+        for item in event.get("items", ()):
+            print(f"    item: {item}")
+        for step in event.get("chain", ()):
+            print(f"    eval: {step}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events = read_trace_events(args.trace_file)
+    selected = events
+    if args.status:
+        wanted_traces = {
+            event.get("trace")
+            for event in events
+            if event.get("event") == "hop" and event.get("status") == args.status
+        }
+        selected = [event for event in selected if event.get("trace") in wanted_traces]
+    if args.prefix:
+        wanted_traces = {
+            event.get("trace")
+            for event in events
+            if event.get("event") == "route" and event.get("prefix") == args.prefix
+        }
+        selected = [event for event in selected if event.get("trace") in wanted_traces]
+    if args.trace_id:
+        selected = [event for event in selected if event.get("trace") == args.trace_id]
+    if args.json:
+        shown = selected[: args.limit] if args.limit else selected
+        for event in shown:
+            print(json.dumps(event, separators=(",", ":"), sort_keys=True))
+        return 0
+    summary = summarize_events(selected)
+    print(
+        f"{summary['routes']} route(s), {summary['hops']} hop event(s), "
+        f"{summary['workers']} worker(s)"
+    )
+    if summary["sampled"]:
+        sampled = ", ".join(
+            f"{reason}: {count}" for reason, count in sorted(summary["sampled"].items())
+        )
+        print(f"sampled: {sampled}")
+    for status, count in sorted(summary["hop_status"].items()):
+        print(f"  {status}: {count}")
+    if summary["top_evidence"]:
+        print("top evidence:")
+        for name, count in summary["top_evidence"]:
+            print(f"  {name}: {count}")
+    if args.limit:
+        for event in selected[: args.limit]:
+            print(json.dumps(event, separators=(",", ":"), sort_keys=True))
     return 0
 
 
@@ -325,6 +498,11 @@ def _add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a JSON run manifest (timings, counters, input digests) here",
     )
+    subparser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample wall/CPU/RSS during the run into the manifest (needs --metrics)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -371,6 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="compiled-index cache directory (default: ~/.cache/rpslyzer)",
     )
+    verify.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write sampled decision-provenance events (JSONL) here",
+    )
+    verify.add_argument(
+        "--trace-sample",
+        type=int,
+        default=128,
+        metavar="N",
+        help="head-sample 1-in-N routes (default 128; non-verified verdicts "
+        "are always traced)",
+    )
     _add_metrics_flag(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -401,10 +592,46 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=_cmd_stats)
 
     metrics = subparsers.add_parser(
-        "metrics", help="render a run manifest as Prometheus-style text"
+        "metrics", help="render a run manifest (Prometheus text or JSON)"
     )
     metrics.add_argument("manifest")
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="prom = Prometheus exposition text (default), json = full manifest",
+    )
+    metrics.add_argument("--out", metavar="FILE", help="write here instead of stdout")
+    metrics.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="index disk-cache directory to inspect (default: ~/.cache/rpslyzer)",
+    )
     metrics.set_defaults(func=_cmd_metrics)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="replay one route with tracing forced on and print the decision chain",
+    )
+    explain.add_argument("--ir", required=True)
+    explain.add_argument("--as-rel", required=True)
+    explain.add_argument("prefix")
+    explain.add_argument("as_path", nargs="+", type=int, help="AS path, neighbor first")
+    explain.add_argument("--json", action="store_true", help="emit raw trace events")
+    explain.set_defaults(func=_cmd_explain)
+
+    trace = subparsers.add_parser(
+        "trace", help="summarize or filter a trace JSONL file"
+    )
+    trace.add_argument("trace_file")
+    trace.add_argument("--status", help="keep routes with a hop of this status")
+    trace.add_argument("--prefix", help="keep routes announcing this prefix")
+    trace.add_argument("--trace-id", help="keep one trace id")
+    trace.add_argument(
+        "--limit", type=int, default=0, metavar="N", help="also print the first N events"
+    )
+    trace.add_argument("--json", action="store_true", help="print events, no summary")
+    trace.set_defaults(func=_cmd_trace)
 
     lint = subparsers.add_parser("lint", help="lint RPSL policies")
     lint.add_argument("--ir", required=True)

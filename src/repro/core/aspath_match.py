@@ -57,6 +57,9 @@ class AsPathMatchResult:
     matched: bool
     approximate: bool = False
     unrecorded_sets: tuple[str, ...] = ()
+    # How many candidate symbol strings were tried before matching (or
+    # exhausting the product) — surfaced in decision traces.
+    candidates_tried: int = 0
 
 
 @dataclass(slots=True)
@@ -230,7 +233,11 @@ class AsPathMatcher:
         if approximate:
             candidates = itertools.islice(candidates, self.product_cap)
         search = compiled.pattern.search
+        tried = 0
         for candidate in candidates:
+            tried += 1
             if search("".join(candidate)) is not None:
-                return AsPathMatchResult(True, approximate, tuple(sorted(unrecorded)))
-        return AsPathMatchResult(False, approximate, tuple(sorted(unrecorded)))
+                return AsPathMatchResult(
+                    True, approximate, tuple(sorted(unrecorded)), tried
+                )
+        return AsPathMatchResult(False, approximate, tuple(sorted(unrecorded)), tried)

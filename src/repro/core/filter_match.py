@@ -20,7 +20,7 @@ from enum import IntEnum
 
 from repro.core.aspath_match import AsPathMatcher
 from repro.core.query import QueryEngine
-from repro.core.report import ItemKind, ReportItem
+from repro.core.report import ItemKind, ReportItem, _op_label
 from repro.net.prefix import Prefix, RangeOp
 from repro.rpsl.aspath import regex_flags
 from repro.rpsl.filter import (
@@ -39,13 +39,60 @@ from repro.rpsl.filter import (
     FilterRouteSet,
 )
 
-__all__ = ["MAX_ITEMS", "Val", "Eval", "MatchContext", "FilterEvaluator"]
+__all__ = [
+    "MAX_ITEMS",
+    "MAX_TRACE_STEPS",
+    "Val",
+    "Eval",
+    "MatchContext",
+    "FilterEvaluator",
+]
 
 # Evidence items per evaluation are capped here, *during* combination —
 # reports themselves cap at the same bound, so truncating the (prefix of
 # the) concatenation early changes nothing downstream while keeping the
 # combinators from allocating unbounded intermediate tuples.
 MAX_ITEMS = 12
+
+# Deep traces record at most this many evaluation steps per hop; pathological
+# rules (huge OR chains) would otherwise dominate the trace file.
+MAX_TRACE_STEPS = 48
+
+
+def _op_suffix(op: RangeOp | None) -> str:
+    label = _op_label(op)
+    if label is None or label == "NoOp":
+        return ""
+    return label
+
+
+def _describe(node: Filter) -> str:
+    """A compact, stable one-line spelling of a filter node for traces."""
+    if isinstance(node, FilterAny):
+        return "ANY"
+    if isinstance(node, FilterPeerAs):
+        return "PeerAS"
+    if isinstance(node, FilterAsn):
+        return f"AS{node.asn}{_op_suffix(node.op)}"
+    if isinstance(node, FilterAsSet):
+        return f"{node.name}{_op_suffix(node.op)}"
+    if isinstance(node, FilterRouteSet):
+        return f"{node.name}{_op_suffix(node.op)}"
+    if isinstance(node, FilterPrefixSet):
+        return f"{{{len(node.members)} prefixes}}{_op_suffix(node.op)}"
+    if isinstance(node, FilterFltrSetRef):
+        return node.name
+    if isinstance(node, FilterAsPathRegex):
+        return "<as-path-regex>"
+    if isinstance(node, FilterCommunity):
+        return f"community({', '.join(node.args)})"
+    if isinstance(node, FilterAnd):
+        return "AND"
+    if isinstance(node, FilterOr):
+        return "OR"
+    if isinstance(node, FilterNot):
+        return "NOT"
+    return type(node).__name__
 
 
 class Val(IntEnum):
@@ -160,9 +207,30 @@ class FilterEvaluator:
         # Guards against cyclic filter-set definitions (FLTR-A -> FLTR-B ->
         # FLTR-A), which would otherwise recurse without bound.
         self._filter_set_stack: set[str] = set()
+        # Deep-trace sink: when set (by Verifier._traced_check), every
+        # evaluate() call appends "node -> outcome" to it.  None on the hot
+        # path, so untraced evaluation pays one attribute load per node.
+        self._trace: list[str] | None = None
+
+    def begin_trace(self, sink: list[str]) -> None:
+        """Record each evaluation step into ``sink`` until :meth:`end_trace`."""
+        self._trace = sink
+
+    def end_trace(self) -> None:
+        """Stop recording evaluation steps (see :meth:`begin_trace`)."""
+        self._trace = None
 
     def evaluate(self, node: Filter, ctx: MatchContext) -> Eval:
         """Evaluate one filter node against the route context."""
+        trace = self._trace
+        if trace is None:
+            return self._evaluate(node, ctx)
+        result = self._evaluate(node, ctx)
+        if len(trace) < MAX_TRACE_STEPS:
+            trace.append(f"{_describe(node)} -> {result.value.name.lower()}")
+        return result
+
+    def _evaluate(self, node: Filter, ctx: MatchContext) -> Eval:
         if isinstance(node, FilterAny):
             return Eval(Val.TRUE)
         if isinstance(node, FilterPeerAs):
@@ -294,6 +362,12 @@ class FilterEvaluator:
         if has_same_pattern and not self.handle_same_pattern:
             return Eval(Val.SKIP, (ReportItem.of(ItemKind.SKIPPED_REGEX_TILDE),))
         result = self.matcher.match(node.regex, ctx.as_path, ctx.peer_asn)
+        trace = self._trace
+        if trace is not None and len(trace) < MAX_TRACE_STEPS:
+            detail = f"as-path-regex: {result.candidates_tried} candidate(s)"
+            if result.approximate:
+                detail += ", approximate"
+            trace.append(detail)
         if result.matched:
             return Eval(Val.TRUE)
         if result.unrecorded_sets:

@@ -33,11 +33,15 @@ completes with exact stats either way.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import shutil
+import tempfile
 import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from itertools import islice
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.bgp.table import RouteEntry
@@ -47,6 +51,7 @@ from repro.core.report import RouteReport
 from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.model import Ir
 from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import TraceConfig, Tracer, get_tracer, set_tracer
 from repro.stats.verification import VerificationStats
 
 __all__ = [
@@ -95,6 +100,23 @@ def _record_cache_hit_rate(registry) -> None:
     misses = registry.counter("verify_hop_cache_total", result="miss").value
     total = hits + misses
     registry.gauge("verify_hop_cache_hit_rate").set(hits / total if total else 0.0)
+
+
+def _trace_marks(tracer: Tracer) -> tuple[int, int]:
+    """The tracer's (emitted, dropped) cursors before this run started."""
+    return (tracer.emitted, tracer.dropped)
+
+
+def _record_trace_metrics(registry, tracer: Tracer, marks: tuple[int, int]) -> None:
+    """Fold this run's trace-event counts into the metrics registry."""
+    if not registry.enabled or not tracer.enabled:
+        return
+    emitted = tracer.emitted - marks[0]
+    dropped = tracer.dropped - marks[1]
+    if emitted:
+        registry.counter("trace_events_total").inc(emitted)
+    if dropped:
+        registry.counter("trace_events_dropped_total").inc(dropped)
 
 
 def _snapshot_delta(current: dict, previous: dict | None) -> dict:
@@ -196,6 +218,8 @@ def _init_worker(
     collect_metrics: bool,
     fault_hook: Callable[[int], None] | None = None,
     index: CompiledIndex | None = None,
+    trace_config: TraceConfig | None = None,
+    trace_dir: str | None = None,
 ) -> None:
     global _WORKER_VERIFIER, _WORKER_COLLECT_METRICS, _WORKER_LAST_SNAPSHOT
     global _WORKER_FAULT_HOOK
@@ -205,6 +229,19 @@ def _init_worker(
     # A fresh registry per worker (never the parent's — under fork the
     # child would otherwise write into an inherited copy that nobody reads).
     set_registry(MetricsRegistry() if collect_metrics else None)
+    # Same discipline for tracing: a fresh tracer spilling to a per-worker
+    # JSONL file (merged by the parent after the pool drains), or the null
+    # tracer — never the parent's in-memory tracer inherited across fork.
+    if trace_config is not None and trace_dir is not None:
+        set_tracer(
+            Tracer(
+                trace_config,
+                sink=Path(trace_dir) / f"worker-{os.getpid()}.jsonl",
+                worker_id=os.getpid(),
+            )
+        )
+    else:
+        set_tracer(None)
     # The compiled index arrives pre-built: shared copy-on-write under
     # fork, pickled once per worker under spawn — either way the worker's
     # verifier starts warm instead of re-deriving every memo cache cold.
@@ -222,10 +259,22 @@ def _verify_chunk(
         # worker (or raise) at a chosen chunk.  Never set in production runs.
         _WORKER_FAULT_HOOK(index)
     registry = get_registry()
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.chunk_id = index
     stats = VerificationStats()
-    with registry.span("verify/worker"):
-        for entry in entries:
-            stats.add_report(_WORKER_VERIFIER.verify_entry(entry))
+    try:
+        with registry.span("verify/worker"):
+            for entry in entries:
+                stats.add_report(_WORKER_VERIFIER.verify_entry(entry))
+    except BaseException:
+        # A mid-chunk failure must still advance the snapshot cursor:
+        # whatever this partial attempt recorded is baked into the worker's
+        # cumulative registry, and without moving the cursor a retry of the
+        # same chunk on this worker would ship a delta that double-counts it.
+        if _WORKER_COLLECT_METRICS:
+            _WORKER_LAST_SNAPSHOT = registry.snapshot()
+        raise
     if not _WORKER_COLLECT_METRICS:
         return index, stats, None
     snapshot = registry.snapshot()
@@ -245,6 +294,8 @@ def _verify_parallel(
     registry,
     fault_hook: Callable[[int], None] | None,
     compiled_index: CompiledIndex | None,
+    trace_config: TraceConfig | None = None,
+    trace_dir: str | None = None,
 ) -> VerificationStats:
     """The resilient fan-out: submit chunks, survive worker death."""
     total = VerificationStats()
@@ -272,6 +323,8 @@ def _verify_parallel(
                 collect_metrics,
                 fault_hook,
                 compiled_index,
+                trace_config,
+                trace_dir,
             ),
         )
 
@@ -432,6 +485,8 @@ def verify_table(
     if processes is None:
         processes = multiprocessing.cpu_count()
     registry = get_registry()
+    tracer = get_tracer()
+    marks = _trace_marks(tracer)
     with registry.span("verify"):
         if processes <= 1 or on_report is not None:
             stats = _verify_serial(
@@ -439,6 +494,7 @@ def verify_table(
             )
             if registry.enabled:
                 _record_cache_hit_rate(registry)
+            _record_trace_metrics(registry, tracer, marks)
             return stats
 
         chunks = _iter_chunks(entries, chunk_size)
@@ -451,6 +507,7 @@ def verify_table(
             stats = _verify_serial(ir, relationships, first, options, None, index)
             if registry.enabled:
                 _record_cache_hit_rate(registry)
+            _record_trace_metrics(registry, tracer, marks)
             return stats
 
         if index is None:
@@ -458,20 +515,35 @@ def verify_table(
             # fork every worker then shares the artifact copy-on-write.
             index = compile_index(ir)
         context = multiprocessing.get_context(start_method or _default_start_method())
-        total = _verify_parallel(
-            ir,
-            relationships,
-            enumerate(_chain_first(first, chunks)),
-            options,
-            processes,
-            context,
-            registry.enabled,
-            registry,
-            fault_hook,
-            index,
-        )
+        # When tracing is live, workers spill events to per-worker JSONL
+        # files in a scratch directory; the parent merges (and dedups) them
+        # after the pool drains, so traces survive killed workers, chunk
+        # retries, and the serial fallback (which emits into ``tracer``
+        # directly in-process).
+        trace_dir = tempfile.mkdtemp(prefix="rpslyzer-trace-") if tracer.enabled else None
+        try:
+            total = _verify_parallel(
+                ir,
+                relationships,
+                enumerate(_chain_first(first, chunks)),
+                options,
+                processes,
+                context,
+                registry.enabled,
+                registry,
+                fault_hook,
+                index,
+                tracer.config if tracer.enabled else None,
+                trace_dir,
+            )
+            if trace_dir is not None:
+                tracer.merge_directory(trace_dir)
+        finally:
+            if trace_dir is not None:
+                shutil.rmtree(trace_dir, ignore_errors=True)
         if registry.enabled:
             _record_cache_hit_rate(registry)
+        _record_trace_metrics(registry, tracer, marks)
         return total
 
 

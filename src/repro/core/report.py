@@ -153,6 +153,12 @@ class HopReport:
     # status is UNVERIFIED, False means the relationship itself is
     # undeclared — the dominant failure mode in Section 5.2).
     peer_matched: bool = False
+    # Provenance: which of the subject's rules decided the verdict (an
+    # index into aut_num.imports/.exports, set when a single rule matched)
+    # and which IRR the consulted aut-num object came from.  Excluded from
+    # the printed report, so Appendix-C output is unchanged.
+    rule_index: int | None = None
+    rule_source: str | None = None
 
     @property
     def subject_asn(self) -> int:

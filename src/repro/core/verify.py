@@ -37,6 +37,7 @@ from repro.core.status import VerifyStatus
 from repro.ir.model import Ir
 from repro.net.prefix import Prefix
 from repro.obs import get_registry
+from repro.obs.trace import RouteTrace, get_tracer
 from repro.rpsl.aspath import regex_flags
 from repro.rpsl.filter import Filter, FilterAsPathRegex, FilterCommunity
 from repro.rpsl.policy import (
@@ -195,26 +196,42 @@ class Verifier:
         self.hop_cache_evictions = 0
         registry = get_registry()
         self._metrics = _VerifierMetrics(registry) if registry.enabled else None
+        # Same zero-cost trick as the metrics: a verifier built under the
+        # null tracer pays one ``is None`` branch per route, nothing more.
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
 
     # -- route-level entry points ---------------------------------------
 
     def verify_entry(self, entry: RouteEntry) -> RouteReport:
         """Verify one observed route; hops are reported origin side first."""
+        tracer = self._tracer
+        trace = tracer.route(entry) if tracer is not None else None
         report = RouteReport(entry=entry)
         metrics = self._metrics
         if metrics is not None:
             metrics.routes.inc()
         if entry.as_set is not None:
             report.ignored = "as-set-path"
+        else:
+            path = entry.deprepended_path()
+            if len(path) <= 1:
+                report.ignored = "single-as"
+        if report.ignored is not None:
             if metrics is not None:
                 metrics.ignored(report.ignored)
+            if trace is not None:
+                tracer.commit(trace, report)
             return report
-        path = entry.deprepended_path()
-        if len(path) <= 1:
-            report.ignored = "single-as"
-            if metrics is not None:
-                metrics.ignored(report.ignored)
-            return report
+        if trace is None or not trace.head:
+            # Tail-sampled routes need no per-hop capture: commit() reads
+            # everything it emits from the finished report's hops.
+            check = self.check
+        else:
+
+            def check(direction, from_asn, to_asn, ctx, _trace=trace):
+                return self._traced_check(_trace, direction, from_asn, to_asn, ctx)
+
         for index in range(len(path) - 2, -1, -1):
             exporter = path[index + 1]
             importer = path[index]
@@ -226,7 +243,7 @@ class Verifier:
                 self_asn=exporter,
                 communities=entry.communities,
             )
-            report.hops.append(self.check("export", exporter, importer, ctx_export))
+            report.hops.append(check("export", exporter, importer, ctx_export))
             ctx_import = MatchContext(
                 prefix=entry.prefix,
                 as_path=sub_path,
@@ -234,7 +251,9 @@ class Verifier:
                 self_asn=importer,
                 communities=entry.communities,
             )
-            report.hops.append(self.check("import", exporter, importer, ctx_import))
+            report.hops.append(check("import", exporter, importer, ctx_import))
+        if trace is not None:
+            tracer.commit(trace, report)
         return report
 
     def verify_route(
@@ -287,6 +306,33 @@ class Verifier:
             metrics.status[report.status].inc()
         return report
 
+    def _traced_check(
+        self,
+        trace: RouteTrace,
+        direction: str,
+        from_asn: int,
+        to_asn: int,
+        ctx: MatchContext,
+    ) -> HopReport:
+        """One hop check with provenance capture (see :mod:`repro.obs.trace`).
+
+        Wraps :meth:`check` without changing what it computes: detects
+        whether the memo cache answered (a hit skips filter evaluation, so
+        no deep chain exists for it) and, for head-sampled routes, collects
+        the filter-evaluation path from the evaluator.
+        """
+        hits_before = self.hop_cache_hits
+        chain: list[str] | None = [] if trace.deep else None
+        if chain is not None:
+            self.filters.begin_trace(chain)
+        try:
+            report = self.check(direction, from_asn, to_asn, ctx)
+        finally:
+            if chain is not None:
+                self.filters.end_trace()
+        trace.add_hop(report, self.hop_cache_hits > hits_before, chain)
+        return report
+
     def _checked(
         self,
         direction: str,
@@ -319,6 +365,7 @@ class Verifier:
                 (ReportItem.of(ItemKind.UNRECORDED_AUT_NUM, asn=subject_asn),),
             )
 
+        source = aut_num.source or None
         rules = aut_num.imports if direction == "import" else aut_num.exports
         if not rules:
             items = [ReportItem.of(ItemKind.UNRECORDED_NO_RULES, asn=subject_asn)]
@@ -330,14 +377,16 @@ class Verifier:
                     to_asn,
                     VerifyStatus.SKIP,
                     (ReportItem.of(ItemKind.SKIPPED_BAD_RULE),),
+                    source=source,
                 )
             return self._finish(
-                direction, from_asn, to_asn, VerifyStatus.UNRECORDED, tuple(items)
+                direction, from_asn, to_asn, VerifyStatus.UNRECORDED, tuple(items),
+                source=source,
             )
 
         version = ctx.prefix.version
         overall = _RuleEval(Val.FALSE)
-        for rule in rules:
+        for rule_index, rule in enumerate(rules):
             if not any(afi.matches_version(version) for afi in rule.effective_afis()):
                 continue
             evaluated = self._eval_expr(rule.expr, ctx, version, remote_asn)
@@ -345,21 +394,24 @@ class Verifier:
             if overall.value is Val.TRUE:
                 return self._finish(
                     direction, from_asn, to_asn, VerifyStatus.VERIFIED, (),
-                    peer_matched=True,
+                    peer_matched=True, rule_index=rule_index, source=source,
                 )
 
         if overall.value is Val.SKIP:
             return self._finish(
-                direction, from_asn, to_asn, VerifyStatus.SKIP, overall.items
+                direction, from_asn, to_asn, VerifyStatus.SKIP, overall.items,
+                source=source,
             )
         if aut_num.bad_rules:
             items = overall.items + (ReportItem.of(ItemKind.SKIPPED_BAD_RULE),)
             return self._finish(
-                direction, from_asn, to_asn, VerifyStatus.SKIP, items[:_MAX_ITEMS]
+                direction, from_asn, to_asn, VerifyStatus.SKIP, items[:_MAX_ITEMS],
+                source=source,
             )
         if overall.value is Val.UNREC:
             return self._finish(
-                direction, from_asn, to_asn, VerifyStatus.UNRECORDED, overall.items
+                direction, from_asn, to_asn, VerifyStatus.UNRECORDED, overall.items,
+                source=source,
             )
 
         peer_matched = bool(overall.peer_matched_filters)
@@ -371,7 +423,7 @@ class Verifier:
                 items = (overall.items + (relaxed,))[-_MAX_ITEMS:]
                 return self._finish(
                     direction, from_asn, to_asn, VerifyStatus.RELAXED, items,
-                    peer_matched=peer_matched,
+                    peer_matched=peer_matched, source=source,
                 )
 
         if self.options.safelists:
@@ -382,12 +434,12 @@ class Verifier:
                 items = (overall.items + (safelisted,))[-_MAX_ITEMS:]
                 return self._finish(
                     direction, from_asn, to_asn, VerifyStatus.SAFELISTED, items,
-                    peer_matched=peer_matched,
+                    peer_matched=peer_matched, source=source,
                 )
 
         return self._finish(
             direction, from_asn, to_asn, VerifyStatus.UNVERIFIED, overall.items,
-            peer_matched=peer_matched,
+            peer_matched=peer_matched, source=source,
         )
 
     def _finish(
@@ -398,6 +450,8 @@ class Verifier:
         status: VerifyStatus,
         items: tuple[ReportItem, ...],
         peer_matched: bool = False,
+        rule_index: int | None = None,
+        source: str | None = None,
     ) -> HopReport:
         return HopReport(
             direction=direction,
@@ -406,6 +460,8 @@ class Verifier:
             status=status,
             items=items[:_MAX_ITEMS],
             peer_matched=peer_matched,
+            rule_index=rule_index,
+            rule_source=source,
         )
 
     # -- policy expression evaluation ------------------------------------

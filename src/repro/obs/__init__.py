@@ -11,7 +11,12 @@ Three pieces, designed to cost nothing when unused:
   seconds per slash-separated path (``parse/RIPE/lex``, ``verify``);
 * :mod:`repro.obs.manifest` — one diffable JSON document per run (input
   digests, config, per-phase timings, full metric dump, versions), plus a
-  Prometheus-style text rendering used by ``rpslyzer metrics``.
+  Prometheus-style text rendering used by ``rpslyzer metrics``;
+* :mod:`repro.obs.trace` — sampled decision-provenance events (which
+  rule/filter/tier produced each verdict) as JSONL, with a null default
+  tracer mirroring the null registry;
+* :mod:`repro.obs.profiler` — a background wall/CPU/RSS sampler tagging
+  each sample with the active span path (manifest resource timelines).
 
 Typical use::
 
@@ -41,10 +46,28 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     get_registry,
+    parse_prometheus,
+    render_prometheus_snapshot,
     set_registry,
     use_registry,
 )
+from repro.obs.profiler import PhaseProfiler
 from repro.obs.spans import NULL_SPAN, SpanAggregate, SpanStore, timed_iter
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_FORMAT,
+    NullTracer,
+    TraceConfig,
+    Tracer,
+    canonical_events,
+    get_tracer,
+    read_trace_events,
+    route_trace_id,
+    set_tracer,
+    summarize_events,
+    use_tracer,
+    write_trace_file,
+)
 
 __all__ = [
     "Counter",
@@ -55,18 +78,34 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
+    "PhaseProfiler",
     "SpanAggregate",
     "SpanStore",
+    "TRACE_FORMAT",
+    "TraceConfig",
+    "Tracer",
     "build_manifest",
     "cache_summary",
+    "canonical_events",
     "digest_file",
     "digest_inputs",
     "get_registry",
+    "get_tracer",
     "load_manifest",
+    "parse_prometheus",
+    "read_trace_events",
     "render_prometheus",
+    "render_prometheus_snapshot",
+    "route_trace_id",
     "set_registry",
+    "set_tracer",
+    "summarize_events",
     "timed_iter",
     "use_registry",
+    "use_tracer",
     "write_manifest",
+    "write_trace_file",
 ]

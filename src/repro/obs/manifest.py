@@ -19,7 +19,11 @@ import platform
 from pathlib import Path
 from typing import IO, Iterable
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _label_text,
+    render_prometheus_snapshot,
+)
 
 __all__ = [
     "MANIFEST_FORMAT",
@@ -79,6 +83,8 @@ def build_manifest(
     inputs: Iterable[str | Path] = (),
     config: dict | None = None,
     degradation: dict | None = None,
+    profile: dict | None = None,
+    trace: dict | None = None,
 ) -> dict:
     """Assemble the manifest document from a finished run's registry.
 
@@ -86,7 +92,10 @@ def build_manifest(
     :meth:`~repro.core.degradation.DegradationReport.as_dict` — how the
     run deviated from the clean path (requeued chunks, dropped objects);
     always present in the document so clean and degraded runs stay
-    line-diffable.
+    line-diffable.  ``profile`` is a
+    :meth:`~repro.obs.profiler.PhaseProfiler.snapshot` resource timeline
+    and ``trace`` a :meth:`~repro.obs.trace.Tracer.stats` summary; both
+    keys are always emitted (null when the run recorded neither).
     """
     snapshot = registry.snapshot()
     phases = {
@@ -106,6 +115,8 @@ def build_manifest(
         "phases": phases,
         "metrics": snapshot,
         "degradation": degradation if degradation is not None else {"events": [], "total": 0},
+        "profile": profile,
+        "trace": trace,
     }
 
 
@@ -132,7 +143,7 @@ def load_manifest(source: str | Path | IO[str]) -> dict:
     return manifest
 
 
-def cache_summary(manifest: dict) -> dict:
+def cache_summary(manifest: dict, cache_dir: str | Path | None = None) -> dict:
     """Cache-effectiveness figures extracted from a run manifest.
 
     Gathers the verifier's per-hop memo cache (hits, misses, evictions,
@@ -140,6 +151,11 @@ def cache_summary(manifest: dict) -> dict:
     seconds) into one flat dict, so ``rpslyzer metrics`` and the benchmark
     suite can report cache behaviour without re-parsing the raw metric
     dump.  Counters that the run never touched read as zero.
+
+    Also inspects the on-disk index cache (``cache_dir`` or the default
+    ``~/.cache/rpslyzer``): ``disk_cache_entries`` is None when the
+    directory does not exist yet — a fresh machine is a normal state, not
+    an error, and callers print an explicit "no cache" line for it.
     """
     metrics = manifest.get("metrics", {})
 
@@ -160,7 +176,7 @@ def cache_summary(manifest: dict) -> dict:
     hop_total = hop_hits + hop_misses
     index_hits = counter("index_cache_total", result="hit")
     index_misses = counter("index_cache_total", result="miss")
-    return {
+    summary = {
         "hop_cache_hits": hop_hits,
         "hop_cache_misses": hop_misses,
         "hop_cache_evictions": counter("verify_hop_cache_evictions_total"),
@@ -169,66 +185,48 @@ def cache_summary(manifest: dict) -> dict:
         "index_cache_misses": index_misses,
         "index_compile_seconds": gauge("index_compile_seconds"),
     }
+    summary.update(_disk_cache_summary(cache_dir))
+    return summary
+
+
+def _disk_cache_summary(cache_dir: str | Path | None) -> dict:
+    """On-disk index-cache figures; tolerates a directory that never
+    existed (``disk_cache_entries`` is None) and any I/O error."""
+    from repro.core.compiled import default_cache_dir  # lazy: import cycle
+
+    directory = Path(cache_dir) if cache_dir else default_cache_dir()
+    entries: int | None = None
+    total_bytes = 0
+    try:
+        if directory.is_dir():
+            artifacts = [path for path in directory.iterdir() if path.is_file()]
+            entries = len(artifacts)
+            total_bytes = sum(path.stat().st_size for path in artifacts)
+    except OSError:
+        entries = None
+        total_bytes = 0
+    return {
+        "disk_cache_dir": str(directory),
+        "disk_cache_entries": entries,
+        "disk_cache_bytes": total_bytes,
+    }
 
 
 # -- Prometheus-style rendering --------------------------------------------
 
 
-def _metric_name(name: str) -> str:
-    return name.replace(".", "_").replace("-", "_")
-
-
-def _label_text(labels: dict, extra: dict | None = None) -> str:
-    merged = dict(labels)
-    if extra:
-        merged.update(extra)
-    if not merged:
-        return ""
-    body = ",".join(f'{key}="{merged[key]}"' for key in sorted(merged))
-    return "{" + body + "}"
-
-
-def _format_value(value: float) -> str:
-    if value == float("inf"):
-        return "+Inf"
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(value)
-
-
 def render_prometheus(manifest: dict) -> str:
-    """The manifest's metrics and phases as Prometheus exposition text."""
+    """The manifest's metrics and phases as Prometheus exposition text.
+
+    The instrument families delegate to
+    :func:`repro.obs.metrics.render_prometheus_snapshot` (whose output
+    round-trips through :func:`repro.obs.metrics.parse_prometheus`); phase
+    aggregates follow as ``repro_phase_*`` gauges.
+    """
     lines: list[str] = []
-    metrics = manifest.get("metrics", {})
-
-    by_name: dict[str, list[dict]] = {}
-    kinds: dict[str, str] = {}
-    for kind in ("counters", "gauges", "histograms"):
-        for record in metrics.get(kind, ()):
-            name = _metric_name(record["name"])
-            by_name.setdefault(name, []).append(record)
-            kinds[name] = kind.rstrip("s")
-
-    for name in sorted(by_name):
-        lines.append(f"# TYPE {name} {kinds[name]}")
-        for record in by_name[name]:
-            labels = record.get("labels", {})
-            if kinds[name] == "histogram":
-                running = 0
-                for bound, bucket_count in zip(
-                    record["buckets"], record["bucket_counts"]
-                ):
-                    running += bucket_count
-                    le = _label_text(labels, {"le": _format_value(float(bound))})
-                    lines.append(f"{name}_bucket{le} {running}")
-                le = _label_text(labels, {"le": "+Inf"})
-                lines.append(f"{name}_bucket{le} {record['count']}")
-                lines.append(f"{name}_sum{_label_text(labels)} {record['sum']!r}")
-                lines.append(f"{name}_count{_label_text(labels)} {record['count']}")
-            else:
-                value = record["value"]
-                text = value if isinstance(value, int) else repr(float(value))
-                lines.append(f"{name}{_label_text(labels)} {text}")
+    rendered = render_prometheus_snapshot(manifest.get("metrics", {}))
+    if rendered:
+        lines.extend(rendered.rstrip("\n").split("\n"))
 
     phases = manifest.get("phases", {})
     if phases:

@@ -19,6 +19,7 @@ Registries are deliberately not thread-safe: the pipeline parallelizes by
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Iterator
@@ -35,6 +36,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "render_prometheus_snapshot",
+    "parse_prometheus",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -308,3 +311,173 @@ def use_registry(registry: MetricsRegistry | None = None):
         yield registry
     finally:
         set_registry(previous)
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{merged[key]}"' for key in sorted(merged))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus_snapshot(snapshot: dict) -> str:
+    """A registry snapshot's instruments as Prometheus exposition text.
+
+    Renders the ``counters``/``gauges``/``histograms`` sections of
+    :meth:`MetricsRegistry.snapshot` (span aggregates are a manifest
+    concern — see :func:`repro.obs.manifest.render_prometheus`).  The text
+    round-trips through :func:`parse_prometheus`.
+    """
+    lines: list[str] = []
+    by_name: dict[str, list[dict]] = {}
+    kinds: dict[str, str] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        for record in snapshot.get(kind, ()):
+            name = _metric_name(record["name"])
+            by_name.setdefault(name, []).append(record)
+            kinds[name] = kind.rstrip("s")
+
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for record in by_name[name]:
+            labels = record.get("labels", {})
+            if kinds[name] == "histogram":
+                running = 0
+                for bound, bucket_count in zip(
+                    record["buckets"], record["bucket_counts"]
+                ):
+                    running += bucket_count
+                    le = _label_text(labels, {"le": _format_value(float(bound))})
+                    lines.append(f"{name}_bucket{le} {running}")
+                le = _label_text(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {record['count']}")
+                lines.append(f"{name}_sum{_label_text(labels)} {record['sum']!r}")
+                lines.append(f"{name}_count{_label_text(labels)} {record['count']}")
+            else:
+                value = record["value"]
+                text = value if isinstance(value, int) else repr(float(value))
+                lines.append(f"{name}{_label_text(labels)} {text}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text back into a snapshot-shaped dict.
+
+    The inverse of :func:`render_prometheus_snapshot` for the subset of
+    the format this package emits: ``# TYPE`` comments declare each
+    family, histograms are reassembled from their ``_bucket``/``_sum``/
+    ``_count`` series (cumulative bucket counts are de-cumulated back to
+    the internal representation).  Unknown comment lines are ignored.
+    Returns ``{"counters": [...], "gauges": [...], "histograms": [...]}``.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        matched = _SAMPLE_RE.match(line)
+        if matched is None:
+            raise ValueError(f"unparsable exposition line: {raw_line!r}")
+        name, label_body, value_text = matched.groups()
+        labels = (
+            {key: value for key, value in _LABEL_RE.findall(label_body)}
+            if label_body
+            else {}
+        )
+        samples.append((name, labels, _parse_number(value_text)))
+
+    def family_of(name: str) -> tuple[str, str]:
+        """Resolve a sample name to (family, histogram-part)."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            family = name[: -len(suffix)] if name.endswith(suffix) else None
+            if family and types.get(family) == "histogram":
+                return family, suffix[1:]
+        return name, ""
+
+    counters: list[dict] = []
+    gauges: list[dict] = []
+    # Histograms accumulate across their three series, keyed by label set.
+    partials: dict[tuple[str, tuple], dict] = {}
+    for name, labels, value in samples:
+        family, part = family_of(name)
+        kind = types.get(family)
+        if kind == "histogram":
+            bare = {k: v for k, v in labels.items() if k != "le"}
+            key = (family, tuple(sorted(bare.items())))
+            record = partials.setdefault(
+                key,
+                {"name": family, "labels": bare, "bounds": [], "sum": 0.0, "count": 0},
+            )
+            if part == "bucket":
+                record["bounds"].append((_parse_number(labels["le"]), int(value)))
+            elif part == "sum":
+                record["sum"] = value
+            elif part == "count":
+                record["count"] = int(value)
+            continue
+        if value not in (float("inf"), float("-inf")) and value.is_integer():
+            value = int(value)
+        entry = {"name": name, "labels": labels, "value": value}
+        if kind == "counter":
+            counters.append(entry)
+        else:
+            gauges.append(entry)
+
+    histograms: list[dict] = []
+    for record in partials.values():
+        bounds = sorted(record.pop("bounds"), key=lambda pair: pair[0])
+        finite = [(bound, total) for bound, total in bounds if bound != float("inf")]
+        buckets = [bound for bound, _ in finite]
+        cumulative = [total for _, total in finite]
+        bucket_counts = [
+            total - (cumulative[i - 1] if i else 0)
+            for i, total in enumerate(cumulative)
+        ]
+        bucket_counts.append(record["count"] - (cumulative[-1] if cumulative else 0))
+        histograms.append(
+            {
+                "name": record["name"],
+                "labels": record["labels"],
+                "buckets": buckets,
+                "bucket_counts": bucket_counts,
+                "sum": record["sum"],
+                "count": record["count"],
+            }
+        )
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,155 @@
+"""A lightweight phase resource profiler: wall/CPU/RSS sampled per span.
+
+:class:`PhaseProfiler` runs a daemon thread that periodically records a
+``{t, phase, cpu_s, rss_kb}`` sample, attributing each to whatever span
+path is active on the observed registry's :class:`~repro.obs.spans.
+SpanStore` at that instant.  The result is a resource *timeline* — which
+phase was running when memory peaked, how CPU accumulated across parse vs
+verify — recorded into run manifests (``--profile`` with ``--metrics``)
+and benchmark manifests.
+
+Bounded by construction: when the sample list reaches ``max_samples`` it
+is halved (every other sample kept) and the interval doubled, so memory
+stays flat over arbitrarily long runs while resolution degrades
+gracefully — the same discipline as the span store's aggregates.
+
+RSS comes from ``/proc/self/statm`` where available (Linux), falling back
+to ``resource.getrusage`` peak RSS elsewhere; no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["PhaseProfiler"]
+
+try:
+    _PAGE_KB = os.sysconf("SC_PAGE_SIZE") / 1024.0
+except (ValueError, OSError, AttributeError):  # pragma: no cover - non-POSIX
+    _PAGE_KB = 4.0
+
+
+def _rss_kb() -> int:
+    """Current resident set size in KiB (best effort, never raises)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as stream:
+            return int(int(stream.read().split()[1]) * _PAGE_KB)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - exercised only off-Linux
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(peak / 1024) if peak > 1 << 30 else int(peak)
+    except Exception:  # pragma: no cover
+        return 0
+
+
+class PhaseProfiler:
+    """Samples the process's resource usage, tagged with the active span.
+
+    ``registry`` supplies the span store whose current path labels each
+    sample (None leaves phases blank).  Use as a context manager or via
+    :meth:`start`/:meth:`stop`; :meth:`snapshot` returns the JSON-able
+    timeline for embedding in a manifest.
+    """
+
+    def __init__(self, registry=None, interval: float = 0.05, max_samples: int = 2400):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if max_samples < 4:
+            raise ValueError("max_samples must be at least 4")
+        self._spans = getattr(registry, "spans", None)
+        self.initial_interval = float(interval)
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.samples: list[dict] = []
+        self.peak_rss_kb = 0
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self.duration_s = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "PhaseProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._started_at = time.monotonic()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="rpslyzer-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self.duration_s += time.monotonic() - self._started_at
+            self._started_at = None
+
+    def __enter__(self) -> "PhaseProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling --------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self._sample()
+
+    def _sample(self) -> None:
+        phase = ""
+        if self._spans is not None:
+            try:
+                phase = self._spans.current_path()
+            except Exception:  # racing the main thread's span stack
+                phase = ""
+        rss = _rss_kb()
+        if rss > self.peak_rss_kb:
+            self.peak_rss_kb = rss
+        started = self._started_at if self._started_at is not None else time.monotonic()
+        self.samples.append(
+            {
+                "t": round(time.monotonic() - started, 3),
+                "phase": phase,
+                "cpu_s": round(time.process_time(), 3),
+                "rss_kb": rss,
+            }
+        )
+        if len(self.samples) >= self.max_samples:
+            # Halve resolution instead of growing: drop every other sample
+            # and sample half as often from here on.
+            del self.samples[::2]
+            self.interval *= 2
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The JSON-able timeline recorded so far (manifest ``profile``)."""
+        phases: dict[str, int] = {}
+        for sample in self.samples:
+            label = sample["phase"] or "<none>"
+            phases[label] = phases.get(label, 0) + 1
+        duration = self.duration_s
+        if self._started_at is not None:
+            duration += time.monotonic() - self._started_at
+        return {
+            "interval_s": self.interval,
+            "initial_interval_s": self.initial_interval,
+            "duration_s": round(duration, 3),
+            "sample_count": len(self.samples),
+            "peak_rss_kb": self.peak_rss_kb,
+            "phase_sample_counts": phases,
+            "samples": list(self.samples),
+        }

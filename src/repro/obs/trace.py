@@ -1,0 +1,662 @@
+"""Decision-provenance tracing: who decided what, for sampled routes.
+
+The paper's verdicts are *attributable* — every hop classification traces
+back to an aut-num rule, a filter term, a relaxation tier, or a safelisted
+relationship.  This module records that chain as compact JSONL events so a
+surprising verdict can be explained after the fact (``rpslyzer explain``,
+``rpslyzer trace``) instead of re-running under a debugger.
+
+Sampling keeps the layer bounded on bulk runs:
+
+* **head sampling** — a seeded, content-keyed 1-in-N decision per route
+  (:func:`route_trace_id` hashes ⟨collector, peer, prefix, path⟩ with the
+  seed, so serial and parallel runs sample the *same* routes);
+* **tail sampling** — routes whose verdicts include a status in
+  ``trace_statuses`` (default: ``unverified``) are always kept, decided
+  after verification from the buffered hop reports.
+
+Head-sampled routes emit every hop; tail-sampled routes emit only their
+*evidence* hops (the ones whose status is in ``trace_statuses``) plus the
+route event carrying the full verdict census — the hop that forced the
+route to be kept is the explanation, and skipping the rest is what keeps
+default-sampled tracing within a few percent of untraced wall time on
+worlds where mismatches are common.
+
+The deep filter-evaluation chain (every :class:`~repro.core.filter_match.
+Eval` combinator step) is recorded only for head-sampled routes and only
+on hop-cache misses; everything else in an event derives from the
+immutable :class:`~repro.core.report.HopReport`, so tracing never changes
+what verification computes.
+
+Zero cost when disabled: the module-level default is :data:`NULL_TRACER`
+(same trick as :class:`~repro.obs.metrics.NullRegistry`) and the verifier
+hoists one ``is None`` check per route.
+
+Multiprocess collection: each worker's tracer spills to a line-buffered
+per-worker JSONL file; the parent merges the spill directory after the
+pool drains, deduplicating by ``(trace id, event type, seq)`` so chunk
+retries and killed workers never duplicate or lose committed events (a
+truncated final line from a SIGKILLed worker is skipped, not fatal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterable
+
+from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.bgp.table import RouteEntry
+    from repro.core.report import HopReport, RouteReport
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceConfig",
+    "RouteTrace",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "route_trace_id",
+    "event_key",
+    "event_sort_key",
+    "canonical_events",
+    "read_trace_events",
+    "write_trace_file",
+    "summarize_events",
+]
+
+TRACE_FORMAT = "rpslyzer-trace/1"
+
+# Fields that legitimately differ between serial and parallel runs of the
+# same table: which process emitted the event, from which chunk, under
+# which span, whether the memo cache answered, and the deep chain (only
+# collected on cache misses).  Everything else is a pure function of the
+# route and its HopReports, so stripping these yields a run-invariant view.
+_VOLATILE_FIELDS = frozenset({"worker", "chunk", "phase", "cached", "chain"})
+
+# Hop payloads are cached by report identity (the verifier memoizes
+# HopReports, so the same object recurs across routes); cleared wholesale
+# at this many entries, mirroring the verifier's own hop-cache policy.
+_PAYLOAD_CACHE_MAX = 1 << 16
+
+# status -> label, built on first use: importing repro.core.status at
+# module scope would cycle (core.verify imports this module).
+_STATUS_LABELS: dict | None = None
+
+
+def _status_labels() -> dict:
+    global _STATUS_LABELS
+    if _STATUS_LABELS is None:
+        from repro.core.status import VerifyStatus
+
+        _STATUS_LABELS = {status: status.label for status in VerifyStatus}
+    return _STATUS_LABELS
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Sampling and bounding knobs for a :class:`Tracer`.
+
+    ``sample_rate`` is the head-sampling rate (1-in-N; ``1`` traces every
+    route); ``trace_statuses`` are hop status labels that force a route to
+    be kept regardless of head sampling; ``deep`` additionally records the
+    filter-evaluation path for head-sampled routes; ``max_events`` caps the
+    total events a tracer will hold/emit (the rest are counted as dropped).
+    """
+
+    sample_rate: int = 128
+    trace_statuses: frozenset[str] = frozenset({"unverified"})
+    deep: bool = True
+    max_events: int = 250_000
+    seed: int = 0
+
+
+# The id key's components recur heavily across a routing table — the same
+# prefix from every collector/peer, the same AS path for every prefix an
+# origin announces — so each conversion is memoized (bounded, content-
+# keyed, therefore identical in every process).
+_PREFIX_STRS: dict = {}
+_PATH_STRS: dict = {}
+_INT_STRS: dict = {}
+
+
+def _prefix_str(prefix) -> str:
+    text = _PREFIX_STRS.get(prefix)
+    if text is None:
+        if len(_PREFIX_STRS) >= _PAYLOAD_CACHE_MAX:
+            _PREFIX_STRS.clear()
+        _PREFIX_STRS[prefix] = text = str(prefix)
+    return text
+
+
+def _path_str(as_path: tuple) -> str:
+    text = _PATH_STRS.get(as_path)
+    if text is None:
+        if len(_PATH_STRS) >= _PAYLOAD_CACHE_MAX:
+            _PATH_STRS.clear()
+        _PATH_STRS[as_path] = text = ",".join(map(str, as_path))
+    return text
+
+
+def _int_str(value: int) -> str:
+    text = _INT_STRS.get(value)
+    if text is None:
+        if len(_INT_STRS) >= _PAYLOAD_CACHE_MAX:
+            _INT_STRS.clear()
+        _INT_STRS[value] = text = str(value)
+    return text
+
+
+def route_trace_id(entry: "RouteEntry", seed: int = 0) -> str:
+    """A stable 64-bit id for one observed route (hex, 16 chars).
+
+    Content-keyed (collector, peer, prefix, AS-path) plus the sampling
+    seed — never process- or run-dependent — so every worker, the serial
+    fallback, and a replay all agree on the id *and* on the head-sampling
+    decision derived from it.
+    """
+    key = "|".join(
+        (
+            entry.collector,
+            _int_str(entry.peer_asn),
+            _prefix_str(entry.prefix),
+            _path_str(entry.as_path),
+            _int_str(seed),
+        )
+    )
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class RouteTrace:
+    """Per-route trace state; hops are buffered for head samples only.
+
+    Tail-sampled routes need no per-hop buffering: the keep/drop decision
+    and the evidence hops both come straight from the immutable
+    ``RouteReport`` at commit time, which is what makes tracing nearly
+    free for the unsampled majority of routes.  ``wanted`` is the tail
+    statuses (as :class:`~repro.core.status.VerifyStatus` members)
+    snapshotted from the tracer's config.
+    """
+
+    __slots__ = ("trace_id", "head", "deep", "wanted", "hops")
+
+    def __init__(
+        self,
+        trace_id: str,
+        head: bool,
+        deep: bool,
+        wanted: frozenset = frozenset(),
+    ):
+        self.trace_id = trace_id
+        self.head = head
+        self.deep = deep
+        self.wanted = wanted
+        self.hops: list[tuple["HopReport", bool, tuple[str, ...]]] = []
+
+    def add_hop(
+        self,
+        report: "HopReport",
+        cached: bool,
+        chain: list[str] | None,
+    ) -> None:
+        self.hops.append((report, cached, tuple(chain) if chain else ()))
+
+
+class Tracer:
+    """Collects decision-provenance events for sampled routes.
+
+    ``sink`` directs events to a line-buffered JSONL file (the worker spill
+    mode — every committed event reaches the OS before the next, so a
+    SIGKILL loses at most a partial final line) or keeps them on
+    ``self.events`` (the in-process default).  ``worker_id``/``chunk_id``
+    stamp emitted events for post-merge attribution.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: TraceConfig | None = None,
+        *,
+        sink: str | Path | IO[str] | None = None,
+        worker_id: int | None = None,
+    ):
+        self.config = config if config is not None else TraceConfig()
+        self._lines: list[str] = []
+        self.worker_id = worker_id
+        self.chunk_id: int | None = None
+        self.emitted = 0
+        self.dropped = 0
+        self.sampled = {"head": 0, "verdict": 0}
+        self._keys: set[str] = set()
+        self._wanted: frozenset | None = None
+        self._payloads: dict[int, tuple] = {}
+        self._stream: IO[str] | None = None
+        self._owns_stream = False
+        if sink is not None:
+            if hasattr(sink, "write"):
+                self._stream = sink  # type: ignore[assignment]
+            else:
+                self._stream = open(
+                    sink, "a", encoding="utf-8", buffering=1  # noqa: SIM115
+                )
+                self._owns_stream = True
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+    @property
+    def events(self) -> list[dict]:
+        """The emitted events, as dicts (empty in sink/spill mode).
+
+        Events are held JSON-serialized — strings are invisible to the
+        cyclic GC, so a bulk run's trace doesn't grow the tracked heap and
+        trigger extra full collections over the (large) IR — and are
+        deserialized on access; each call returns a fresh list.
+        """
+        return [json.loads(line) for line in self._lines]
+
+    # -- the verifier-facing surface ------------------------------------
+
+    def route(self, entry: "RouteEntry") -> RouteTrace | None:
+        """Start buffering one route; None means "do not trace this route".
+
+        Returns a buffer whenever the route is head-sampled *or* tail
+        sampling is configured (the keep/drop decision then waits for the
+        verdicts in :meth:`commit`).
+        """
+        config = self.config
+        wanted = self._wanted
+        if wanted is None:
+            labels = _status_labels()
+            wanted = self._wanted = frozenset(
+                status
+                for status, label in labels.items()
+                if label in config.trace_statuses
+            )
+        trace_id = route_trace_id(entry, config.seed)
+        head = config.sample_rate <= 1 or int(trace_id, 16) % config.sample_rate == 0
+        if not head and not wanted:
+            return None
+        return RouteTrace(trace_id, head, head and config.deep, wanted)
+
+    def commit(self, trace: RouteTrace, report: "RouteReport") -> bool:
+        """Emit the route if sampling keeps it; returns whether.
+
+        Head samples emit every buffered hop (with cache/chain capture);
+        tail samples are decided — and their evidence hops gathered —
+        directly from the report's immutable hops, so the unsampled
+        majority of routes pays one status scan here and nothing per hop
+        during verification.
+        """
+        hops = report.hops
+        wanted = trace.wanted
+        head = trace.head
+        if head:
+            reason = "head"
+        else:
+            for hop in hops:
+                if hop.status in wanted:
+                    break
+            else:
+                return False
+            reason = "verdict"
+        self.sampled[reason] += 1
+        trace_id = trace.trace_id
+        entry = report.entry
+        labels = _status_labels()
+        counts: dict = {}
+        for hop in hops:
+            status = hop.status
+            counts[status] = counts.get(status, 0) + 1
+        event = {
+            "event": "route",
+            "trace": trace_id,
+            "sampled": reason,
+            "collector": entry.collector,
+            "peer": entry.peer_asn,
+            "prefix": _prefix_str(entry.prefix),
+            "as_path": list(entry.as_path),
+            "verdicts": {labels[status]: n for status, n in sorted(counts.items())},
+        }
+        if report.ignored is not None:
+            event["ignored"] = report.ignored
+        decoration = self._decoration()
+        if decoration:
+            event.update(decoration)
+        self._emit((trace_id, "route", -1), event)
+        if head:
+            for seq, (hop, cached, chain) in enumerate(trace.hops):
+                self._emit(
+                    (trace_id, "hop", seq),
+                    self._hop_event(trace_id, seq, hop, cached, chain, decoration),
+                )
+        else:
+            if decoration:
+                deco_fragment = "," + json.dumps(
+                    decoration, separators=(",", ":"), sort_keys=True
+                )[1:-1]
+            else:
+                deco_fragment = ""
+            for seq, hop in enumerate(hops):
+                if hop.status not in wanted:
+                    continue  # tail samples keep only their evidence hops
+                self._emit_line(
+                    (trace_id, "hop", seq),
+                    self._tail_hop_line(trace_id, seq, hop, deco_fragment),
+                )
+        return True
+
+    def _hop_event(
+        self,
+        trace_id: str,
+        seq: int,
+        hop: "HopReport",
+        cached: bool | None,
+        chain: tuple[str, ...],
+        decoration: dict,
+    ) -> dict:
+        entry = self._payload_entry(hop)
+        event = {
+            "event": "hop",
+            "trace": trace_id,
+            "span": f"{trace_id}:{seq:02d}",
+            "seq": seq,
+            **entry[1],
+        }
+        if cached is not None:
+            event["cached"] = cached
+        if chain:
+            event["chain"] = list(chain)
+        if decoration:
+            event.update(decoration)
+        return event
+
+    def _tail_hop_line(
+        self, trace_id: str, seq: int, hop: "HopReport", deco_fragment: str
+    ) -> str:
+        """A tail-sample hop event, assembled as its JSONL line directly.
+
+        Everything variable is a hex id or an integer; the report-derived
+        body and the decoration arrive as pre-serialized fragments, so the
+        hot path is one string format instead of a dict build plus dump.
+        """
+        return '{"event":"hop","trace":"%s","span":"%s:%02d","seq":%d,%s%s}' % (
+            trace_id,
+            trace_id,
+            seq,
+            seq,
+            self._payload_entry(hop)[2],
+            deco_fragment,
+        )
+
+    def _payload_entry(self, hop: "HopReport") -> tuple:
+        """(report, payload dict, serialized payload fragment), memoized."""
+        key = id(hop)
+        entry = self._payloads.get(key)
+        if entry is None or entry[0] is not hop:
+            if len(self._payloads) >= _PAYLOAD_CACHE_MAX:
+                self._payloads.clear()
+            payload = self._hop_payload(hop)
+            fragment = json.dumps(payload, separators=(",", ":"), sort_keys=True)[1:-1]
+            entry = (hop, payload, fragment)
+            self._payloads[key] = entry
+        return entry
+
+    def _hop_payload(self, hop: "HopReport") -> dict:
+        """The report-derived (route-independent) slice of a hop event.
+
+        Shared across every event that cites the same memoized report —
+        including the ``items`` list, which is never mutated downstream.
+        """
+        payload = {
+            "direction": hop.direction,
+            "from": hop.from_asn,
+            "to": hop.to_asn,
+            "status": _status_labels()[hop.status],
+            "items": [str(item) for item in hop.items],
+            "peer_matched": hop.peer_matched,
+        }
+        if hop.rule_index is not None:
+            payload["rule"] = hop.rule_index
+        if hop.rule_source:
+            payload["registry"] = hop.rule_source
+        tier = hop.special_case
+        if tier is not None:
+            payload["tier"] = tier.value
+        unrecorded = hop.unrecorded_reason
+        if unrecorded is not None:
+            payload["unrecorded"] = unrecorded.value
+        return payload
+
+    def _decoration(self) -> dict:
+        """Per-commit volatile stamps (worker, chunk, active span path)."""
+        decoration = {}
+        if self.worker_id is not None:
+            decoration["worker"] = self.worker_id
+        if self.chunk_id is not None:
+            decoration["chunk"] = self.chunk_id
+        phase = get_registry().spans.current_path()
+        if phase:
+            decoration["phase"] = phase
+        return decoration
+
+    def _emit(self, key: tuple, event: dict) -> bool:
+        token = "%s|%s|%s" % key  # a string key stays off the GC's books
+        if token in self._keys:
+            return False
+        if self.emitted >= self.config.max_events:
+            self.dropped += 1
+            return False
+        self._append(token, json.dumps(event, separators=(",", ":"), sort_keys=True))
+        return True
+
+    def _emit_line(self, key: tuple, line: str) -> bool:
+        token = "%s|%s|%s" % key
+        if token in self._keys:
+            return False
+        if self.emitted >= self.config.max_events:
+            self.dropped += 1
+            return False
+        self._append(token, line)
+        return True
+
+    def _append(self, token: str, line: str) -> None:
+        self._keys.add(token)
+        self.emitted += 1
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+        else:
+            self._lines.append(line)
+
+    # -- merging and output ----------------------------------------------
+
+    def merge_events(self, events: Iterable[dict]) -> int:
+        """Fold already-emitted events (e.g. a worker's spill) into this
+        tracer, deduplicating against everything seen so far."""
+        merged = 0
+        for event in events:
+            if self._emit(event_key(event), event):
+                merged += 1
+        return merged
+
+    def merge_directory(self, directory: str | Path) -> int:
+        """Merge every ``*.jsonl`` spill file under ``directory``."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            return 0
+        merged = 0
+        for path in sorted(directory.glob("*.jsonl")):
+            merged += self.merge_events(read_trace_events(path))
+        return merged
+
+    def write(self, destination: str | Path | IO[str]) -> None:
+        """Write the in-memory events as sorted, stable JSONL."""
+        write_trace_file(destination, self.events)
+
+    def stats(self) -> dict:
+        return {
+            "format": TRACE_FORMAT,
+            "events": self.emitted,
+            "dropped": self.dropped,
+            "sampled": dict(self.sampled),
+            "sample_rate": self.config.sample_rate,
+            "seed": self.config.seed,
+        }
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: never samples, never emits, never allocates."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(TraceConfig(sample_rate=0, trace_statuses=frozenset()))
+
+    def route(self, entry: "RouteEntry") -> RouteTrace | None:
+        return None
+
+    def commit(self, trace: RouteTrace, report: "RouteReport") -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The tracer instrumented code should report to right now."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (None restores the null tracer); returns the
+    previously installed one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None):
+    """Temporarily install a tracer (a fresh default one if none given)."""
+    if tracer is None:
+        tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+# -- event utilities ---------------------------------------------------------
+
+
+def event_key(event: dict) -> tuple:
+    """The dedup identity of one event: (trace, type, seq)."""
+    return (event.get("trace"), event.get("event"), event.get("seq", -1))
+
+
+def event_sort_key(event: dict) -> tuple:
+    """Stable output order: by trace id, route before hops, then seq."""
+    return (
+        event.get("trace") or "",
+        0 if event.get("event") == "route" else 1,
+        event.get("seq", -1),
+    )
+
+
+def canonical_events(events: Iterable[dict]) -> list[dict]:
+    """A run-invariant view: volatile fields stripped, stable order.
+
+    Two runs of the same table with the same :class:`TraceConfig` — serial,
+    parallel, or parallel with workers dying — canonicalize to the same
+    list; the differential tests assert exactly that.
+    """
+    stripped = (
+        {key: value for key, value in event.items() if key not in _VOLATILE_FIELDS}
+        for event in events
+    )
+    return sorted(stripped, key=event_sort_key)
+
+
+def read_trace_events(source: str | Path) -> list[dict]:
+    """Read a trace JSONL file, skipping unparsable lines.
+
+    A worker SIGKILLed mid-write leaves at most one truncated trailing
+    line in its spill file; tolerating (and dropping) such lines is what
+    lets traces survive injected worker kills.
+    """
+    events: list[dict] = []
+    with open(source, encoding="utf-8", errors="replace") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def write_trace_file(destination: str | Path | IO[str], events: Iterable[dict]) -> None:
+    """Write events as JSONL in stable order (see :func:`event_sort_key`)."""
+    lines = [
+        json.dumps(event, separators=(",", ":"), sort_keys=True)
+        for event in sorted(events, key=event_sort_key)
+    ]
+    body = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(destination, "write"):
+        destination.write(body)
+        return
+    with open(destination, "w", encoding="utf-8") as stream:
+        stream.write(body)
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Aggregate a trace into the figures ``rpslyzer trace`` prints."""
+    routes = 0
+    hops = 0
+    sampled: dict[str, int] = {}
+    hop_status: dict[str, int] = {}
+    evidence: dict[str, int] = {}
+    workers: set = set()
+    for event in events:
+        kind = event.get("event")
+        if kind == "route":
+            routes += 1
+            reason = event.get("sampled", "?")
+            sampled[reason] = sampled.get(reason, 0) + 1
+        elif kind == "hop":
+            hops += 1
+            status = event.get("status", "?")
+            hop_status[status] = hop_status.get(status, 0) + 1
+            for item in event.get("items", ()):
+                name = str(item).split("(", 1)[0]
+                evidence[name] = evidence.get(name, 0) + 1
+        if "worker" in event:
+            workers.add(event["worker"])
+    top_evidence = sorted(evidence.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+    return {
+        "routes": routes,
+        "hops": hops,
+        "sampled": sampled,
+        "hop_status": hop_status,
+        "top_evidence": top_evidence,
+        "workers": len(workers),
+    }

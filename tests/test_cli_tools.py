@@ -91,6 +91,6 @@ class TestParserWiring:
             action for action in parser._actions if action.choices is not None
         )
         assert set(subparsers.choices) == {
-            "synth", "parse", "verify", "compile", "stats", "metrics", "lint",
-            "asrel", "classify", "recommend", "whois", "chaos",
+            "synth", "parse", "verify", "compile", "stats", "metrics", "explain",
+            "trace", "lint", "asrel", "classify", "recommend", "whois", "chaos",
         }

@@ -11,12 +11,16 @@ from repro.obs import (
     NULL_REGISTRY,
     MetricsRegistry,
     NullRegistry,
+    PhaseProfiler,
     SpanStore,
     build_manifest,
+    cache_summary,
     digest_inputs,
     get_registry,
     load_manifest,
+    parse_prometheus,
     render_prometheus,
+    render_prometheus_snapshot,
     set_registry,
     timed_iter,
     use_registry,
@@ -183,6 +187,146 @@ class TestSnapshotMerge:
         assert target.counter("c").value == 3
         assert target.gauge("g").value == 0.5
 
+    def test_merge_keeps_label_sets_distinct(self):
+        source = MetricsRegistry()
+        source.counter("hops", status="verified").inc(2)
+        source.counter("hops", status="skip").inc(5)
+        source.counter("hops", status="verified", irr="RIPE").inc(1)
+        target = MetricsRegistry()
+        target.counter("hops", status="verified").inc(10)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("hops", status="verified").value == 12
+        assert target.counter("hops", status="skip").value == 5
+        assert target.counter("hops", status="verified", irr="RIPE").value == 1
+
+    def test_merge_rejects_histogram_bucket_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0, 4.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_rejects_kind_conflict(self):
+        source = MetricsRegistry()
+        source.counter("dual").inc(1)
+        target = MetricsRegistry()
+        target.gauge("dual").set(1.0)
+        with pytest.raises(TypeError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_null_snapshot_changes_nothing(self):
+        target = MetricsRegistry()
+        target.counter("c").inc(4)
+        before = target.snapshot()
+        target.merge_snapshot(NULL_REGISTRY.snapshot())
+        assert target.snapshot() == before
+
+    def test_merge_empty_and_partial_snapshots(self):
+        target = MetricsRegistry()
+        target.merge_snapshot({})  # no sections at all
+        target.merge_snapshot({"counters": [{"name": "c", "labels": {}, "value": 2}]})
+        assert target.counter("c").value == 2
+        assert target.snapshot()["gauges"] == []
+
+
+class TestPrometheusRoundTrip:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("verify_hops_total", status="verified").inc(7)
+        registry.counter("verify_hops_total", status="unverified").inc(3)
+        registry.counter("lex_objects_total").inc(100)
+        registry.gauge("verify_hop_cache_hit_rate").set(0.625)
+        histogram = registry.histogram("verify_hop_seconds", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_text_round_trips_to_snapshot_shape(self):
+        snapshot = self._snapshot()
+        text = render_prometheus_snapshot(snapshot)
+        parsed = parse_prometheus(text)
+
+        def by_key(records):
+            return {
+                (r["name"], tuple(sorted(r["labels"].items()))): r for r in records
+            }
+
+        assert by_key(parsed["counters"]) == by_key(snapshot["counters"])
+        assert by_key(parsed["gauges"]) == by_key(snapshot["gauges"])
+        (histogram,) = parsed["histograms"]
+        (original,) = snapshot["histograms"]
+        assert histogram["buckets"] == original["buckets"]
+        assert histogram["bucket_counts"] == original["bucket_counts"]
+        assert histogram["count"] == original["count"]
+        assert histogram["sum"] == pytest.approx(original["sum"])
+
+    def test_merged_parse_result_is_mergeable(self):
+        # The parsed snapshot must satisfy merge_snapshot's expectations.
+        parsed = parse_prometheus(render_prometheus_snapshot(self._snapshot()))
+        registry = MetricsRegistry()
+        registry.merge_snapshot(parsed)
+        assert registry.counter("verify_hops_total", status="verified").value == 7
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus_snapshot(
+            {"counters": [], "gauges": [], "histograms": []}
+        ) == ""
+        assert parse_prometheus("") == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestPhaseProfiler:
+    def test_samples_are_tagged_with_active_phase(self):
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler(registry, interval=0.005)
+        with profiler:
+            with registry.span("work"):
+                deadline = time.monotonic() + 0.1
+                while time.monotonic() < deadline:
+                    pass
+        snapshot = profiler.snapshot()
+        assert snapshot["sample_count"] == len(snapshot["samples"]) > 0
+        assert snapshot["peak_rss_kb"] > 0
+        assert snapshot["duration_s"] > 0
+        assert "work" in snapshot["phase_sample_counts"]
+        sample = snapshot["samples"][0]
+        assert set(sample) == {"t", "phase", "cpu_s", "rss_kb"}
+
+    def test_bounded_memory_halves_and_slows(self):
+        profiler = PhaseProfiler(None, interval=1.0, max_samples=4)
+        for _ in range(4):
+            profiler._sample()
+        # Hitting the cap halves the samples and doubles the interval.
+        assert len(profiler.samples) == 2
+        assert profiler.interval == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(None, interval=0)
+        with pytest.raises(ValueError):
+            PhaseProfiler(None, max_samples=2)
+        profiler = PhaseProfiler(None)
+        with profiler:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+
+
+class TestCacheSummary:
+    def test_missing_cache_dir_reports_none(self, tmp_path):
+        manifest = build_manifest("run", MetricsRegistry())
+        absent = tmp_path / "never-created"
+        caches = cache_summary(manifest, cache_dir=absent)
+        assert caches["disk_cache_entries"] is None
+        assert caches["disk_cache_bytes"] == 0
+        assert caches["disk_cache_dir"] == str(absent)
+
+    def test_populated_cache_dir_is_counted(self, tmp_path):
+        (tmp_path / "a.idx").write_bytes(b"x" * 10)
+        (tmp_path / "b.idx").write_bytes(b"y" * 5)
+        caches = cache_summary(build_manifest("run", MetricsRegistry()), cache_dir=tmp_path)
+        assert caches["disk_cache_entries"] == 2
+        assert caches["disk_cache_bytes"] == 15
+
 
 class TestManifest:
     def _registry(self):
@@ -313,3 +457,93 @@ class TestCliMetrics:
         assert main(["parse", str(world_dir), "-o", str(ir_path)]) == 0
         capsys.readouterr()
         assert not get_registry().enabled
+
+
+class TestCliMetricsFormats:
+    @pytest.fixture(scope="class")
+    def manifest_path(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("metrics-world")
+        assert main(["synth", str(directory), "--preset", "tiny"]) == 0
+        path = tmp_path_factory.mktemp("metrics-out") / "parse.json"
+        ir_path = path.parent / "ir.json"
+        assert main(
+            ["parse", str(directory), "-o", str(ir_path), "--metrics", str(path)]
+        ) == 0
+        return path
+
+    def test_format_json_dumps_whole_manifest(self, manifest_path, capsys):
+        assert main(["metrics", str(manifest_path), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document == load_manifest(manifest_path)
+
+    def test_prom_output_round_trips(self, manifest_path, capsys):
+        assert main(["metrics", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        parsed = parse_prometheus(out)
+        counters = {record["name"] for record in parsed["counters"]}
+        assert "lex_objects_total" in counters
+        # repro_phase_* gauges ride along in the same parseable text.
+        gauges = {record["name"] for record in parsed["gauges"]}
+        assert any(name.startswith("repro_phase_") for name in gauges)
+
+    def test_out_writes_file_instead_of_stdout(self, manifest_path, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(
+            ["metrics", str(manifest_path), "--out", str(out_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert str(out_path) in captured.err
+        assert "# TYPE" in out_path.read_text(encoding="utf-8")
+
+    def test_missing_cache_dir_prints_no_cache_line(
+        self, manifest_path, tmp_path, capsys
+    ):
+        absent = tmp_path / "no-such-cache"
+        assert main(
+            ["metrics", str(manifest_path), "--cache-dir", str(absent)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"index disk cache: none ({absent} does not exist)" in err
+
+    def test_existing_cache_dir_prints_artifact_count(
+        self, manifest_path, tmp_path, capsys
+    ):
+        (tmp_path / "one.idx").write_bytes(b"abc")
+        assert main(
+            ["metrics", str(manifest_path), "--cache-dir", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "index disk cache: 1 artifact(s), 3 bytes" in err
+
+
+class TestCliProfile:
+    def test_profile_lands_in_manifest(self, tmp_path, capsys):
+        directory = tmp_path / "world"
+        assert main(["synth", str(directory), "--preset", "tiny"]) == 0
+        manifest_path = tmp_path / "run.json"
+        assert main(
+            [
+                "parse", str(directory),
+                "-o", str(tmp_path / "ir.json"),
+                "--metrics", str(manifest_path),
+                "--profile",
+            ]
+        ) == 0
+        capsys.readouterr()
+        manifest = load_manifest(manifest_path)
+        profile = manifest["profile"]
+        assert profile is not None
+        assert profile["duration_s"] > 0
+        assert profile["sample_count"] == len(profile["samples"])
+        assert set(profile["phase_sample_counts"]) or profile["sample_count"] == 0
+
+    def test_profile_without_metrics_warns_and_continues(self, tmp_path, capsys):
+        directory = tmp_path / "world"
+        assert main(["synth", str(directory), "--preset", "tiny"]) == 0
+        assert main(
+            ["parse", str(directory), "-o", str(tmp_path / "ir.json"), "--profile"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--profile requires --metrics" in err

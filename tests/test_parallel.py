@@ -4,7 +4,11 @@ import multiprocessing
 
 import pytest
 
+from repro.chaos.faults import KillWorkerChunk, RaiseOnChunk
+from repro.core import parallel
 from repro.core.parallel import verify_entries, verify_entries_parallel, verify_table
+from repro.obs import MetricsRegistry, set_registry, use_registry
+from repro.obs.trace import set_tracer
 from repro.stats.verification import VerificationStats
 
 
@@ -110,6 +114,115 @@ class TestStartMethods:
         )
         assert stats.hop_totals == expected.hop_totals
         assert stats.summary() == expected.summary()
+
+
+def _counter_values(registry: MetricsRegistry, name: str) -> dict:
+    return {
+        tuple(sorted(record["labels"].items())): record["value"]
+        for record in registry.snapshot()["counters"]
+        if record["name"] == name
+    }
+
+
+class _PoisonedChunk(list):
+    """A chunk whose iteration raises partway through verification."""
+
+    def __init__(self, entries, blow_after: int):
+        super().__init__(entries)
+        self.blow_after = blow_after
+
+    def __iter__(self):
+        for position, entry in enumerate(super().__iter__()):
+            if position == self.blow_after:
+                raise RuntimeError("poisoned entry")
+            yield entry
+
+
+class TestWorkerMetricsResilience:
+    """Degraded parallel runs must still report *exact* metrics.
+
+    The per-chunk snapshot deltas shipped back to the parent have to stay
+    an exact sum under every failure mode: a SIGKILLed worker (whole
+    attempt lost, chunk re-verified elsewhere), an in-worker exception
+    (chunk requeued on a pool whose worker survived), and a mid-chunk
+    failure after some hops were already recorded into the worker's
+    cumulative registry.
+    """
+
+    def test_killed_worker_metrics_match_serial(self, tiny_ir, tiny_world, tiny_routes):
+        with use_registry(MetricsRegistry()) as expected_registry:
+            expected = verify_table(
+                tiny_ir, tiny_world.topology, tiny_routes, processes=1
+            )
+        with use_registry(MetricsRegistry()) as observed_registry:
+            observed = verify_table(
+                tiny_ir,
+                tiny_world.topology,
+                tiny_routes,
+                processes=2,
+                chunk_size=max(1, len(tiny_routes) // 8),
+                fault_hook=KillWorkerChunk(1),
+            )
+        assert observed.hop_totals == expected.hop_totals
+        for name in ("verify_routes_total", "verify_hops_total"):
+            assert _counter_values(observed_registry, name) == _counter_values(
+                expected_registry, name
+            ), name
+        kinds = observed.degradation.by_kind()
+        assert kinds.get("verify/worker-lost", 0) >= 1
+
+    def test_raised_chunk_metrics_match_serial(self, tiny_ir, tiny_world, tiny_routes):
+        sample = tiny_routes[:600]
+        with use_registry(MetricsRegistry()) as expected_registry:
+            expected = verify_table(tiny_ir, tiny_world.topology, sample, processes=1)
+        with use_registry(MetricsRegistry()) as observed_registry:
+            observed = verify_table(
+                tiny_ir,
+                tiny_world.topology,
+                sample,
+                processes=2,
+                chunk_size=100,
+                fault_hook=RaiseOnChunk(1),
+            )
+        assert observed.hop_totals == expected.hop_totals
+        for name in ("verify_routes_total", "verify_hops_total"):
+            assert _counter_values(observed_registry, name) == _counter_values(
+                expected_registry, name
+            ), name
+        kinds = observed.degradation.by_kind()
+        assert kinds.get("verify/chunk-requeued", 0) >= 1
+
+    def test_mid_chunk_failure_advances_snapshot_cursor(
+        self, tiny_ir, tiny_world, tiny_routes
+    ):
+        # Drive the worker protocol in-process: a chunk that dies halfway
+        # bakes its partial work into the worker's cumulative registry, so
+        # the cursor must advance past it or the retry's delta double-counts.
+        chunk_a = tiny_routes[:40]
+        chunk_b = tiny_routes[40:80]
+        previous = set_registry(None)
+        try:
+            parallel._init_worker(
+                tiny_ir, tiny_world.topology, None, collect_metrics=True
+            )
+            _, _, delta_a = parallel._verify_chunk((0, chunk_a))
+            with pytest.raises(RuntimeError, match="poisoned entry"):
+                parallel._verify_chunk((1, _PoisonedChunk(chunk_b, 10)))
+            assert parallel._WORKER_LAST_SNAPSHOT is not None
+            _, _, delta_b = parallel._verify_chunk((1, chunk_b))
+            merged = MetricsRegistry()
+            merged.merge_snapshot(delta_a)
+            merged.merge_snapshot(delta_b)
+            assert merged.counter("verify_routes_total").value == len(chunk_a) + len(
+                chunk_b
+            )
+        finally:
+            parallel._WORKER_VERIFIER = None
+            parallel._WORKER_LAST_SNAPSHOT = None
+            parallel._WORKER_COLLECT_METRICS = False
+            parallel._WORKER_FAULT_HOOK = None
+            set_registry(previous)
+            set_tracer(None)
 
 
 class TestDeprecatedAliases:
