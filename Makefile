@@ -11,7 +11,8 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Mirror .github/workflows/ci.yml locally: lint (when ruff is present) + tier-1.
+# Mirror .github/workflows/ci.yml locally: lint (when ruff is present),
+# tier-1, and the resident-daemon smoke.
 ci:
 	@if command -v ruff >/dev/null 2>&1; then \
 	  ruff check src tests; \
@@ -19,6 +20,7 @@ ci:
 	  echo "ruff not installed; skipping lint"; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI smoke test for ``rpslyzer serve``: boot, query, drain, exit.
+
+Synthesizes the tiny world, launches the daemon as a real subprocess
+(both front-ends on ephemeral ports), and checks the serving contract
+end to end:
+
+1. the startup banner reports both ports and the IR digest;
+2. ``GET /healthz`` answers ``ok`` with a bound queue;
+3. ``POST /verify`` returns a verdict character-identical to the batch
+   verifier for the same route;
+4. the WHOIS ``!v`` command returns the same rendering, IRRd-framed;
+5. ``GET /metrics`` shows exactly one index adoption (no per-request
+   reload/recompile) and the served-request counters;
+6. SIGTERM drains and the process exits 0, releasing its ports.
+
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro import api  # noqa: E402
+from repro.bgp.routegen import collector_routes  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http_json(port: int, method: str, path: str, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def whois(port: int, query: str) -> str:
+    with socket.create_connection(("127.0.0.1", port), timeout=15) as conn:
+        conn.sendall(query.encode() + b"\n!q\n")
+        chunks = []
+        while True:
+            data = conn.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks).decode().rstrip()
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    world = api.synthesize("tiny", seed=42)
+    world.write_to_dir(workdir / "world")
+    entry = next(
+        iter(
+            collector_routes(world.topology, world.announced, world.collectors)
+        )
+    )
+    with api.open_session(world) as session:
+        expected = str(
+            session.verify_route(
+                str(entry.prefix), entry.as_path, collector="serve"
+            )
+        )
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--ir",
+            str(workdir / "world"),
+            "--as-rel",
+            str(workdir / "world" / "as-rel.txt"),
+            "--http-port",
+            "0",
+            "--whois-port",
+            "0",
+            "--cache-dir",
+            str(workdir / "cache"),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        http_port = whois_port = None
+        banner = []
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline and (
+            http_port is None or whois_port is None
+        ):
+            line = process.stderr.readline()
+            if not line:
+                break
+            banner.append(line)
+            matched = re.search(r"http on [\d.]+:(\d+)", line)
+            if matched:
+                http_port = int(matched.group(1))
+            matched = re.search(r"whois on [\d.]+:(\d+)", line)
+            if matched:
+                whois_port = int(matched.group(1))
+        if http_port is None or whois_port is None:
+            fail(f"startup banner incomplete: {''.join(banner)!r}")
+        print(f"serve-smoke: daemon up (http={http_port}, whois={whois_port})")
+
+        status, body = http_json(http_port, "GET", "/healthz")
+        health = json.loads(body)
+        if status != 200 or health["status"] != "ok":
+            fail(f"healthz: {status} {health}")
+        if not health["index_digest"] or health["queue_size"] <= 0:
+            fail(f"healthz shape: {health}")
+
+        payload = {"prefix": str(entry.prefix), "as_path": list(entry.as_path)}
+        status, body = http_json(http_port, "POST", "/verify", payload)
+        if status != 200:
+            fail(f"POST /verify: {status} {body!r}")
+        verdict = json.loads(body)
+        if verdict["text"] != expected:
+            fail(
+                "serve verdict diverges from batch verifier:\n"
+                f"--- serve ---\n{verdict['text']}\n--- batch ---\n{expected}"
+            )
+        print("serve-smoke: /verify bit-identical to the batch verifier")
+
+        path = " ".join(str(asn) for asn in entry.as_path)
+        framed = whois(whois_port, f"!v {entry.prefix} {path}")
+        if not framed.startswith("A"):
+            fail(f"whois !v not framed: {framed!r}")
+        unframed = framed[framed.index("\n") + 1 :].rstrip("\nC").rstrip()
+        if unframed != expected.rstrip():
+            fail(f"whois !v diverges from batch verifier: {unframed!r}")
+        print("serve-smoke: whois !v bit-identical to the batch verifier")
+
+        status, body = http_json(http_port, "GET", "/metrics")
+        text = body.decode()
+        if status != 200:
+            fail(f"GET /metrics: {status}")
+        adoptions = sum(
+            float(m.group(1))
+            for m in re.finditer(r'^index_cache_total\{[^}]*\} (\d+)', text, re.M)
+        )
+        if adoptions != 1:
+            fail(f"expected exactly one index adoption, saw {adoptions}")
+        if "serve_requests_total" not in text:
+            fail("serve_requests_total missing from /metrics")
+        print("serve-smoke: metrics confirm one index adoption, warm serving")
+
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        if process.returncode != 0:
+            fail(f"SIGTERM exit code {process.returncode}, want 0")
+        try:
+            http_json(http_port, "GET", "/healthz")
+        except OSError:
+            pass
+        else:
+            fail("http port still accepting after drain")
+        print("serve-smoke: SIGTERM drained cleanly (exit 0), ports released")
+        print("serve-smoke: OK")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    main()

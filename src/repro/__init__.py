@@ -17,22 +17,22 @@ implementation detail.
 
 Quickstart::
 
-    from repro import parse_dumps, verify_table, AsRelationships
+    from repro import open_session
     from repro.bgp.table import parse_table_file
 
-    ir, errors = parse_dumps("dumps/")
-    stats = verify_table(
-        ir,
-        AsRelationships.load("as-rel.txt"),
-        parse_table_file("table.txt"),
-        processes=4,
-    )
+    with open_session("dumps/", as_rel="as-rel.txt") as session:
+        stats = session.verify_table(parse_table_file("table.txt"), processes=4)
+        report = session.verify_route("192.0.2.0/24", [64500, 64496])
     print(stats.summary())
 """
 
 from repro.api import (
+    LoadResult,
+    Session,
+    SessionClosedError,
     characterize,
     make_verifier,
+    open_session,
     parse_dumps,
     parse_registry,
     synthesize,
@@ -47,12 +47,16 @@ from repro.irr.registry import Registry, parse_registry_dir
 from repro.net.prefix import Prefix
 from repro.stats.verification import VerificationStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # the supported facade
+    "LoadResult",
+    "Session",
+    "SessionClosedError",
     "characterize",
     "make_verifier",
+    "open_session",
     "parse_dumps",
     "parse_registry",
     "synthesize",

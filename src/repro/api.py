@@ -1,28 +1,39 @@
 """``repro.api`` — the single supported entry point to the pipeline.
 
-The facade mirrors the paper's four stages and is what the CLI itself
-runs on; everything else under ``repro.core``/``repro.irr`` is
-implementation detail and may change between versions:
-
-* :func:`synthesize` — build an offline world (IRR dumps + topology);
-* :func:`parse_dumps` — parse a directory of dumps into one merged IR;
-* :func:`verify_table` — verify routes, serial or multi-process;
-* :func:`characterize` — the Section 4 characterization of an IR.
-
-All stages report into the current :mod:`repro.obs` metrics registry when
-one is installed, so a caller gets phase timings and counters with::
+Since 1.4.0 the facade is *session-oriented*: :func:`open_session` loads
+an IR once (from a dump directory, an exported JSON IR, a
+:class:`~repro.irr.synth.SynthWorld`, or an in-memory :class:`Ir`), adopts
+the digest-cached :class:`CompiledIndex`, and hands back a
+:class:`Session` whose methods answer any number of queries against the
+warm state::
 
     from repro import api
-    from repro.obs import MetricsRegistry, use_registry, build_manifest
 
-    with use_registry(MetricsRegistry()) as registry:
-        ir, errors = api.parse_dumps("dumps/")
-        stats = api.verify_table(ir, rels, entries, processes=8)
-    manifest = build_manifest("my-run", registry)
+    with api.open_session("dumps/", as_rel="as-rel.txt") as session:
+        report = session.verify_route("192.0.2.0/24", [64500, 64496])
+        stats = session.verify_table(entries, processes=8)
+        report, events = session.explain("192.0.2.0/24", [64500, 64496])
+        print(session.characterize()["counts"])
+
+The CLI, the WHOIS server, and the ``rpslyzer serve`` daemon are all thin
+adapters over :class:`Session`.  The pre-1.4 module-level helpers
+(:func:`verify_table`, :func:`explain_route`, :func:`serve_whois`) remain
+as deprecated shims that open a throwaway session per call.
+
+Loading stages (:func:`synthesize`, :func:`parse_dumps`) return a
+:class:`LoadResult` carrying ``ir``, ``errors``, and ``degradation``;
+``ir, errors = parse_dumps(...)`` keeps working via tuple unpacking.
+
+All stages report into the current :mod:`repro.obs` metrics registry when
+one is installed; a :class:`Session` can also own a private registry
+(``open_session(..., registry=MetricsRegistry())``), which is what the
+serve daemon exposes at ``GET /metrics``.
 """
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
@@ -47,9 +58,9 @@ from repro.ir.model import Ir
 from repro.irr.registry import Registry, parse_registry_dir
 from repro.irr.synth import SynthConfig, SynthWorld, build_world, default_config, tiny_config
 from repro.irr.whois import WhoisServer
-from repro.obs import get_registry
+from repro.obs import MetricsRegistry, get_registry, use_registry
 from repro.obs.trace import TraceConfig, Tracer, use_tracer
-from repro.rpsl.errors import ErrorCollector
+from repro.rpsl.errors import ErrorCollector, ErrorKind
 from repro.stats.as_sets import as_set_stats
 from repro.stats.routes import route_object_stats
 from repro.stats.usage import filter_kind_census, peering_simplicity, rules_ccdf
@@ -60,11 +71,15 @@ __all__ = [
     "CompiledIndex",
     "DegradationReport",
     "IndexCacheError",
+    "LoadResult",
+    "Session",
+    "SessionClosedError",
     "compile_index",
     "get_or_compile",
     "index_cache_path",
     "ir_digest",
     "load_index",
+    "open_session",
     "save_index",
     "synthesize",
     "parse_dumps",
@@ -78,15 +93,114 @@ __all__ = [
     "serve_whois",
 ]
 
+# Parse-issue kinds that are ingestion damage (not merely mis-written
+# RPSL); these surface on LoadResult.degradation so a limped-through load
+# is distinguishable from a clean one.
+_INGEST_DAMAGE = (
+    ErrorKind.OVERSIZED,
+    ErrorKind.TRUNCATED,
+    ErrorKind.UNREADABLE_INPUT,
+)
+
+
+def _ingest_degradation(errors: ErrorCollector) -> DegradationReport:
+    """Fold ingestion-level parse damage into a degradation report."""
+    report = DegradationReport()
+    for issue in errors.issues:
+        if issue.kind in _INGEST_DAMAGE:
+            report.record("ingest", issue.kind.value, issue.source)
+    for kind, count in errors.overflow.items():
+        if kind in _INGEST_DAMAGE:
+            report.record("ingest", kind.value, "(overflowed)", count=count)
+    return report
+
+
+class LoadResult:
+    """What a loading stage produced: IR, parse issues, and degradation.
+
+    The consistent return shape of :func:`synthesize` and
+    :func:`parse_dumps`.  Tuple unpacking stays supported —
+    ``ir, errors = api.parse_dumps(...)`` — via ``__iter__``; synthesis
+    results additionally delegate attribute access to the underlying
+    :class:`~repro.irr.synth.SynthWorld` (``result.write_to_dir(...)``,
+    ``result.topology``), so pre-1.4 callers keep working unchanged.
+
+    ``ir``/``errors`` are computed lazily for synthesis results (the dump
+    text is only parsed when something asks for the IR).
+    """
+
+    def __init__(
+        self,
+        *,
+        ir: Ir | None = None,
+        errors: ErrorCollector | None = None,
+        degradation: DegradationReport | None = None,
+        world: SynthWorld | None = None,
+        source: str | None = None,
+    ):
+        self._ir = ir
+        self._errors = errors
+        self._degradation = degradation
+        self.world = world
+        self.source = source
+
+    def _parse_world(self) -> None:
+        assert self.world is not None, "LoadResult has neither ir nor world"
+        registry = self.world.registry()
+        self._ir = registry.merged()
+        self._errors = registry.all_errors()
+
+    @property
+    def ir(self) -> Ir:
+        """The (priority-merged) IR this load produced."""
+        if self._ir is None:
+            self._parse_world()
+        return self._ir
+
+    @property
+    def errors(self) -> ErrorCollector:
+        """Every parse issue recorded while loading."""
+        if self._errors is None:
+            self._parse_world()
+        return self._errors
+
+    @property
+    def degradation(self) -> DegradationReport:
+        """Ingestion-level damage (truncated/oversized/unreadable input)."""
+        if self._degradation is None:
+            self._degradation = _ingest_degradation(self.errors)
+        return self._degradation
+
+    def __iter__(self):
+        """Tuple-unpack compatibility: ``ir, errors = load_result``."""
+        return iter((self.ir, self.errors))
+
+    def __getattr__(self, name: str):
+        # Compatibility bridge for synthesis results: anything LoadResult
+        # itself does not define resolves against the SynthWorld.
+        world = self.__dict__.get("world")
+        if world is not None:
+            return getattr(world, name)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        origin = f"world seed={self.world.config.seed}" if self.world else self.source
+        return f"LoadResult({origin})"
+
 
 def synthesize(
     config: SynthConfig | str | None = None, *, seed: int = 42
-) -> SynthWorld:
+) -> LoadResult:
     """Generate a synthetic world (Section 3's offline evaluation setup).
 
     ``config`` is a :class:`SynthConfig`, a preset name (``"tiny"`` or
     ``"default"``), or None for the default preset; ``seed`` applies to
-    preset names only.
+    preset names only.  Returns a :class:`LoadResult` whose ``world`` is
+    the generated :class:`~repro.irr.synth.SynthWorld` (attribute access
+    delegates to it, so ``result.write_to_dir(...)`` works) and whose
+    ``ir``/``errors`` parse the generated dumps on first use.
     """
     if config is None:
         config = default_config(seed)
@@ -98,7 +212,8 @@ def synthesize(
         else:
             raise ValueError(f"unknown preset {config!r} (try 'tiny' or 'default')")
     with get_registry().span("synth"):
-        return build_world(config)
+        world = build_world(config)
+    return LoadResult(world=world, source=f"synth(seed={world.config.seed})")
 
 
 def parse_registry(directory: str | Path) -> Registry:
@@ -106,14 +221,350 @@ def parse_registry(directory: str | Path) -> Registry:
     return parse_registry_dir(directory)
 
 
-def parse_dumps(directory: str | Path) -> tuple[Ir, ErrorCollector]:
+def parse_dumps(directory: str | Path) -> LoadResult:
     """Parse and priority-merge a directory of IRR dumps.
 
-    Returns the merged IR plus every parse issue across all dumps.  Use
-    :func:`parse_registry` instead when per-IRR views (Table 1) are needed.
+    Returns a :class:`LoadResult` with the merged IR, every parse issue
+    across all dumps, and the ingestion degradation report;
+    ``ir, errors = parse_dumps(...)`` still unpacks.  Use
+    :func:`parse_registry` instead when per-IRR views (Table 1) are
+    needed.
     """
     registry = parse_registry_dir(directory)
-    return registry.merged(), registry.all_errors()
+    errors = registry.all_errors()
+    return LoadResult(
+        ir=registry.merged(),
+        errors=errors,
+        degradation=_ingest_degradation(errors),
+        source=str(directory),
+    )
+
+
+class SessionClosedError(RuntimeError):
+    """A method was called on a :class:`Session` after ``close()``."""
+
+
+class Session:
+    """A resident handle over one IR: index, verifier, and metrics lifecycle.
+
+    Construct via :func:`open_session`.  A session owns:
+
+    * the parsed :class:`Ir` (plus its :class:`LoadResult` when loaded
+      from disk) and optional :class:`AsRelationships`;
+    * the :class:`CompiledIndex`, adopted once (digest-keyed disk cache by
+      default) and shared by every query until ``close()``;
+    * a warm single-route :class:`Verifier` whose hop cache persists
+      across :meth:`verify_route` calls;
+    * optionally a private :class:`~repro.obs.MetricsRegistry` installed
+      around every operation (otherwise the ambient registry is used).
+
+    Sessions are not thread-safe; the serve daemon serializes access
+    through its single-threaded batch executor.
+    """
+
+    def __init__(
+        self,
+        ir: Ir,
+        relationships: AsRelationships | None = None,
+        *,
+        options: VerifyOptions | None = None,
+        processes: int | None = 1,
+        index: CompiledIndex | None = None,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        trace: TraceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        load: LoadResult | None = None,
+    ):
+        self.ir = ir
+        self.relationships = relationships
+        self.options = options
+        self.processes = processes
+        self.load = load
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.tracer = Tracer(trace) if trace is not None else None
+        self._registry = registry
+        self._index = index
+        self._digest: str | None = index.digest if index is not None else None
+        self._verifier: Verifier | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("this Session has been closed")
+
+    def _scope(self):
+        """The metrics scope for one operation: the session's own registry
+        when it has one, else a no-op pass-through to the ambient one."""
+        if self._registry is not None:
+            return use_registry(self._registry)
+        return nullcontext(get_registry())
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry session operations report into."""
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def digest(self) -> str:
+        """The IR content digest (computed once, keys the index cache)."""
+        self._check_open()
+        if self._digest is None:
+            self._digest = ir_digest(self.ir)
+        return self._digest
+
+    @property
+    def index(self) -> CompiledIndex | None:
+        """The adopted compiled index (None until :meth:`warm` runs)."""
+        return self._index
+
+    def warm(self) -> "Session":
+        """Adopt the compiled index and build the warm single-route verifier.
+
+        The index comes from the digest-keyed disk cache
+        (``use_cache=True``, the default) or an in-memory compile;
+        either way subsequent queries never recompile — the point of a
+        resident session.  Idempotent.
+        """
+        self._check_open()
+        with self._scope():
+            if self._index is None:
+                self._index = get_or_compile(
+                    self.ir,
+                    digest=self.digest,
+                    cache_dir=self.cache_dir,
+                    use_cache=self.use_cache,
+                )
+            if self._verifier is None and self.relationships is not None:
+                self._verifier = Verifier(
+                    self.ir, self.relationships, self.options, index=self._index
+                )
+        return self
+
+    def close(self) -> None:
+        """Release the index and verifier; further queries raise
+        :class:`SessionClosedError`.  Idempotent."""
+        self._closed = True
+        self._index = None
+        self._verifier = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries -----------------------------------------------------------
+
+    def _need_relationships(self) -> AsRelationships:
+        if self.relationships is None:
+            raise ValueError(
+                "this Session has no AS relationships; pass as_rel= to open_session()"
+            )
+        return self.relationships
+
+    def verify_route(
+        self,
+        prefix: str,
+        as_path: Iterable[int],
+        *,
+        collector: str = "session",
+    ) -> RouteReport:
+        """Verify one ⟨prefix, AS-path⟩ against the warm verifier."""
+        self._check_open()
+        self._need_relationships()
+        if self._verifier is None:
+            self.warm()
+        with self._scope():
+            return self._verifier.verify_route(
+                prefix, tuple(as_path), collector=collector
+            )
+
+    def verify_table(
+        self,
+        entries: Iterable[RouteEntry],
+        *,
+        options: VerifyOptions | None = None,
+        processes: int | None = None,
+        chunk_size: int = 2000,
+        start_method: str | None = None,
+        on_report: Callable[[RouteReport], None] | None = None,
+        fault_hook: Callable[[int], None] | None = None,
+    ) -> VerificationStats:
+        """Verify a table of routes (Section 5), serial or multi-process.
+
+        Defaults come from the session (``processes``, ``options``, the
+        adopted index); see :func:`repro.core.parallel.verify_table` for
+        the resilience contract.  When the session owns a tracer, sampled
+        decision provenance is recorded into it.
+        """
+        self._check_open()
+        relationships = self._need_relationships()
+        tracer_scope = (
+            use_tracer(self.tracer) if self.tracer is not None else nullcontext()
+        )
+        with self._scope(), tracer_scope:
+            return _verify_table(
+                self.ir,
+                relationships,
+                entries,
+                options=options if options is not None else self.options,
+                processes=processes if processes is not None else self.processes,
+                chunk_size=chunk_size,
+                start_method=start_method,
+                on_report=on_report,
+                fault_hook=fault_hook,
+                index=self._index,
+            )
+
+    def explain(
+        self,
+        prefix: str,
+        as_path: Iterable[int],
+        *,
+        options: VerifyOptions | None = None,
+        collector: str = "explain",
+    ) -> tuple[RouteReport, list[dict]]:
+        """Replay one ⟨prefix, AS-path⟩ with tracing forced on.
+
+        Returns ``(report, events)``: the route report plus the full
+        decision-provenance event list (sample rate 1, deep chains always
+        recorded — the verifier is fresh, so every hop is a cache miss and
+        its filter-evaluation path is captured).  This is what
+        ``rpslyzer explain`` and ``POST /explain`` print.
+        """
+        self._check_open()
+        relationships = self._need_relationships()
+        tracer = Tracer(TraceConfig(sample_rate=1, deep=True))
+        with self._scope(), use_tracer(tracer):
+            verifier = Verifier(
+                self.ir,
+                relationships,
+                options if options is not None else self.options,
+                index=self._index,
+            )
+            report = verifier.verify_route(
+                prefix, tuple(as_path), collector=collector
+            )
+        return report, tracer.events
+
+    def characterize(self) -> dict:
+        """The Section 4 characterization of the session's IR."""
+        self._check_open()
+        with self._scope() as registry:
+            with registry.span("characterize"):
+                return {
+                    "counts": self.ir.counts(),
+                    "rules_ccdf_head": rules_ccdf(self.ir)[:20],
+                    "peering_simplicity": peering_simplicity(self.ir),
+                    "filter_kinds": filter_kind_census(self.ir),
+                    "route_objects": route_object_stats(self.ir).as_dict(),
+                    "as_sets": as_set_stats(self.ir).as_dict(),
+                }
+
+    def whois_server(self, host: str = "127.0.0.1", port: int = 0) -> WhoisServer:
+        """A threaded WHOIS/IRRd server over the session IR (caller
+        starts/stops it; see also the asyncio front-end in
+        :mod:`repro.serve`)."""
+        self._check_open()
+        return WhoisServer(self.ir, host=host, port=port)
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-able snapshot of the session's registry."""
+        return self.registry.snapshot()
+
+
+def _load_source(
+    source: str | Path | Ir | SynthWorld | LoadResult,
+) -> tuple[Ir, LoadResult | None, AsRelationships | None]:
+    """Resolve an open_session source to (ir, load, implied relationships)."""
+    if isinstance(source, Ir):
+        return source, None, None
+    if isinstance(source, SynthWorld):
+        load = LoadResult(world=source, source="synth-world")
+        return load.ir, load, source.topology
+    if isinstance(source, LoadResult):
+        implied = source.world.topology if source.world is not None else None
+        return source.ir, source, implied
+    path = Path(source)
+    if path.is_dir():
+        load = parse_dumps(path)
+        return load.ir, load, None
+    from repro.ir.json_io import load_ir
+
+    with get_registry().span("load-ir"):
+        return load_ir(path), None, None
+
+
+def open_session(
+    source: str | Path | Ir | SynthWorld | LoadResult,
+    *,
+    as_rel: str | Path | AsRelationships | None = None,
+    options: VerifyOptions | None = None,
+    processes: int | None = 1,
+    index: CompiledIndex | str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    trace: TraceConfig | None = None,
+    registry: MetricsRegistry | None = None,
+    warm: bool = True,
+) -> Session:
+    """Open a :class:`Session`: load once, answer many queries warm.
+
+    ``source`` is a directory of IRR dumps, a path to an exported IR JSON
+    file, an in-memory :class:`Ir`, a :class:`~repro.irr.synth.SynthWorld`,
+    or a prior :class:`LoadResult`.  ``as_rel`` is an
+    :class:`AsRelationships` or a path to a CAIDA-style as-rel file; a
+    SynthWorld source implies its own topology when ``as_rel`` is omitted.
+
+    ``index`` pins a compiled-index artifact (a :class:`CompiledIndex` or
+    a path saved by ``rpslyzer compile``); otherwise the digest-keyed disk
+    cache under ``cache_dir`` is consulted and populated
+    (``use_cache=False`` compiles in memory, never touching disk).  With
+    ``warm=True`` (default) adoption happens before this returns, so the
+    first query is already index-lookup bound.
+
+    ``registry`` makes the session own a private metrics registry that
+    every operation reports into (the serve daemon's ``/metrics`` source);
+    by default operations report to the ambient registry, preserving the
+    CLI's ``--metrics`` behavior.
+    """
+    scope = use_registry(registry) if registry is not None else nullcontext()
+    with scope:
+        ir, load, implied_rels = _load_source(source)
+        if as_rel is None:
+            relationships = implied_rels
+        elif isinstance(as_rel, AsRelationships):
+            relationships = as_rel
+        else:
+            relationships = AsRelationships.load(as_rel)
+    loaded_index: CompiledIndex | None
+    if index is None or isinstance(index, CompiledIndex):
+        loaded_index = index
+    else:
+        loaded_index = load_index(index, expect_digest=ir_digest(ir))
+    session = Session(
+        ir,
+        relationships,
+        options=options,
+        processes=processes,
+        index=loaded_index,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        trace=trace,
+        registry=registry,
+        load=load,
+    )
+    if warm:
+        session.warm()
+    return session
 
 
 def make_verifier(
@@ -126,7 +577,8 @@ def make_verifier(
     """A single-route verifier for ad-hoc ⟨prefix, AS-path⟩ checks.
 
     Pass ``index`` (see :func:`compile_index`) to start the verifier from
-    precompiled query caches instead of deriving them lazily.
+    precompiled query caches instead of deriving them lazily.  Prefer
+    :meth:`Session.verify_route` for repeated queries.
     """
     return Verifier(ir, relationships, options, index=index)
 
@@ -141,19 +593,15 @@ def explain_route(
     index: CompiledIndex | None = None,
     collector: str = "explain",
 ):
-    """Replay one ⟨prefix, AS-path⟩ with tracing forced on.
-
-    Returns ``(report, events)``: the :class:`~repro.core.report.
-    RouteReport` plus the full decision-provenance event list (sample rate
-    1, deep chains always recorded — the verifier is fresh, so every hop is
-    a cache miss and its filter-evaluation path is captured).  This is what
-    ``rpslyzer explain`` prints.
-    """
-    tracer = Tracer(TraceConfig(sample_rate=1, deep=True))
-    with use_tracer(tracer):
-        verifier = Verifier(ir, relationships, options, index=index)
-        report = verifier.verify_route(prefix, tuple(as_path), collector=collector)
-    return report, tracer.events
+    """Deprecated shim: use :meth:`Session.explain` instead."""
+    warnings.warn(
+        "api.explain_route() is deprecated; use "
+        "api.open_session(...).explain(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with Session(ir, relationships, options=options, index=index) as session:
+        return session.explain(prefix, as_path, collector=collector)
 
 
 def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
@@ -163,7 +611,7 @@ def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
     as-set closure, route-/filter-/peering-set resolution, prefix index,
     and AS-path regex program is materialized eagerly, so verifiers built
     from it never resolve anything in the hot loop.  Feed it to
-    :func:`verify_table`/:func:`make_verifier`, persist it with
+    :func:`open_session`/:func:`make_verifier`, persist it with
     :func:`save_index`, or let :func:`get_or_compile` manage an on-disk
     cache keyed by :func:`ir_digest`.  ``digest`` stamps the artifact for
     cache validation (defaults to unstamped).
@@ -184,51 +632,32 @@ def verify_table(
     fault_hook: Callable[[int], None] | None = None,
     index: CompiledIndex | None = None,
 ) -> VerificationStats:
-    """Verify a table of routes (Section 5), serial or multi-process.
+    """Deprecated shim: use :meth:`Session.verify_table` instead.
 
-    ``entries`` may be any iterable — including the streaming generator
-    from :func:`repro.bgp.table.parse_table_file` — and is chunked lazily.
-    ``processes=1`` verifies in-process; ``N`` fans out to worker
-    processes; ``None`` uses every CPU.  Both paths return equal
-    :class:`VerificationStats`.  ``on_report`` receives every per-route
-    report (forces the serial path).
-
-    The parallel path survives worker death: failed chunks are requeued
-    and, if they keep failing, verified serially in-process; what happened
-    is recorded on the returned stats' ``degradation``
-    (:class:`DegradationReport`) and in the run manifest.  ``fault_hook``
-    is chaos-harness instrumentation (see :mod:`repro.chaos`).
-
-    ``index`` is a precompiled :class:`CompiledIndex` (see
-    :func:`compile_index`/:func:`get_or_compile`); the multi-process path
-    compiles one automatically when none is given, so workers share the
-    artifact instead of re-deriving caches per process.
+    Opens a throwaway :class:`Session` per call; behavior (serial/parallel
+    paths, degradation reporting, index handling) is unchanged from 1.3.
     """
-    return _verify_table(
-        ir,
-        relationships,
-        entries,
-        options=options,
-        processes=processes,
-        chunk_size=chunk_size,
-        start_method=start_method,
-        on_report=on_report,
-        fault_hook=fault_hook,
-        index=index,
+    warnings.warn(
+        "api.verify_table() is deprecated; use "
+        "api.open_session(...).verify_table(...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    with Session(ir, relationships, options=options, index=index) as session:
+        return session.verify_table(
+            entries,
+            processes=processes,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            on_report=on_report,
+            fault_hook=fault_hook,
+        )
 
 
 def characterize(ir: Ir) -> dict:
     """The Section 4 characterization of an IR as one JSON-able dict."""
-    with get_registry().span("characterize"):
-        return {
-            "counts": ir.counts(),
-            "rules_ccdf_head": rules_ccdf(ir)[:20],
-            "peering_simplicity": peering_simplicity(ir),
-            "filter_kinds": filter_kind_census(ir),
-            "route_objects": route_object_stats(ir).as_dict(),
-            "as_sets": as_set_stats(ir).as_dict(),
-        }
+    with Session(ir) as session:
+        return session.characterize()
 
 
 def recommend_migrations(
@@ -252,8 +681,15 @@ def recommend_migrations(
 
 
 def serve_whois(ir: Ir, host: str = "127.0.0.1", port: int = 4343) -> WhoisServer:
-    """A WHOIS/IRRd-style server over an IR (caller starts/stops it)."""
-    return WhoisServer(ir, host=host, port=port)
+    """Deprecated shim: use :meth:`Session.whois_server` instead."""
+    warnings.warn(
+        "api.serve_whois() is deprecated; use "
+        "api.open_session(...).whois_server(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with Session(ir) as session:
+        return session.whois_server(host=host, port=port)
 
 
 def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2):

@@ -10,7 +10,8 @@ reproducible:
 * :mod:`repro.chaos.mutators` — seeded, composable corruptions of dump
   and table text;
 * :mod:`repro.chaos.faults` — runtime faults (kill a verify worker at a
-  chosen chunk, a TCP proxy that drops the first N connections);
+  chosen chunk, a TCP proxy that drops the first N connections, a slow
+  client that wedges thread-per-connection handlers);
 * :mod:`repro.chaos.harness` — :func:`run_chaos` drives every mutator
   and fault against a synthetic world and returns a structured
   :class:`ChaosReport` (also ``rpslyzer chaos --seed 42``).
@@ -19,7 +20,7 @@ Everything is deterministic under a seed: a failing chaos run is a
 repro, not an anecdote.
 """
 
-from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk, RaiseOnChunk
+from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk, RaiseOnChunk, SlowClient
 from repro.chaos.harness import ChaosCheck, ChaosReport, run_chaos
 from repro.chaos.mutators import DUMP_MUTATORS, MUTATORS, TABLE_MUTATORS
 
@@ -31,6 +32,7 @@ __all__ = [
     "KillWorkerChunk",
     "MUTATORS",
     "RaiseOnChunk",
+    "SlowClient",
     "TABLE_MUTATORS",
     "run_chaos",
 ]

@@ -8,7 +8,10 @@ inputs.  Both are built to be driven from tests and the chaos harness:
   ``verify_table(fault_hook=...)`` (picklable, so they survive the trip
   into spawn-started workers);
 * :class:`FlakyTcpProxy` sits in front of a live server and RST-drops
-  the first N connections, exercising client retry paths.
+  the first N connections, exercising client retry paths;
+* :class:`SlowClient` opens a connection and then just sits on it,
+  wedging a thread-per-connection handler — the failure
+  ``WhoisServer.stop()`` must report rather than hang on.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import struct
 import threading
 from dataclasses import dataclass
 
-__all__ = ["KillWorkerChunk", "RaiseOnChunk", "FlakyTcpProxy"]
+__all__ = ["KillWorkerChunk", "RaiseOnChunk", "FlakyTcpProxy", "SlowClient"]
 
 
 @dataclass(frozen=True)
@@ -158,3 +161,36 @@ class FlakyTcpProxy:
                 sink.shutdown(socket.SHUT_WR)
             except OSError:
                 pass
+
+
+class SlowClient:
+    """A client that connects and then never says anything.
+
+    A thread-per-connection server blocks its handler on the first read
+    of such a connection; servers that join handler threads on shutdown
+    must therefore time the join out and *report* the wedged thread (see
+    :meth:`repro.irr.whois.WhoisServer.stop`).  Optionally sends a
+    partial line first, so the handler is mid-request rather than
+    waiting for one.
+
+    Use as a context manager; ``close()`` releases the socket so the
+    wedged handler unblocks afterwards.
+    """
+
+    def __init__(self, host: str, port: int, partial: bytes = b""):
+        self._sock = socket.create_connection((host, port), timeout=10)
+        if partial:
+            self._sock.sendall(partial)  # no trailing newline: never a query
+
+    def close(self) -> None:
+        """Drop the connection, unwedging any handler blocked on it."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SlowClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

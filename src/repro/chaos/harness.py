@@ -2,9 +2,11 @@
 
 :func:`run_chaos` builds a seeded synthetic world, damages its dumps and
 route table with every mutator in the catalogue, kills a verification
-worker mid-run, and puts a flaky proxy in front of the WHOIS server —
-then asserts the pipeline's resilience contract on each: **no crash, no
-hang, bounded memory, and a structured account of what was lost**.  The
+worker mid-run, puts a flaky proxy in front of the WHOIS server, wedges
+its shutdown with a slow client, and floods the resident serve daemon
+past its queue bound — then asserts the pipeline's resilience contract
+on each: **no crash, no hang, bounded memory, and a structured account
+of what was lost**.  The
 result is a :class:`ChaosReport`: pass/fail checks plus the aggregated
 :class:`~repro.core.degradation.DegradationReport`.
 
@@ -15,15 +17,18 @@ deterministic regression gate (CI runs it as the ``chaos-smoke`` job).
 from __future__ import annotations
 
 import gzip
+import http.client
+import json
 import random
 import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bgp.routegen import collector_routes
 from repro.bgp.table import parse_table_text, route_entry_lines
-from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk
+from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk, SlowClient
 from repro.chaos.mutators import DUMP_MUTATORS, TABLE_MUTATORS
 from repro.core.degradation import DegradationReport
 from repro.core.parallel import verify_table
@@ -319,5 +324,107 @@ def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2) -> Chaos
             )
         )
 
+    # -- layer 3b: WHOIS shutdown wedged by a slow client ----------------------
+    # A client that connects and never completes a query blocks its handler
+    # thread on the first read; stop() must time the join out and *report*
+    # the wedged thread instead of hanging or silently leaking it.
+    server = WhoisServer(ir).start()
+    with SlowClient("127.0.0.1", server.port, partial=b"AS"):
+        time.sleep(0.1)  # let the handler thread reach its blocking read
+        shutdown = server.stop(join_timeout=0.3)
+    leaked = shutdown.by_kind().get("whois/handler-thread-leaked", 0)
+    report.degradation.merge(shutdown)
+    check(
+        ChaosCheck(
+            "whois/slow-client-shutdown-reported",
+            leaked >= 1,
+            f"{leaked} wedged handler thread(s) reported, stop() returned",
+        )
+    )
+
+    # -- layer 4: the resident serve daemon under flood ------------------------
+    report.degradation.merge(_serve_layer(check, ir, world, entries))
+
     report.elapsed_s = time.monotonic() - started
     return report
+
+
+def _serve_layer(check, ir, world, entries) -> DegradationReport:
+    """Flood the serve daemon past its queue bound; assert clean behavior.
+
+    The contract: every request gets a definite answer — a verdict
+    bit-identical to the batch path, or an explicit 429 under
+    backpressure — and shutdown still drains.  Nothing hangs, nothing
+    crashes, and the refused count is recorded as degradation.
+    """
+    from repro.api import Session
+    from repro.serve import ServeConfig, ServeDaemon
+
+    degradation = DegradationReport()
+    session = Session(ir, world.topology, index=None, use_cache=False)
+    entry = entries[0]
+    expected = str(
+        session.warm().verify_route(str(entry.prefix), entry.as_path, collector="serve")
+    )
+    body = json.dumps({"prefix": str(entry.prefix), "as_path": list(entry.as_path)})
+    daemon = ServeDaemon(
+        session,
+        ServeConfig(http_port=0, queue_size=4, batch_max=2, default_deadline=30.0),
+    )
+    handle = daemon.start_in_thread()
+
+    def post_verify() -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.http_port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/verify", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    try:
+        status, payload = post_verify()
+        check(
+            ChaosCheck(
+                "serve/http-bit-identity",
+                status == 200 and payload.get("text") == expected,
+                "daemon verdict matches the batch rendering",
+            )
+        )
+        # Make each batch slow so the bounded queue actually fills.
+        daemon.service.fault_hook = lambda queries: time.sleep(0.05)
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            outcomes = [f.result() for f in [pool.submit(post_verify) for _ in range(32)]]
+        daemon.service.fault_hook = None
+        statuses = sorted({status for status, _ in outcomes})
+        busy = sum(1 for status, _ in outcomes if status == 429)
+        served = sum(1 for status, _ in outcomes if status == 200)
+        if busy:
+            degradation.record("serve", "request-busy", "flood", busy)
+        check(
+            ChaosCheck(
+                "serve/flood-backpressure",
+                set(statuses) <= {200, 429} and busy >= 1 and served >= 1,
+                f"{served} served, {busy} refused busy, statuses={statuses}",
+            )
+        )
+    finally:
+        handle.stop()
+    try:
+        post_verify()
+        stopped = False
+    except OSError:
+        stopped = True
+    check(
+        ChaosCheck(
+            "serve/graceful-stop",
+            stopped,
+            "drained on stop; later connections refused",
+        )
+    )
+    return degradation

@@ -21,20 +21,27 @@ Subcommands mirror the paper's pipeline:
 * ``trace events.jsonl`` — summarize or filter a trace file written by
   ``verify --trace``;
 * ``chaos --seed 42`` — run the fault-injection suite and print its
-  degradation report (exit 1 if any resilience check fails).
+  degradation report (exit 1 if any resilience check fails);
+* ``serve --ir ir.json --as-rel as-rel.txt`` — run the resident
+  verification daemon: HTTP/JSON (``POST /verify``, ``POST /explain``,
+  ``GET /healthz``, ``GET /metrics``) and optionally the WHOIS line
+  protocol with a ``!v`` verify command, answering warm from one
+  loaded session (see ``docs/serving.md``).
 
 The pipeline subcommands accept ``--metrics <path>`` to record the run —
 phase wall/CPU timings, counters, histograms, input digests — into a JSON
 run manifest for diffable, auditable benchmarking (see
 ``docs/observability.md``).
 
-Every subcommand is a thin shell over :mod:`repro.api`, the supported
-programmatic entry point; the CLI touches no pipeline internals.
+Every subcommand is a thin adapter over a :class:`repro.api.Session`
+(opened via :func:`repro.api.open_session`), the supported programmatic
+entry point; the CLI touches no pipeline internals.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from contextlib import contextmanager
@@ -49,13 +56,11 @@ from repro.obs import (
     MetricsRegistry,
     PhaseProfiler,
     TraceConfig,
-    Tracer,
     build_manifest,
     cache_summary,
     load_manifest,
     read_trace_events,
     render_prometheus,
-    set_tracer,
     summarize_events,
     use_registry,
     write_manifest,
@@ -117,35 +122,44 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_parse(args: argparse.Namespace) -> int:
     with _metrics_session(args, [args.directory], {"output": args.output}):
-        merged, errors = api.parse_dumps(args.directory)
-        dump_ir(merged, args.output)
-    counts = merged.counts()
+        load = api.parse_dumps(args.directory)
+        dump_ir(load.ir, args.output)
+    counts = load.ir.counts()
     print(
         f"parsed {counts['aut-num']} aut-nums, {counts['route']} routes, "
         f"{counts['import'] + counts['export']} rules, "
-        f"{len(errors)} parse issues -> {args.output}",
+        f"{len(load.errors)} parse issues -> {args.output}",
         file=sys.stderr,
     )
     return 0
 
 
-def _resolve_index(args: argparse.Namespace, ir, config: dict):
-    """The compiled index for a verify run, per the CLI cache knobs.
+def _open_cli_session(args: argparse.Namespace, config: dict, **kwargs):
+    """An :func:`api.open_session` honoring the CLI's index-cache knobs.
 
-    ``--index PATH`` loads a specific artifact; ``--no-index-cache``
+    ``--index PATH`` pins a specific artifact; ``--no-index-cache``
     compiles in-memory without touching disk; the default consults (and
-    populates) the on-disk cache keyed by the IR content digest.
+    populates) the on-disk cache keyed by the IR content digest.  The
+    choice and the digest are recorded into the manifest ``config``.
     """
-    digest = api.ir_digest(ir)
-    config["ir_digest"] = digest
-    if getattr(args, "index", None):
-        config["index"] = {"source": str(args.index)}
-        return api.load_index(args.index, expect_digest=digest)
-    if args.no_index_cache:
+    index = getattr(args, "index", None) or None
+    use_cache = True
+    if index is not None:
+        config["index"] = {"source": str(index)}
+    elif getattr(args, "no_index_cache", False):
+        use_cache = False
         config["index"] = {"source": "compiled", "cache": False}
-        return api.get_or_compile(ir, digest=digest, use_cache=False)
-    config["index"] = {"source": "cache", "cache": True}
-    return api.get_or_compile(ir, digest=digest, cache_dir=args.cache_dir)
+    else:
+        config["index"] = {"source": "cache", "cache": True}
+    session = api.open_session(
+        args.ir,
+        index=index,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=use_cache,
+        **kwargs,
+    )
+    config["ir_digest"] = session.digest
+    return session
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -158,38 +172,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         "processes": args.processes,
         "report": bool(args.report),
     }
-    tracer = None
+    trace_config = None
     if args.trace:
-        tracer = Tracer(TraceConfig(sample_rate=args.trace_sample))
+        trace_config = TraceConfig(sample_rate=args.trace_sample)
         config["trace"] = {"path": str(args.trace), "sample_rate": args.trace_sample}
     extras: dict = {}
-    previous_tracer = set_tracer(tracer) if tracer is not None else None
-    try:
-        with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
-            ir = load_ir(args.ir)
-            relationships = AsRelationships.load(args.as_rel)
-            index = _resolve_index(args, ir, config)
+    tracer = None
+    with _metrics_session(args, [args.ir, args.as_rel, args.table], config, extras):
+        with _open_cli_session(
+            args,
+            config,
+            as_rel=args.as_rel,
+            options=options,
+            processes=args.processes,
+            trace=trace_config,
+        ) as session:
 
             def print_report(report) -> None:
                 if report.ignored is None:
                     print(report)
                     print()
 
-            stats = api.verify_table(
-                ir,
-                relationships,
+            stats = session.verify_table(
                 parse_table_file(args.table),
-                options=options,
-                processes=args.processes,
                 on_report=print_report if args.report else None,
-                index=index,
             )
             extras["degradation"] = stats.degradation.as_dict()
+            tracer = session.tracer
             if tracer is not None:
                 extras["trace"] = {"path": str(args.trace), **tracer.stats()}
-    finally:
-        if tracer is not None:
-            set_tracer(previous_tracer)
     if tracer is not None:
         tracer.write(args.trace)
         print(
@@ -312,9 +323,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    ir = load_ir(args.ir)
-    relationships = AsRelationships.load(args.as_rel)
-    report, events = api.explain_route(ir, relationships, args.prefix, args.as_path)
+    with api.open_session(args.ir, as_rel=args.as_rel, warm=False) as session:
+        ir = session.ir
+        report, events = session.explain(args.prefix, args.as_path)
     if args.json:
         json.dump(
             {"report": str(report), "events": events},
@@ -476,19 +487,70 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_whois(args: argparse.Namespace) -> int:
-    ir = load_ir(args.ir)
-    server = api.serve_whois(ir, host=args.host, port=args.port)
-    print(f"whois server on {args.host}:{server.port} (Ctrl-C to stop)", file=sys.stderr)
-    try:
-        server.start()
-        import time
+    with api.open_session(args.ir, warm=False) as session:
+        server = session.whois_server(host=args.host, port=args.port)
+        print(
+            f"whois server on {args.host}:{server.port} (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            server.start()
+            import time
 
-        while True:  # pragma: no cover - interactive loop
-            time.sleep(1)
-    except KeyboardInterrupt:  # pragma: no cover
+            while True:  # pragma: no cover - interactive loop
+                time.sleep(1)
+        except KeyboardInterrupt:  # pragma: no cover
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, ServeDaemon
+
+    config: dict = {}
+    # The daemon owns a private registry so GET /metrics reflects this
+    # process alone (load, index adoption, and every query report there).
+    session = _open_cli_session(
+        args, config, as_rel=args.as_rel, processes=1, registry=MetricsRegistry()
+    )
+    serve_config = ServeConfig(
+        host=args.host,
+        http_port=args.http_port,
+        whois_port=args.whois_port,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        default_deadline=args.deadline,
+        max_deadline=max(args.deadline, args.max_deadline),
+        drain_timeout=args.drain_timeout,
+    )
+    daemon = ServeDaemon(session, serve_config)
+
+    def banner(ready: ServeDaemon) -> None:
+        if ready.http is not None:
+            print(
+                f"http on {serve_config.host}:{ready.http.port} "
+                "(POST /verify, POST /explain, GET /healthz, GET /metrics)",
+                file=sys.stderr,
+            )
+        if ready.whois is not None:
+            print(
+                f"whois on {serve_config.host}:{ready.whois.port} (!v to verify)",
+                file=sys.stderr,
+            )
+        print(
+            f"serving IR {config['ir_digest'][:16]} "
+            "(SIGTERM or Ctrl-C drains and exits)",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(daemon.run(on_ready=banner))
+    except KeyboardInterrupt:  # pragma: no cover - loops without signal support
         pass
     finally:
-        server.stop()
+        session.close()
     return 0
 
 
@@ -676,6 +738,76 @@ def build_parser() -> argparse.ArgumentParser:
     whois.add_argument("--host", default="127.0.0.1")
     whois.add_argument("--port", type=int, default=4343)
     whois.set_defaults(func=_cmd_whois)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident verification daemon (docs/serving.md)",
+    )
+    serve.add_argument("--ir", required=True)
+    serve.add_argument("--as-rel", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=8080,
+        help="HTTP/JSON port (0 = ephemeral; default 8080)",
+    )
+    serve.add_argument(
+        "--whois-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also speak the WHOIS line protocol here (0 = ephemeral; off by default)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="bounded request queue; overflow answers 429/%%%% BUSY (default 256)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="most queries coalesced into one verify pass (default 64)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="default per-request deadline (default 5s)",
+    )
+    serve.add_argument(
+        "--max-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cap on client-requested deadlines (default 30s)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="bound on the graceful shutdown drain (default 5s)",
+    )
+    serve.add_argument(
+        "--index",
+        metavar="PATH",
+        help="use a compiled index artifact (see 'rpslyzer compile')",
+    )
+    serve.add_argument(
+        "--no-index-cache",
+        action="store_true",
+        help="compile the index in-memory; never read or write the disk cache",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="compiled-index cache directory (default: ~/.cache/rpslyzer)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

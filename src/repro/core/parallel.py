@@ -36,7 +36,6 @@ import multiprocessing
 import os
 import shutil
 import tempfile
-import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -56,8 +55,6 @@ from repro.stats.verification import VerificationStats
 
 __all__ = [
     "verify_table",
-    "verify_entries",
-    "verify_entries_parallel",
     "MAX_CHUNK_ATTEMPTS",
     "MAX_POOL_REBUILDS",
 ]
@@ -545,42 +542,3 @@ def verify_table(
             _record_cache_hit_rate(registry)
         _record_trace_metrics(registry, tracer, marks)
         return total
-
-
-def verify_entries(
-    ir: Ir,
-    relationships: AsRelationships,
-    entries: Iterable[RouteEntry],
-    options: VerifyOptions | None = None,
-) -> VerificationStats:
-    """Deprecated alias for :func:`verify_table` with ``processes=1``."""
-    warnings.warn(
-        "verify_entries() is deprecated; use repro.api.verify_table(processes=1)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return verify_table(ir, relationships, entries, options=options, processes=1)
-
-
-def verify_entries_parallel(
-    ir: Ir,
-    relationships: AsRelationships,
-    entries: Sequence[RouteEntry],
-    options: VerifyOptions | None = None,
-    processes: int | None = None,
-    chunk_size: int = 2000,
-) -> VerificationStats:
-    """Deprecated alias for :func:`verify_table` with ``processes=N``."""
-    warnings.warn(
-        "verify_entries_parallel() is deprecated; use repro.api.verify_table()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return verify_table(
-        ir,
-        relationships,
-        entries,
-        options=options,
-        processes=processes,
-        chunk_size=chunk_size,
-    )

@@ -30,6 +30,7 @@ import socketserver
 import threading
 import time
 
+from repro.core.degradation import DegradationReport
 from repro.core.query import QueryEngine
 from repro.ir.model import Ir
 from repro.ir.render import (
@@ -196,6 +197,42 @@ class _Handler(socketserver.StreamRequestHandler):
             self.wfile.flush()
 
 
+class _TrackingTCPServer(socketserver.ThreadingTCPServer):
+    """ThreadingTCPServer that keeps handles on its handler threads.
+
+    The stock ``daemon_threads=True`` mixin fires handler threads and
+    forgets them, so ``stop()`` cannot tell whether a handler is wedged
+    on a slow client.  We spawn the threads ourselves and keep a pruned
+    list, which :meth:`WhoisServer.stop` joins and audits.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.handler_threads: list[threading.Thread] = []
+        self._threads_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            name=f"whois-handler-{client_address[1]}",
+            daemon=True,
+        )
+        with self._threads_lock:
+            self.handler_threads = [
+                alive for alive in self.handler_threads if alive.is_alive()
+            ]
+            self.handler_threads.append(thread)
+        thread.start()
+
+    def live_handler_threads(self) -> list[threading.Thread]:
+        with self._threads_lock:
+            return [thread for thread in self.handler_threads if thread.is_alive()]
+
+
 class WhoisServer:
     """A threaded WHOIS server bound to ``(host, port)``; port 0 = ephemeral.
 
@@ -207,10 +244,9 @@ class WhoisServer:
 
     def __init__(self, ir: Ir, host: str = "127.0.0.1", port: int = 0):
         self.engine = WhoisEngine(ir)
-        self._server = socketserver.ThreadingTCPServer(
+        self._server = _TrackingTCPServer(
             (host, port), _Handler, bind_and_activate=True
         )
-        self._server.daemon_threads = True
         self._server.engine = self.engine  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
@@ -228,25 +264,44 @@ class WhoisServer:
         self._thread.start()
         return self
 
-    def stop(self, join_timeout: float = 5.0) -> None:
-        """Shut the server down, join the service thread, close the socket.
+    def stop(self, join_timeout: float = 5.0) -> DegradationReport:
+        """Shut down, join service and handler threads, close the socket.
 
-        If the service thread refuses to exit within ``join_timeout`` (a
-        handler wedged on a dead client, say), the leak is logged and the
-        listening socket is force-closed anyway so the port is released;
-        the daemon thread then dies with the process instead of pinning it.
+        Threads that refuse to exit within ``join_timeout`` (a handler
+        wedged on a slow or dead client, say) are *reported*, not
+        swallowed: the returned :class:`DegradationReport` counts each
+        leak (``whois/handler-thread-leaked``,
+        ``whois/service-thread-leaked``), mirroring the pipeline's
+        degradation contract.  The listening socket is force-closed
+        either way so the port is released; leaked daemon threads then
+        die with the process instead of pinning it.
         """
-        self._server.shutdown()
+        report = DegradationReport()
+        deadline = time.monotonic() + join_timeout
         if self._thread is not None:
+            # shutdown() waits on serve_forever's acknowledgement, so it
+            # must only run when the service thread was actually started.
+            self._server.shutdown()
             self._thread.join(timeout=join_timeout)
             if self._thread.is_alive():
-                logger.warning(
-                    "whois service thread still alive after %.1fs; "
-                    "force-closing its socket",
-                    join_timeout,
+                report.record(
+                    "whois",
+                    "service-thread-leaked",
+                    f"alive after {join_timeout:.1f}s join timeout",
                 )
+        for thread in self._server.live_handler_threads():
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                report.record(
+                    "whois",
+                    "handler-thread-leaked",
+                    f"alive after {join_timeout:.1f}s join timeout",
+                )
+        if report:
+            logger.warning("whois shutdown degraded: %s; force-closing socket", report)
         self._server.server_close()
         self._thread = None
+        return report
 
     def __enter__(self) -> "WhoisServer":
         return self.start()

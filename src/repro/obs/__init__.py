@@ -23,7 +23,8 @@ Typical use::
     from repro.obs import MetricsRegistry, use_registry, build_manifest
 
     with use_registry(MetricsRegistry()) as registry:
-        stats = api.verify_table(ir, rels, entries, processes=4)
+        with api.open_session(ir, as_rel=rels) as session:
+            stats = session.verify_table(entries, processes=4)
     manifest = build_manifest("verify", registry, inputs=["table.txt"])
 """
 

@@ -1,0 +1,59 @@
+"""``repro.serve`` — the resident verification service (``rpslyzer serve``).
+
+The batch pipeline answers "does this route conform to registry policy?"
+by paying process startup, IR load, and index adoption on every
+invocation.  This package keeps all of that *resident*: a long-running
+asyncio daemon loads the IR once through :func:`repro.api.open_session`,
+adopts the digest-cached :class:`~repro.core.compiled.CompiledIndex`, and
+answers verification queries warm over two front-ends:
+
+* an HTTP/JSON endpoint — ``POST /verify``, ``POST /explain``,
+  ``GET /healthz``, ``GET /metrics`` (Prometheus exposition text);
+* the WHOIS-style line protocol the IRRs themselves speak, extended with
+  a ``!v <prefix> <asn> <asn>...`` verification command.
+
+Both front-ends dispatch into one shared request core
+(:class:`~repro.serve.core.VerifyService`): concurrent route queries are
+coalesced by a micro-batcher into single indexed verify passes on a warm
+verifier, every request carries a deadline, the queue is bounded with
+explicit backpressure (HTTP 429 / ``%% BUSY``), and SIGTERM drains
+in-flight work before exiting.  See ``docs/serving.md``.
+
+Programmatic use::
+
+    from repro import api
+    from repro.obs import MetricsRegistry
+    from repro.serve import ServeConfig, ServeDaemon
+
+    session = api.open_session("dumps/", as_rel="as-rel.txt",
+                               registry=MetricsRegistry())
+    with ServeDaemon(session, ServeConfig(http_port=0)).start_in_thread() as handle:
+        ...  # query http://127.0.0.1:<handle.http_port>/verify
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.core import (
+    BadRequestError,
+    BusyError,
+    DeadlineExpired,
+    Query,
+    ServeConfig,
+    ServeError,
+    VerifyService,
+    report_as_dict,
+)
+from repro.serve.daemon import ServeDaemon, ServeHandle
+
+__all__ = [
+    "BadRequestError",
+    "BusyError",
+    "DeadlineExpired",
+    "MicroBatcher",
+    "Query",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeHandle",
+    "VerifyService",
+    "report_as_dict",
+]

@@ -1,0 +1,174 @@
+"""The micro-batcher: coalesce concurrent requests into one warm pass.
+
+Per-query latency against a resident index is dominated by fixed costs —
+an executor hop, tracer/metric bookkeeping — not by the index lookups
+themselves.  The :class:`MicroBatcher` amortizes those costs: submitters
+enqueue work items onto a *bounded* queue (overflow is the backpressure
+signal, surfaced as HTTP 429 / ``%% BUSY`` by the front-ends), and a
+single dispatcher coroutine collects whatever has accumulated — waiting
+at most ``batch_window`` seconds after the first item so concurrent
+arrivals coalesce — then executes the whole batch in one hop on a
+single-threaded executor.
+
+One executor thread is load-bearing, not a simplification: the session's
+warm :class:`~repro.core.verify.Verifier` (and its hop cache) is not
+thread-safe, so the batcher doubles as the serialization point for all
+query execution.  Verification is pure CPU-bound Python; running it off
+the event loop keeps the protocol handlers responsive while a batch runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["MicroBatcher", "QueueFull"]
+
+QueueFull = asyncio.QueueFull
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Bounded queue + dispatcher + single-thread executor.
+
+    ``execute`` is called on the executor thread with each batch (a list
+    of submitted items) and must return one outcome per item, in order;
+    an outcome that is an ``Exception`` instance is set as the item
+    future's exception, anything else as its result.  Items must expose
+    an asyncio ``future`` attribute; outcomes for futures that are
+    already done (deadline hit, client gone) are discarded.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence], list],
+        *,
+        queue_size: int = 256,
+        batch_max: int = 64,
+        batch_window: float = 0.002,
+        on_batch: Callable[[int], None] | None = None,
+    ):
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self._execute = execute
+        self._queue_size = queue_size
+        self._batch_max = batch_max
+        self._batch_window = batch_window
+        self._on_batch = on_batch
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._busy = False
+        self.batches = 0
+        self.items = 0
+
+    async def start(self) -> "MicroBatcher":
+        """Create the queue and dispatcher inside the running loop."""
+        if self._task is not None:
+            return self
+        self._queue = asyncio.Queue(maxsize=self._queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="rpslyzer-serve-batch"
+        )
+        self._task = asyncio.create_task(self._dispatch(), name="serve-batcher")
+        return self
+
+    # -- submission --------------------------------------------------------
+
+    def submit_nowait(self, item) -> None:
+        """Enqueue one item; raises :data:`QueueFull` when saturated.
+
+        The caller turns that into its protocol's backpressure response —
+        the queue bound is the service's explicit admission control.
+        """
+        assert self._queue is not None, "MicroBatcher.start() was not awaited"
+        self._queue.put_nowait(item)
+
+    def qsize(self) -> int:
+        """Items currently queued (excludes the batch being executed)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether a batch is executing right now."""
+        return self._busy
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _collect(self, first) -> list:
+        """One batch: the first item plus whatever coalesced behind it."""
+        batch = [first]
+        if self._batch_window > 0 and self._batch_max > 1:
+            # Let concurrent submitters land in the queue before we run.
+            await asyncio.sleep(self._batch_window)
+        while len(batch) < self._batch_max:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _STOP:
+                # Preserve the sentinel for the outer loop.
+                self._queue.put_nowait(item)
+                break
+            batch.append(item)
+        return batch
+
+    async def _dispatch(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = await self._collect(first)
+            self._busy = True
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._execute, batch
+                )
+            except Exception as exc:  # noqa: BLE001 - fail the whole batch
+                outcomes = [exc] * len(batch)
+            finally:
+                self._busy = False
+            self.batches += 1
+            self.items += len(batch)
+            if self._on_batch is not None:
+                self._on_batch(len(batch))
+            for item, outcome in zip(batch, outcomes):
+                future = item.future
+                if future.done():
+                    continue  # deadline already hit or client went away
+                if isinstance(outcome, Exception):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait (bounded) until the queue is empty and no batch is running."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while (self.qsize() or self._busy) and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        return not self.qsize() and not self._busy
+
+    async def stop(self) -> None:
+        """Stop the dispatcher and release the executor thread."""
+        if self._task is None:
+            return
+        try:
+            self._queue.put_nowait(_STOP)
+        except asyncio.QueueFull:  # abandoned queue contents: hard stop
+            self._task.cancel()
+        try:
+            await asyncio.wait_for(self._task, timeout=5)
+        except (asyncio.TimeoutError, asyncio.CancelledError):  # pragma: no cover
+            self._task.cancel()
+        self._task = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

@@ -1,0 +1,372 @@
+"""The shared request core: deadlines, backpressure, batched execution.
+
+Both front-ends (HTTP and the WHOIS line protocol) reduce their requests
+to :class:`Query` values and await :meth:`VerifyService.submit`.  The
+service owns admission control and execution semantics so the protocol
+handlers stay thin:
+
+* **bounded queue** — submission is ``put_nowait`` onto the
+  :class:`~repro.serve.batcher.MicroBatcher`'s queue; overflow raises
+  :class:`BusyError`, which the front-ends translate to HTTP 429 or
+  ``%% BUSY``.  Nothing in the daemon buffers unboundedly.
+* **per-request deadlines** — every query carries a wall deadline
+  (client-supplied, clamped to ``max_deadline``).  A query still queued
+  when its deadline passes is never executed; the waiter gets a
+  structured :class:`DeadlineExpired` (HTTP 504 / ``%% DEADLINE``) and
+  the miss is counted.
+* **micro-batching** — concurrent queries coalesce into one indexed
+  verify pass over the session's warm verifier (see
+  :mod:`repro.serve.batcher`), so the compiled index is consulted once
+  per hop, never recompiled per request.
+
+Serving metrics (reported into the session's registry, exposed at
+``GET /metrics``): ``serve_request_seconds{endpoint=}`` latency
+histograms, ``serve_queue_depth``, ``serve_batch_size``,
+``serve_deadline_miss_total``, and
+``serve_requests_total{endpoint=,outcome=}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.api import Session
+from repro.core.report import RouteReport
+from repro.net.prefix import Prefix, PrefixError
+from repro.serve.batcher import MicroBatcher, QueueFull
+
+__all__ = [
+    "BadRequestError",
+    "BusyError",
+    "DeadlineExpired",
+    "Query",
+    "ServeConfig",
+    "ServeError",
+    "VerifyService",
+    "SERVE_BATCH_BUCKETS",
+    "report_as_dict",
+]
+
+# Histogram bounds for batch sizes: 1..512, doubling.
+SERVE_BATCH_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(10))
+
+# Hard cap on AS-path length accepted over the wire; real paths top out
+# in the dozens, so anything longer is abuse, not routing.
+MAX_AS_PATH_LEN = 512
+
+
+class ServeError(Exception):
+    """Base class for structured serving errors; ``code`` keys the JSON."""
+
+    code = "error"
+
+
+class BusyError(ServeError):
+    """The bounded queue is full (or the daemon is draining): back off."""
+
+    code = "busy"
+
+
+class DeadlineExpired(ServeError):
+    """The request's deadline passed before a verdict was produced."""
+
+    code = "deadline"
+
+
+class BadRequestError(ServeError):
+    """The request was malformed (bad prefix, bad path, bad JSON shape)."""
+
+    code = "bad-request"
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Knobs for the resident service; defaults suit a local daemon.
+
+    ``http_port``/``whois_port`` of 0 bind an ephemeral port (tests);
+    ``None`` disables that front-end.  ``queue_size`` bounds admitted but
+    unexecuted queries — the backpressure threshold.  ``batch_window`` is
+    how long the batcher lingers after the first query of a batch so
+    concurrent arrivals coalesce.  Deadlines are seconds of wall time; a
+    request may ask for less than ``default_deadline`` but never more
+    than ``max_deadline``.  ``drain_timeout`` bounds the graceful
+    SIGTERM drain.
+    """
+
+    host: str = "127.0.0.1"
+    http_port: int | None = 8080
+    whois_port: int | None = None
+    queue_size: int = 256
+    batch_max: int = 64
+    batch_window: float = 0.002
+    default_deadline: float = 5.0
+    max_deadline: float = 30.0
+    drain_timeout: float = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One unit of work: verify or explain a ⟨prefix, AS-path⟩."""
+
+    kind: str  # "verify" or "explain"
+    prefix: str
+    as_path: tuple[int, ...]
+    collector: str = "serve"
+    deadline_s: float | None = None
+
+    @staticmethod
+    def from_payload(payload: dict, kind: str) -> "Query":
+        """Validate a JSON request body into a query.
+
+        Raises :class:`BadRequestError` with a human-readable message on
+        any malformed field — the front-end turns it into a 400/``F``.
+        """
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        prefix = payload.get("prefix")
+        if not isinstance(prefix, str):
+            raise BadRequestError("'prefix' must be a string")
+        try:
+            Prefix.parse(prefix)
+        except PrefixError as exc:
+            raise BadRequestError(f"bad prefix: {exc}") from exc
+        raw_path = payload.get("as_path")
+        if not isinstance(raw_path, (list, tuple)) or not raw_path:
+            raise BadRequestError("'as_path' must be a non-empty list of ASNs")
+        if len(raw_path) > MAX_AS_PATH_LEN:
+            raise BadRequestError(f"as_path longer than {MAX_AS_PATH_LEN}")
+        try:
+            as_path = tuple(int(asn) for asn in raw_path)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError("'as_path' entries must be integers") from exc
+        if any(asn < 0 or asn > 0xFFFFFFFF for asn in as_path):
+            raise BadRequestError("'as_path' entries must be 32-bit ASNs")
+        deadline = payload.get("deadline_s")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError("'deadline_s' must be a number") from exc
+            if deadline <= 0:
+                raise BadRequestError("'deadline_s' must be positive")
+        collector = payload.get("collector", "serve")
+        if not isinstance(collector, str):
+            raise BadRequestError("'collector' must be a string")
+        return Query(
+            kind=kind,
+            prefix=prefix,
+            as_path=as_path,
+            collector=collector[:64],
+            deadline_s=deadline,
+        )
+
+
+def report_as_dict(report: RouteReport) -> dict:
+    """A route report as stable JSON — the ``/verify`` response payload.
+
+    ``text`` is the Appendix-C rendering, character-identical to what the
+    batch pipeline prints for the same route; the structured fields are
+    derived from the same hops.
+    """
+    entry = report.entry
+    return {
+        "prefix": str(entry.prefix),
+        "as_path": list(entry.as_path),
+        "collector": entry.collector,
+        "ignored": report.ignored,
+        "hops": [
+            {
+                "direction": hop.direction,
+                "from_asn": hop.from_asn,
+                "to_asn": hop.to_asn,
+                "status": hop.status.label,
+                "peer_matched": hop.peer_matched,
+                "items": [str(item) for item in hop.items],
+            }
+            for hop in report.hops
+        ],
+        "text": str(report),
+    }
+
+
+@dataclass(slots=True)
+class _Pending:
+    """A submitted query waiting for the batcher."""
+
+    query: Query
+    future: asyncio.Future
+    deadline: float  # time.monotonic() value
+    submitted: float = field(default_factory=time.monotonic)
+
+
+class VerifyService:
+    """The request core shared by every front-end.
+
+    Wraps a warm :class:`~repro.api.Session` (the session must carry AS
+    relationships) behind a micro-batched, deadline- and
+    backpressure-aware ``submit``.  All query execution happens on the
+    batcher's single executor thread, which doubles as the session's
+    serialization point.
+    """
+
+    def __init__(self, session: Session, config: ServeConfig | None = None):
+        self.session = session
+        self.config = config or ServeConfig()
+        self.started_at = time.time()
+        self.draining = False
+        # Chaos/test instrumentation: called on the executor thread with
+        # the batch's queries before execution.  Never set in production.
+        self.fault_hook: Callable[[Sequence[Query]], None] | None = None
+        registry = session.registry
+        self._registry = registry
+        self._queue_depth = registry.gauge("serve_queue_depth")
+        self._batch_size = registry.histogram(
+            "serve_batch_size", buckets=SERVE_BATCH_BUCKETS
+        )
+        self._deadline_miss = registry.counter("serve_deadline_miss_total")
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            queue_size=self.config.queue_size,
+            batch_max=self.config.batch_max,
+            batch_window=self.config.batch_window,
+            on_batch=self._batch_size.observe,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "VerifyService":
+        """Warm the session (index adoption) and start the batcher."""
+        self.session.warm()
+        await self._batcher.start()
+        return self
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; queued work keeps executing."""
+        self.draining = True
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait (bounded) for queued and in-flight work to finish."""
+        self.begin_drain()
+        return await self._batcher.drain(
+            self.config.drain_timeout if timeout is None else timeout
+        )
+
+    async def stop(self) -> None:
+        """Stop the batcher; queued-but-unexecuted queries get BusyError."""
+        self.draining = True
+        await self._batcher.stop()
+
+    # -- submission --------------------------------------------------------
+
+    def _outcome(self, kind: str, outcome: str):
+        return self._registry.counter(
+            "serve_requests_total", endpoint=kind, outcome=outcome
+        )
+
+    async def submit(self, query: Query) -> dict:
+        """Run one query through the batched core; returns the JSON payload.
+
+        Raises :class:`BusyError` on backpressure (queue full or
+        draining) and :class:`DeadlineExpired` when the query's wall
+        deadline passes first.
+        """
+        if self.draining:
+            self._outcome(query.kind, "busy").inc()
+            raise BusyError("shutting down")
+        timeout = min(
+            query.deadline_s
+            if query.deadline_s is not None
+            else self.config.default_deadline,
+            self.config.max_deadline,
+        )
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            query, loop.create_future(), time.monotonic() + timeout
+        )
+        try:
+            self._batcher.submit_nowait(pending)
+        except QueueFull:
+            self._outcome(query.kind, "busy").inc()
+            raise BusyError(
+                f"queue full ({self.config.queue_size} queries pending)"
+            ) from None
+        self._queue_depth.set(self._batcher.qsize())
+        try:
+            result = await asyncio.wait_for(pending.future, timeout)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future, so the batcher will discard
+            # any late outcome instead of delivering into the void.
+            self._deadline_miss.inc()
+            self._outcome(query.kind, "deadline").inc()
+            raise DeadlineExpired(
+                f"no verdict within the {timeout:g}s deadline"
+            ) from None
+        except ServeError:
+            raise
+        except Exception:
+            self._outcome(query.kind, "error").inc()
+            raise
+        self._registry.histogram(
+            "serve_request_seconds", endpoint=query.kind
+        ).observe(time.monotonic() - pending.submitted)
+        self._outcome(query.kind, "ok").inc()
+        return result
+
+    # -- execution (batcher's executor thread) -----------------------------
+
+    def _run_batch(self, batch: Sequence[_Pending]) -> list:
+        """Execute one coalesced batch on the warm session.
+
+        Returns an outcome per item; exceptions become the waiter's
+        exception.  Queries whose deadline passed while queued are
+        skipped (their waiters have already timed out, this just avoids
+        wasted work); queries whose client vanished are skipped via the
+        done-future check in the batcher.
+        """
+        if self.fault_hook is not None:
+            self.fault_hook([pending.query for pending in batch])
+        outcomes: list = []
+        now = time.monotonic()
+        for pending in batch:
+            query = pending.query
+            if pending.deadline <= now or pending.future.done():
+                outcomes.append(DeadlineExpired("expired while queued"))
+                continue
+            try:
+                if query.kind == "explain":
+                    report, events = self.session.explain(
+                        query.prefix, query.as_path, collector=query.collector
+                    )
+                    payload = report_as_dict(report)
+                    payload["events"] = events
+                else:
+                    report = self.session.verify_route(
+                        query.prefix, query.as_path, collector=query.collector
+                    )
+                    payload = report_as_dict(report)
+                outcomes.append(payload)
+            except Exception as exc:  # noqa: BLE001 - per-query isolation
+                outcomes.append(
+                    exc if isinstance(exc, ServeError) else BadRequestError(str(exc))
+                )
+            now = time.monotonic()
+        return outcomes
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: liveness plus headline counters."""
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": self._batcher.qsize(),
+            "queue_size": self.config.queue_size,
+            "batches": self._batcher.batches,
+            "queries": self._batcher.items,
+            "index_digest": (
+                self.session.index.digest if self.session.index is not None else None
+            ),
+        }

@@ -1,0 +1,185 @@
+"""The serve daemon: lifecycle glue around the request core.
+
+:class:`ServeDaemon` owns the event loop's view of the service — it
+starts the :class:`~repro.serve.core.VerifyService` and whichever
+front-ends the :class:`~repro.serve.core.ServeConfig` enables, installs
+signal handlers, and runs the graceful-shutdown sequence:
+
+1. stop accepting connections (close the listening sockets);
+2. mark the service draining — queries already admitted keep executing,
+   new submissions on surviving connections get BUSY;
+3. wait (bounded by ``drain_timeout``) for the queue and the in-flight
+   batch to finish, so every accepted request gets its answer;
+4. stop the batcher and return.
+
+SIGTERM and SIGINT both trigger that sequence, so ``kill <pid>`` on the
+daemon is a clean drain, not a mid-verdict abort.
+
+For tests and embedding there is :meth:`ServeDaemon.start_in_thread`,
+which runs the daemon on a private event loop in a daemon thread and
+returns a :class:`ServeHandle` exposing the bound ports and a blocking
+``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+from typing import Callable
+
+from repro.api import Session
+from repro.serve.core import ServeConfig, VerifyService
+from repro.serve.http import HttpFrontend
+from repro.serve.whois import WhoisFrontend
+
+__all__ = ["ServeDaemon", "ServeHandle"]
+
+log = logging.getLogger("repro.serve")
+
+
+class ServeDaemon:
+    """One resident service over one session.
+
+    The session should carry AS relationships (``!v``/``/verify`` need
+    them) and ideally its own :class:`~repro.obs.MetricsRegistry` so
+    ``GET /metrics`` reflects this daemon alone.
+    """
+
+    def __init__(self, session: Session, config: ServeConfig | None = None):
+        self.session = session
+        self.config = config or ServeConfig()
+        self.service: VerifyService | None = None
+        self.http: HttpFrontend | None = None
+        self.whois: WhoisFrontend | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+
+    # -- the daemon coroutine ---------------------------------------------
+
+    async def run(self, *, on_ready: Callable[["ServeDaemon"], None] | None = None) -> None:
+        """Serve until a shutdown is requested, then drain and return."""
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._install_signal_handlers()
+        self.service = await VerifyService(self.session, config).start()
+        try:
+            if config.http_port is not None:
+                self.http = await HttpFrontend(
+                    self.service, config.host, config.http_port
+                ).start()
+                log.info("http front-end on %s:%d", config.host, self.http.port)
+            if config.whois_port is not None:
+                self.whois = await WhoisFrontend(
+                    self.service, config.host, config.whois_port
+                ).start()
+                log.info("whois front-end on %s:%d", config.host, self.whois.port)
+            if self.http is None and self.whois is None:
+                raise ValueError("ServeConfig enables no front-end")
+            if on_ready is not None:
+                on_ready(self)
+            await self._shutdown.wait()
+        finally:
+            await self._graceful_stop()
+
+    def request_shutdown(self) -> None:
+        """Trigger the drain sequence; safe to call from any thread."""
+        if self._loop is None or self._shutdown is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._on_signal, signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or platform without loop signal support
+                # (start_in_thread, Windows): shutdown comes via the handle.
+                return
+
+    def _on_signal(self, signum: int) -> None:
+        log.info("received %s: draining", signal.Signals(signum).name)
+        self._shutdown.set()
+
+    async def _graceful_stop(self) -> None:
+        # 1. Stop accepting new connections.
+        for frontend in (self.http, self.whois):
+            if frontend is not None:
+                await frontend.close()
+        if self.service is None:
+            return
+        # 2–3. Refuse new queries, let admitted ones finish.
+        drained = await self.service.drain()
+        if not drained:  # pragma: no cover - only under pathological load
+            log.warning(
+                "drain timed out after %.1fs with %d queries pending",
+                self.config.drain_timeout,
+                self.service.health()["queue_depth"],
+            )
+        # 4. Release the batcher and its executor thread.
+        await self.service.stop()
+        log.info("serve daemon stopped")
+
+    # -- threaded embedding (tests, notebooks) -----------------------------
+
+    def start_in_thread(self, *, timeout: float = 30.0) -> "ServeHandle":
+        """Run the daemon on a private loop in a daemon thread.
+
+        Blocks until the front-ends are bound (so the handle's ports are
+        real) or the daemon dies during startup, in which case the
+        startup exception is re-raised here.
+        """
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def _main() -> None:
+            try:
+                asyncio.run(self.run(on_ready=lambda _self: ready.set()))
+            except BaseException as exc:  # noqa: BLE001 - reported via handle
+                failure.append(exc)
+                ready.set()
+
+        thread = threading.Thread(target=_main, name="rpslyzer-serve", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            self.request_shutdown()
+            raise TimeoutError("serve daemon did not start within %.1fs" % timeout)
+        if failure:
+            raise failure[0]
+        return ServeHandle(self, thread)
+
+
+class ServeHandle:
+    """A running threaded daemon: bound ports plus a blocking stop."""
+
+    def __init__(self, daemon: ServeDaemon, thread: threading.Thread):
+        self.daemon = daemon
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.daemon.config.host
+
+    @property
+    def http_port(self) -> int | None:
+        return self.daemon.http.port if self.daemon.http is not None else None
+
+    @property
+    def whois_port(self) -> int | None:
+        return self.daemon.whois.port if self.daemon.whois is not None else None
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request the drain sequence and wait for the daemon to exit."""
+        self.daemon.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover
+            raise TimeoutError("serve daemon did not stop within %.1fs" % timeout)
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,258 @@
+"""The HTTP/JSON front-end: asyncio streams speaking just enough HTTP/1.1.
+
+Endpoints (all responses are JSON unless noted):
+
+* ``POST /verify``  — body ``{"prefix", "as_path", "collector"?,
+  "deadline_s"?}`` → the route report (see
+  :func:`repro.serve.core.report_as_dict`).
+* ``POST /explain`` — same body → the report plus decision-provenance
+  ``events``.
+* ``GET /healthz``  — liveness and headline counters; 503 while
+  draining.
+* ``GET /metrics``  — Prometheus exposition text for the session's
+  registry (``text/plain``).
+
+Error mapping: malformed request → 400, backpressure → 429 (with
+``Retry-After``), deadline expiry → 504, unknown path → 404, anything
+unexpected → 500.  Every error body is ``{"error": <code>, "detail":
+<message>}``.
+
+This is deliberately a hand-rolled stream handler, not
+``http.server``: the daemon is a single asyncio process and the request
+core is already async, so a thread-per-connection HTTP stack would just
+reintroduce the contention the batcher removes.  Keep-alive is
+supported; pipelining is not (requests on one connection are handled in
+order).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+
+from repro.obs import render_prometheus_snapshot
+from repro.serve.core import (
+    BadRequestError,
+    BusyError,
+    DeadlineExpired,
+    Query,
+    ServeError,
+    VerifyService,
+)
+
+__all__ = ["HttpFrontend", "MAX_BODY_BYTES", "MAX_HEADER_BYTES"]
+
+log = logging.getLogger("repro.serve.http")
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+# ServeError code → HTTP status.
+_ERROR_STATUS = {
+    BadRequestError.code: 400,
+    BusyError.code: 429,
+    DeadlineExpired.code: 504,
+}
+
+
+class _HttpError(Exception):
+    """Protocol-level failure (before the request core is reached)."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class HttpFrontend:
+    """Owns the listening socket and per-connection handler tasks."""
+
+    def __init__(self, service: VerifyService, host: str, port: int):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "HttpFrontend":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Resolve the ephemeral port for handles/tests.
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting; existing connections finish their request."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except Exception:  # noqa: BLE001 - connection isolation
+            log.exception("unhandled error on HTTP connection")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        try:
+            request_line = await reader.readline()
+        except ValueError as exc:  # line longer than the stream limit
+            raise _HttpError(400, str(exc)) from exc
+        if not request_line:
+            return False  # clean EOF between requests
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+            )
+        except ValueError:
+            await self._send_error(writer, 400, "malformed request line")
+            return False
+        headers, header_bytes = {}, len(request_line)
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                await self._send_error(writer, 400, "headers too large")
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = version != "HTTP/1.0" and (
+            headers.get("connection", "").lower() != "close"
+        )
+        try:
+            body = await self._read_body(reader, headers)
+            status, payload, content_type = await self._route(
+                method, target.split("?", 1)[0], body
+            )
+        except _HttpError as exc:
+            await self._send_error(writer, exc.status, exc.detail)
+            return keep_alive
+        except ServeError as exc:
+            status = _ERROR_STATUS.get(exc.code, 500)
+            await self._send_error(writer, status, str(exc), code=exc.code)
+            return keep_alive
+        except Exception as exc:  # noqa: BLE001 - request isolation
+            log.exception("unhandled error serving %s %s", method, target)
+            await self._send_error(writer, 500, str(exc))
+            return keep_alive
+        await self._send(writer, status, payload, content_type, keep_alive)
+        return keep_alive
+
+    async def _read_body(self, reader: asyncio.StreamReader, headers: dict) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _HttpError(400, "chunked bodies are not supported")
+        return await reader.readexactly(length) if length else b""
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes, str]:
+        if path in ("/verify", "/explain"):
+            if method != "POST":
+                raise _HttpError(405, f"{path} expects POST")
+            try:
+                payload = json.loads(body.decode("utf-8") or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise BadRequestError(f"bad JSON body: {exc}") from exc
+            query = Query.from_payload(payload, path.lstrip("/"))
+            result = await self.service.submit(query)
+            return 200, _json_bytes(result), "application/json"
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "/healthz expects GET")
+            health = self.service.health()
+            status = 503 if health["status"] == "draining" else 200
+            return status, _json_bytes(health), "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "/metrics expects GET")
+            text = render_prometheus_snapshot(self.service.session.metrics_snapshot())
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    # -- responses ---------------------------------------------------------
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        keep_alive: bool,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    async def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        detail: str,
+        *,
+        code: str | None = None,
+    ) -> None:
+        body = _json_bytes(
+            {"error": code or _STATUS_TEXT.get(status, "error").lower(), "detail": detail}
+        )
+        extra = (("Retry-After", "1"),) if status == 429 else ()
+        await self._send(
+            writer, status, body, "application/json", True, extra_headers=extra
+        )
+
+
+def _json_bytes(value) -> bytes:
+    return json.dumps(value, separators=(",", ":"), sort_keys=True).encode("utf-8")

@@ -1,0 +1,140 @@
+"""The WHOIS line-protocol front-end of the resident daemon.
+
+Speaks the same dialect as :mod:`repro.irr.whois` — plain lookups and
+IRRd bang commands over one TCP connection, one query per line — but as
+an asyncio protocol inside the serve daemon, sharing its
+:class:`~repro.serve.core.VerifyService` with the HTTP front-end.  On
+top of the stock dialect it adds the verification command:
+
+* ``!v <prefix> <asn> <asn>...`` — verify the route against registry
+  policy; the response is the Appendix-C report text in IRRd ``A``
+  framing, character-identical to the batch pipeline's rendering.
+
+Service conditions surface as WHOIS comment lines: ``%% BUSY <detail>``
+under backpressure (clients should back off and retry) and
+``%% DEADLINE <detail>`` when a ``!v`` misses its deadline.  Malformed
+commands get the stock ``F <message>`` error frame.
+
+Plain lookups and bang commands are pure dictionary reads on the IR and
+run inline on the event loop; only ``!v`` goes through the batched
+request core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from repro.irr.whois import MAX_QUERY_BYTES, WhoisEngine, _frame
+from repro.net.asn import AsnError, parse_asn
+from repro.serve.core import (
+    BusyError,
+    DeadlineExpired,
+    Query,
+    ServeError,
+    VerifyService,
+)
+
+__all__ = ["WhoisFrontend"]
+
+log = logging.getLogger("repro.serve.whois")
+
+_QUIT = frozenset(("!q", "!e", "-k q", "q"))
+
+
+class WhoisFrontend:
+    """Owns the listening socket for the line protocol."""
+
+    def __init__(self, service: VerifyService, host: str, port: int):
+        self.service = service
+        self.engine = WhoisEngine(service.session.ir)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "WhoisFrontend":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_QUERY_BYTES + 1,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line longer than the stream limit: the connection
+                    # cannot be resynchronized reliably, so refuse and drop.
+                    writer.write(b"F query line too long\n\n")
+                    await writer.drain()
+                    return
+                if not line:
+                    return
+                text = line.decode("utf-8", errors="replace").strip()
+                if text in _QUIT:
+                    return
+                response = await self._answer(text)
+                writer.write(response.encode("utf-8") + b"\n\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception:  # noqa: BLE001 - connection isolation
+            log.exception("unhandled error on whois connection")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _answer(self, text: str) -> str:
+        if text.startswith("!v"):
+            return await self._verify(text[2:])
+        if text.startswith("!"):
+            return self.engine.bang(text)
+        found = self.engine.lookup(text)
+        return found if found is not None else "%  No entries found"
+
+    # -- verification ------------------------------------------------------
+
+    async def _verify(self, argument: str) -> str:
+        """``!v <prefix> <asn> <asn>...`` through the shared request core."""
+        parts = argument.split()
+        if len(parts) < 2:
+            return "F usage: !v <prefix> <asn> <asn>..."
+        try:
+            # Accept both asplain ("AS174") and bare integers ("174").
+            as_path = tuple(
+                int(part) if part.isdigit() else parse_asn(part)
+                for part in parts[1:]
+            )
+        except (AsnError, ValueError) as exc:
+            return f"F invalid AS path: {exc}"
+        try:
+            query = Query.from_payload(
+                {"prefix": parts[0], "as_path": list(as_path), "collector": "whois"},
+                "verify",
+            )
+            result = await self.service.submit(query)
+        except BusyError as exc:
+            return f"%% BUSY {exc}"
+        except DeadlineExpired as exc:
+            return f"%% DEADLINE {exc}"
+        except ServeError as exc:
+            return f"F {exc}"
+        return _frame(result["text"])

@@ -65,9 +65,16 @@ class TestSynthesize:
 class TestParseDumps:
     def test_round_trip_through_directory(self, tmp_path, tiny_world, tiny_ir):
         tiny_world.write_to_dir(tmp_path)
-        ir, errors = api.parse_dumps(tmp_path)
+        ir, errors = api.parse_dumps(tmp_path)  # tuple-unpack compat
         assert ir.counts() == tiny_ir.counts()
         assert len(errors) >= 0
+
+    def test_load_result_fields(self, tiny_world_dir, tiny_ir):
+        load = api.parse_dumps(tiny_world_dir)
+        assert isinstance(load, api.LoadResult)
+        assert load.ir.counts() == tiny_ir.counts()
+        assert load.degradation is not None
+        assert str(load.source) == str(tiny_world_dir)
 
     def test_parse_registry_exposes_per_irr_views(self, tmp_path, tiny_world):
         tiny_world.write_to_dir(tmp_path)
@@ -78,14 +85,11 @@ class TestParseDumps:
 
 class TestVerifyTable:
     def test_serial_and_parallel_agree(self, tiny_ir, tiny_world, tiny_routes):
-        serial = api.verify_table(tiny_ir, tiny_world.topology, tiny_routes, processes=1)
-        parallel = api.verify_table(
-            tiny_ir,
-            tiny_world.topology,
-            iter(tiny_routes),
-            processes=4,
-            chunk_size=400,
-        )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            serial = session.verify_table(tiny_routes, processes=1)
+            parallel = session.verify_table(
+                iter(tiny_routes), processes=4, chunk_size=400
+            )
         assert isinstance(serial, VerificationStats)
         assert parallel.hop_totals == serial.hop_totals
         assert parallel.routes_total == serial.routes_total
@@ -94,22 +98,20 @@ class TestVerifyTable:
     def test_accepts_generator_input(self, tiny_ir, tiny_world, tiny_world_dir):
         from repro.bgp.table import parse_table_file
 
-        stats = api.verify_table(
-            tiny_ir,
-            tiny_world.topology,
-            parse_table_file(tiny_world_dir / "table.txt"),
-        )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            stats = session.verify_table(
+                parse_table_file(tiny_world_dir / "table.txt")
+            )
         assert stats.routes_total > 0
 
     def test_options_and_reports(self, tiny_ir, tiny_world, tiny_routes):
         reports = []
-        stats = api.verify_table(
-            tiny_ir,
-            tiny_world.topology,
-            tiny_routes[:20],
-            options=repro.VerifyOptions(relaxations=False, safelists=False),
-            on_report=reports.append,
-        )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            stats = session.verify_table(
+                tiny_routes[:20],
+                options=repro.VerifyOptions(relaxations=False, safelists=False),
+                on_report=reports.append,
+            )
         assert len(reports) == 20
         assert stats.routes_total == 20
 
@@ -118,6 +120,37 @@ class TestVerifyTable:
         entry = tiny_routes[0]
         report = verifier.verify_entry(entry)
         assert report.entry is entry
+
+
+class TestDeprecatedShims:
+    def test_verify_table_warns_and_matches_session(
+        self, tiny_ir, tiny_world, tiny_routes
+    ):
+        with pytest.deprecated_call():
+            stats = api.verify_table(
+                tiny_ir, tiny_world.topology, tiny_routes[:30], processes=1
+            )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            expected = session.verify_table(tiny_routes[:30], processes=1)
+        assert stats.summary() == expected.summary()
+
+    def test_explain_route_warns_and_matches_session(
+        self, tiny_ir, tiny_world, tiny_routes
+    ):
+        entry = tiny_routes[0]
+        with pytest.deprecated_call():
+            report, events = api.explain_route(
+                tiny_ir, tiny_world.topology, str(entry.prefix), entry.as_path
+            )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            expected, _ = session.explain(str(entry.prefix), entry.as_path)
+        assert str(report) == str(expected)
+        assert events
+
+    def test_serve_whois_warns(self, tiny_ir):
+        with pytest.deprecated_call():
+            server = api.serve_whois(tiny_ir)
+        server.stop()  # never started; must still release the socket
 
 
 class TestCharacterize:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.chaos.faults import KillWorkerChunk, RaiseOnChunk
 from repro.core import parallel
-from repro.core.parallel import verify_entries, verify_entries_parallel, verify_table
+from repro.core.parallel import verify_table
 from repro.obs import MetricsRegistry, set_registry, use_registry
 from repro.obs.trace import set_tracer
 from repro.stats.verification import VerificationStats
@@ -225,18 +225,9 @@ class TestWorkerMetricsResilience:
             set_tracer(None)
 
 
-class TestDeprecatedAliases:
-    def test_verify_entries_warns_and_works(self, tiny_ir, tiny_world, tiny_routes, baseline):
-        with pytest.deprecated_call():
-            stats = verify_entries(tiny_ir, tiny_world.topology, tiny_routes)
-        assert stats.hop_totals == baseline.hop_totals
-
-    def test_verify_entries_parallel_warns_and_works(
-        self, tiny_ir, tiny_world, tiny_routes
-    ):
-        sample = tiny_routes[:50]
-        with pytest.deprecated_call():
-            stats = verify_entries_parallel(
-                tiny_ir, tiny_world.topology, sample, processes=2
-            )
-        assert stats.routes_total == 50
+class TestRemovedAliases:
+    def test_verify_entries_aliases_are_gone(self):
+        """The long-deprecated 1.x aliases were removed in 1.4."""
+        assert not hasattr(parallel, "verify_entries")
+        assert not hasattr(parallel, "verify_entries_parallel")
+        assert "verify_entries" not in parallel.__all__

@@ -155,3 +155,34 @@ class TestWhoisServer:
         with WhoisServer(ir) as server:
             for query in ("AS2914", "AS-ONE", "!iAS-ONE,1"):
                 assert whois_query("127.0.0.1", server.port, query)
+
+    def test_clean_stop_reports_no_degradation(self, ir):
+        server = WhoisServer(ir).start()
+        whois_query("127.0.0.1", server.port, "AS2914")
+        report = server.stop()
+        assert not report
+
+    def test_stop_reports_wedged_handler_thread(self, ir):
+        """A slow client wedges its handler on read; stop() must return
+        promptly and report the leak instead of swallowing it."""
+        import time
+
+        from repro.chaos.faults import SlowClient
+
+        server = WhoisServer(ir).start()
+        with SlowClient("127.0.0.1", server.port, partial=b"AS29"):
+            deadline = time.monotonic() + 5
+            while (
+                not server._server.live_handler_threads()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            started = time.monotonic()
+            report = server.stop(join_timeout=0.3)
+            elapsed = time.monotonic() - started
+        assert report.by_kind().get("whois/handler-thread-leaked") == 1
+        assert elapsed < 3  # bounded: no hang on the wedged thread
+
+    def test_stop_without_start_is_safe(self, ir):
+        report = WhoisServer(ir).stop()
+        assert not report

@@ -1,0 +1,413 @@
+"""Tests for the resident verification service (``rpslyzer serve``).
+
+Covers both front-ends against an in-thread daemon, the service's
+admission semantics (deadlines, backpressure, coalescing), bit-identity
+with the batch pipeline, metrics-backed warm-latency evidence, and —
+via subprocesses — the SIGTERM drain and a SIGKILL chaos check.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.irr.whois import whois_query
+from repro.obs import MetricsRegistry, parse_prometheus
+from repro.serve import Query, ServeConfig, ServeDaemon, report_as_dict
+
+
+def _http(port: int, method: str, path: str, payload: dict | None = None):
+    """One HTTP request; returns (status, parsed-JSON-body)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else None
+    finally:
+        connection.close()
+
+
+def _verify_payload(entry, **extra) -> dict:
+    payload = {"prefix": str(entry.prefix), "as_path": list(entry.as_path)}
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def serve_session(tiny_world, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("serve-cache")
+    with api.open_session(
+        tiny_world, registry=MetricsRegistry(), cache_dir=cache
+    ) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def handle(serve_session):
+    daemon = ServeDaemon(
+        serve_session, ServeConfig(http_port=0, whois_port=0)
+    )
+    with daemon.start_in_thread() as running:
+        yield running
+
+
+class TestHttpFrontend:
+    def test_healthz(self, handle, serve_session):
+        status, body = _http(handle.http_port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["index_digest"] == serve_session.digest
+        assert body["queue_size"] == 256
+
+    def test_verify_round_trip(self, handle, tiny_routes):
+        entry = tiny_routes[0]
+        status, body = _http(
+            handle.http_port, "POST", "/verify", _verify_payload(entry)
+        )
+        assert status == 200
+        assert body["prefix"] == str(entry.prefix)
+        assert body["as_path"] == list(entry.as_path)
+        assert body["text"]
+        assert all({"direction", "status", "items"} <= set(h) for h in body["hops"])
+
+    def test_explain_round_trip(self, handle, tiny_routes):
+        entry = tiny_routes[0]
+        status, body = _http(
+            handle.http_port, "POST", "/explain", _verify_payload(entry)
+        )
+        assert status == 200
+        assert any(event.get("event") == "route" for event in body["events"])
+
+    def test_bad_request(self, handle):
+        status, body = _http(
+            handle.http_port, "POST", "/verify", {"prefix": "not-a-prefix"}
+        )
+        assert status == 400
+        assert body["error"] == "bad-request"
+
+    def test_unknown_path_and_method(self, handle):
+        status, body = _http(handle.http_port, "GET", "/nope")
+        assert status == 404
+        status, body = _http(handle.http_port, "GET", "/verify")
+        assert status == 405
+
+    def test_bit_identity_with_batch_verifier(
+        self, handle, tiny_ir, tiny_world, tiny_routes
+    ):
+        """The serve verdicts must render character-identical to the batch
+        pipeline's Appendix-C output for the same routes."""
+        verifier = api.make_verifier(tiny_ir, tiny_world.topology)
+        for entry in tiny_routes[:40]:
+            expected = str(
+                verifier.verify_route(
+                    str(entry.prefix), entry.as_path, collector="serve"
+                )
+            )
+            status, body = _http(
+                handle.http_port, "POST", "/verify", _verify_payload(entry)
+            )
+            assert status == 200
+            assert body["text"] == expected
+
+
+class TestWhoisFrontend:
+    def test_plain_lookup(self, handle, tiny_ir):
+        asn = next(iter(tiny_ir.aut_nums))
+        text = whois_query("127.0.0.1", handle.whois_port, f"AS{asn}")
+        assert text.startswith("aut-num:")
+
+    def test_bang_verify_matches_batch(
+        self, handle, tiny_ir, tiny_world, tiny_routes
+    ):
+        entry = tiny_routes[0]
+        verifier = api.make_verifier(tiny_ir, tiny_world.topology)
+        expected = str(
+            verifier.verify_route(str(entry.prefix), entry.as_path, collector="serve")
+        )
+        path = " ".join(str(asn) for asn in entry.as_path)
+        framed = whois_query(
+            "127.0.0.1", handle.whois_port, f"!v {entry.prefix} {path}"
+        )
+        assert framed.startswith("A")
+        payload = framed[framed.index("\n") + 1 :]
+        assert payload.endswith("C")
+        assert payload[: -len("\nC") or None].rstrip("\nC") == expected.rstrip()
+
+    def test_bang_verify_bad_input(self, handle):
+        response = whois_query("127.0.0.1", handle.whois_port, "!v nonsense")
+        assert response.startswith("F ")
+
+
+class TestDeadlines:
+    def test_deadline_expiry_is_structured(self, handle, tiny_routes):
+        service = handle.daemon.service
+        service.fault_hook = lambda queries: time.sleep(0.4)
+        try:
+            started = time.monotonic()
+            status, body = _http(
+                handle.http_port,
+                "POST",
+                "/verify",
+                _verify_payload(tiny_routes[0], deadline_s=0.05),
+            )
+            elapsed = time.monotonic() - started
+        finally:
+            service.fault_hook = None
+        assert status == 504
+        assert body["error"] == "deadline"
+        assert elapsed < 2  # answered at the deadline, not after the stall
+        # The miss is counted on the session's registry.
+        snapshot = handle.daemon.session.metrics_snapshot()
+        misses = [
+            counter
+            for counter in snapshot["counters"]
+            if counter["name"] == "serve_deadline_miss_total"
+        ]
+        assert misses and misses[0]["value"] >= 1
+
+
+class TestConcurrency:
+    def test_sustains_100_concurrent_requests(self, handle, tiny_routes):
+        """≥100 in-flight requests, default queue: every one is answered."""
+        entries = [tiny_routes[i % len(tiny_routes)] for i in range(150)]
+        with ThreadPoolExecutor(max_workers=150) as pool:
+            results = list(
+                pool.map(
+                    lambda entry: _http(
+                        handle.http_port, "POST", "/verify", _verify_payload(entry)
+                    ),
+                    entries,
+                )
+            )
+        statuses = [status for status, _ in results]
+        assert statuses.count(200) == 150
+        health = handle.daemon.service.health()
+        # Micro-batching actually coalesced concurrent arrivals: strictly
+        # fewer executor batches than executed queries.
+        assert health["batches"] < health["queries"]
+
+    def test_flood_backpressure_bounded_queue(self, tiny_world, tmp_path):
+        """A tiny queue under a slow executor refuses with 429, never
+        buffers unboundedly, and still answers admitted requests."""
+        with api.open_session(
+            tiny_world, registry=MetricsRegistry(), use_cache=False
+        ) as session:
+            daemon = ServeDaemon(
+                session,
+                ServeConfig(
+                    http_port=0, queue_size=4, batch_max=2, default_deadline=30.0
+                ),
+            )
+            with daemon.start_in_thread() as running:
+                daemon.service.fault_hook = lambda queries: time.sleep(0.05)
+                route = {
+                    "prefix": "0.0.0.0/0",
+                    "as_path": [64500],
+                }
+                with ThreadPoolExecutor(max_workers=32) as pool:
+                    results = list(
+                        pool.map(
+                            lambda _: _http(
+                                running.http_port, "POST", "/verify", route
+                            ),
+                            range(32),
+                        )
+                    )
+                statuses = [status for status, _ in results]
+                assert set(statuses) <= {200, 429}
+                assert statuses.count(429) >= 1
+                assert statuses.count(200) >= 1
+                busy_bodies = [
+                    body for status, body in results if status == 429
+                ]
+                assert all(body["error"] == "busy" for body in busy_bodies)
+
+
+class TestWarmLatencyMetrics:
+    def test_no_reload_or_recompile_per_request(self, handle, tiny_routes):
+        """The acceptance check for warm serving: after many queries the
+        index was adopted exactly once (one cache event at startup), while
+        the request counters kept growing — every request was answered
+        from the resident index, never a reload/recompile."""
+        for entry in tiny_routes[:10]:
+            status, _ = _http(
+                handle.http_port, "POST", "/verify", _verify_payload(entry)
+            )
+            assert status == 200
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.http_port, timeout=10
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            text = response.read().decode()
+        finally:
+            connection.close()
+        parsed = parse_prometheus(text)
+        cache_total = sum(
+            counter["value"]
+            for counter in parsed["counters"]
+            if counter["name"] == "index_cache_total"
+        )
+        assert cache_total == 1
+        served = sum(
+            counter["value"]
+            for counter in parsed["counters"]
+            if counter["name"] == "serve_requests_total"
+            and counter["labels"].get("outcome") == "ok"
+        )
+        assert served >= 10
+        assert any(
+            histogram["name"] == "serve_request_seconds"
+            for histogram in parsed["histograms"]
+        )
+
+
+class TestQueryValidation:
+    def test_payload_round_trip(self):
+        query = Query.from_payload(
+            {"prefix": "10.0.0.0/24", "as_path": [1, 2, 3], "deadline_s": 2},
+            "verify",
+        )
+        assert query.as_path == (1, 2, 3)
+        assert query.deadline_s == 2.0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"as_path": [1]},
+            {"prefix": "10.0.0.0/24"},
+            {"prefix": "10.0.0.0/24", "as_path": []},
+            {"prefix": "10.0.0.0/24", "as_path": ["x"]},
+            {"prefix": "10.0.0.0/24", "as_path": [1], "deadline_s": -1},
+            {"prefix": "banana", "as_path": [1]},
+            {"prefix": "10.0.0.0/24", "as_path": [2**40]},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        from repro.serve import BadRequestError
+
+        with pytest.raises(BadRequestError):
+            Query.from_payload(payload, "verify")
+
+    def test_report_as_dict_text_matches_str(self, tiny_verifier, tiny_routes):
+        report = tiny_verifier.verify_entry(tiny_routes[0])
+        assert report_as_dict(report)["text"] == str(report)
+
+
+def _spawn_serve(tiny_world_dir: Path, extra: list[str] | None = None):
+    """Launch ``rpslyzer serve`` as a subprocess; returns (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--ir",
+            str(tiny_world_dir),
+            "--as-rel",
+            str(tiny_world_dir / "as-rel.txt"),
+            "--http-port",
+            "0",
+            "--no-index-cache",
+            *(extra or []),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    port = None
+    deadline = time.monotonic() + 60
+    banner = []
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            break
+        banner.append(line)
+        matched = re.search(r"http on 127\.0\.0\.1:(\d+)", line)
+        if matched:
+            port = int(matched.group(1))
+            break
+    if port is None:
+        process.kill()
+        raise AssertionError(f"no http banner from serve: {''.join(banner)!r}")
+    return process, port
+
+
+@pytest.mark.slow
+class TestDaemonLifecycle:
+    def test_sigterm_drains_and_exits_clean(self, tiny_world_dir, tiny_routes):
+        process, port = _spawn_serve(tiny_world_dir)
+        try:
+            entry = tiny_routes[0]
+            status, body = _http(port, "POST", "/verify", _verify_payload(entry))
+            assert status == 200
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+            assert process.returncode == 0
+            # The port is released: connecting now must fail.
+            with pytest.raises(OSError):
+                _http(port, "GET", "/healthz")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def test_sigkill_mid_flood_fails_clients_cleanly(
+        self, tiny_world_dir, tiny_routes
+    ):
+        """Chaos: SIGKILL the daemon while clients are in flight.  Every
+        client must fail fast with a clean connection error — no hangs,
+        no garbage responses."""
+        process, port = _spawn_serve(tiny_world_dir)
+        entry = tiny_routes[0]
+        outcomes: list[object] = []
+        lock = threading.Lock()
+
+        def _client() -> None:
+            try:
+                status, _ = _http(port, "POST", "/verify", _verify_payload(entry))
+                result: object = status
+            except (OSError, http.client.HTTPException) as exc:
+                result = type(exc).__name__
+            with lock:
+                outcomes.append(result)
+
+        try:
+            threads = [threading.Thread(target=_client) for _ in range(12)]
+            for thread in threads:
+                thread.start()
+            process.kill()  # SIGKILL: no drain, no goodbye
+            process.wait(timeout=10)
+            for thread in threads:
+                thread.join(timeout=15)
+            assert not any(thread.is_alive() for thread in threads)
+            # Each client either got a verdict before the kill or a clean
+            # connection-level failure; nothing hung or mis-parsed.
+            assert len(outcomes) == 12
+            assert all(
+                outcome == 200 or isinstance(outcome, str) for outcome in outcomes
+            )
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

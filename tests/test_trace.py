@@ -258,12 +258,10 @@ class TestExplain:
     def test_explain_names_rule_and_filter_term(
         self, tiny_ir, tiny_world, verified_entry
     ):
-        report, events = api.explain_route(
-            tiny_ir,
-            tiny_world.topology,
-            str(verified_entry.prefix),
-            verified_entry.as_path,
-        )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            report, events = session.explain(
+                str(verified_entry.prefix), verified_entry.as_path
+            )
         (route_event,) = [e for e in events if e["event"] == "route"]
         assert route_event["sampled"] == "head"
         hop_events = [e for e in events if e["event"] == "hop"]
@@ -278,12 +276,10 @@ class TestExplain:
         assert any(event.get("chain") for event in verified)
 
     def test_explain_is_pure_replay(self, tiny_verifier, tiny_ir, tiny_world, verified_entry):
-        report, _ = api.explain_route(
-            tiny_ir,
-            tiny_world.topology,
-            str(verified_entry.prefix),
-            verified_entry.as_path,
-        )
+        with api.Session(tiny_ir, tiny_world.topology) as session:
+            report, _ = session.explain(
+                str(verified_entry.prefix), verified_entry.as_path
+            )
         baseline = tiny_verifier.verify_entry(verified_entry)
         assert [hop.status for hop in report.hops] == [
             hop.status for hop in baseline.hops
