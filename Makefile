@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench examples figures lint-world clean
+.PHONY: install test ci chaos-serve bench examples figures lint-world clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -12,7 +12,7 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Mirror .github/workflows/ci.yml locally: lint (when ruff is present),
-# tier-1, and the resident-daemon smoke.
+# tier-1, the resident-daemon smoke, and the serve-supervisor chaos layer.
 ci:
 	@if command -v ruff >/dev/null 2>&1; then \
 	  ruff check src tests; \
@@ -21,6 +21,13 @@ ci:
 	fi
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+	$(MAKE) chaos-serve
+
+# The serve-supervisor self-healing lifecycle against a live daemon:
+# SIGKILL mid-flood, heartbeat replacement of a hung worker, restart
+# accounting in /metrics and the degradation report.
+chaos-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --only serve-supervisor
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -6,7 +6,8 @@ Synthesizes the tiny world, launches the daemon as a real subprocess
 end to end:
 
 1. the startup banner reports both ports and the IR digest;
-2. ``GET /healthz`` answers ``ok`` with a bound queue;
+2. ``GET /healthz`` answers ``ok`` with a bound queue and a live
+   ``--workers 2`` supervisor pool;
 3. ``POST /verify`` returns a verdict character-identical to the batch
    verifier for the same route;
 4. the WHOIS ``!v`` command returns the same rendering, IRRd-framed;
@@ -102,6 +103,8 @@ def main() -> None:
             "0",
             "--cache-dir",
             str(workdir / "cache"),
+            "--workers",
+            "2",
         ],
         env=env,
         stderr=subprocess.PIPE,
@@ -134,6 +137,10 @@ def main() -> None:
             fail(f"healthz: {status} {health}")
         if not health["index_digest"] or health["queue_size"] <= 0:
             fail(f"healthz shape: {health}")
+        supervisor = health.get("supervisor")
+        if not supervisor or supervisor["live"] != 2 or supervisor["degraded"]:
+            fail(f"healthz supervisor block: {supervisor}")
+        print("serve-smoke: supervisor pool up (2 live workers)")
 
         payload = {"prefix": str(entry.prefix), "as_path": list(entry.as_path)}
         status, body = http_json(http_port, "POST", "/verify", payload)

@@ -692,14 +692,20 @@ def serve_whois(ir: Ir, host: str = "127.0.0.1", port: int = 4343) -> WhoisServe
         return session.whois_server(host=host, port=port)
 
 
-def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2):
+def run_chaos(
+    seed: int = 42,
+    preset: str = "tiny",
+    processes: int = 2,
+    only: str | None = None,
+):
     """Run the fault-injection suite; returns a ``repro.chaos.ChaosReport``.
 
     Every mutator and fault in the catalogue is driven against a seeded
     synthetic world (see ``docs/robustness.md``); the report carries
     pass/fail resilience checks plus the aggregated
-    :class:`DegradationReport`.
+    :class:`DegradationReport`.  ``only="serve-supervisor"`` restricts
+    the run to the serve worker-pool crash/hang layer.
     """
     from repro.chaos import run_chaos as _run_chaos
 
-    return _run_chaos(seed=seed, preset=preset, processes=processes)
+    return _run_chaos(seed=seed, preset=preset, processes=processes, only=only)

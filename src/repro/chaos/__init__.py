@@ -10,8 +10,9 @@ reproducible:
 * :mod:`repro.chaos.mutators` — seeded, composable corruptions of dump
   and table text;
 * :mod:`repro.chaos.faults` — runtime faults (kill a verify worker at a
-  chosen chunk, a TCP proxy that drops the first N connections, a slow
-  client that wedges thread-per-connection handlers);
+  chosen chunk, SIGKILL/SIGSTOP a serve-supervisor worker by PID, a TCP
+  proxy that drops the first N connections, a slow client that wedges
+  thread-per-connection handlers);
 * :mod:`repro.chaos.harness` — :func:`run_chaos` drives every mutator
   and fault against a synthetic world and returns a structured
   :class:`ChaosReport` (also ``rpslyzer chaos --seed 42``).
@@ -20,7 +21,14 @@ Everything is deterministic under a seed: a failing chaos run is a
 repro, not an anecdote.
 """
 
-from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk, RaiseOnChunk, SlowClient
+from repro.chaos.faults import (
+    FlakyTcpProxy,
+    HungWorker,
+    KillServeWorker,
+    KillWorkerChunk,
+    RaiseOnChunk,
+    SlowClient,
+)
 from repro.chaos.harness import ChaosCheck, ChaosReport, run_chaos
 from repro.chaos.mutators import DUMP_MUTATORS, MUTATORS, TABLE_MUTATORS
 
@@ -29,6 +37,8 @@ __all__ = [
     "ChaosReport",
     "DUMP_MUTATORS",
     "FlakyTcpProxy",
+    "HungWorker",
+    "KillServeWorker",
     "KillWorkerChunk",
     "MUTATORS",
     "RaiseOnChunk",

@@ -7,6 +7,11 @@ inputs.  Both are built to be driven from tests and the chaos harness:
 * :class:`KillWorkerChunk` / :class:`RaiseOnChunk` plug into
   ``verify_table(fault_hook=...)`` (picklable, so they survive the trip
   into spawn-started workers);
+* :class:`KillServeWorker` / :class:`HungWorker` act on the serve
+  supervisor's worker processes *from outside*, by PID — SIGKILL for a
+  crash, SIGSTOP for a wedge the heartbeat must detect.  External
+  delivery matters: an in-worker hook would fire again in every
+  respawned worker and the pool could never heal;
 * :class:`FlakyTcpProxy` sits in front of a live server and RST-drops
   the first N connections, exercising client retry paths;
 * :class:`SlowClient` opens a connection and then just sits on it,
@@ -23,7 +28,14 @@ import struct
 import threading
 from dataclasses import dataclass
 
-__all__ = ["KillWorkerChunk", "RaiseOnChunk", "FlakyTcpProxy", "SlowClient"]
+__all__ = [
+    "KillWorkerChunk",
+    "RaiseOnChunk",
+    "KillServeWorker",
+    "HungWorker",
+    "FlakyTcpProxy",
+    "SlowClient",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +71,37 @@ class RaiseOnChunk:
     def __call__(self, index: int) -> None:
         if index == self.chunk_index:
             raise RuntimeError(f"{self.message} (chunk {index})")
+
+
+@dataclass(frozen=True)
+class KillServeWorker:
+    """Crash one serve-supervisor worker: SIGKILL it by PID.
+
+    Target a PID from ``WorkerSupervisor.worker_pids()``.  The
+    supervisor must fail only that worker's in-flight batch (retried on
+    another worker), respawn a replacement, and keep every client
+    answered.
+    """
+
+    signum: int = signal.SIGKILL
+
+    def __call__(self, pid: int) -> None:
+        os.kill(pid, self.signum)
+
+
+@dataclass(frozen=True)
+class HungWorker:
+    """Wedge one serve-supervisor worker: SIGSTOP it by PID.
+
+    A stopped worker answers neither batches (caught by the per-batch
+    ``hang_timeout``) nor heartbeat pings (caught within
+    ``heartbeat_interval + heartbeat_timeout`` while idle); either way
+    the supervisor must SIGKILL and replace it.  SIGKILL terminates a
+    stopped process, so no explicit SIGCONT cleanup is needed.
+    """
+
+    def __call__(self, pid: int) -> None:
+        os.kill(pid, signal.SIGSTOP)
 
 
 class FlakyTcpProxy:

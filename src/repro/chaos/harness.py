@@ -28,7 +28,13 @@ from pathlib import Path
 
 from repro.bgp.routegen import collector_routes
 from repro.bgp.table import parse_table_text, route_entry_lines
-from repro.chaos.faults import FlakyTcpProxy, KillWorkerChunk, SlowClient
+from repro.chaos.faults import (
+    FlakyTcpProxy,
+    HungWorker,
+    KillServeWorker,
+    KillWorkerChunk,
+    SlowClient,
+)
 from repro.chaos.mutators import DUMP_MUTATORS, TABLE_MUTATORS
 from repro.core.degradation import DegradationReport
 from repro.core.parallel import verify_table
@@ -116,14 +122,35 @@ def _rng_for(seed: int, name: str) -> random.Random:
     return random.Random(f"{seed}:{name}")
 
 
-def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2) -> ChaosReport:
-    """Run the full fault-injection suite against a seeded world."""
+def run_chaos(
+    seed: int = 42,
+    preset: str = "tiny",
+    processes: int = 2,
+    only: str | None = None,
+) -> ChaosReport:
+    """Run the fault-injection suite against a seeded world.
+
+    ``only="serve-supervisor"`` runs just the serve worker-pool layer
+    (SIGKILL and SIGSTOP faults under flood) — the CI ``chaos-serve``
+    job; ``None`` runs everything.
+    """
     started = time.monotonic()
     report = ChaosReport(seed=seed, preset=preset)
     check = report.checks.append
 
     config = tiny_config(seed) if preset == "tiny" else default_config(seed)
     world = build_world(config)
+    if only == "serve-supervisor":
+        entries = list(
+            collector_routes(world.topology, world.announced, world.collectors)
+        )
+        report.degradation.merge(
+            _serve_supervisor_layer(check, world.merged_ir(), world, entries)
+        )
+        report.elapsed_s = time.monotonic() - started
+        return report
+    if only is not None:
+        raise ValueError(f"unknown chaos layer {only!r} (try 'serve-supervisor')")
     # The largest dump gives the mutators the most structure to damage.
     irr = max(world.irr_dumps, key=lambda name: len(world.irr_dumps[name]))
     clean_text = world.irr_dumps[irr]
@@ -345,6 +372,9 @@ def run_chaos(seed: int = 42, preset: str = "tiny", processes: int = 2) -> Chaos
     # -- layer 4: the resident serve daemon under flood ------------------------
     report.degradation.merge(_serve_layer(check, ir, world, entries))
 
+    # -- layer 4b: the supervised worker pool under crash/hang faults ----------
+    report.degradation.merge(_serve_supervisor_layer(check, ir, world, entries))
+
     report.elapsed_s = time.monotonic() - started
     return report
 
@@ -427,4 +457,175 @@ def _serve_layer(check, ir, world, entries) -> DegradationReport:
             "drained on stop; later connections refused",
         )
     )
+    return degradation
+
+
+def _serve_supervisor_layer(check, ir, world, entries) -> DegradationReport:
+    """Crash and wedge the serve worker pool mid-flood; assert self-healing.
+
+    The contract: SIGKILLing one worker costs only its in-flight batch
+    (retried on another worker — every client still gets a verdict
+    bit-identical to the batch path), the supervisor respawns a
+    replacement and the restart is visible in the metrics and the
+    degradation report; a SIGSTOPped worker is detected by heartbeat and
+    replaced without operator intervention.
+    """
+    from repro.api import Session
+    from repro.obs import MetricsRegistry
+    from repro.serve import ServeConfig, ServeDaemon
+
+    degradation = DegradationReport()
+    # A private registry so the restart counter is visible at /metrics.
+    session = Session(
+        ir, world.topology, index=None, use_cache=False, registry=MetricsRegistry()
+    )
+    entry = entries[0]
+    expected = str(
+        session.warm().verify_route(str(entry.prefix), entry.as_path, collector="serve")
+    )
+    body = json.dumps({"prefix": str(entry.prefix), "as_path": list(entry.as_path)})
+    daemon = ServeDaemon(
+        session,
+        ServeConfig(
+            http_port=0,
+            workers=2,
+            queue_size=128,
+            batch_max=4,
+            default_deadline=30.0,
+            hang_timeout=3.0,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=1.0,
+            shed_target=0.0,  # admission stays open: every flood request answers
+        ),
+    )
+    handle = daemon.start_in_thread()
+    service = daemon.service
+    supervisor = service.supervisor
+
+    def http_get(path: str) -> tuple[int, str]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.http_port, timeout=30
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, response.read().decode()
+        finally:
+            connection.close()
+
+    def post_verify() -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.http_port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/verify", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    try:
+        status, payload = post_verify()
+        check(
+            ChaosCheck(
+                "serve-pool/bit-identity",
+                status == 200 and payload.get("text") == expected,
+                "pool verdict matches the batch rendering",
+            )
+        )
+
+        # SIGKILL one worker mid-flood.  The fault hook slows each batch
+        # so the flood is still in flight when the kill lands and some
+        # batch actually dies with its worker.
+        victim = supervisor.worker_pids()[0]
+        service.fault_hook = lambda queries: time.sleep(0.02)
+        try:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                futures = [pool.submit(post_verify) for _ in range(48)]
+                time.sleep(0.1)
+                KillServeWorker()(victim)
+                outcomes = [future.result() for future in futures]
+        finally:
+            service.fault_hook = None
+        served = sum(1 for status, _ in outcomes if status == 200)
+        identical = all(
+            payload.get("text") == expected
+            for status, payload in outcomes
+            if status == 200
+        )
+        check(
+            ChaosCheck(
+                "serve-pool/kill-mid-flood-no-request-lost",
+                served == len(outcomes) and identical,
+                f"{served}/{len(outcomes)} served bit-identically, worker SIGKILLed",
+            )
+        )
+
+        deadline = time.monotonic() + 15
+        while (
+            time.monotonic() < deadline
+            and supervisor.state()["restarts_total"] < 1
+        ):
+            time.sleep(0.05)
+        state = supervisor.state()
+        kinds = service.degradation.by_kind()
+        crashes = kinds.get("serve/worker-crashed", 0) + kinds.get(
+            "serve/worker-hung", 0
+        )
+        check(
+            ChaosCheck(
+                "serve-pool/restart-recorded",
+                state["restarts_total"] >= 1 and crashes >= 1,
+                f"restarts={state['restarts_total']}, "
+                f"degradation={dict(sorted(kinds.items()))}",
+            )
+        )
+        _, metrics_text = http_get("/metrics")
+        check(
+            ChaosCheck(
+                "serve-pool/restart-in-metrics",
+                "serve_worker_restarts_total 1" in metrics_text
+                or "serve_worker_restarts_total 2" in metrics_text,
+                "restart counter exported at /metrics",
+            )
+        )
+
+        # SIGSTOP a worker: the idle heartbeat must notice the silence
+        # and replace it within interval + timeout (plus respawn time).
+        victim = supervisor.worker_pids()[0]
+        HungWorker()(victim)
+        deadline = time.monotonic() + 15
+        replaced = False
+        while time.monotonic() < deadline:
+            pids = supervisor.worker_pids()
+            if victim not in pids and len(pids) == daemon.config.workers:
+                replaced = True
+                break
+            time.sleep(0.05)
+        check(
+            ChaosCheck(
+                "serve-pool/hung-worker-replaced",
+                replaced,
+                "SIGSTOPped worker detected by heartbeat and respawned",
+            )
+        )
+
+        status, health_text = http_get("/healthz")
+        health = json.loads(health_text)
+        block = health.get("supervisor", {})
+        check(
+            ChaosCheck(
+                "serve-pool/healthz-supervisor-state",
+                status == 200
+                and block.get("live") == daemon.config.workers
+                and not block.get("degraded", True),
+                f"supervisor block: {block}",
+            )
+        )
+        degradation.merge(service.degradation)
+    finally:
+        handle.stop()
     return degradation

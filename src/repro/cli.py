@@ -477,7 +477,9 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_chaos
 
-    report = run_chaos(seed=args.seed, preset=args.preset, processes=args.processes)
+    report = run_chaos(
+        seed=args.seed, preset=args.preset, processes=args.processes, only=args.only
+    )
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2, sort_keys=True)
         print()
@@ -524,6 +526,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         max_deadline=max(args.deadline, args.max_deadline),
         drain_timeout=args.drain_timeout,
+        workers=args.workers,
     )
     daemon = ServeDaemon(session, serve_config)
 
@@ -730,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=42)
     chaos.add_argument("--preset", choices=("tiny", "default"), default="tiny")
     chaos.add_argument("--processes", type=int, default=2)
+    chaos.add_argument(
+        "--only",
+        choices=("serve-supervisor",),
+        default=None,
+        help="run a single chaos layer instead of the full suite",
+    )
     chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -791,6 +800,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         metavar="SECONDS",
         help="bound on the graceful shutdown drain (default 5s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="supervised verify worker processes (0 = in-process, the default)",
     )
     serve.add_argument(
         "--index",

@@ -55,6 +55,7 @@ from repro.stats.verification import VerificationStats
 
 __all__ = [
     "verify_table",
+    "reset_worker_observability",
     "MAX_CHUNK_ATTEMPTS",
     "MAX_POOL_REBUILDS",
 ]
@@ -208,6 +209,33 @@ def _verify_serial(
     return stats
 
 
+def reset_worker_observability(
+    collect_metrics: bool,
+    trace_config: TraceConfig | None = None,
+    trace_dir: str | None = None,
+) -> None:
+    """Install fresh per-process observability in a worker.
+
+    Every worker process — the batch pool's and the serve supervisor's —
+    must never write into registries or tracers inherited across fork
+    (the parent would never read the child's copy).  This sets a fresh
+    :class:`MetricsRegistry` (or None) and either a per-worker
+    spill-to-JSONL tracer (merged by the parent after the pool drains)
+    or the null tracer.
+    """
+    set_registry(MetricsRegistry() if collect_metrics else None)
+    if trace_config is not None and trace_dir is not None:
+        set_tracer(
+            Tracer(
+                trace_config,
+                sink=Path(trace_dir) / f"worker-{os.getpid()}.jsonl",
+                worker_id=os.getpid(),
+            )
+        )
+    else:
+        set_tracer(None)
+
+
 def _init_worker(
     ir: Ir,
     relationships: AsRelationships,
@@ -223,22 +251,7 @@ def _init_worker(
     _WORKER_COLLECT_METRICS = collect_metrics
     _WORKER_LAST_SNAPSHOT = None
     _WORKER_FAULT_HOOK = fault_hook
-    # A fresh registry per worker (never the parent's — under fork the
-    # child would otherwise write into an inherited copy that nobody reads).
-    set_registry(MetricsRegistry() if collect_metrics else None)
-    # Same discipline for tracing: a fresh tracer spilling to a per-worker
-    # JSONL file (merged by the parent after the pool drains), or the null
-    # tracer — never the parent's in-memory tracer inherited across fork.
-    if trace_config is not None and trace_dir is not None:
-        set_tracer(
-            Tracer(
-                trace_config,
-                sink=Path(trace_dir) / f"worker-{os.getpid()}.jsonl",
-                worker_id=os.getpid(),
-            )
-        )
-    else:
-        set_tracer(None)
+    reset_worker_observability(collect_metrics, trace_config, trace_dir)
     # The compiled index arrives pre-built: shared copy-on-write under
     # fork, pickled once per worker under spawn — either way the worker's
     # verifier starts warm instead of re-deriving every memo cache cold.

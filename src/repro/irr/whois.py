@@ -332,21 +332,33 @@ def whois_query(
     retries: int = 0,
     backoff: float = 0.1,
     max_backoff: float = 2.0,
+    max_elapsed: float = 30.0,
+    rng: random.Random | None = None,
 ) -> str:
     """Send one query and return the response text (trailing blanks stripped).
 
     With ``retries`` > 0, connection-level failures (refused, reset,
-    timed out) are retried up to that many extra times with exponential
-    backoff starting at ``backoff`` seconds, jittered by ±50% so a herd of
-    retrying clients does not re-synchronize; the final failure re-raises.
+    timed out) are retried up to that many extra times with *full-jitter*
+    exponential backoff: each delay is drawn uniformly from ``[0, cap)``
+    where the cap doubles from ``backoff`` up to ``max_backoff``.  Full
+    jitter (rather than the ±50% kind) means a herd of clients that
+    failed together against a recovering server spreads across the whole
+    window instead of re-synchronizing near the cap.  ``max_elapsed``
+    bounds the *total* time spent retrying — once the budget is spent
+    the failure re-raises even with retries remaining — and ``rng``
+    injects a seeded :class:`random.Random` so tests are deterministic.
     """
     attempt = 0
+    generator = rng if rng is not None else random
+    started = time.monotonic()
     while True:
         try:
             return _query_once(host, port, query, timeout)
         except OSError:
-            if attempt >= retries:
+            elapsed = time.monotonic() - started
+            if attempt >= retries or elapsed >= max_elapsed:
                 raise
-            delay = min(backoff * (2**attempt), max_backoff)
-            time.sleep(delay * (0.5 + random.random()))
+            cap = min(backoff * (2**attempt), max_backoff)
+            delay = min(generator.uniform(0, cap), max_elapsed - elapsed)
+            time.sleep(delay)
             attempt += 1

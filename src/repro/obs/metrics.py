@@ -11,15 +11,21 @@ Callers that want metrics install a real :class:`MetricsRegistry` with
 
 Instruments are keyed by ``(name, sorted labels)`` the way Prometheus keys
 time series; asking twice for the same key returns the same instrument.
-Registries are deliberately not thread-safe: the pipeline parallelizes by
-*process*, and per-worker registries are folded back into the parent with
-:meth:`MetricsRegistry.merge_snapshot` (the same discipline as
-:class:`~repro.stats.verification.VerificationStats`).
+Registries are deliberately not thread-safe on the *update* path: the
+pipeline parallelizes by process, and per-worker registries are folded
+back into the parent with :meth:`MetricsRegistry.merge_snapshot` (the
+same discipline as :class:`~repro.stats.verification.VerificationStats`).
+Instrument *creation* is guarded by a lock, because the serve daemon
+looks instruments up from both its event loop and its batch executor
+threads; callers that mutate instruments from several threads serialize
+those updates themselves (the serve core holds one metrics lock around
+every serving-path mutation).
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Iterator
@@ -149,6 +155,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, LabelItems], object] = {}
+        self._create_lock = threading.Lock()
         self.spans = SpanStore()
 
     # -- instrument access -------------------------------------------------
@@ -157,9 +164,12 @@ class MetricsRegistry:
         key = (name, _label_items(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name, key[1], **kwargs)
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, cls):
+            with self._create_lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = cls(name, key[1], **kwargs)
+                    self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {type(instrument).__name__}"
             )

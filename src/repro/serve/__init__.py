@@ -17,7 +17,13 @@ Both front-ends dispatch into one shared request core
 coalesced by a micro-batcher into single indexed verify passes on a warm
 verifier, every request carries a deadline, the queue is bounded with
 explicit backpressure (HTTP 429 / ``%% BUSY``), and SIGTERM drains
-in-flight work before exiting.  See ``docs/serving.md``.
+in-flight work before exiting.  With ``ServeConfig(workers=N)`` the
+batches execute on a supervised pool of warm worker processes
+(:mod:`repro.serve.supervisor`): heartbeat health checks, SIGKILL +
+respawn of hung/crashed workers under a restart budget, a circuit
+breaker around dispatch, CoDel-style load shedding on measured
+queue-wait latency, and graceful degradation to the in-process serial
+path when the pool collapses.  See ``docs/serving.md``.
 
 Programmatic use::
 
@@ -43,17 +49,27 @@ from repro.serve.core import (
     report_as_dict,
 )
 from repro.serve.daemon import ServeDaemon, ServeHandle
+from repro.serve.supervisor import (
+    CircuitBreaker,
+    LatencyShedder,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "BadRequestError",
     "BusyError",
+    "CircuitBreaker",
     "DeadlineExpired",
+    "LatencyShedder",
     "MicroBatcher",
     "Query",
     "ServeConfig",
     "ServeDaemon",
     "ServeError",
     "ServeHandle",
+    "SupervisorConfig",
     "VerifyService",
+    "WorkerSupervisor",
     "report_as_dict",
 ]

@@ -1,20 +1,24 @@
-"""The micro-batcher: coalesce concurrent requests into one warm pass.
+"""The micro-batcher: coalesce concurrent requests into warm passes.
 
 Per-query latency against a resident index is dominated by fixed costs —
 an executor hop, tracer/metric bookkeeping — not by the index lookups
 themselves.  The :class:`MicroBatcher` amortizes those costs: submitters
 enqueue work items onto a *bounded* queue (overflow is the backpressure
 signal, surfaced as HTTP 429 / ``%% BUSY`` by the front-ends), and a
-single dispatcher coroutine collects whatever has accumulated — waiting
-at most ``batch_window`` seconds after the first item so concurrent
-arrivals coalesce — then executes the whole batch in one hop on a
-single-threaded executor.
+dispatcher coroutine collects whatever has accumulated — waiting at most
+``batch_window`` seconds after the first item so concurrent arrivals
+coalesce — then executes the whole batch in one hop on the executor.
 
-One executor thread is load-bearing, not a simplification: the session's
-warm :class:`~repro.core.verify.Verifier` (and its hop cache) is not
-thread-safe, so the batcher doubles as the serialization point for all
-query execution.  Verification is pure CPU-bound Python; running it off
-the event loop keeps the protocol handlers responsive while a batch runs.
+``concurrency`` bounds how many batches execute at once.  The default of
+1 is load-bearing, not a simplification: the session's warm
+:class:`~repro.core.verify.Verifier` (and its hop cache) is not
+thread-safe, so a single executor thread doubles as the serialization
+point for all query execution.  The serve daemon raises it only when a
+:class:`~repro.serve.supervisor.WorkerSupervisor` is attached — each
+batch then ships to its own worker process, and the executor threads
+merely wait on pipes.  Verification is pure CPU-bound Python; running it
+off the event loop keeps the protocol handlers responsive while batches
+run.
 """
 
 from __future__ import annotations
@@ -31,38 +35,51 @@ _STOP = object()
 
 
 class MicroBatcher:
-    """Bounded queue + dispatcher + single-thread executor.
+    """Bounded queue + dispatcher + bounded-concurrency executor.
 
-    ``execute`` is called on the executor thread with each batch (a list
+    ``execute`` is called on an executor thread with each batch (a list
     of submitted items) and must return one outcome per item, in order;
     an outcome that is an ``Exception`` instance is set as the item
     future's exception, anything else as its result.  Items must expose
     an asyncio ``future`` attribute; outcomes for futures that are
     already done (deadline hit, client gone) are discarded.
+
+    ``discard`` is called with each item still queued when the batcher
+    stops — the owner fails those waiters explicitly (the serve core
+    raises ``BusyError``) instead of leaving them to hang until their
+    deadline.
     """
 
     def __init__(
         self,
         execute: Callable[[Sequence], list],
         *,
+        execute_async: Callable[[Sequence], "asyncio.Future"] | None = None,
         queue_size: int = 256,
         batch_max: int = 64,
         batch_window: float = 0.002,
+        concurrency: int = 1,
         on_batch: Callable[[int], None] | None = None,
+        discard: Callable[[object], None] | None = None,
     ):
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
         self._execute = execute
+        self._execute_async = execute_async
         self._queue_size = queue_size
         self._batch_max = batch_max
         self._batch_window = batch_window
+        self._concurrency = concurrency
         self._on_batch = on_batch
+        self._discard = discard
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
-        self._busy = False
+        self._inflight = 0
         self.batches = 0
         self.items = 0
 
@@ -72,7 +89,8 @@ class MicroBatcher:
             return self
         self._queue = asyncio.Queue(maxsize=self._queue_size)
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="rpslyzer-serve-batch"
+            max_workers=self._concurrency,
+            thread_name_prefix="rpslyzer-serve-batch",
         )
         self._task = asyncio.create_task(self._dispatch(), name="serve-batcher")
         return self
@@ -89,21 +107,29 @@ class MicroBatcher:
         self._queue.put_nowait(item)
 
     def qsize(self) -> int:
-        """Items currently queued (excludes the batch being executed)."""
+        """Items currently queued (excludes batches being executed)."""
         return self._queue.qsize() if self._queue is not None else 0
 
     @property
     def busy(self) -> bool:
-        """Whether a batch is executing right now."""
-        return self._busy
+        """Whether any batch is executing right now."""
+        return self._inflight > 0
 
     # -- dispatch ----------------------------------------------------------
 
     async def _collect(self, first) -> list:
         """One batch: the first item plus whatever coalesced behind it."""
         batch = [first]
-        if self._batch_window > 0 and self._batch_max > 1:
-            # Let concurrent submitters land in the queue before we run.
+        if (
+            self._batch_window > 0
+            and self._batch_max > 1
+            and self._queue.qsize() < self._batch_max - 1
+        ):
+            # Let concurrent submitters land in the queue before we run —
+            # but only when a full batch hasn't already accumulated: the
+            # window is coalescing aid, not a pacing delay, and sleeping
+            # while the queue holds a batch would cap the dispatch rate
+            # at batches/window under sustained load.
             await asyncio.sleep(self._batch_window)
         while len(batch) < self._batch_max:
             try:
@@ -118,21 +144,43 @@ class MicroBatcher:
         return batch
 
     async def _dispatch(self) -> None:
-        loop = asyncio.get_running_loop()
+        semaphore = asyncio.Semaphore(self._concurrency)
+        running: set[asyncio.Task] = set()
         while True:
             first = await self._queue.get()
             if first is _STOP:
-                return
+                break
             batch = await self._collect(first)
-            self._busy = True
+            # The semaphore bounds concurrent batches; with concurrency 1
+            # this is exactly the old serialize-on-one-thread behavior.
+            await semaphore.acquire()
+            task = asyncio.create_task(self._run_batch(batch, semaphore))
+            running.add(task)
+            task.add_done_callback(running.discard)
+        if running:
+            await asyncio.gather(*running, return_exceptions=True)
+
+    def run_blocking(self, fn: Callable, *args):
+        """Run a blocking callable on the batcher's executor (awaitable).
+
+        Exposed so an ``execute_async`` implementation can push its own
+        blocking sections (a serial fallback, a chaos hook) off the loop
+        while still sharing the executor's concurrency bound.
+        """
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _run_batch(self, batch: list, semaphore: asyncio.Semaphore) -> None:
+        self._inflight += 1
+        try:
             try:
-                outcomes = await loop.run_in_executor(
-                    self._executor, self._execute, batch
-                )
+                if self._execute_async is not None:
+                    outcomes = await self._execute_async(batch)
+                else:
+                    outcomes = await self.run_blocking(self._execute, batch)
             except Exception as exc:  # noqa: BLE001 - fail the whole batch
                 outcomes = [exc] * len(batch)
-            finally:
-                self._busy = False
             self.batches += 1
             self.items += len(batch)
             if self._on_batch is not None:
@@ -145,6 +193,9 @@ class MicroBatcher:
                     future.set_exception(outcome)
                 else:
                     future.set_result(outcome)
+        finally:
+            self._inflight -= 1
+            semaphore.release()
 
     # -- shutdown ----------------------------------------------------------
 
@@ -152,23 +203,43 @@ class MicroBatcher:
         """Wait (bounded) until the queue is empty and no batch is running."""
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
-        while (self.qsize() or self._busy) and loop.time() < deadline:
+        while (self.qsize() or self.busy) and loop.time() < deadline:
             await asyncio.sleep(0.005)
-        return not self.qsize() and not self._busy
+        return not self.qsize() and not self.busy
 
     async def stop(self) -> None:
-        """Stop the dispatcher and release the executor thread."""
+        """Stop the dispatcher and release the executor threads.
+
+        Items still queued (a drain that timed out, or a full queue at
+        shutdown) are handed to ``discard`` so their waiters get an
+        explicit refusal rather than a hang.
+        """
         if self._task is None:
             return
-        try:
-            self._queue.put_nowait(_STOP)
-        except asyncio.QueueFull:  # abandoned queue contents: hard stop
-            self._task.cancel()
+        # Anything still queued is refused, not executed: stop() runs
+        # after the drain window has closed, and the waiters must get an
+        # explicit BusyError rather than surprise late verdicts.  This
+        # runs on the loop thread between the dispatcher's awaits, so
+        # the hand-off is race-free.
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)
+        self._queue.put_nowait(_STOP)
         try:
             await asyncio.wait_for(self._task, timeout=5)
         except (asyncio.TimeoutError, asyncio.CancelledError):  # pragma: no cover
             self._task.cancel()
         self._task = None
+        for item in leftovers:
+            if self._discard is not None:
+                self._discard(item)
+            elif not item.future.done():  # pragma: no cover - fallback
+                item.future.cancel()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None

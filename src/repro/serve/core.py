@@ -9,34 +9,51 @@ handlers stay thin:
   :class:`~repro.serve.batcher.MicroBatcher`'s queue; overflow raises
   :class:`BusyError`, which the front-ends translate to HTTP 429 or
   ``%% BUSY``.  Nothing in the daemon buffers unboundedly.
+* **adaptive load shedding** — with a worker pool attached, a
+  :class:`~repro.serve.supervisor.LatencyShedder` watches measured
+  queue-wait latency and refuses admission (429/``%% BUSY``) while the
+  wait stays above target, *before* the queue fills.
 * **per-request deadlines** — every query carries a wall deadline
-  (client-supplied, clamped to ``max_deadline``).  A query still queued
-  when its deadline passes is never executed; the waiter gets a
-  structured :class:`DeadlineExpired` (HTTP 504 / ``%% DEADLINE``) and
-  the miss is counted.
+  (client-supplied, validated positive and clamped to
+  ``max_deadline``).  A query still queued when its deadline passes is
+  never executed; the waiter gets a structured :class:`DeadlineExpired`
+  (HTTP 504 / ``%% DEADLINE``) and the miss is counted.
 * **micro-batching** — concurrent queries coalesce into one indexed
-  verify pass over the session's warm verifier (see
-  :mod:`repro.serve.batcher`), so the compiled index is consulted once
-  per hop, never recompiled per request.
+  verify pass (see :mod:`repro.serve.batcher`), so the compiled index
+  is consulted once per hop, never recompiled per request.
+* **supervised execution** — with ``workers > 0`` batches ship to a
+  self-healing pool of warm worker processes
+  (:class:`~repro.serve.supervisor.WorkerSupervisor`); a batch the pool
+  cannot serve (crashes, open breaker, degraded pool) falls back to the
+  in-process serial path, so every admitted request still gets its
+  verdict.
 
 Serving metrics (reported into the session's registry, exposed at
 ``GET /metrics``): ``serve_request_seconds{endpoint=}`` latency
-histograms, ``serve_queue_depth``, ``serve_batch_size``,
-``serve_deadline_miss_total``, and
-``serve_requests_total{endpoint=,outcome=}``.
+histograms, ``serve_queue_depth``, ``serve_queue_wait_seconds``,
+``serve_batch_size``, ``serve_deadline_miss_total``,
+``serve_shed_total``, ``serve_requests_total{endpoint=,outcome=}``, and
+the supervisor's worker/breaker gauges.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.api import Session
+from repro.core.degradation import DegradationReport
 from repro.core.report import RouteReport
 from repro.net.prefix import Prefix, PrefixError
 from repro.serve.batcher import MicroBatcher, QueueFull
+from repro.serve.supervisor import (
+    LatencyShedder,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "BadRequestError",
@@ -65,7 +82,7 @@ class ServeError(Exception):
 
 
 class BusyError(ServeError):
-    """The bounded queue is full (or the daemon is draining): back off."""
+    """The service refuses admission (queue full, shedding, draining)."""
 
     code = "busy"
 
@@ -94,6 +111,13 @@ class ServeConfig:
     request may ask for less than ``default_deadline`` but never more
     than ``max_deadline``.  ``drain_timeout`` bounds the graceful
     SIGTERM drain.
+
+    ``workers`` > 0 attaches the self-healing multi-process pool (see
+    :mod:`repro.serve.supervisor`); 0 (the default) keeps the original
+    in-process single-thread execution.  ``shed_target`` of ``None``
+    auto-enables CoDel-style load shedding at a 100 ms queue-wait target
+    when a pool is attached and disables it otherwise; a float forces
+    that target, 0 disables shedding outright.
     """
 
     host: str = "127.0.0.1"
@@ -105,6 +129,16 @@ class ServeConfig:
     default_deadline: float = 5.0
     max_deadline: float = 30.0
     drain_timeout: float = 5.0
+    workers: int = 0
+    hang_timeout: float = 10.0
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 2.0
+    restart_budget: int = 8
+    breaker_failures: int = 3
+    breaker_cooldown: float = 1.0
+    shed_target: float | None = None
+    shed_interval: float = 1.0
+    start_method: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -207,9 +241,12 @@ class VerifyService:
 
     Wraps a warm :class:`~repro.api.Session` (the session must carry AS
     relationships) behind a micro-batched, deadline- and
-    backpressure-aware ``submit``.  All query execution happens on the
-    batcher's single executor thread, which doubles as the session's
-    serialization point.
+    backpressure-aware ``submit``.  With ``workers=0`` all execution
+    happens on the batcher's single executor thread, which doubles as
+    the session's serialization point; with ``workers>0`` batches ship
+    to the supervised worker pool and the executor threads only wait on
+    pipes, with the in-process path (guarded by a lock) as the fallback
+    whenever the pool cannot serve a batch.
     """
 
     def __init__(self, session: Session, config: ServeConfig | None = None):
@@ -217,29 +254,76 @@ class VerifyService:
         self.config = config or ServeConfig()
         self.started_at = time.time()
         self.draining = False
-        # Chaos/test instrumentation: called on the executor thread with
+        self.degradation = DegradationReport()
+        self.supervisor: WorkerSupervisor | None = None
+        # Chaos/test instrumentation: called on an executor thread with
         # the batch's queries before execution.  Never set in production.
         self.fault_hook: Callable[[Sequence[Query]], None] | None = None
         registry = session.registry
         self._registry = registry
+        # The registry is not thread-safe; with a pool attached both the
+        # event loop and several executor threads record into it, so all
+        # serving-path mutations go through this lock.
+        self._metrics_lock = threading.Lock()
+        # Serializes fallback (and workers=0) execution on the session,
+        # which is not thread-safe either.
+        self._serial_lock = threading.Lock()
         self._queue_depth = registry.gauge("serve_queue_depth")
         self._batch_size = registry.histogram(
             "serve_batch_size", buckets=SERVE_BATCH_BUCKETS
         )
+        self._queue_wait = registry.histogram("serve_queue_wait_seconds")
         self._deadline_miss = registry.counter("serve_deadline_miss_total")
+        self._shed_total = registry.counter("serve_shed_total")
+        shed_target = self.config.shed_target
+        if shed_target is None:
+            shed_target = 0.1 if self.config.workers > 0 else 0.0
+        self._shedder = (
+            LatencyShedder(target=shed_target, interval=self.config.shed_interval)
+            if shed_target > 0
+            else None
+        )
         self._batcher = MicroBatcher(
             self._run_batch,
+            # With a pool attached, batches are dispatched natively on
+            # the event loop (pipe waits via add_reader) instead of
+            # parking executor threads on poll() — the thread wakeups
+            # lose more GIL time than the batches cost.
+            execute_async=self._run_batch_async if self.config.workers > 0 else None,
             queue_size=self.config.queue_size,
             batch_max=self.config.batch_max,
             batch_window=self.config.batch_window,
-            on_batch=self._batch_size.observe,
+            concurrency=max(1, self.config.workers),
+            on_batch=self._observe_batch,
+            discard=self._discard_pending,
         )
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "VerifyService":
-        """Warm the session (index adoption) and start the batcher."""
+        """Warm the session, spawn the worker pool, start the batcher."""
         self.session.warm()
+        if self.config.workers > 0:
+            self.supervisor = WorkerSupervisor(
+                self.session.ir,
+                self.session.relationships,
+                self.session.options,
+                self.session.index,
+                SupervisorConfig(
+                    workers=self.config.workers,
+                    hang_timeout=self.config.hang_timeout,
+                    heartbeat_interval=self.config.heartbeat_interval,
+                    heartbeat_timeout=self.config.heartbeat_timeout,
+                    restart_budget=self.config.restart_budget,
+                    breaker_failures=self.config.breaker_failures,
+                    breaker_cooldown=self.config.breaker_cooldown,
+                    start_method=self.config.start_method,
+                ),
+                registry=self._registry,
+                metrics_lock=self._metrics_lock,
+                degradation=self.degradation,
+            )
+            self.supervisor.start()
         await self._batcher.start()
         return self
 
@@ -255,9 +339,16 @@ class VerifyService:
         )
 
     async def stop(self) -> None:
-        """Stop the batcher; queued-but-unexecuted queries get BusyError."""
+        """Stop the batcher and the pool; still-queued waiters get BusyError."""
         self.draining = True
         await self._batcher.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()
+
+    def _discard_pending(self, pending: "_Pending") -> None:
+        """Fail a queued-but-never-executed waiter at shutdown."""
+        if not pending.future.done():
+            pending.future.set_exception(BusyError("shutting down"))
 
     # -- submission --------------------------------------------------------
 
@@ -266,16 +357,34 @@ class VerifyService:
             "serve_requests_total", endpoint=kind, outcome=outcome
         )
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the worker pool has degraded to serial execution."""
+        return self.supervisor is not None and self.supervisor.degraded
+
     async def submit(self, query: Query) -> dict:
         """Run one query through the batched core; returns the JSON payload.
 
-        Raises :class:`BusyError` on backpressure (queue full or
+        Raises :class:`BadRequestError` on an invalid deadline,
+        :class:`BusyError` on backpressure (queue full, shedding, or
         draining) and :class:`DeadlineExpired` when the query's wall
         deadline passes first.
         """
         if self.draining:
-            self._outcome(query.kind, "busy").inc()
+            with self._metrics_lock:
+                self._outcome(query.kind, "busy").inc()
             raise BusyError("shutting down")
+        if query.deadline_s is not None and query.deadline_s <= 0:
+            # Zero/negative deadlines used to be clamped by min() into an
+            # instant 504; they are a malformed request, not a timeout.
+            with self._metrics_lock:
+                self._outcome(query.kind, "bad-request").inc()
+            raise BadRequestError("'deadline_s' must be positive")
+        if self._shedder is not None and self._shedder.should_shed():
+            with self._metrics_lock:
+                self._shed_total.inc()
+                self._outcome(query.kind, "busy").inc()
+            raise BusyError("shedding load: queue wait above target")
         timeout = min(
             query.deadline_s
             if query.deadline_s is not None
@@ -289,84 +398,192 @@ class VerifyService:
         try:
             self._batcher.submit_nowait(pending)
         except QueueFull:
-            self._outcome(query.kind, "busy").inc()
+            with self._metrics_lock:
+                self._outcome(query.kind, "busy").inc()
             raise BusyError(
                 f"queue full ({self.config.queue_size} queries pending)"
             ) from None
-        self._queue_depth.set(self._batcher.qsize())
+        with self._metrics_lock:
+            self._queue_depth.set(self._batcher.qsize())
         try:
             result = await asyncio.wait_for(pending.future, timeout)
         except asyncio.TimeoutError:
             # wait_for cancelled the future, so the batcher will discard
             # any late outcome instead of delivering into the void.
-            self._deadline_miss.inc()
-            self._outcome(query.kind, "deadline").inc()
+            with self._metrics_lock:
+                self._deadline_miss.inc()
+                self._outcome(query.kind, "deadline").inc()
             raise DeadlineExpired(
                 f"no verdict within the {timeout:g}s deadline"
             ) from None
-        except ServeError:
+        except ServeError as exc:
+            with self._metrics_lock:
+                self._outcome(query.kind, exc.code).inc()
             raise
         except Exception:
-            self._outcome(query.kind, "error").inc()
+            with self._metrics_lock:
+                self._outcome(query.kind, "error").inc()
             raise
-        self._registry.histogram(
-            "serve_request_seconds", endpoint=query.kind
-        ).observe(time.monotonic() - pending.submitted)
-        self._outcome(query.kind, "ok").inc()
+        with self._metrics_lock:
+            self._registry.histogram(
+                "serve_request_seconds", endpoint=query.kind
+            ).observe(time.monotonic() - pending.submitted)
+            self._outcome(query.kind, "ok").inc()
         return result
 
-    # -- execution (batcher's executor thread) -----------------------------
+    # -- execution (batcher executor threads) --------------------------------
+
+    def _observe_batch(self, size: int) -> None:
+        with self._metrics_lock:
+            self._batch_size.observe(size)
 
     def _run_batch(self, batch: Sequence[_Pending]) -> list:
-        """Execute one coalesced batch on the warm session.
+        """Execute one coalesced batch — via the pool or in-process.
 
         Returns an outcome per item; exceptions become the waiter's
         exception.  Queries whose deadline passed while queued are
         skipped (their waiters have already timed out, this just avoids
-        wasted work); queries whose client vanished are skipped via the
-        done-future check in the batcher.
+        wasted work), and every item's measured queue wait feeds the
+        latency shedder.
         """
         if self.fault_hook is not None:
             self.fault_hook([pending.query for pending in batch])
-        outcomes: list = []
+        outcomes, live = self._admit_batch(batch)
+        if live:
+            results = self._execute_queries(
+                [batch[position].query for position in live]
+            )
+            for position, result in zip(live, results):
+                outcomes[position] = result
+        return outcomes
+
+    def _admit_batch(self, batch: Sequence[_Pending]) -> tuple[list, list[int]]:
+        """Per-item bookkeeping shared by the sync and async batch paths:
+        observe queue waits (metrics + shedder) and skip expired items."""
+        outcomes: list = [None] * len(batch)
+        live: list[int] = []
         now = time.monotonic()
-        for pending in batch:
-            query = pending.query
+        for position, pending in enumerate(batch):
+            wait = now - pending.submitted
+            with self._metrics_lock:
+                self._queue_wait.observe(wait)
+            if self._shedder is not None:
+                self._shedder.observe(wait)
             if pending.deadline <= now or pending.future.done():
-                outcomes.append(DeadlineExpired("expired while queued"))
-                continue
-            try:
-                if query.kind == "explain":
-                    report, events = self.session.explain(
-                        query.prefix, query.as_path, collector=query.collector
+                outcomes[position] = DeadlineExpired("expired while queued")
+            else:
+                live.append(position)
+        return outcomes, live
+
+    async def _run_batch_async(self, batch: Sequence[_Pending]) -> list:
+        """The pool fast path: dispatch on the event loop, no thread hop.
+
+        Falls back to the full blocking path (on the batcher's executor)
+        whenever it cannot stay non-blocking: a chaos hook installed, or
+        the pool degraded/unable so queries must run in-process.
+        """
+        supervisor = self.supervisor
+        if self.fault_hook is not None or supervisor is None or supervisor.degraded:
+            return await self._batcher.run_blocking(self._run_batch, batch)
+        outcomes, live = self._admit_batch(batch)
+        if not live:
+            return outcomes
+        queries = [batch[position].query for position in live]
+        items = [
+            (query.kind, query.prefix, query.as_path, query.collector)
+            for query in queries
+        ]
+        dispatched = await supervisor.dispatch_async(items)
+        if dispatched is not None:
+            results = [
+                payload if tag == "ok" else BadRequestError(payload)
+                for tag, payload in dispatched
+            ]
+        else:
+            if supervisor.degraded:
+                self._note_degraded()
+            results = await self._batcher.run_blocking(
+                self._execute_serial, queries
+            )
+        for position, result in zip(live, results):
+            outcomes[position] = result
+        return outcomes
+
+    def _execute_queries(self, queries: Sequence[Query]) -> list:
+        """Run queries through the pool, falling back serially when it can't."""
+        if self.supervisor is not None:
+            if not self.supervisor.degraded:
+                items = [
+                    (query.kind, query.prefix, query.as_path, query.collector)
+                    for query in queries
+                ]
+                dispatched = self.supervisor.dispatch(items)
+                if dispatched is not None:
+                    return [
+                        payload if tag == "ok" else BadRequestError(payload)
+                        for tag, payload in dispatched
+                    ]
+            if self.supervisor.degraded:
+                self._note_degraded()
+        return self._execute_serial(queries)
+
+    def _note_degraded(self) -> None:
+        # The supervisor records the budget-exhaustion event itself (the
+        # degradation report is shared); this logs the first serial batch.
+        if not self.degradation.by_kind().get("serve/degraded-to-serial"):
+            self.degradation.record(
+                "serve", "degraded-to-serial", "pool unavailable; serving in-process"
+            )
+
+    def _execute_serial(self, queries: Sequence[Query]) -> list:
+        """The in-process path: the session under its serialization lock."""
+        outcomes: list = []
+        with self._serial_lock:
+            for query in queries:
+                try:
+                    if query.kind == "explain":
+                        report, events = self.session.explain(
+                            query.prefix, query.as_path, collector=query.collector
+                        )
+                        payload = report_as_dict(report)
+                        payload["events"] = events
+                    else:
+                        report = self.session.verify_route(
+                            query.prefix, query.as_path, collector=query.collector
+                        )
+                        payload = report_as_dict(report)
+                    outcomes.append(payload)
+                except Exception as exc:  # noqa: BLE001 - per-query isolation
+                    outcomes.append(
+                        exc
+                        if isinstance(exc, ServeError)
+                        else BadRequestError(str(exc))
                     )
-                    payload = report_as_dict(report)
-                    payload["events"] = events
-                else:
-                    report = self.session.verify_route(
-                        query.prefix, query.as_path, collector=query.collector
-                    )
-                    payload = report_as_dict(report)
-                outcomes.append(payload)
-            except Exception as exc:  # noqa: BLE001 - per-query isolation
-                outcomes.append(
-                    exc if isinstance(exc, ServeError) else BadRequestError(str(exc))
-                )
-            now = time.monotonic()
         return outcomes
 
     # -- health ------------------------------------------------------------
 
     def health(self) -> dict:
         """The ``/healthz`` payload: liveness plus headline counters."""
-        return {
-            "status": "draining" if self.draining else "ok",
+        if self.draining:
+            status = "draining"
+        elif self.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        payload = {
+            "status": status,
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue_depth": self._batcher.qsize(),
             "queue_size": self.config.queue_size,
             "batches": self._batcher.batches,
             "queries": self._batcher.items,
+            "shedding": bool(self._shedder is not None and self._shedder.shedding),
+            "shed_total": self._shed_total.value,
             "index_digest": (
                 self.session.index.digest if self.session.index is not None else None
             ),
         }
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.state()
+        return payload

@@ -9,8 +9,13 @@ signal handlers, and runs the graceful-shutdown sequence:
 2. mark the service draining — queries already admitted keep executing,
    new submissions on surviving connections get BUSY;
 3. wait (bounded by ``drain_timeout``) for the queue and the in-flight
-   batch to finish, so every accepted request gets its answer;
-4. stop the batcher and return.
+   batches to finish, so every accepted request gets its answer;
+4. stop the batcher (waiters the drain never reached get an explicit
+   ``BusyError``, not a hang) and the worker pool, then return.
+
+The :class:`~repro.serve.core.VerifyService` is started *before* the
+front-ends bind, so the worker pool's forked processes never inherit
+the listening sockets.
 
 SIGTERM and SIGINT both trigger that sequence, so ``kill <pid>`` on the
 daemon is a clean drain, not a mid-verdict abort.

@@ -7,8 +7,9 @@ Endpoints (all responses are JSON unless noted):
   :func:`repro.serve.core.report_as_dict`).
 * ``POST /explain`` — same body → the report plus decision-provenance
   ``events``.
-* ``GET /healthz``  — liveness and headline counters; 503 while
-  draining.
+* ``GET /healthz``  — liveness, headline counters, and (with a worker
+  pool) supervisor state; 503 while draining *or* degraded to serial
+  execution.
 * ``GET /metrics``  — Prometheus exposition text for the session's
   registry (``text/plain``).
 
@@ -206,7 +207,7 @@ class HttpFrontend:
             if method != "GET":
                 raise _HttpError(405, "/healthz expects GET")
             health = self.service.health()
-            status = 503 if health["status"] == "draining" else 200
+            status = 200 if health["status"] == "ok" else 503
             return status, _json_bytes(health), "application/json"
         if path == "/metrics":
             if method != "GET":

@@ -207,6 +207,68 @@ def test_whois_without_retries_surfaces_the_failure(small_ir):
                 whois_query("127.0.0.1", proxy.port, "AS64500")
 
 
+def _refused_port() -> int:
+    """A port with nothing listening (bound then released)."""
+    import socket
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def test_whois_backoff_full_jitter_is_deterministic(monkeypatch):
+    """Seeded rng ⇒ identical delay sequences across runs, and every
+    delay stays inside the doubling full-jitter cap."""
+    import random as random_module
+
+    port = _refused_port()
+
+    def delays_for(seed: int) -> list[float]:
+        recorded: list[float] = []
+        monkeypatch.setattr(
+            "repro.irr.whois.time.sleep", lambda s: recorded.append(s)
+        )
+        with pytest.raises(OSError):
+            whois_query(
+                "127.0.0.1",
+                port,
+                "AS1",
+                timeout=0.5,
+                retries=4,
+                backoff=0.1,
+                max_backoff=0.3,
+                rng=random_module.Random(seed),
+            )
+        return recorded
+
+    first = delays_for(7)
+    second = delays_for(7)
+    assert first == second
+    assert len(first) == 4
+    caps = [0.1, 0.2, 0.3, 0.3]  # doubling, clamped at max_backoff
+    assert all(0 <= delay <= cap for delay, cap in zip(first, caps))
+    assert delays_for(8) != first  # a different seed draws differently
+
+
+def test_whois_backoff_total_time_budget(monkeypatch):
+    """An exhausted max_elapsed re-raises immediately, retries or not."""
+    monkeypatch.setattr(
+        "repro.irr.whois.time.sleep",
+        lambda s: pytest.fail("should not sleep with a spent budget"),
+    )
+    with pytest.raises(OSError):
+        whois_query(
+            "127.0.0.1",
+            _refused_port(),
+            "AS1",
+            timeout=0.5,
+            retries=5,
+            max_elapsed=0.0,
+        )
+
+
 def test_whois_query_line_cap(small_ir):
     with WhoisServer(small_ir) as server:
         refused = whois_query("127.0.0.1", server.port, "A" * 8192)

@@ -8,6 +8,7 @@ via subprocesses — the SIGTERM drain and a SIGKILL chaos check.
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import os
@@ -179,6 +180,108 @@ class TestDeadlines:
             if counter["name"] == "serve_deadline_miss_total"
         ]
         assert misses and misses[0]["value"] >= 1
+
+
+class TestDeadlineValidation:
+    def test_http_zero_deadline_is_bad_request(self, handle, tiny_routes):
+        """Regression: deadline_s=0 used to be clamped by min() into an
+        instant 504; it is a malformed request and must answer 400."""
+        status, body = _http(
+            handle.http_port,
+            "POST",
+            "/verify",
+            _verify_payload(tiny_routes[0], deadline_s=0),
+        )
+        assert status == 400
+        assert body["error"] == "bad-request"
+
+    def test_submit_rejects_nonpositive_deadline_directly(
+        self, serve_session, tiny_routes
+    ):
+        """A Query built in code (bypassing from_payload) must be refused
+        by submit itself, not turned into an instant deadline miss."""
+        from repro.serve import BadRequestError
+        from repro.serve.core import VerifyService
+
+        entry = tiny_routes[0]
+
+        async def scenario():
+            service = VerifyService(serve_session, ServeConfig())
+            await service.start()
+            try:
+                query = Query(
+                    kind="verify",
+                    prefix=str(entry.prefix),
+                    as_path=tuple(entry.as_path),
+                    deadline_s=-1.0,
+                )
+                with pytest.raises(BadRequestError):
+                    await service.submit(query)
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestDrainPaths:
+    def test_drain_timeout_returns_false_and_waiters_get_busy(
+        self, serve_session, tiny_routes
+    ):
+        """An expiring drain must report False, and the still-queued
+        waiters must fail with BusyError at stop — never hang."""
+        from repro.serve import BusyError
+        from repro.serve.core import VerifyService
+
+        query = Query.from_payload(_verify_payload(tiny_routes[0]), "verify")
+
+        async def scenario():
+            service = VerifyService(
+                serve_session,
+                ServeConfig(queue_size=64, batch_max=1, default_deadline=30.0),
+            )
+            await service.start()
+            service.fault_hook = lambda queries: time.sleep(0.2)
+            tasks = [
+                asyncio.create_task(service.submit(query)) for _ in range(6)
+            ]
+            await asyncio.sleep(0.05)  # let them enqueue
+            drained = await service.drain(timeout=0.05)
+            assert drained is False  # queued work remained
+            with pytest.raises(BusyError):
+                await service.submit(query)  # draining refuses admission
+            await service.stop()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(
+                isinstance(result, (dict, BusyError)) for result in results
+            )
+            assert any(isinstance(result, BusyError) for result in results)
+
+        asyncio.run(scenario())
+
+    def test_post_drain_submit_refused_on_both_frontends(
+        self, tiny_world, tiny_routes
+    ):
+        with api.open_session(
+            tiny_world, registry=MetricsRegistry(), use_cache=False
+        ) as session:
+            daemon = ServeDaemon(
+                session, ServeConfig(http_port=0, whois_port=0)
+            )
+            with daemon.start_in_thread() as running:
+                daemon.service.begin_drain()
+                entry = tiny_routes[0]
+                status, body = _http(
+                    running.http_port, "POST", "/verify", _verify_payload(entry)
+                )
+                assert status == 429
+                assert body["error"] == "busy"
+                path = " ".join(str(asn) for asn in entry.as_path)
+                response = whois_query(
+                    "127.0.0.1",
+                    running.whois_port,
+                    f"!v {entry.prefix} {path}",
+                )
+                assert response.startswith("%% BUSY")
 
 
 class TestConcurrency:
