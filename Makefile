@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci chaos-serve bench examples figures lint-world clean
+.PHONY: install test ci chaos-serve perf-regression bench examples figures lint-world clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -12,7 +12,8 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Mirror .github/workflows/ci.yml locally: lint (when ruff is present),
-# tier-1, the resident-daemon smoke, and the serve-supervisor chaos layer.
+# tier-1, the resident-daemon smoke, the serve-supervisor chaos layer,
+# and the strict prefix-engine perf gate.
 ci:
 	@if command -v ruff >/dev/null 2>&1; then \
 	  ruff check src tests; \
@@ -22,6 +23,16 @@ ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 	$(MAKE) chaos-serve
+	$(MAKE) perf-regression
+
+# The prefix-engine benchmark with strict timing floors, then the
+# measured ratios diffed against benchmarks/baselines.json (>20% slide
+# on a gated metric fails).  After an intentional perf change, re-pin:
+#   python scripts/check_perf_regression.py --bench prefix_engine --update
+perf-regression:
+	PYTHONPATH=src RPSLYZER_PERF_STRICT=1 $(PYTHON) -m pytest \
+	  benchmarks/test_perf_prefix_engine.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_perf_regression.py --bench prefix_engine
 
 # The serve-supervisor self-healing lifecycle against a live daemon:
 # SIGKILL mid-flood, heartbeat replacement of a hung worker, restart

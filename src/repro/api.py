@@ -286,6 +286,10 @@ class Session:
         self.tracer = Tracer(trace) if trace is not None else None
         self._registry = registry
         self._index = index
+        # Ownership decides who closes a cache-mmap'd index: an index the
+        # caller passed in is shared (the caller closes it); one the
+        # session loads/compiles itself is owned and closed with it.
+        self._owns_index = False
         self._digest: str | None = index.digest if index is not None else None
         self._verifier: Verifier | None = None
         self._closed = False
@@ -338,17 +342,36 @@ class Session:
                     cache_dir=self.cache_dir,
                     use_cache=self.use_cache,
                 )
+                self._owns_index = True
             if self._verifier is None and self.relationships is not None:
                 self._verifier = Verifier(
                     self.ir, self.relationships, self.options, index=self._index
                 )
         return self
 
+    def evict_index(self) -> None:
+        """Drop the adopted index (closing its mmap when session-owned).
+
+        The next :meth:`warm` (or warm-requiring query) re-adopts from the
+        cache.  Lets a long-lived session release the artifact mapping —
+        and its file descriptor — without closing the session.
+        """
+        self._check_open()
+        index, self._index = self._index, None
+        self._verifier = None
+        if index is not None and self._owns_index:
+            index.close()
+        self._owns_index = False
+
     def close(self) -> None:
-        """Release the index and verifier; further queries raise
-        :class:`SessionClosedError`.  Idempotent."""
+        """Release the index (closing its mmap when session-owned) and the
+        verifier; further queries raise :class:`SessionClosedError`.
+        Idempotent."""
         self._closed = True
-        self._index = None
+        index, self._index = self._index, None
+        if index is not None and self._owns_index:
+            index.close()
+        self._owns_index = False
         self._verifier = None
 
     @property
@@ -546,10 +569,12 @@ def open_session(
         else:
             relationships = AsRelationships.load(as_rel)
     loaded_index: CompiledIndex | None
+    loaded_here = False
     if index is None or isinstance(index, CompiledIndex):
         loaded_index = index
     else:
         loaded_index = load_index(index, expect_digest=ir_digest(ir))
+        loaded_here = True
     session = Session(
         ir,
         relationships,
@@ -562,6 +587,9 @@ def open_session(
         registry=registry,
         load=load,
     )
+    # An artifact loaded from a path here is session-owned: close() must
+    # release its mmap.  A CompiledIndex object stays caller-owned.
+    session._owns_index = loaded_here
     if warm:
         session.warm()
     return session

@@ -113,8 +113,9 @@ class Bgpq4Resolver:
         return selected
 
     def _asn_prefixes(self, asn: int) -> set[Prefix]:
-        keys = self.query.origin_prefixes.get(asn, ())
-        return {Prefix(*key) for key in keys}
+        # One bisect + span read on the trie backend; no full-table
+        # reconstruction (query.origin_prefixes) for a single ASN.
+        return {Prefix(*key) for key in self.query.routes.origin_keys(asn)}
 
     def _route_set_prefixes(self, name: str) -> set[Prefix]:
         resolution = self.query.resolve_route_set(name)

@@ -47,24 +47,24 @@ class OriginValidator:
         self.query = query if query is not None else QueryEngine(ir)
 
     def validate(self, prefix: Prefix, origin: int) -> OriginStatus:
-        """Classify one ⟨prefix, origin⟩ pair."""
-        exact = self.query.origins_of(prefix)
-        if origin in exact:
-            return OriginStatus.VALID
-        covered_by_other = bool(exact)
-        max_length = prefix.max_length
-        for length in range(prefix.length - 1, -1, -1):
-            shift = max_length - length
-            key = (prefix.version, (prefix.network >> shift) << shift, length)
-            origins = self.query.route_index.get(key)
-            if not origins:
-                continue
-            if origin in origins:
+        """Classify one ⟨prefix, origin⟩ pair.
+
+        One trie walk collects every registered covering prefix (exact
+        included); two passes over that short list rank the outcome.
+        """
+        covering = self.query.routes.covering_origins(
+            prefix.version, prefix.network, prefix.length
+        )
+        if not covering:
+            return OriginStatus.UNKNOWN
+        announced = prefix.length
+        for length, origins in covering:
+            if length == announced and origin in origins:
+                return OriginStatus.VALID
+        for length, origins in covering:
+            if length != announced and origin in origins:
                 return OriginStatus.VALID_COVERING
-            covered_by_other = True
-        if covered_by_other:
-            return OriginStatus.INVALID_ORIGIN
-        return OriginStatus.UNKNOWN
+        return OriginStatus.INVALID_ORIGIN
 
     def validate_entry(self, entry: RouteEntry) -> OriginStatus:
         """Classify one observed route by its origin AS."""

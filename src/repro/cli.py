@@ -250,6 +250,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 f"{destination} already exists (use --force to recompile)",
                 file=sys.stderr,
             )
+            if args.stats:
+                existing = api.load_index(destination, expect_digest=digest)
+                try:
+                    json.dump(existing.stats(), sys.stdout, indent=2, sort_keys=True)
+                    print()
+                finally:
+                    existing.close()
             return 0
         index = api.compile_index(ir, digest=digest)
         api.save_index(index, destination)
@@ -258,9 +265,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"compiled index for IR {digest[:16]} -> {destination} "
         f"({stats['as_sets']} as-sets, {stats['route_sets']} route-sets, "
         f"{stats['aspath_regexes']} regexes, "
+        f"{stats['plane_bytes']} plane bytes, "
         f"{stats['compile_seconds']:.2f}s)",
         file=sys.stderr,
     )
+    if args.stats:
+        json.dump(stats, sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 
@@ -272,6 +283,8 @@ _CACHE_FIGURES = (
     "index_cache_hits",
     "index_cache_misses",
     "index_compile_seconds",
+    "index_load_seconds",
+    "index_mmap_bytes",
 )
 
 
@@ -305,6 +318,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
+        if caches["index_mmap_bytes"]:
+            print(
+                "index mmap: {size:.0f} bytes attached in {load:.3f}s".format(
+                    size=caches["index_mmap_bytes"],
+                    load=caches["index_load_seconds"],
+                ),
+                file=sys.stderr,
+            )
     if caches["disk_cache_entries"] is None:
         print(
             f"index disk cache: none ({caches['disk_cache_dir']} does not exist)",
@@ -647,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_.add_argument(
         "--force", action="store_true", help="recompile even if the artifact exists"
+    )
+    compile_.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full artifact stats (table sizes, trie planes) as JSON",
     )
     _add_metrics_flag(compile_)
     compile_.set_defaults(func=_cmd_compile)

@@ -7,21 +7,31 @@ re-derives the same memo caches cold, and every run re-derives them from
 zero.  This module adds the missing compilation pass:
 
 * :func:`compile_index` turns an :class:`~repro.ir.model.Ir` into an
-  immutable, picklable :class:`CompiledIndex` — the global route index,
-  per-origin prefix sets, members-by-reference maps, fully flattened
-  as-set closures, resolved route-/peering-sets, and AS-path regexes
-  pre-lowered to their matcher programs;
+  immutable, picklable :class:`CompiledIndex` — the frozen
+  :class:`~repro.core.prefixtrie.RouteTrie` over every declared
+  ⟨prefix, origin⟩ pair, members-by-reference maps, fully flattened
+  as-set closures, resolved route-/peering-sets (their member tries
+  pre-frozen), and AS-path regexes pre-lowered to matcher programs;
 * a :class:`~repro.core.verify.Verifier` (or ``QueryEngine``/
   ``AsPathMatcher``) built with ``index=`` starts with every one of those
   tables warm, so the hot loop is pure lookups;
 * :func:`verify_table <repro.core.parallel.verify_table>` ships the
   artifact to workers instead of letting each worker re-derive it
-  (``fork``: built pre-fork, shared copy-on-write; ``spawn``: pickled
-  once per worker);
+  (``fork``: built pre-fork, the flat planes shared copy-on-write;
+  ``spawn``: pickled once per worker);
 * :func:`get_or_compile` persists the artifact under
   ``~/.cache/rpslyzer/`` keyed by the IR content digest, so later runs
   over the same IR start warm too (``rpslyzer compile`` /
   ``--no-index-cache`` are the CLI knobs).
+
+The on-disk envelope (format 2) is *flat*: a JSON header describing the
+trie planes, the plane bytes 16-aligned, then one pickle blob for the
+residual tables.  :func:`load_index` maps the file with ``mmap`` and
+casts the planes to zero-copy memoryviews — warm start skips
+deserializing the largest tables entirely, and the pages stay shared
+between every process mapping the same artifact.  The mapping holds a
+file descriptor until :meth:`CompiledIndex.close` releases it (Session
+close / index eviction call this for indexes they own).
 
 Everything in the artifact is produced by the *same* resolution code the
 lazy path runs on demand, so verification over a compiled index is
@@ -31,14 +41,19 @@ this differentially, including under injected worker death.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import mmap
 import os
 import pickle
 import tempfile
 import time
+from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.aspath_match import AsPathMatcher, CompiledAsPathRegex
+from repro.core.prefixtrie import RouteTrie
 from repro.core.query import AsSetResolution, QueryEngine, ResolvedRouteSet
 from repro.ir import serialize
 from repro.ir.json_io import ir_to_jsonable  # noqa: F401 - registers IR classes
@@ -65,11 +80,48 @@ __all__ = [
 
 # Bump whenever the artifact layout (or the dataclasses inside it) changes
 # incompatibly; mismatched cache files are recompiled, never half-read.
-INDEX_FORMAT = "rpslyzer-compiled-index/1"
+# Format 2: flat mmap-able envelope (magic + JSON header + aligned plane
+# region + residual pickle) replacing the format-1 whole-pickle envelope.
+INDEX_FORMAT = "rpslyzer-compiled-index/2"
+
+_MAGIC = b"RPSLIDX2"
+_ALIGN = 16  # plane alignment; mmap bases are page-aligned so this holds
+_MAX_HEADER_BYTES = 1 << 24
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
 class IndexCacheError(RuntimeError):
     """A cache file exists but cannot be used (format/digest mismatch)."""
+
+
+class _MmapResource:
+    """The mmap behind a loaded artifact plus every exported view.
+
+    ``mmap.mmap`` dups the file descriptor internally, so the mapping —
+    not the ``open()`` handle, which closes right after mapping — is what
+    pins an fd per loaded artifact.  ``close()`` releases the views first
+    (an exported memoryview keeps the map alive) and then the map.
+    """
+
+    __slots__ = ("_mapped", "_views")
+
+    def __init__(self, mapped: mmap.mmap, views: list):
+        self._mapped = mapped
+        self._views = views
+
+    def close(self) -> None:
+        views, self._views = self._views, []
+        for view in views:
+            view.release()
+        mapped, self._mapped = self._mapped, None
+        if mapped is not None:
+            try:
+                mapped.close()
+            except BufferError:  # a caller still holds a sub-view
+                pass
 
 
 @dataclass(slots=True)
@@ -78,13 +130,15 @@ class CompiledIndex:
 
     Instances are treated as immutable once built: engines adopting one
     copy the memo-cache dicts (cheap, shallow) and share the read-only
-    index tables, so a single artifact can back the parent's serial
-    fallback and every worker simultaneously.
+    route trie, so a single artifact can back the parent's serial
+    fallback and every worker simultaneously.  An index loaded from the
+    disk cache keeps its planes mapped from the file; ``close()``
+    releases the mapping (and its file descriptor) and must only be
+    called by the owner once no engine uses it anymore.
     """
 
     digest: str | None
-    route_index: dict[tuple[int, int, int], set[int]]
-    origin_prefixes: dict[int, set[tuple[int, int, int]]]
+    route_trie: RouteTrie
     as_set_byref: dict[str, set[int]]
     route_set_byref: dict[str, list]
     as_sets: dict[str, AsSetResolution]
@@ -94,12 +148,16 @@ class CompiledIndex:
     compile_seconds: float = 0.0
     skipped_regexes: int = 0
     format: str = INDEX_FORMAT
+    resource: _MmapResource | None = field(default=None, repr=False, compare=False)
 
     def stats(self) -> dict:
         """Entry counts per table (for logs, manifests, and tests)."""
+        trie_stats = self.route_trie.stats()
         return {
-            "route_index": len(self.route_index),
-            "origins": len(self.origin_prefixes),
+            "route_index": trie_stats["prefixes"],
+            "origins": trie_stats["origins"],
+            "trie_nodes": trie_stats["nodes"],
+            "plane_bytes": trie_stats["plane_bytes"],
             "as_sets": len(self.as_sets),
             "route_sets": len(self.route_sets),
             "peering_sets": len(self.peering_sets),
@@ -107,6 +165,32 @@ class CompiledIndex:
             "skipped_regexes": self.skipped_regexes,
             "compile_seconds": self.compile_seconds,
         }
+
+    def close(self) -> None:
+        """Release the mmap behind a cache-loaded artifact (idempotent).
+
+        No-op for an index compiled in memory.  After closing, the trie
+        planes are gone — every engine adopting this index must be done.
+        """
+        resource, self.resource = self.resource, None
+        if resource is None:
+            return
+        self.route_trie.detach()
+        resource.close()
+
+    def __getstate__(self):
+        # The mmap resource never travels: pickling (spawn workers,
+        # re-saving) materializes the trie planes into arrays instead.
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "resource"
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.resource = None
 
 
 @dataclass(slots=True)
@@ -176,12 +260,15 @@ def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
     The pass drives the ordinary :class:`QueryEngine`/:class:`AsPathMatcher`
     resolution code eagerly over every referenced name, then captures the
     resulting tables — so compiled lookups are the lazy path's answers,
-    computed once.
+    computed once.  The route trie is always built here (regardless of
+    ``RPSLYZER_PREFIX_ENGINE``) and every resolved route-set's member
+    index is frozen into its flat-plane form, so the artifact carries no
+    lazy state.
     """
     registry = get_registry()
     started = time.perf_counter()
     with registry.span("compile/index"):
-        engine = QueryEngine(ir)
+        engine = QueryEngine(ir, prefix_engine="trie")
         matcher = AsPathMatcher(engine)
         refs = _collect_references(ir)
         for name in sorted(refs.as_sets):
@@ -198,11 +285,12 @@ def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
                 # A regex the matcher cannot lower compiles lazily (and
                 # fails identically) if a check ever reaches it.
                 skipped += 1
+        for resolution in engine._route_set_cache.values():
+            resolution.index.freeze()
         elapsed = time.perf_counter() - started
         index = CompiledIndex(
             digest=digest,
-            route_index=engine.route_index,
-            origin_prefixes=engine.origin_prefixes,
+            route_trie=engine.routes,
             as_set_byref=engine._as_set_byref,
             route_set_byref=engine._route_set_byref,
             as_sets=engine._as_set_cache,
@@ -260,22 +348,53 @@ def _library_version() -> str:
 def save_index(index: CompiledIndex, path: str | Path) -> None:
     """Persist an artifact atomically (write-temp-then-rename).
 
-    The envelope carries the format string, the library version, and the
-    IR digest; :func:`load_index` refuses anything that does not match all
-    three, so a stale cache can only ever cost a recompile.
+    Layout: ``RPSLIDX2`` magic, a little-endian header length, the JSON
+    header (format / library version / IR digest / trie meta / plane
+    directory), then the 16-aligned plane region with the residual
+    pickle blob at its tail.  :func:`load_index` refuses anything whose
+    magic, format, version, or digest does not match, so a stale cache
+    can only ever cost a recompile.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    envelope = {
-        "format": INDEX_FORMAT,
-        "version": _library_version(),
-        "digest": index.digest,
-        "index": index,
+    region = bytearray()
+    plane_entries = []
+    for name, typecode, plane in index.route_trie.export_planes():
+        region += b"\x00" * (-len(region) % _ALIGN)
+        data = plane.tobytes() if isinstance(plane, array) else bytes(plane)
+        plane_entries.append(
+            {"name": name, "fmt": typecode, "offset": len(region), "nbytes": len(data)}
+        )
+        region += data
+    rest = {
+        f.name: getattr(index, f.name)
+        for f in dataclasses.fields(index)
+        if f.name not in ("route_trie", "resource")
     }
+    blob = pickle.dumps(rest, protocol=pickle.HIGHEST_PROTOCOL)
+    region += b"\x00" * (-len(region) % _ALIGN)
+    pickle_entry = {"offset": len(region), "nbytes": len(blob)}
+    region += blob
+    header = json.dumps(
+        {
+            "format": INDEX_FORMAT,
+            "version": _library_version(),
+            "digest": index.digest,
+            "trie": index.route_trie.meta(),
+            "planes": plane_entries,
+            "pickle": pickle_entry,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    lead = len(_MAGIC) + 8 + len(header)
     handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(handle, "wb") as stream:
-            pickle.dump(envelope, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            stream.write(_MAGIC)
+            stream.write(len(header).to_bytes(8, "little"))
+            stream.write(header)
+            stream.write(b"\x00" * (_aligned(lead) - lead))
+            stream.write(region)
         os.replace(temp_name, path)
     except BaseException:
         try:
@@ -286,26 +405,68 @@ def save_index(index: CompiledIndex, path: str | Path) -> None:
 
 
 def load_index(path: str | Path, expect_digest: str | None = None) -> CompiledIndex:
-    """Load a persisted artifact, validating format, version, and digest."""
-    with open(path, "rb") as stream:
-        envelope = pickle.load(stream)
-    if not isinstance(envelope, dict) or envelope.get("format") != INDEX_FORMAT:
-        raise IndexCacheError(
-            f"{path}: not a compiled index (format={envelope.get('format')!r}"
-            if isinstance(envelope, dict)
-            else f"{path}: not a compiled index"
-        )
-    if envelope.get("version") != _library_version():
-        raise IndexCacheError(
-            f"{path}: compiled by repro {envelope.get('version')!r}, "
-            f"running {_library_version()!r}"
-        )
-    if expect_digest is not None and envelope.get("digest") != expect_digest:
-        raise IndexCacheError(
-            f"{path}: IR digest mismatch "
-            f"(cached {envelope.get('digest')!r}, expected {expect_digest!r})"
-        )
-    return envelope["index"]
+    """Load a persisted artifact, validating format, version, and digest.
+
+    The file is ``mmap``'d and the trie planes become zero-copy
+    memoryview casts over the mapping — near-zero deserialization, pages
+    shared between processes.  The returned index owns the mapping;
+    :meth:`CompiledIndex.close` releases it.
+    """
+    registry = get_registry()
+    started = time.perf_counter()
+    lead = len(_MAGIC) + 8
+    stream = open(path, "rb")
+    try:
+        head = stream.read(lead)
+        if len(head) < lead or head[: len(_MAGIC)] != _MAGIC:
+            # Format-1 envelopes (plain pickle) land here too: recompile.
+            raise IndexCacheError(f"{path}: not a compiled index (bad magic)")
+        header_len = int.from_bytes(head[len(_MAGIC) :], "little")
+        if not 0 < header_len <= _MAX_HEADER_BYTES:
+            raise IndexCacheError(f"{path}: not a compiled index (bad header length)")
+        raw_header = stream.read(header_len)
+        try:
+            header = json.loads(raw_header)
+        except ValueError as exc:
+            raise IndexCacheError(f"{path}: not a compiled index (bad header)") from exc
+        if not isinstance(header, dict) or header.get("format") != INDEX_FORMAT:
+            fmt = header.get("format") if isinstance(header, dict) else None
+            raise IndexCacheError(f"{path}: not a compiled index (format={fmt!r})")
+        if header.get("version") != _library_version():
+            raise IndexCacheError(
+                f"{path}: compiled by repro {header.get('version')!r}, "
+                f"running {_library_version()!r}"
+            )
+        if expect_digest is not None and header.get("digest") != expect_digest:
+            raise IndexCacheError(
+                f"{path}: IR digest mismatch "
+                f"(cached {header.get('digest')!r}, expected {expect_digest!r})"
+            )
+        mapped = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+    finally:
+        stream.close()
+    root = memoryview(mapped)
+    resource = _MmapResource(mapped, views := [root])
+    try:
+        region = _aligned(lead + header_len)
+        planes = {}
+        for entry in header["planes"]:
+            start = region + entry["offset"]
+            view = root[start : start + entry["nbytes"]].cast(entry["fmt"])
+            views.append(view)
+            planes[entry["name"]] = view
+        blob = header["pickle"]
+        start = region + blob["offset"]
+        rest = pickle.loads(bytes(root[start : start + blob["nbytes"]]))
+        trie = RouteTrie.from_planes(header["trie"], planes)
+        index = CompiledIndex(route_trie=trie, resource=resource, **rest)
+    except (KeyError, TypeError, ValueError, pickle.PickleError, EOFError) as exc:
+        resource.close()
+        raise IndexCacheError(f"{path}: corrupt compiled index ({exc})") from exc
+    if registry.enabled:
+        registry.gauge("index_load_seconds").set(time.perf_counter() - started)
+        registry.gauge("index_mmap_bytes").set(len(mapped))
+    return index
 
 
 def get_or_compile(
@@ -335,7 +496,7 @@ def get_or_compile(
             index = load_index(path, expect_digest=digest)
         except FileNotFoundError:
             pass
-        except (IndexCacheError, pickle.PickleError, EOFError, OSError):
+        except (IndexCacheError, pickle.PickleError, EOFError, OSError, ValueError):
             # Unusable cache entry: recompile and overwrite below.
             pass
         else:

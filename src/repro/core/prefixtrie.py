@@ -1,0 +1,1270 @@
+"""Compressed radix tries over interned prefixes (the verification hot path).
+
+Per-route verification spends most of its time answering two questions:
+*"did this AS register a route object covering this announced prefix?"*
+and *"does this route-set member cover it under its range operator?"*.
+The pre-trie engine answered both with an ancestor **enumeration**: up to
+33 (IPv4) or 129 (IPv6) masked-key constructions and hash probes per
+query, each allocating a fresh tuple.  This module replaces that with a
+pair of cooperating flat structures so a query touches only the ancestor
+lengths actually *declared* on its branch:
+
+* a **length-compression mask** per family — one 64-bit word per
+  top-``lmk``-bit bucket (IPv4) or per family (IPv6) recording which
+  declared lengths exist on that branch.  The candidate set for a query
+  is one table read and one AND; typical branches carry 1–3 lengths
+  where the enumeration probed all 33/129.
+* an **open-addressing hash plane** mapping ⟨masked network, length⟩ to
+  the prefix's payload span — linear probing at load factor ≤ 0.5, one
+  or two slot reads per candidate length, no allocation.
+* a **path-compressed binary radix trie** (classic patricia node
+  planes), kept for the queries the hash cannot answer: descendant
+  enumeration (``covered``) and full entry iteration.
+
+Everything is laid out as flat parallel planes (``array`` buffers off
+the GC-tracked heap, or ``memoryview`` casts over an ``mmap`` region
+when loaded from the disk cache):
+
+* per family (IPv4/IPv6): node planes ``plen``/``net_lo``[/``net_hi``]
+  (the node's prefix, stored right-shifted so comparisons need no
+  masking), ``left``/``right`` child ids, and a ``payload`` id; the
+  match-acceleration planes ``lenmask`` and ``hlo``/[``hhi``/]
+  ``hpl``/``hval`` (hash slots);
+* a payload arena: per-prefix origin spans (``span_off`` into a sorted
+  ``origins`` plane) for the route trie, per-prefix range-operator spans
+  for the :class:`OpTrie`;
+* per-origin offset spans (``origin_ids`` + ``okey_*`` arenas) so
+  "every prefix this AS registered" is one bisect plus a span read.
+
+Because the planes are plain buffers they pickle compactly, share
+copy-on-write under ``fork``, and — via the v2 cache envelope in
+:mod:`repro.core.compiled` — map straight out of the artifact file with
+near-zero deserialization.
+
+:class:`NaiveRouteIndex` preserves the pre-trie dict algorithm verbatim.
+It is the differential oracle: the hypothesis suite
+(``tests/test_prefixtrie.py``), the trie-vs-legacy identity tests, and
+the ``BENCH_prefix_engine`` benchmarks all compare against it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+
+from repro.net.prefix import Prefix, RangeOp, RangeOpKind
+
+__all__ = [
+    "NaiveRouteIndex",
+    "OpTrie",
+    "RouteTrie",
+    "RouteTrieBuilder",
+]
+
+_MAX_LEN = {4: 32, 6: 128}
+_U64 = (1 << 64) - 1
+
+# Range operators as stored in op planes.  EXACT and RANGE evaluate
+# identically (low <= announced <= high); both codes are kept so
+# iter_entries() can reconstruct the operator kind faithfully.
+_OP_NONE, _OP_MINUS, _OP_PLUS, _OP_EXACT, _OP_RANGE = range(5)
+_KIND_TO_CODE = {
+    RangeOpKind.NONE: _OP_NONE,
+    RangeOpKind.MINUS: _OP_MINUS,
+    RangeOpKind.PLUS: _OP_PLUS,
+    RangeOpKind.EXACT: _OP_EXACT,
+    RangeOpKind.RANGE: _OP_RANGE,
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+# Bounds are stored in a 16-bit plane; announced lengths never exceed 128,
+# so clamping to 255 is exact for allows() while keeping hostile ^n-m
+# operators (RangeOp.parse accepts any integer) from overflowing it.
+_OP_BOUND_CAP = 255
+
+
+# -- build-time nodes -------------------------------------------------------
+#
+# During construction nodes are plain 5-lists [net, plen, payload, left,
+# right] with *full* (unshifted, host-bits-masked) networks; linearization
+# converts to the shifted flat-plane form.
+
+
+def _mask(net: int, plen: int, maxlen: int) -> int:
+    shift = maxlen - plen
+    return (net >> shift) << shift
+
+
+def _insert(node, net: int, plen: int, maxlen: int, update):
+    """Patricia insert; returns the (possibly new) subtree root.
+
+    ``update(existing_payload_or_None)`` produces the node's new payload —
+    the one hook the two builders differ in.
+    """
+    if node is None:
+        return [net, plen, update(None), None, None]
+    nnet, nplen = node[0], node[1]
+    diff = net ^ nnet
+    common = maxlen - diff.bit_length() if diff else maxlen
+    cpl = min(plen, nplen, common)
+    if cpl == nplen:
+        if cpl == plen:  # same prefix: merge payloads
+            node[2] = update(node[2])
+            return node
+        # the node is a proper ancestor of the key: descend by the next bit
+        bit = (net >> (maxlen - cpl - 1)) & 1
+        child = _insert(node[4] if bit else node[3], net, plen, maxlen, update)
+        if bit:
+            node[4] = child
+        else:
+            node[3] = child
+        return node
+    if cpl == plen:
+        # the key is a proper ancestor of the node: new node becomes parent
+        fresh = [net, plen, update(None), None, None]
+        bit = (nnet >> (maxlen - cpl - 1)) & 1
+        if bit:
+            fresh[4] = node
+        else:
+            fresh[3] = node
+        return fresh
+    # diverge below cpl: split with a non-terminal internal node
+    split = [_mask(net, cpl, maxlen), cpl, None, None, None]
+    fresh = [net, plen, update(None), None, None]
+    if (nnet >> (maxlen - cpl - 1)) & 1:
+        split[4], split[3] = node, fresh
+    else:
+        split[3], split[4] = node, fresh
+    return split
+
+
+class _Family:
+    """One address family's frozen node planes (``hi`` is None for IPv4).
+
+    Besides the patricia node planes, a family carries the match
+    acceleration layer built by :func:`_build_fast`:
+
+    * ``lenmask`` — the length-compression table (IPv4 only): one 64-bit
+      word per top-``lmk``-bit bucket, bit ``pl`` set iff some stored
+      prefix of length ``pl`` lies on that branch.  ``lmall`` is the
+      family-global union (the only mask IPv6 keeps — 129 possible
+      lengths exceed one word, and real route6 tables declare only a
+      handful of lengths anyway).
+    * ``hlo``/[``hhi``/]``hpl``/``hval`` — an open-addressing hash over
+      ⟨masked network, length⟩ with linear probing; ``hval`` holds the
+      payload id (-1 marks an empty slot).  ``hbits == 0`` (empty
+      family) means no table.
+
+    A candidate length taken from the mask still ends in a hash probe,
+    so a mask bit set by a *different* network in the same bucket can
+    never produce a false positive — the masks are purely a pruning
+    layer and the hash is the ground truth.
+    """
+
+    __slots__ = (
+        "maxlen",
+        "root",
+        "plen",
+        "lo",
+        "hi",
+        "left",
+        "right",
+        "payload",
+        "lmk",
+        "lmall",
+        "lenmask",
+        "hbits",
+        "hshift",
+        "hlo",
+        "hhi",
+        "hpl",
+        "hval",
+    )
+
+    def __init__(self, maxlen, root, plen, lo, hi, left, right, payload):
+        self.maxlen = maxlen
+        self.root = root
+        self.plen = plen
+        self.lo = lo
+        self.hi = hi
+        self.left = left
+        self.right = right
+        self.payload = payload
+        self.lmk = 0
+        self.lmall = 0
+        self.lenmask = None
+        self.hbits = 0
+        self.hshift = 64
+        self.hlo = None
+        self.hhi = None
+        self.hpl = None
+        self.hval = None
+
+    def __len__(self) -> int:
+        return len(self.plen)
+
+
+_LENMASK_MAX_BITS = 20
+_LENMASK_MIN_PREFIXES = 16
+_HASH_C = 0x9E3779B97F4A7C15
+_HASH_P = 0xFF51AFD7ED558CCD
+
+
+def _attach_fast(fam: _Family, lmk: int, lmall: int, hbits: int, planes: dict, tag: str) -> None:
+    """Wire pre-built acceleration planes (mmap views or arrays) in."""
+    fam.lmk = lmk
+    fam.lmall = lmall
+    fam.lenmask = planes.get(f"{tag}.lenmask")
+    fam.hbits = hbits
+    fam.hshift = 64 - hbits
+    fam.hlo = planes.get(f"{tag}.hlo")
+    fam.hhi = planes.get(f"{tag}.hhi")
+    fam.hpl = planes.get(f"{tag}.hpl")
+    fam.hval = planes.get(f"{tag}.hval")
+
+
+def _build_fast(fam: _Family, lmfactor: int = 4) -> None:
+    """Build the family's match-acceleration planes (built once, persisted).
+
+    One pass over the payload nodes fills the hash plane (sized to load
+    factor ≤ 0.5) and the length-compression masks.  Prefixes shorter
+    than the bucket width set their length bit in every bucket they
+    cover, so any query bucket sees every ancestor length on its path.
+
+    ``lmfactor`` trades mask-table memory for bucket sharpness: the
+    table gets ``~lmfactor * prefixes`` words (capped at ``2**20``).
+    The global route table uses a high factor — finer buckets mean
+    fewer candidate lengths per query — while per-route-set op tries
+    stay lean because a session holds thousands of them.
+    """
+    maxlen = fam.maxlen
+    plen, lo, hi, payload = fam.plen, fam.lo, fam.hi, fam.payload
+    entries = []
+    for i in range(len(plen)):
+        p = payload[i]
+        if p < 0:
+            continue
+        pl = plen[i]
+        snet = lo[i] if hi is None else ((hi[i] << 64) | lo[i])
+        entries.append((snet << (maxlen - pl), pl, p))
+    n = len(entries)
+    if not n:
+        return
+    hbits = max(3, (2 * n - 1).bit_length())
+    size = 1 << hbits
+    hmask = size - 1
+    hlo = array("Q", bytes(8 * size))
+    hhi = array("Q", bytes(8 * size)) if maxlen > 64 else None
+    hpl = array("B", bytes(size))
+    hval = array("i", [-1]) * size
+    lmk = 0
+    lenmask = None
+    if maxlen <= 64 and n >= _LENMASK_MIN_PREFIXES:
+        lmk = min(_LENMASK_MAX_BITS, (lmfactor * n).bit_length(), maxlen)
+        lenmask = array("Q", bytes(8 << lmk))
+    lmall = 0
+    for net, pl, p in entries:
+        lmall |= 1 << pl
+        if hhi is None:
+            x = (net + pl * _HASH_P) & _U64
+        else:
+            x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+        s = ((x * _HASH_C) & _U64) >> (64 - hbits)
+        while hval[s] >= 0:
+            s = (s + 1) & hmask
+        hlo[s] = net & _U64
+        if hhi is not None:
+            hhi[s] = net >> 64
+        hpl[s] = pl
+        hval[s] = p
+        if lenmask is not None:
+            if pl >= lmk:
+                lenmask[net >> (maxlen - lmk)] |= 1 << pl
+            else:
+                start = (net >> (maxlen - lmk)) if pl else 0
+                bit = 1 << pl
+                for b in range(start, start + (1 << (lmk - pl))):
+                    lenmask[b] |= bit
+    fam.lmk = lmk
+    fam.lmall = lmall
+    fam.lenmask = lenmask
+    fam.hbits = hbits
+    fam.hshift = 64 - hbits
+    fam.hlo = hlo
+    fam.hhi = hhi
+    fam.hpl = hpl
+    fam.hval = hval
+
+
+def _linearize(root, maxlen: int, payload_out) -> _Family:
+    """Flatten a build-time node tree into parallel planes (preorder).
+
+    ``payload_out(payload_obj) -> payload id`` appends the payload to the
+    caller's arena and returns its span id.
+    """
+    plen = array("B")
+    lo = array("Q")
+    hi = array("Q") if maxlen > 64 else None
+    left = array("i")
+    right = array("i")
+    payload = array("i")
+    if root is None:
+        return _Family(maxlen, -1, plen, lo, hi, left, right, payload)
+    stack = [(root, -1, 0)]
+    while stack:
+        node, parent, side = stack.pop()
+        idx = len(plen)
+        if parent >= 0:
+            if side:
+                right[parent] = idx
+            else:
+                left[parent] = idx
+        pl = node[1]
+        snet = node[0] >> (maxlen - pl) if pl else 0
+        plen.append(pl)
+        lo.append(snet & _U64)
+        if hi is not None:
+            hi.append(snet >> 64)
+        left.append(-1)
+        right.append(-1)
+        payload.append(payload_out(node[2]) if node[2] is not None else -1)
+        if node[3] is not None:
+            stack.append((node[3], idx, 0))
+        if node[4] is not None:
+            stack.append((node[4], idx, 1))
+    return _Family(maxlen, 0, plen, lo, hi, left, right, payload)
+
+
+def _plane_bytes(plane) -> int:
+    return len(plane) * plane.itemsize
+
+
+def _materialize(typecode: str, plane) -> array:
+    """A picklable ``array`` copy of a plane (no-op for built planes)."""
+    if isinstance(plane, array):
+        return plane
+    fresh = array(typecode)
+    fresh.frombytes(bytes(plane))
+    return fresh
+
+
+# -- the route trie ---------------------------------------------------------
+
+
+class RouteTrie:
+    """All declared ⟨prefix, origin⟩ pairs of one IR, frozen into planes.
+
+    Query methods take the prefix unpacked (``version, network, length``)
+    so the hot loop never touches attribute descriptors mid-walk.  The
+    planes are either ``array`` objects (built in memory) or
+    ``memoryview`` casts over the mmap'd cache artifact — both index to
+    plain ints at the same cost.
+    """
+
+    _FAMILY_PLANES = {
+        "plen": "B",
+        "lo": "Q",
+        "hi": "Q",
+        "left": "i",
+        "right": "i",
+        "payload": "i",
+        "lenmask": "Q",
+        "hlo": "Q",
+        "hhi": "Q",
+        "hpl": "B",
+        "hval": "i",
+    }
+    _ARENA_PLANES = {
+        "span_off": "i",
+        "origins": "Q",
+        "origin_ids": "Q",
+        "okey_off": "i",
+        "okey_ver": "B",
+        "okey_plen": "B",
+        "okey_hi": "Q",
+        "okey_lo": "Q",
+    }
+
+    __slots__ = (
+        "_fam4",
+        "_fam6",
+        "_span_off",
+        "_origins",
+        "_origin_ids",
+        "_okey_off",
+        "_okey_ver",
+        "_okey_plen",
+        "_okey_hi",
+        "_okey_lo",
+        "_origin_set",
+        "_prefix_count",
+    )
+
+    def __init__(
+        self,
+        fam4: _Family,
+        fam6: _Family,
+        span_off,
+        origins,
+        origin_ids,
+        okey_off,
+        okey_ver,
+        okey_plen,
+        okey_hi,
+        okey_lo,
+        prefix_count: int,
+    ):
+        self._fam4 = fam4
+        self._fam6 = fam6
+        self._span_off = span_off
+        self._origins = origins
+        self._origin_ids = origin_ids
+        self._okey_off = okey_off
+        self._okey_ver = okey_ver
+        self._okey_plen = okey_plen
+        self._okey_hi = okey_hi
+        self._okey_lo = okey_lo
+        self._origin_set: frozenset | None = None
+        self._prefix_count = prefix_count
+
+    # -- hot-path queries -------------------------------------------------
+
+    def has_origin(self, asn: int) -> bool:
+        """Whether the AS originates at least one declared route."""
+        origin_set = self._origin_set
+        if origin_set is None:
+            # Built per process on first use (frozensets don't live in
+            # planes); idempotent, so sharing across engines is safe.
+            origin_set = self._origin_set = frozenset(self._origin_ids)
+        return asn in origin_set
+
+    def _exact_payload(self, fam: _Family, qnet: int, qlen: int) -> int:
+        if not (fam.lmall >> qlen) & 1:
+            return -1
+        shift = fam.maxlen - qlen
+        qnet = (qnet >> shift) << shift  # tolerate set host bits, like the walk did
+        hlo, hhi, hval = fam.hlo, fam.hhi, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hpl = fam.hpl
+        if hhi is None:
+            x = (qnet + qlen * _HASH_P) & _U64
+        else:
+            x = ((qnet ^ (qnet >> 64)) + qlen * _HASH_P) & _U64
+        s = ((x * _HASH_C) & _U64) >> fam.hshift
+        nlo = qnet & _U64
+        nhi = qnet >> 64
+        while hval[s] >= 0:
+            if (
+                hpl[s] == qlen
+                and hlo[s] == nlo
+                and (hhi is None or hhi[s] == nhi)
+            ):
+                return hval[s]
+            s = (s + 1) & hmask
+        return -1
+
+    def has_exact(self, version: int, qnet: int, qlen: int) -> bool:
+        """Whether some route object declares exactly this prefix."""
+        fam = self._fam4 if version == 4 else self._fam6
+        return self._exact_payload(fam, qnet, qlen) >= 0
+
+    def exact_origins(self, version: int, qnet: int, qlen: int) -> frozenset:
+        """Origin ASes of route objects exactly matching the prefix."""
+        fam = self._fam4 if version == 4 else self._fam6
+        p = self._exact_payload(fam, qnet, qlen)
+        if p < 0:
+            return frozenset()
+        off = self._span_off
+        return frozenset(self._origins[off[p] : off[p + 1]])
+
+    @staticmethod
+    def _op_limit(op: RangeOp, qlen: int) -> int:
+        """The max declared length ``op`` admits for this announced length.
+
+        ``op.allows(pl, qlen)`` reduces to ``pl <= limit`` over ancestors:
+        MINUS admits strict ancestors (``pl < qlen``), PLUS admits any
+        cover (``pl <= qlen``), and EXACT/RANGE depend only on the
+        announced length — when ``qlen`` falls outside their bounds no
+        declared prefix can qualify and the query is skipped outright
+        (returns -1).  Hoisted so the candidate-length mask is truncated
+        with one AND instead of a per-candidate method call.
+        """
+        kind = op.kind
+        if kind is RangeOpKind.MINUS:
+            return qlen - 1
+        if kind is RangeOpKind.PLUS:
+            return qlen
+        return qlen if op.low <= qlen <= op.high else -1
+
+    def match_origin(self, asn: int, version: int, qnet: int, qlen: int, op: RangeOp) -> bool:
+        """Whether ``asn`` declared a covering prefix whose ``op`` admits
+        the announced length — a masked handful of hash probes."""
+        fam = self._fam4 if version == 4 else self._fam6
+        if op.kind is RangeOpKind.NONE:
+            # NONE admits announced == declared only: the exact entry.
+            p = self._exact_payload(fam, qnet, qlen)
+            if p < 0:
+                return False
+            off = self._span_off
+            origins = self._origins
+            for j in range(off[p], off[p + 1]):
+                if origins[j] == asn:
+                    return True
+            return False
+        limit = self._op_limit(op, qlen)
+        if limit < 0:
+            return False
+        maxlen = fam.maxlen
+        lmk = fam.lmk
+        m = fam.lenmask[qnet >> (maxlen - lmk)] if lmk else fam.lmall
+        m &= (1 << (limit + 1)) - 1
+        if not m:
+            return False
+        hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hshift = fam.hshift
+        off = self._span_off
+        origins = self._origins
+        while m:
+            pl = m.bit_length() - 1
+            m ^= 1 << pl
+            shift = maxlen - pl
+            net = (qnet >> shift) << shift
+            if hhi is None:
+                x = (net + pl * _HASH_P) & _U64
+            else:
+                x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+            s = ((x * _HASH_C) & _U64) >> hshift
+            nlo = net & _U64
+            nhi = net >> 64
+            while hval[s] >= 0:
+                if (
+                    hpl[s] == pl
+                    and hlo[s] == nlo
+                    and (hhi is None or hhi[s] == nhi)
+                ):
+                    a, b = off[hval[s]], off[hval[s] + 1]
+                    while a < b:
+                        if origins[a] == asn:
+                            return True
+                        a += 1
+                    break
+                s = (s + 1) & hmask
+        return False
+
+    def match_any(self, version: int, qnet: int, qlen: int, op: RangeOp) -> bool:
+        """Whether *any* declared prefix covers the query under ``op``."""
+        fam = self._fam4 if version == 4 else self._fam6
+        if op.kind is RangeOpKind.NONE:
+            return self._exact_payload(fam, qnet, qlen) >= 0
+        limit = self._op_limit(op, qlen)
+        if limit < 0:
+            return False
+        maxlen = fam.maxlen
+        lmk = fam.lmk
+        m = fam.lenmask[qnet >> (maxlen - lmk)] if lmk else fam.lmall
+        m &= (1 << (limit + 1)) - 1
+        if not m:
+            return False
+        hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hshift = fam.hshift
+        while m:
+            pl = m.bit_length() - 1
+            m ^= 1 << pl
+            shift = maxlen - pl
+            net = (qnet >> shift) << shift
+            if hhi is None:
+                x = (net + pl * _HASH_P) & _U64
+            else:
+                x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+            s = ((x * _HASH_C) & _U64) >> hshift
+            nlo = net & _U64
+            nhi = net >> 64
+            while hval[s] >= 0:
+                if (
+                    hpl[s] == pl
+                    and hlo[s] == nlo
+                    and (hhi is None or hhi[s] == nhi)
+                ):
+                    return True
+                s = (s + 1) & hmask
+        return False
+
+    def match_members(
+        self, members, version: int, qnet: int, qlen: int, op: RangeOp
+    ) -> bool:
+        """Whether any covering prefix is originated by a member AS."""
+        fam = self._fam4 if version == 4 else self._fam6
+        if op.kind is RangeOpKind.NONE:
+            p = self._exact_payload(fam, qnet, qlen)
+            if p < 0:
+                return False
+            off = self._span_off
+            origins = self._origins
+            for j in range(off[p], off[p + 1]):
+                if origins[j] in members:
+                    return True
+            return False
+        limit = self._op_limit(op, qlen)
+        if limit < 0:
+            return False
+        maxlen = fam.maxlen
+        lmk = fam.lmk
+        m = fam.lenmask[qnet >> (maxlen - lmk)] if lmk else fam.lmall
+        m &= (1 << (limit + 1)) - 1
+        if not m:
+            return False
+        hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hshift = fam.hshift
+        off = self._span_off
+        origins = self._origins
+        while m:
+            pl = m.bit_length() - 1
+            m ^= 1 << pl
+            shift = maxlen - pl
+            net = (qnet >> shift) << shift
+            if hhi is None:
+                x = (net + pl * _HASH_P) & _U64
+            else:
+                x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+            s = ((x * _HASH_C) & _U64) >> hshift
+            nlo = net & _U64
+            nhi = net >> 64
+            while hval[s] >= 0:
+                if (
+                    hpl[s] == pl
+                    and hlo[s] == nlo
+                    and (hhi is None or hhi[s] == nhi)
+                ):
+                    a, b = off[hval[s]], off[hval[s] + 1]
+                    while a < b:
+                        if origins[a] in members:
+                            return True
+                        a += 1
+                    break
+                s = (s + 1) & hmask
+        return False
+
+    def covering_origins(self, version: int, qnet: int, qlen: int) -> list:
+        """All stored ancestors of the query (exact included): a list of
+        ``(declared_length, origins-sequence)`` pairs, shallow first."""
+        fam = self._fam4 if version == 4 else self._fam6
+        out: list = []
+        maxlen = fam.maxlen
+        lmk = fam.lmk
+        m = fam.lenmask[qnet >> (maxlen - lmk)] if lmk else fam.lmall
+        m &= (1 << (qlen + 1)) - 1
+        if not m:
+            return out
+        hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hshift = fam.hshift
+        off = self._span_off
+        origins = self._origins
+        while m:
+            low = m & -m
+            pl = low.bit_length() - 1
+            m ^= low
+            shift = maxlen - pl
+            net = (qnet >> shift) << shift
+            if hhi is None:
+                x = (net + pl * _HASH_P) & _U64
+            else:
+                x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+            s = ((x * _HASH_C) & _U64) >> hshift
+            nlo = net & _U64
+            nhi = net >> 64
+            while hval[s] >= 0:
+                if (
+                    hpl[s] == pl
+                    and hlo[s] == nlo
+                    and (hhi is None or hhi[s] == nhi)
+                ):
+                    p = hval[s]
+                    out.append((pl, origins[off[p] : off[p + 1]]))
+                    break
+                s = (s + 1) & hmask
+        return out
+
+    # -- cold-path queries ------------------------------------------------
+
+    def covered(self, version: int, qnet: int, qlen: int):
+        """Yield ``((version, net, plen), origins-frozenset)`` for every
+        stored prefix contained in the query (descendant enumeration)."""
+        fam = self._fam4 if version == 4 else self._fam6
+        i = fam.root
+        if i < 0:
+            return
+        plen, lo, hi = fam.plen, fam.lo, fam.hi
+        left, right, payload = fam.left, fam.right, fam.payload
+        maxlen = fam.maxlen
+        qtop = qnet >> (maxlen - qlen) if qlen else 0
+        # Descend along the query path to the topmost node at or below qlen.
+        while i >= 0 and plen[i] < qlen:
+            pl = plen[i]
+            shift = maxlen - pl
+            stored = lo[i] if hi is None else ((hi[i] << 64) | lo[i])
+            if (qnet >> shift) != stored:
+                return
+            i = right[i] if (qnet >> (shift - 1)) & 1 else left[i]
+        if i < 0:
+            return
+        pl = plen[i]
+        stored = lo[i] if hi is None else ((hi[i] << 64) | lo[i])
+        if (stored >> (pl - qlen)) != qtop:
+            return
+        off = self._span_off
+        origins = self._origins
+        stack = [i]
+        while stack:
+            j = stack.pop()
+            p = payload[j]
+            if p >= 0:
+                jl = plen[j]
+                snet = lo[j] if hi is None else ((hi[j] << 64) | lo[j])
+                yield (
+                    (version, snet << (maxlen - jl), jl),
+                    frozenset(origins[off[p] : off[p + 1]]),
+                )
+            if right[j] >= 0:
+                stack.append(right[j])
+            if left[j] >= 0:
+                stack.append(left[j])
+
+    def iter_exact(self):
+        """Yield every ``((version, net, plen), origins-frozenset)``."""
+        for version in (4, 6):
+            maxlen = _MAX_LEN[version]
+            yield from self.covered(version, 0, 0) if maxlen else ()
+
+    def origins(self):
+        """Every origin AS with at least one declared route, sorted."""
+        return iter(self._origin_ids)
+
+    def origin_keys(self, asn: int) -> tuple:
+        """Every ``(version, network, length)`` the AS declared."""
+        ids = self._origin_ids
+        j = bisect_left(ids, asn)
+        if j >= len(ids) or ids[j] != asn:
+            return ()
+        ver, pl = self._okey_ver, self._okey_plen
+        hi, lo = self._okey_hi, self._okey_lo
+        return tuple(
+            (ver[t], (hi[t] << 64) | lo[t], pl[t])
+            for t in range(self._okey_off[j], self._okey_off[j + 1])
+        )
+
+    # -- introspection and (de)materialization ----------------------------
+
+    def stats(self) -> dict:
+        """Size figures: prefixes, origins, nodes, and total plane bytes."""
+        total = sum(_plane_bytes(plane) for _, _, plane in self.export_planes())
+        return {
+            "prefixes": self._prefix_count,
+            "origins": len(self._origin_ids),
+            "nodes": len(self._fam4) + len(self._fam6),
+            "plane_bytes": total,
+        }
+
+    def meta(self) -> dict:
+        """JSON-able reconstruction scalars for the flat cache envelope."""
+        return {
+            "root4": self._fam4.root,
+            "root6": self._fam6.root,
+            "lmk4": self._fam4.lmk,
+            "lm4": self._fam4.lmall,
+            "h4": self._fam4.hbits,
+            "lmk6": self._fam6.lmk,
+            "lm6": self._fam6.lmall,
+            "h6": self._fam6.hbits,
+            "prefix_count": self._prefix_count,
+        }
+
+    def export_planes(self) -> list:
+        """Every plane as ``(name, typecode, buffer)`` in canonical order."""
+        out = []
+        for tag, fam in (("f4", self._fam4), ("f6", self._fam6)):
+            for name, code in self._FAMILY_PLANES.items():
+                plane = getattr(fam, name)
+                if plane is None:  # IPv4 has no hi plane; IPv6 no lenmask
+                    continue
+                out.append((f"{tag}.{name}", code, plane))
+        for name, code in self._ARENA_PLANES.items():
+            out.append((name, code, getattr(self, f"_{name}")))
+        return out
+
+    @classmethod
+    def from_planes(cls, meta: dict, planes: dict) -> "RouteTrie":
+        """Rebuild from ``meta`` plus a name→buffer mapping (mmap views
+        or arrays); the inverse of :meth:`export_planes`/:meth:`meta`."""
+        fams = {}
+        for tag, maxlen, suffix in (("f4", 32, "4"), ("f6", 128, "6")):
+            fam = _Family(
+                maxlen,
+                meta[f"root{suffix}"],
+                planes[f"{tag}.plen"],
+                planes[f"{tag}.lo"],
+                planes.get(f"{tag}.hi") if maxlen > 64 else None,
+                planes[f"{tag}.left"],
+                planes[f"{tag}.right"],
+                planes[f"{tag}.payload"],
+            )
+            _attach_fast(
+                fam,
+                meta.get(f"lmk{suffix}", 0),
+                meta.get(f"lm{suffix}", 0),
+                meta.get(f"h{suffix}", 0),
+                planes,
+                tag,
+            )
+            fams[tag] = fam
+        return cls(
+            fams["f4"],
+            fams["f6"],
+            planes["span_off"],
+            planes["origins"],
+            planes["origin_ids"],
+            planes["okey_off"],
+            planes["okey_ver"],
+            planes["okey_plen"],
+            planes["okey_hi"],
+            planes["okey_lo"],
+            meta["prefix_count"],
+        )
+
+    def detach(self) -> None:
+        """Release every plane (mmap teardown); the trie is unusable after.
+
+        Called by :meth:`CompiledIndex.close
+        <repro.core.compiled.CompiledIndex.close>` before the backing
+        ``mmap`` closes — an exported memoryview would otherwise keep the
+        mapping (and its file descriptor) alive.
+        """
+        for fam in (self._fam4, self._fam6):
+            for name in self._FAMILY_PLANES:
+                plane = getattr(fam, name)
+                if isinstance(plane, memoryview):
+                    plane.release()
+                setattr(fam, name, None)
+            fam.root = -1
+            fam.lmk = 0
+            fam.lmall = 0
+            fam.hbits = 0
+        for name in self._ARENA_PLANES:
+            plane = getattr(self, f"_{name}")
+            if isinstance(plane, memoryview):
+                plane.release()
+            setattr(self, f"_{name}", None)
+        self._origin_set = None
+
+    def __getstate__(self):
+        planes = {
+            name: _materialize(code, plane)
+            for name, code, plane in self.export_planes()
+        }
+        return {"meta": self.meta(), "planes": planes}
+
+    def __setstate__(self, state):
+        clone = RouteTrie.from_planes(state["meta"], state["planes"])
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(clone, slot))
+
+
+class RouteTrieBuilder:
+    """Accumulates ⟨prefix, origin⟩ pairs, then freezes a :class:`RouteTrie`."""
+
+    def __init__(self):
+        self._roots = {4: None, 6: None}
+        self._by_origin: dict[int, set] = {}
+
+    def add(self, prefix: Prefix, origin: int) -> None:
+        """Register one declared ⟨prefix, origin⟩ pair."""
+        version = prefix.version
+        maxlen = _MAX_LEN[version]
+
+        def update(payload):
+            if payload is None:
+                return {origin}
+            payload.add(origin)
+            return payload
+
+        self._roots[version] = _insert(
+            self._roots[version], prefix.network, prefix.length, maxlen, update
+        )
+        self._by_origin.setdefault(origin, set()).add(
+            (version, prefix.network, prefix.length)
+        )
+
+    def build(self) -> RouteTrie:
+        """Linearize the accumulated pairs into a frozen :class:`RouteTrie`."""
+        span_off = array("i", [0])
+        origins = array("Q")
+
+        def payload_out(origin_set) -> int:
+            for asn in sorted(origin_set):
+                origins.append(asn)
+            span_off.append(len(origins))
+            return len(span_off) - 2
+
+        fam4 = _linearize(self._roots[4], 32, payload_out)
+        fam6 = _linearize(self._roots[6], 128, payload_out)
+        _build_fast(fam4, lmfactor=256)
+        _build_fast(fam6, lmfactor=256)
+        origin_ids = array("Q")
+        okey_off = array("i", [0])
+        okey_ver = array("B")
+        okey_plen = array("B")
+        okey_hi = array("Q")
+        okey_lo = array("Q")
+        for asn in sorted(self._by_origin):
+            origin_ids.append(asn)
+            for version, net, plen in sorted(self._by_origin[asn]):
+                okey_ver.append(version)
+                okey_plen.append(plen)
+                okey_hi.append(net >> 64)
+                okey_lo.append(net & _U64)
+            okey_off.append(len(okey_ver))
+        return RouteTrie(
+            fam4,
+            fam6,
+            span_off,
+            origins,
+            origin_ids,
+            okey_off,
+            okey_ver,
+            okey_plen,
+            okey_hi,
+            okey_lo,
+            prefix_count=len(span_off) - 1,
+        )
+
+
+# -- the range-operator trie (route-set members) ----------------------------
+
+
+class OpTrie:
+    """Declared ``prefix^op`` members of one route-set, trie-frozen.
+
+    The payload arena holds ``(kind, low, high)`` triples; ``matches``
+    inlines :meth:`RangeOp.allows` over the codes so the walk never
+    reconstructs operator objects.
+    """
+
+    __slots__ = ("_fam4", "_fam6", "_off", "_kind", "_low", "_high")
+
+    def __init__(self, fam4, fam6, off, kind, low, high):
+        self._fam4 = fam4
+        self._fam6 = fam6
+        self._off = off
+        self._kind = kind
+        self._low = low
+        self._high = high
+
+    @classmethod
+    def from_entries(cls, entries: dict) -> "OpTrie":
+        """Freeze a ``{(version, net, plen): [RangeOp, ...]}`` mapping."""
+        roots = {4: None, 6: None}
+        for (version, net, plen), ops in entries.items():
+            triples = [
+                (
+                    _KIND_TO_CODE[op.kind],
+                    min(op.low, _OP_BOUND_CAP),
+                    min(op.high, _OP_BOUND_CAP),
+                )
+                for op in ops
+            ]
+
+            def update(payload, triples=triples):
+                if payload is None:
+                    return list(triples)
+                payload.extend(triples)
+                return payload
+
+            roots[version] = _insert(
+                roots[version], net, plen, _MAX_LEN[version], update
+            )
+        off = array("i", [0])
+        kind = array("B")
+        low = array("H")
+        high = array("H")
+
+        def payload_out(triples) -> int:
+            for k, lo_bound, hi_bound in triples:
+                kind.append(k)
+                low.append(lo_bound)
+                high.append(hi_bound)
+            off.append(len(kind))
+            return len(off) - 2
+
+        fam4 = _linearize(roots[4], 32, payload_out)
+        fam6 = _linearize(roots[6], 128, payload_out)
+        _build_fast(fam4)
+        _build_fast(fam6)
+        return cls(fam4, fam6, off, kind, low, high)
+
+    @property
+    def op_count(self) -> int:
+        return len(self._kind)
+
+    def matches(self, version: int, qnet: int, qlen: int, override: RangeOp | None) -> bool:
+        """Ancestor probes over the member prefixes, mask-pruned.
+
+        With ``override`` (an outer ``^op`` on the whole set) any stored
+        entry at a covering prefix counts if the override admits the
+        announced length — the length mask is truncated to the override's
+        admissible declared lengths, so every hit is a match.  Without an
+        override each stored operator is tested at its entry.
+        """
+        fam = self._fam4 if version == 4 else self._fam6
+        maxlen = fam.maxlen
+        lmk = fam.lmk
+        m = fam.lenmask[qnet >> (maxlen - lmk)] if lmk else fam.lmall
+        if override is None:
+            m &= (1 << (qlen + 1)) - 1
+        elif override.kind is RangeOpKind.NONE:
+            # NONE admits announced == declared only: the exact entry.
+            m &= 1 << qlen
+        else:
+            limit = RouteTrie._op_limit(override, qlen)
+            if limit < 0:
+                return False
+            m &= (1 << (limit + 1)) - 1
+        if not m:
+            return False
+        hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+        hmask = (1 << fam.hbits) - 1
+        hshift = fam.hshift
+        off, kind, low, high = self._off, self._kind, self._low, self._high
+        checked = override is None
+        while m:
+            pl = m.bit_length() - 1
+            m ^= 1 << pl
+            shift = maxlen - pl
+            net = (qnet >> shift) << shift
+            if hhi is None:
+                x = (net + pl * _HASH_P) & _U64
+            else:
+                x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+            s = ((x * _HASH_C) & _U64) >> hshift
+            nlo = net & _U64
+            nhi = net >> 64
+            while hval[s] >= 0:
+                if (
+                    hpl[s] == pl
+                    and hlo[s] == nlo
+                    and (hhi is None or hhi[s] == nhi)
+                ):
+                    if not checked:
+                        return True
+                    a, b = off[hval[s]], off[hval[s] + 1]
+                    while a < b:
+                        code = kind[a]
+                        if code == _OP_NONE:
+                            ok = qlen == pl
+                        elif code == _OP_MINUS:
+                            ok = qlen > pl
+                        elif code == _OP_PLUS:
+                            ok = qlen >= pl
+                        else:
+                            ok = low[a] <= qlen <= high[a]
+                        if ok:
+                            return True
+                        a += 1
+                    break
+                s = (s + 1) & hmask
+        return False
+
+    def iter_entries(self):
+        """Yield every stored ``((version, net, plen), RangeOp)`` pair.
+
+        Operators with bounds beyond 255 come back clamped (see
+        ``_OP_BOUND_CAP``) — exact for matching, approximate for display.
+        """
+        off = self._off
+        for version, fam in ((4, self._fam4), (6, self._fam6)):
+            if fam.root < 0:
+                continue
+            plen, lo, hi = fam.plen, fam.lo, fam.hi
+            left, right, payload = fam.left, fam.right, fam.payload
+            maxlen = fam.maxlen
+            stack = [fam.root]
+            while stack:
+                j = stack.pop()
+                p = payload[j]
+                if p >= 0:
+                    pl = plen[j]
+                    snet = lo[j] if hi is None else ((hi[j] << 64) | lo[j])
+                    key = (version, snet << (maxlen - pl), pl)
+                    for t in range(off[p], off[p + 1]):
+                        code = self._kind[t]
+                        if code in (_OP_EXACT, _OP_RANGE):
+                            op = RangeOp(
+                                _CODE_TO_KIND[code], self._low[t], self._high[t]
+                            )
+                        else:
+                            op = RangeOp(_CODE_TO_KIND[code])
+                        yield key, op
+                if right[j] >= 0:
+                    stack.append(right[j])
+                if left[j] >= 0:
+                    stack.append(left[j])
+
+    def __getstate__(self):
+        state = {"off": self._off, "kind": self._kind, "low": self._low, "high": self._high}
+        for tag, fam in (("f4", self._fam4), ("f6", self._fam6)):
+            state[tag] = {
+                "root": fam.root,
+                "lmk": fam.lmk,
+                "lmall": fam.lmall,
+                "hbits": fam.hbits,
+                "planes": {
+                    name: _materialize(code, getattr(fam, name))
+                    for name, code in RouteTrie._FAMILY_PLANES.items()
+                    if getattr(fam, name) is not None
+                },
+            }
+        return state
+
+    def __setstate__(self, state):
+        for tag, maxlen, slot in (("f4", 32, "_fam4"), ("f6", 128, "_fam6")):
+            planes = state[tag]["planes"]
+            fam = _Family(
+                maxlen,
+                state[tag]["root"],
+                planes["plen"],
+                planes["lo"],
+                planes.get("hi"),
+                planes["left"],
+                planes["right"],
+                planes["payload"],
+            )
+            _attach_fast(
+                fam,
+                state[tag].get("lmk", 0),
+                state[tag].get("lmall", 0),
+                state[tag].get("hbits", 0),
+                {f"{tag}.{name}": plane for name, plane in planes.items()},
+                tag,
+            )
+            setattr(self, slot, fam)
+        self._off = state["off"]
+        self._kind = state["kind"]
+        self._low = state["low"]
+        self._high = state["high"]
+
+
+# -- the legacy oracle ------------------------------------------------------
+
+
+class NaiveRouteIndex:
+    """The pre-trie dict engine, preserved verbatim as the reference.
+
+    Kept for three reasons: the hypothesis property suite and the
+    trie-vs-legacy differential tests compare against it, the
+    ``BENCH_prefix_engine`` microbenchmark measures the trie's speedup
+    over it, and ``RPSLYZER_PREFIX_ENGINE=naive`` can force it globally
+    to bisect a suspected trie bug in production data.
+    """
+
+    __slots__ = ("route_index", "origin_prefixes")
+
+    def __init__(self):
+        self.route_index: dict[tuple, set] = {}
+        self.origin_prefixes: dict[int, set] = {}
+
+    def add(self, prefix: Prefix, origin: int) -> None:
+        """Register one declared ⟨prefix, origin⟩ pair."""
+        key = (prefix.version, prefix.network, prefix.length)
+        self.route_index.setdefault(key, set()).add(origin)
+        self.origin_prefixes.setdefault(origin, set()).add(key)
+
+    def has_origin(self, asn: int) -> bool:
+        """Whether the AS originates at least one declared route."""
+        return asn in self.origin_prefixes
+
+    def has_exact(self, version: int, qnet: int, qlen: int) -> bool:
+        """Whether some route object declares exactly this prefix."""
+        return bool(self.route_index.get((version, qnet, qlen)))
+
+    def exact_origins(self, version: int, qnet: int, qlen: int) -> frozenset:
+        """Origin ASes of route objects exactly matching the prefix."""
+        return frozenset(self.route_index.get((version, qnet, qlen), ()))
+
+    def match_origin(self, asn: int, version: int, qnet: int, qlen: int, op: RangeOp) -> bool:
+        """Ancestor enumeration over the per-origin declared-prefix set."""
+        declared = self.origin_prefixes.get(asn)
+        if not declared:
+            return False
+        maxlen = _MAX_LEN[version]
+        for length in range(qlen, -1, -1):
+            shift = maxlen - length
+            key = (version, (qnet >> shift) << shift, length)
+            if key in declared and op.allows(length, qlen):
+                return True
+        return False
+
+    def match_any(self, version: int, qnet: int, qlen: int, op: RangeOp) -> bool:
+        """Whether *any* declared prefix covers the query under ``op``."""
+        maxlen = _MAX_LEN[version]
+        route_index = self.route_index
+        for length in range(qlen, -1, -1):
+            shift = maxlen - length
+            key = (version, (qnet >> shift) << shift, length)
+            if key in route_index and op.allows(length, qlen):
+                return True
+        return False
+
+    def match_members(
+        self, members, version: int, qnet: int, qlen: int, op: RangeOp
+    ) -> bool:
+        """Whether any covering prefix is originated by a member AS."""
+        maxlen = _MAX_LEN[version]
+        route_index = self.route_index
+        for length in range(qlen, -1, -1):
+            shift = maxlen - length
+            origins = route_index.get((version, (qnet >> shift) << shift, length))
+            if origins and not members.isdisjoint(origins) and op.allows(length, qlen):
+                return True
+        return False
+
+    def covering_origins(self, version: int, qnet: int, qlen: int) -> list:
+        """All stored ancestors of the query as ``(length, origins)``."""
+        maxlen = _MAX_LEN[version]
+        out = []
+        for length in range(qlen, -1, -1):
+            shift = maxlen - length
+            origins = self.route_index.get((version, (qnet >> shift) << shift, length))
+            if origins:
+                out.append((length, origins))
+        return out
+
+    def covered(self, version: int, qnet: int, qlen: int):
+        """Yield every stored ``(key, origins)`` contained in the query."""
+        probe = Prefix(version, qnet, qlen)
+        for key, origins in self.route_index.items():
+            if key[0] == version and probe.contains(Prefix(*key)):
+                yield key, frozenset(origins)
+
+    def iter_exact(self):
+        """Yield every ``((version, net, plen), origins-frozenset)``."""
+        for key, origins in self.route_index.items():
+            yield key, frozenset(origins)
+
+    def origins(self):
+        """Every origin AS with at least one declared route, sorted."""
+        return iter(sorted(self.origin_prefixes))
+
+    def origin_keys(self, asn: int) -> tuple:
+        """Every ``(version, network, length)`` the AS declared."""
+        return tuple(sorted(self.origin_prefixes.get(asn, ())))
+
+    def stats(self) -> dict:
+        """Size figures mirroring :meth:`RouteTrie.stats` (no planes)."""
+        return {
+            "prefixes": len(self.route_index),
+            "origins": len(self.origin_prefixes),
+            "nodes": 0,
+            "plane_bytes": 0,
+        }

@@ -3,22 +3,34 @@
 Verification evaluates millions of filter checks; this module provides the
 data structures that keep each check near-constant-time:
 
-* a global route index mapping declared prefixes to their origin ASes;
-* per-origin prefix sets for ``AS<n>`` filters (ancestor enumeration
-  replaces the paper's per-AS binary search: a /24 route needs at most 25
-  hash probes to find every covering declared prefix);
+* a per-family compressed radix trie over every declared ⟨prefix, origin⟩
+  pair (:class:`~repro.core.prefixtrie.RouteTrie`): exact, ancestor
+  (``AS<n>`` / ``^-`` / ``^+`` / ``^n-m``), and descendant queries are one
+  walk that visits only the ancestors actually present — replacing the
+  earlier per-length masked-key enumeration of up to 33 (IPv4) or 129
+  (IPv6) hash probes per check;
+* trie-backed :class:`PrefixOpIndex` for route-set members with range
+  operators, probed the same way;
 * memoized recursive flattening of *as-sets* (with loop detection and
   depth measurement — the Section 4 statistics reuse both);
 * lazy resolution of *route-sets*, *peering-sets*, and *filter-sets*,
   including RFC 2622 "members by reference" via ``member-of``/
   ``mbrs-by-ref``.
+
+The pre-trie dict engine survives as
+:class:`~repro.core.prefixtrie.NaiveRouteIndex`; pass
+``prefix_engine="naive"`` (or set ``RPSLYZER_PREFIX_ENGINE=naive``) to
+force it — the differential suites prove both produce bit-identical
+verification output.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.prefixtrie import NaiveRouteIndex, OpTrie, RouteTrie, RouteTrieBuilder
 from repro.ir.model import Ir
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids an import cycle
@@ -32,30 +44,53 @@ __all__ = ["AsSetResolution", "ResolvedRouteSet", "PrefixOpIndex", "QueryEngine"
 
 _PrefixKey = tuple[int, int, int]  # (version, network, length)
 
+_ENGINE_ENV = "RPSLYZER_PREFIX_ENGINE"
+
 
 def _key(prefix: Prefix) -> _PrefixKey:
     return (prefix.version, prefix.network, prefix.length)
 
 
-def _ancestor_keys(prefix: Prefix):
-    """Yield ``(version, masked-network, length)`` for every covering length."""
-    version = prefix.version
-    max_length = prefix.max_length
-    network = prefix.network
-    for length in range(prefix.length, -1, -1):
-        shift = max_length - length
-        yield (version, (network >> shift) << shift, length), length
-
-
-@dataclass(slots=True)
 class PrefixOpIndex:
-    """Declared prefixes with range operators, probed by ancestor walk."""
+    """Declared prefixes with range operators, probed by one trie walk.
 
-    entries: dict[_PrefixKey, list[RangeOp]] = field(default_factory=dict)
+    Entries accumulate in a plain dict while the set is being resolved;
+    the first probe (or an explicit :meth:`freeze`) lowers them into an
+    :class:`~repro.core.prefixtrie.OpTrie` whose flat planes pickle
+    compactly inside the compiled artifact.  The legacy dict view stays
+    reachable through :attr:`entries` (reconstructed on demand), and the
+    pre-trie ancestor-enumeration algorithm through
+    :meth:`_matches_naive` — the property suite compares both.
+    """
+
+    __slots__ = ("_pending", "_trie")
+
+    def __init__(self, entries: dict[_PrefixKey, list[RangeOp]] | None = None):
+        self._pending: dict[_PrefixKey, list[RangeOp]] | None = (
+            {key: list(ops) for key, ops in entries.items()} if entries else {}
+        )
+        self._trie: OpTrie | None = None
+
+    @property
+    def entries(self) -> dict[_PrefixKey, list[RangeOp]]:
+        """The ``{(version, net, len): [RangeOp, ...]}`` mapping (compat)."""
+        if self._pending is None:
+            rebuilt: dict[_PrefixKey, list[RangeOp]] = {}
+            for key, op in self._trie.iter_entries():
+                rebuilt.setdefault(key, []).append(op)
+            self._pending = rebuilt
+        return self._pending
 
     def add(self, prefix: Prefix, op: RangeOp) -> None:
         """Register one declared prefix with its operator."""
         self.entries.setdefault(_key(prefix), []).append(op)
+        self._trie = None
+
+    def freeze(self) -> OpTrie:
+        """Lower the entries into their trie (idempotent)."""
+        if self._trie is None:
+            self._trie = OpTrie.from_entries(self._pending or {})
+        return self._trie
 
     def matches(self, prefix: Prefix, override: RangeOp | None = None) -> bool:
         """Whether any declared entry covers ``prefix`` under its operator.
@@ -63,20 +98,30 @@ class PrefixOpIndex:
         ``override`` replaces every stored operator (an outer ``^op``
         applied to the whole set).
         """
-        if not self.entries:
+        trie = self._trie
+        if trie is None:
+            if not self._pending:
+                return False
+            trie = self.freeze()
+        if override is not None and override.kind is RangeOpKind.NONE:
+            override = None  # a no-op override: invariant across the walk
+        return trie.matches(prefix.version, prefix.network, prefix.length, override)
+
+    def _matches_naive(self, prefix: Prefix, override: RangeOp | None = None) -> bool:
+        """The pre-trie ancestor enumeration, kept as the test oracle."""
+        entries = self.entries
+        if not entries:
             return False
         announced = prefix.length
         if override is not None and override.kind is RangeOpKind.NONE:
-            override = None  # a no-op override: invariant across the walk
-        entries = self.entries
-        if override is not None:
-            for key, declared_length in _ancestor_keys(prefix):
-                if key in entries and override.allows(declared_length, announced):
-                    return True
-            return False
+            override = None
         for key, declared_length in _ancestor_keys(prefix):
             ops = entries.get(key)
             if ops is None:
+                continue
+            if override is not None:
+                if override.allows(declared_length, announced):
+                    return True
                 continue
             for op in ops:
                 if op.allows(declared_length, announced):
@@ -84,7 +129,42 @@ class PrefixOpIndex:
         return False
 
     def __len__(self) -> int:
+        if self._trie is not None and self._pending is None:
+            return self._trie.op_count
         return sum(len(ops) for ops in self.entries.values())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PrefixOpIndex):
+            return NotImplemented
+        return self.entries == other.entries
+
+    __hash__ = None  # mutable (mirrors the earlier eq dataclass)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrefixOpIndex(<{len(self)} ops>)"
+
+    def __getstate__(self):
+        # Pickle the flat trie planes, not the dict of operator objects:
+        # this is what shrinks route-set members inside the artifact.
+        return {"trie": self.freeze()}
+
+    def __setstate__(self, state):
+        self._pending = None
+        self._trie = state["trie"]
+
+
+def _ancestor_keys(prefix: Prefix):
+    """Yield ``(version, masked-network, length)`` for every covering length.
+
+    Only the naive/differential paths enumerate ancestors this way now;
+    the trie visits just the lengths actually present.
+    """
+    version = prefix.version
+    max_length = prefix.max_length
+    network = prefix.network
+    for length in range(prefix.length, -1, -1):
+        shift = max_length - length
+        yield (version, (network >> shift) << shift, length), length
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,21 +224,49 @@ BUILTIN_FILTER_SETS: dict[str, Filter] = {
 }
 
 
+def _build_routes(ir: Ir, prefix_engine: str | None):
+    """The route backend for one IR: a frozen trie, or the naive dicts."""
+    kind = prefix_engine or os.environ.get(_ENGINE_ENV) or "trie"
+    if kind == "naive":
+        routes = NaiveRouteIndex()
+        for route in ir.route_objects:
+            routes.add(route.prefix, route.origin)
+        return routes
+    if kind != "trie":
+        raise ValueError(f"unknown prefix engine {kind!r} (expected 'trie' or 'naive')")
+    builder = RouteTrieBuilder()
+    for route in ir.route_objects:
+        builder.add(route.prefix, route.origin)
+    return builder.build()
+
+
 class QueryEngine:
     """Indexed access to one (usually merged) IR.
 
     ``index`` (a :class:`~repro.core.compiled.CompiledIndex`) pre-seeds
     every table and memo cache from the compile-once pass: the read-only
-    index tables are adopted as-is, while the memo caches are shallow-
-    copied so lazy fills never mutate the shared artifact.
+    route trie is adopted as-is (its flat planes may be memoryviews over
+    the mmap'd artifact), while the memo caches are shallow-copied so
+    lazy fills never mutate the shared artifact.
+
+    ``prefix_engine`` selects the route backend — ``"trie"`` (default) or
+    ``"naive"`` (the pre-trie dict walk, for differential testing); the
+    ``RPSLYZER_PREFIX_ENGINE`` environment variable sets the default.
     """
 
-    def __init__(self, ir: Ir, max_depth: int = 64, index: "CompiledIndex | None" = None):
+    def __init__(
+        self,
+        ir: Ir,
+        max_depth: int = 64,
+        index: "CompiledIndex | None" = None,
+        prefix_engine: str | None = None,
+    ):
         self.ir = ir
         self.max_depth = max_depth
+        self._compat_route_index: dict[_PrefixKey, set[int]] | None = None
+        self._compat_origin_prefixes: dict[int, set[_PrefixKey]] | None = None
         if index is not None:
-            self.route_index = index.route_index
-            self.origin_prefixes = index.origin_prefixes
+            self.routes = index.route_trie
             self._as_set_byref = index.as_set_byref
             self._route_set_byref = index.route_set_byref
             self._as_set_cache = dict(index.as_sets)
@@ -166,13 +274,8 @@ class QueryEngine:
             self._peering_set_cache = dict(index.peering_sets)
             return
 
-        # Global route index and per-origin declared-prefix sets.
-        self.route_index: dict[_PrefixKey, set[int]] = {}
-        self.origin_prefixes: dict[int, set[_PrefixKey]] = {}
-        for route in ir.route_objects:
-            key = _key(route.prefix)
-            self.route_index.setdefault(key, set()).add(route.origin)
-            self.origin_prefixes.setdefault(route.origin, set()).add(key)
+        # The route backend: every declared ⟨prefix, origin⟩ pair.
+        self.routes: RouteTrie | NaiveRouteIndex = _build_routes(ir, prefix_engine)
 
         # Members-by-reference: aut-nums joining as-sets, routes joining
         # route-sets, each gated by the set's mbrs-by-ref maintainer list.
@@ -195,46 +298,66 @@ class QueryEngine:
 
     # -- route objects --------------------------------------------------
 
+    @property
+    def route_index(self) -> dict[_PrefixKey, set[int]]:
+        """``{(version, net, len): {origins}}`` — compatibility view.
+
+        The naive backend exposes its live dict; the trie reconstructs
+        one lazily (and caches it) for tools that iterate the table.
+        Hot-path checks go through the backend directly.
+        """
+        routes = self.routes
+        if isinstance(routes, NaiveRouteIndex):
+            return routes.route_index
+        cached = self._compat_route_index
+        if cached is None:
+            cached = self._compat_route_index = {
+                key: set(origins) for key, origins in routes.iter_exact()
+            }
+        return cached
+
+    @property
+    def origin_prefixes(self) -> dict[int, set[_PrefixKey]]:
+        """``{asn: {(version, net, len)}}`` — compatibility view."""
+        routes = self.routes
+        if isinstance(routes, NaiveRouteIndex):
+            return routes.origin_prefixes
+        cached = self._compat_origin_prefixes
+        if cached is None:
+            cached = self._compat_origin_prefixes = {
+                asn: set(routes.origin_keys(asn)) for asn in routes.origins()
+            }
+        return cached
+
     def has_any_routes(self, asn: int) -> bool:
         """Whether the AS appears as *origin* of at least one route object."""
-        return asn in self.origin_prefixes
+        return self.routes.has_origin(asn)
 
     def asn_route_match(self, asn: int, prefix: Prefix, op: RangeOp) -> bool:
         """Whether ``asn`` registered a route object matching ``prefix^op``."""
-        declared = self.origin_prefixes.get(asn)
-        if not declared:
-            return False
-        announced = prefix.length
-        for key, declared_length in _ancestor_keys(prefix):
-            if key in declared and op.allows(declared_length, announced):
-                return True
-        return False
+        return self.routes.match_origin(
+            asn, prefix.version, prefix.network, prefix.length, op
+        )
 
     def origins_of(self, prefix: Prefix) -> frozenset[int]:
         """Origin ASes of route objects exactly matching ``prefix``."""
-        return frozenset(self.route_index.get(_key(prefix), ()))
+        return self.routes.exact_origins(prefix.version, prefix.network, prefix.length)
 
     def as_set_route_match(self, name: str, prefix: Prefix, op: RangeOp) -> bool:
         """Whether any member of the as-set registered a matching route."""
         resolution = self.flatten_as_set(name)
+        version, network, length = prefix.version, prefix.network, prefix.length
         if resolution.contains_any:
-            return bool(self.route_index.get(_key(prefix))) or self._any_cover(prefix, op)
+            return self.routes.has_exact(version, network, length) or self._any_cover(
+                prefix, op
+            )
         members = resolution.members
         if not members:
             return False
-        announced = prefix.length
-        for key, declared_length in _ancestor_keys(prefix):
-            origins = self.route_index.get(key)
-            if origins and not members.isdisjoint(origins) and op.allows(declared_length, announced):
-                return True
-        return False
+        return self.routes.match_members(members, version, network, length, op)
 
     def _any_cover(self, prefix: Prefix, op: RangeOp) -> bool:
-        announced = prefix.length
-        for key, declared_length in _ancestor_keys(prefix):
-            if key in self.route_index and op.allows(declared_length, announced):
-                return True
-        return False
+        return self.routes.match_any(prefix.version, prefix.network, prefix.length, op)
 
     # -- as-sets ---------------------------------------------------------
 

@@ -162,7 +162,14 @@ class Verifier:
     ``index`` (a :class:`~repro.core.compiled.CompiledIndex` from
     :func:`repro.core.compiled.compile_index`) pre-seeds the query engine
     and the AS-path matcher, turning their hot-loop resolutions into pure
-    lookups; without one, everything resolves lazily as before.
+    lookups; without one, everything resolves lazily as before.  Either
+    way the prefix checks run on the engine's radix-trie backend (one
+    ancestor walk per ``AS<n>``/route-set match; see
+    :mod:`repro.core.prefixtrie`) — with an index, the trie planes may be
+    memoryviews over the mmap'd cache artifact, shared page-for-page with
+    every pool worker.  ``RPSLYZER_PREFIX_ENGINE=naive`` falls back to
+    the pre-trie dict walk; the differential suites prove both paths
+    produce bit-identical reports.
     """
 
     def __init__(

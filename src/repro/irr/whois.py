@@ -135,7 +135,7 @@ class WhoisEngine:
             asn = parse_asn(asn_text)
         except AsnError:
             return f"F invalid AS number {asn_text!r}"
-        keys = self.query.origin_prefixes.get(asn)
+        keys = self.query.routes.origin_keys(asn)
         if not keys:
             return "D"
         prefixes = sorted(Prefix(*key) for key in keys if key[0] == version)

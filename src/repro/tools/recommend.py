@@ -119,7 +119,7 @@ def recommend_route_set(
 
     prefixes: set[Prefix] = set()
     for member in covered_asns:
-        for key in query.origin_prefixes.get(member, ()):
+        for key in query.routes.origin_keys(member):
             prefixes.add(Prefix(*key))
     if not prefixes:
         return None

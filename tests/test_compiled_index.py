@@ -3,14 +3,21 @@
 The contract under test: verification over a :class:`CompiledIndex` is
 *bit-identical* to the lazy path — same :class:`VerificationStats`, same
 per-route reports — serial, multi-process, and under injected worker
-death.  Plus the cache envelope (digest keying, format/version refusal)
-and the evidence-merging fast path the compilation pass leans on.
+death.  Plus the cache envelope (digest keying, format/version refusal,
+mmap attach/release lifecycle) and the evidence-merging fast path the
+compilation pass leans on.
+
+The trie-vs-legacy differential at the bottom scales through
+``RPSLYZER_DIFF_ROUTES`` / ``RPSLYZER_DIFF_SEEDS`` — the nightly CI job
+raises both to fuzz fresh worlds at higher route counts.
 """
 
+import os
 import pickle
 
 import pytest
 
+from repro.bgp.routegen import collector_routes
 from repro.chaos.faults import KillWorkerChunk
 from repro.core.compiled import (
     CompiledIndex,
@@ -26,6 +33,7 @@ from repro.core.filter_match import MAX_ITEMS, _merge_items
 from repro.core.parallel import verify_table
 from repro.core.report import ItemKind, ReportItem
 from repro.core.verify import Verifier
+from repro.irr.synth import build_world, tiny_config
 from repro.obs import MetricsRegistry, use_registry
 
 
@@ -219,3 +227,174 @@ class TestMergeItems:
         )
         right = (ReportItem.of(ItemKind.MATCH_FILTER_AS_PATH),)
         assert _merge_items(left, right) is left
+
+
+# -- mmap envelope and descriptor lifecycle ---------------------------------
+
+_PROC_FD = "/proc/self/fd"
+needs_procfs = pytest.mark.skipif(
+    not os.path.isdir(_PROC_FD), reason="needs /proc/self/fd (Linux procfs)"
+)
+
+
+def _fd_count() -> int:
+    return len(os.listdir(_PROC_FD))
+
+
+class TestMmapEnvelope:
+    """The format-2 flat envelope: file-backed planes, explicit release."""
+
+    def test_loaded_index_serves_identical_reports(
+        self, index, tiny_ir, tiny_world, tiny_routes, tmp_path
+    ):
+        path = tmp_path / "index.rpslidx"
+        save_index(index, path)
+        loaded = load_index(path, expect_digest=index.digest)
+        try:
+            memory = Verifier(tiny_ir, tiny_world.topology, index=index)
+            mapped = Verifier(tiny_ir, tiny_world.topology, index=loaded)
+            for entry in tiny_routes[:300]:
+                assert mapped.verify_entry(entry) == memory.verify_entry(entry)
+        finally:
+            loaded.close()
+
+    def test_loaded_index_is_picklable_without_resource(self, index, tmp_path):
+        path = tmp_path / "index.rpslidx"
+        save_index(index, path)
+        loaded = load_index(path)
+        try:
+            clone = pickle.loads(pickle.dumps(loaded))
+        finally:
+            loaded.close()
+        assert clone.resource is None
+        assert clone.stats() == index.stats()
+
+    @needs_procfs
+    def test_close_releases_the_mapping_descriptor(self, index, tmp_path):
+        path = tmp_path / "index.rpslidx"
+        save_index(index, path)
+        base = _fd_count()
+        loaded = load_index(path)
+        assert _fd_count() == base + 1  # the mmap dup is the only new fd
+        loaded.close()
+        assert _fd_count() == base
+        loaded.close()  # idempotent: no double-release, no error
+        assert _fd_count() == base
+
+    def test_queries_after_close_do_not_touch_dead_planes(self, index, tmp_path):
+        path = tmp_path / "index.rpslidx"
+        save_index(index, path)
+        loaded = load_index(path)
+        loaded.close()
+        with pytest.raises((AttributeError, TypeError, ValueError)):
+            loaded.route_trie.origins()
+
+
+class TestSessionIndexLifecycle:
+    """Sessions own (and must release) the mapping they attach."""
+
+    @needs_procfs
+    def test_fd_count_stable_across_open_close_cycles(self, tiny_ir, tmp_path):
+        from repro.api import Session
+
+        # Cycle 0 compiles and populates the cache (its save fd churn is
+        # not the regression under test); cycles 1..n each mmap-attach.
+        with Session(tiny_ir, cache_dir=tmp_path) as session:
+            session.warm()
+        base = _fd_count()
+        for _ in range(3):
+            session = Session(tiny_ir, cache_dir=tmp_path)
+            session.warm()
+            assert session.index is not None
+            session.close()
+            assert _fd_count() == base, "descriptor leaked by a session cycle"
+
+    @needs_procfs
+    def test_evict_index_releases_and_rewarm_reattaches(self, tiny_ir, tmp_path):
+        from repro.api import Session
+
+        with Session(tiny_ir, cache_dir=tmp_path) as session:
+            session.warm()
+        base = _fd_count()
+        with Session(tiny_ir, cache_dir=tmp_path) as session:
+            session.warm()
+            first = session.index
+            assert _fd_count() == base + 1
+            session.evict_index()
+            assert session.index is None
+            assert _fd_count() == base
+            session.warm()
+            assert session.index is not None
+            assert session.index is not first
+            assert _fd_count() == base + 1
+        assert _fd_count() == base
+
+    def test_shared_index_is_not_closed_by_the_session(self, tiny_ir, index):
+        from repro.api import Session
+
+        with Session(tiny_ir, index=index) as session:
+            session.warm()
+            assert session.index is index
+        # the caller-owned artifact stays live after session close
+        assert index.route_trie.stats()["prefixes"] > 0
+
+
+# -- trie vs legacy engine, fresh worlds ------------------------------------
+
+_DIFF_ROUTES = int(os.environ.get("RPSLYZER_DIFF_ROUTES", "1500"))
+_DIFF_SEEDS = int(os.environ.get("RPSLYZER_DIFF_SEEDS", "2"))
+
+
+class TestTrieLegacyDifferential:
+    """The trie engine is bit-identical to the legacy dict engine.
+
+    Each seed builds a fresh synthetic world; the legacy engine runs via
+    ``RPSLYZER_PREFIX_ENGINE=naive`` on the lazy path, the trie engine
+    both serially (compiled index) and pooled.  Nightly CI raises
+    ``RPSLYZER_DIFF_ROUTES`` and ``RPSLYZER_DIFF_SEEDS``.
+    """
+
+    @pytest.mark.parametrize("seed", [7700 + i for i in range(_DIFF_SEEDS)])
+    def test_trie_matches_legacy_serial_and_pooled(self, seed, monkeypatch):
+        world = build_world(tiny_config(seed=seed))
+        ir = world.registry().merged()
+        routes = list(
+            collector_routes(world.topology, world.announced, world.collectors)
+        )[:_DIFF_ROUTES]
+        assert routes, "world produced no collector routes"
+
+        monkeypatch.setenv("RPSLYZER_PREFIX_ENGINE", "naive")
+        legacy = verify_table(ir, world.topology, routes, processes=1)
+        monkeypatch.delenv("RPSLYZER_PREFIX_ENGINE")
+
+        index = compile_index(ir, digest=ir_digest(ir))
+        trie_serial = verify_table(
+            ir, world.topology, routes, processes=1, index=index
+        )
+        _assert_stats_equal(trie_serial, legacy)
+
+        pooled = verify_table(
+            ir,
+            world.topology,
+            routes,
+            processes=2,
+            chunk_size=max(1, len(routes) // 4),
+            index=index,
+        )
+        _assert_stats_equal(pooled, legacy)
+
+    def test_per_route_reports_identical_across_engines(self, monkeypatch):
+        world = build_world(tiny_config(seed=7790))
+        ir = world.registry().merged()
+        routes = list(
+            collector_routes(world.topology, world.announced, world.collectors)
+        )[: min(500, _DIFF_ROUTES)]
+
+        monkeypatch.setenv("RPSLYZER_PREFIX_ENGINE", "naive")
+        legacy = Verifier(ir, world.topology)
+        legacy_reports = [legacy.verify_entry(entry) for entry in routes]
+        monkeypatch.delenv("RPSLYZER_PREFIX_ENGINE")
+
+        trie = Verifier(ir, world.topology, index=compile_index(ir))
+        for entry, expected in zip(routes, legacy_reports):
+            assert trie.verify_entry(entry) == expected
