@@ -25,14 +25,18 @@ ci:
 	$(MAKE) chaos-serve
 	$(MAKE) perf-regression
 
-# The prefix-engine benchmark with strict timing floors, then the
-# measured ratios diffed against benchmarks/baselines.json (>20% slide
-# on a gated metric fails).  After an intentional perf change, re-pin:
-#   python scripts/check_perf_regression.py --bench prefix_engine --update
+# The strict perf benchmarks (prefix engine, incremental delta
+# ingestion), then the measured ratios diffed against
+# benchmarks/baselines.json (a slide past a gated metric's tolerance
+# fails).  After an intentional perf change, re-pin:
+#   python scripts/check_perf_regression.py --bench <name> --update
 perf-regression:
 	PYTHONPATH=src RPSLYZER_PERF_STRICT=1 $(PYTHON) -m pytest \
 	  benchmarks/test_perf_prefix_engine.py -q -p no:cacheprovider
 	$(PYTHON) scripts/check_perf_regression.py --bench prefix_engine
+	PYTHONPATH=src RPSLYZER_PERF_STRICT=1 $(PYTHON) -m pytest \
+	  benchmarks/test_perf_delta.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_perf_regression.py --bench delta_ingest
 
 # The serve-supervisor self-healing lifecycle against a live daemon:
 # SIGKILL mid-flood, heartbeat replacement of a hung worker, restart

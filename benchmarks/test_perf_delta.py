@@ -1,0 +1,200 @@
+"""P4 — incremental delta ingestion vs full recompilation.
+
+The tentpole claim: an NRTM-style journal patches the live
+:class:`~repro.core.compiled.CompiledIndex` orders of magnitude faster
+than recompiling it from scratch.  Measured at production scale — the
+benchmark IR spliced with a ~100k-prefix route table, the size real IRR
+snapshots reach:
+
+* **single-object delta** — one route ADD journal, measured
+  update-to-queryable (journal replay onto the IR plus ``patch_index``)
+  against a from-scratch ``compile_index`` over the same patched IR;
+* **batch delta** — a 200-entry mixed ADD/DEL journal through the same
+  pipeline;
+* **identity gate** — the patched index's trie contents and byref
+  tables are hard-asserted equal to the fresh compile's, every run.
+
+Timing floors only fail under ``RPSLYZER_PERF_STRICT`` (the
+perf-regression CI job sets it).  Ratios accumulate into
+``benchmarks/results/BENCH_delta_ingest.json``, diffed against
+``benchmarks/baselines.json`` by ``scripts/check_perf_regression.py``.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+from conftest import RESULTS_DIR, emit
+
+from repro.core.compiled import compile_index, patch_index
+from repro.ir.model import Ir, RouteObject
+from repro.irr.journal import Journal, JournalEntry, apply_journal_to_ir
+from repro.net.prefix import Prefix
+from repro.obs import get_registry
+
+STRICT = bool(os.environ.get("RPSLYZER_PERF_STRICT"))
+
+_metrics: dict[str, float] = {}
+
+_SCALE_PREFIXES = 100_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Write the accumulated ratio metrics once the module finishes."""
+    yield
+    RESULTS_DIR.mkdir(exist_ok=True)
+    document = {
+        "bench": "delta_ingest",
+        "strict": STRICT,
+        "metrics": dict(sorted(_metrics.items())),
+    }
+    path = RESULTS_DIR / "BENCH_delta_ingest.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== BENCH_delta_ingest ===\n{json.dumps(document['metrics'], indent=2)}")
+
+
+def _best_of(runs, fn):
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def big_ir(ir):
+    """The benchmark IR spliced with a ~100k-prefix route table."""
+    rng = random.Random(1)
+    extra = []
+    seen = set()
+    while len(extra) < _SCALE_PREFIXES:
+        length = rng.randint(16, 24)
+        network = rng.getrandbits(length) << (32 - length)
+        origin = rng.randint(1, 30_000)
+        if (network, length, origin) in seen:
+            continue
+        seen.add((network, length, origin))
+        extra.append(
+            RouteObject(
+                prefix=Prefix(4, network, length),
+                origin=origin,
+                mnt_by=[f"MNT-AS{origin}"],
+                source="SYNTH",
+            )
+        )
+    return Ir(
+        aut_nums=dict(ir.aut_nums),
+        as_sets=dict(ir.as_sets),
+        route_sets=dict(ir.route_sets),
+        peering_sets=dict(ir.peering_sets),
+        filter_sets=dict(ir.filter_sets),
+        route_objects=list(ir.route_objects) + extra,
+    )
+
+
+def _route_add_journal(start_serial: int, count: int) -> Journal:
+    """ADD journals for fresh /24s in an otherwise-unused range."""
+    entries = []
+    for offset in range(count):
+        prefix = Prefix(4, (198 << 24) + (offset << 8), 24)
+        route = RouteObject(
+            prefix=prefix, origin=64500, mnt_by=["MNT-DELTA"], source="SYNTH"
+        )
+        entries.append(
+            JournalEntry(
+                serial=start_serial + offset,
+                action="ADD",
+                cls="route",
+                key=(str(prefix), 64500, "SYNTH"),
+                obj=route,
+                source="SYNTH",
+            )
+        )
+    return Journal(entries=entries)
+
+
+def _assert_equivalent(patched, fresh) -> None:
+    assert dict(patched.route_trie.iter_exact()) == dict(
+        fresh.route_trie.iter_exact()
+    )
+    assert patched.as_set_byref == fresh.as_set_byref
+    assert {k: tuple(v) for k, v in patched.route_set_byref.items()} == {
+        k: tuple(v) for k, v in fresh.route_set_byref.items()
+    }
+
+
+def test_single_object_delta_vs_full_recompile(big_ir):
+    compile_s, index = _best_of(2, lambda: compile_index(big_ir))
+    journal = _route_add_journal(1, 1)
+
+    def delta():
+        new_ir, report = apply_journal_to_ir(big_ir, journal)
+        assert not report
+        return new_ir, patch_index(index, big_ir, new_ir, journal)
+
+    delta_s, (new_ir, patched) = _best_of(5, delta)
+    fresh = compile_index(new_ir)
+    _assert_equivalent(patched, fresh)  # the identity gate
+    assert patched.generation == 1
+    assert patched.serials == {"SYNTH": 1}
+
+    speedup = compile_s / delta_s
+    _metrics["delta_ingest_speedup"] = round(speedup, 1)
+    _metrics["delta_apply_ms"] = round(delta_s * 1e3, 3)
+    registry = get_registry()
+    registry.gauge("bench_delta_apply_seconds").set(delta_s)
+    registry.gauge("bench_full_compile_seconds").set(compile_s)
+    emit(
+        "perf_delta_ingest_single",
+        f"route table: {len(big_ir.route_objects)} objects\n"
+        f"full compile: {compile_s * 1e3:.1f}ms\n"
+        f"single-ADD delta (update-to-queryable): {delta_s * 1e3:.3f}ms\n"
+        f"speedup: {speedup:.0f}x",
+    )
+    if STRICT:
+        assert speedup >= 50.0, f"delta path only {speedup:.1f}x over recompile"
+
+
+def test_batch_delta_vs_full_recompile(big_ir):
+    compile_s, index = _best_of(1, lambda: compile_index(big_ir))
+    # 100 ADDs of fresh prefixes plus 100 DELs of spliced routes.
+    journal = _route_add_journal(1, 100)
+    serial = 101
+    rng = random.Random(5)
+    for route in rng.sample(big_ir.route_objects[-_SCALE_PREFIXES:], 100):
+        journal.entries.append(
+            JournalEntry(
+                serial=serial,
+                action="DEL",
+                cls="route",
+                key=(str(route.prefix), route.origin, route.source),
+                source=route.source,
+            )
+        )
+        serial += 1
+
+    def delta():
+        new_ir, report = apply_journal_to_ir(big_ir, journal)
+        assert not report
+        return new_ir, patch_index(index, big_ir, new_ir, journal)
+
+    delta_s, (new_ir, patched) = _best_of(3, delta)
+    fresh = compile_index(new_ir)
+    _assert_equivalent(patched, fresh)
+
+    speedup = compile_s / delta_s
+    _metrics["delta_batch_speedup"] = round(speedup, 1)
+    emit(
+        "perf_delta_ingest_batch",
+        f"journal: {len(journal)} entries (100 ADD + 100 DEL)\n"
+        f"full compile: {compile_s * 1e3:.1f}ms\n"
+        f"batch delta: {delta_s * 1e3:.3f}ms\n"
+        f"speedup: {speedup:.0f}x",
+    )
+    if STRICT:
+        assert speedup >= 20.0, f"batch delta only {speedup:.1f}x over recompile"

@@ -32,6 +32,7 @@ serve daemon exposes at ``GET /metrics``.
 
 from __future__ import annotations
 
+import time
 import warnings
 from contextlib import nullcontext
 from pathlib import Path
@@ -49,12 +50,14 @@ from repro.core.compiled import (
     save_index,
 )
 from repro.core.compiled import compile_index as _compile_index
+from repro.core.compiled import patch_index as _patch_index
 from repro.core.degradation import DegradationReport
 from repro.core.parallel import verify_table as _verify_table
 from repro.core.query import QueryEngine
 from repro.core.report import RouteReport
 from repro.core.verify import Verifier, VerifyOptions
 from repro.ir.model import Ir
+from repro.irr.journal import Journal, apply_journal_to_ir, load_journal
 from repro.irr.registry import Registry, parse_registry_dir
 from repro.irr.synth import SynthConfig, SynthWorld, build_world, default_config, tiny_config
 from repro.irr.whois import WhoisServer
@@ -74,8 +77,11 @@ __all__ = [
     "LoadResult",
     "Session",
     "SessionClosedError",
+    "apply_journal",
     "compile_index",
     "get_or_compile",
+    "load_journal",
+    "patch_index",
     "index_cache_path",
     "ir_digest",
     "load_index",
@@ -240,6 +246,26 @@ def parse_dumps(directory: str | Path) -> LoadResult:
     )
 
 
+def apply_journal(ir: Ir, journal: Journal) -> LoadResult:
+    """Replay an NRTM-style journal onto an IR (provenance intact).
+
+    Returns a :class:`LoadResult` whose ``ir`` is the patched snapshot
+    (the input IR is never mutated — objects are shared, containers are
+    fresh) and whose ``degradation`` carries every replay anomaly:
+    corrupt entries, out-of-order or duplicate serials, missing targets.
+    A non-empty report means the journal cannot be trusted for
+    incremental index patching; recompile instead (that is exactly what
+    :meth:`Session.apply_deltas` does).
+    """
+    patched, report = apply_journal_to_ir(ir, journal)
+    return LoadResult(
+        ir=patched,
+        errors=ErrorCollector(),
+        degradation=report,
+        source="journal",
+    )
+
+
 class SessionClosedError(RuntimeError):
     """A method was called on a :class:`Session` after ``close()``."""
 
@@ -293,6 +319,7 @@ class Session:
         self._digest: str | None = index.digest if index is not None else None
         self._verifier: Verifier | None = None
         self._closed = False
+        self._last_delta_seconds: float | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -348,6 +375,95 @@ class Session:
                     self.ir, self.relationships, self.options, index=self._index
                 )
         return self
+
+    @property
+    def generation(self) -> int:
+        """Index generation: 0 for a from-scratch compile, +1 per patch."""
+        return self._index.generation if self._index is not None else 0
+
+    @property
+    def serials(self) -> dict:
+        """Highest journal serial absorbed per source registry."""
+        return dict(self._index.serials) if self._index is not None else {}
+
+    @property
+    def last_delta_seconds(self) -> float | None:
+        """Wall-clock of the most recent :meth:`apply_deltas` (None if never)."""
+        return self._last_delta_seconds
+
+    def apply_deltas(self, journal: Journal) -> DegradationReport:
+        """Absorb an NRTM-style journal: patch the IR and the live index.
+
+        The IR is replayed first (:func:`repro.irr.journal.apply_journal_to_ir`,
+        never mutating the current one).  A clean replay whose serials
+        continue from the index's recorded high-water marks takes the
+        incremental path — :func:`repro.core.compiled.patch_index`, point
+        trie mutations plus reverse-dependency cache invalidation.  Any
+        degradation (corrupt entries, serial gaps going backwards,
+        missing targets) falls back to a full recompile of the replayed
+        IR: slower, never wrong.  Either way the old index is released
+        (closing its mmap and file descriptor when session-owned) only
+        after the replacement is fully built, and the warm verifier is
+        rebuilt against the new state.
+
+        Returns the degradation report (empty ⇒ the fast path ran).
+        """
+        self._check_open()
+        with self._scope() as registry:
+            started = time.perf_counter()
+            old_ir = self.ir
+            old_index = self._index
+            patched_ir, report = apply_journal_to_ir(old_ir, journal)
+            if old_index is not None and not report:
+                # NRTM discipline across applies: a journal whose serials
+                # do not advance past what the index already absorbed is
+                # a replay/stale stream — degrade to the full path.
+                first_serial: dict[str, int] = {}
+                for entry in journal:
+                    if entry.serial < first_serial.get(entry.source, entry.serial + 1):
+                        first_serial[entry.source] = entry.serial
+                for source, first in sorted(first_serial.items()):
+                    previous = old_index.serials.get(source)
+                    if previous is not None and first <= previous:
+                        report.record(
+                            "journal",
+                            "stale-serial",
+                            detail=(
+                                f"source {source or '?'}: serial {first} "
+                                f"not past applied {previous}"
+                            ),
+                        )
+            if old_index is None:
+                new_index = None
+            elif report:
+                new_index = _compile_index(patched_ir, digest=ir_digest(patched_ir))
+                new_index.generation = old_index.generation + 1
+                new_index.serials = {**old_index.serials, **journal.serials()}
+            else:
+                new_index = _patch_index(old_index, old_ir, patched_ir, journal)
+            self.ir = patched_ir
+            self._index = new_index
+            self._digest = new_index.digest if new_index is not None else None
+            self._verifier = None
+            if old_index is not None and self._owns_index:
+                old_index.close()
+            self._owns_index = new_index is not None
+            if new_index is not None and self.relationships is not None:
+                self._verifier = Verifier(
+                    self.ir, self.relationships, self.options, index=new_index
+                )
+            elapsed = time.perf_counter() - started
+            self._last_delta_seconds = elapsed
+            if registry.enabled:
+                registry.gauge("delta_apply_seconds").set(elapsed)
+                registry.gauge("index_generation").set(self.generation)
+                for source, serial in sorted(journal.serials().items()):
+                    registry.gauge("journal_serial", source=source or "?").set(serial)
+                registry.counter(
+                    "delta_apply_total",
+                    result="degraded" if report else "patched",
+                ).inc()
+        return report
 
     def evict_index(self) -> None:
         """Drop the adopted index (closing its mmap when session-owned).
@@ -645,6 +761,23 @@ def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
     cache validation (defaults to unstamped).
     """
     return _compile_index(ir, digest=digest)
+
+
+def patch_index(
+    index: CompiledIndex,
+    old_ir: Ir,
+    new_ir: Ir,
+    journal: Journal,
+    *,
+    digest: str | None = None,
+) -> CompiledIndex:
+    """Patch a compiled index with one journal's deltas (the fast path).
+
+    See :func:`repro.core.compiled.patch_index`; prefer
+    :meth:`Session.apply_deltas`, which also handles the degraded-journal
+    fallback and the old index's fd lifecycle.
+    """
+    return _patch_index(index, old_ir, new_ir, journal, digest=digest)
 
 
 def verify_table(

@@ -326,6 +326,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 ),
                 file=sys.stderr,
             )
+    if caches["index_generation"]:
+        serials = ", ".join(
+            f"{source}:{serial:.0f}"
+            for source, serial in sorted(caches["journal_serials"].items())
+        )
+        print(
+            "incremental: generation {generation:.0f}, last delta apply "
+            "{delta:.4f}s{serials}".format(
+                generation=caches["index_generation"],
+                delta=caches["delta_apply_seconds"],
+                serials=f" (serials {serials})" if serials else "",
+            ),
+            file=sys.stderr,
+        )
     if caches["disk_cache_entries"] is None:
         print(
             f"index disk cache: none ({caches['disk_cache_dir']} does not exist)",
@@ -548,6 +562,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_deadline=max(args.deadline, args.max_deadline),
         drain_timeout=args.drain_timeout,
         workers=args.workers,
+        journal_path=args.journal,
+        journal_poll=args.journal_poll,
     )
     daemon = ServeDaemon(session, serve_config)
 
@@ -555,7 +571,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if ready.http is not None:
             print(
                 f"http on {serve_config.host}:{ready.http.port} "
-                "(POST /verify, POST /explain, GET /healthz, GET /metrics)",
+                "(POST /verify, POST /explain, POST /reload, "
+                "GET /healthz, GET /metrics)",
                 file=sys.stderr,
             )
         if ready.whois is not None:
@@ -833,6 +850,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="supervised verify worker processes (0 = in-process, the default)",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="follow this NRTM-style journal file, hot-swapping new entries "
+        "into the live index (see docs/incremental.md)",
+    )
+    serve.add_argument(
+        "--journal-poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how often to poll --journal for new entries (default 2s)",
     )
     serve.add_argument(
         "--index",

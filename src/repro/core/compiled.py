@@ -42,6 +42,7 @@ this differentially, including under injected worker death.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import mmap
 import os
@@ -54,10 +55,16 @@ from pathlib import Path
 
 from repro.core.aspath_match import AsPathMatcher, CompiledAsPathRegex
 from repro.core.prefixtrie import RouteTrie
-from repro.core.query import AsSetResolution, QueryEngine, ResolvedRouteSet
+from repro.core.query import (
+    AsSetResolution,
+    QueryEngine,
+    ResolvedRouteSet,
+    _byref_allowed,
+)
 from repro.ir import serialize
 from repro.ir.json_io import ir_to_jsonable  # noqa: F401 - registers IR classes
 from repro.ir.model import Ir
+from repro.net.prefix import Prefix
 from repro.obs import get_registry
 from repro.rpsl.aspath import AsPathRegexNode
 from repro.rpsl.filter import Filter, FilterAsPathRegex, FilterAsSet, FilterRouteSet
@@ -70,6 +77,7 @@ __all__ = [
     "CompiledIndex",
     "IndexCacheError",
     "compile_index",
+    "patch_index",
     "ir_digest",
     "default_cache_dir",
     "index_cache_path",
@@ -147,6 +155,11 @@ class CompiledIndex:
     aspath_regexes: dict[AsPathRegexNode, CompiledAsPathRegex]
     compile_seconds: float = 0.0
     skipped_regexes: int = 0
+    # Incremental-ingestion lineage: ``generation`` counts patch_index
+    # applications since the from-scratch compile (0), ``serials`` is the
+    # highest journal serial absorbed per source registry.
+    generation: int = 0
+    serials: dict = field(default_factory=dict)
     format: str = INDEX_FORMAT
     resource: _MmapResource | None = field(default=None, repr=False, compare=False)
 
@@ -307,6 +320,292 @@ def compile_index(ir: Ir, *, digest: str | None = None) -> CompiledIndex:
                 continue
             registry.gauge("index_entries", table=kind).set(count)
     return index
+
+
+# -- incremental patching ----------------------------------------------------
+
+
+def _reverse_reachable(seeds: set[str], reverse: dict[str, set[str]]) -> set[str]:
+    """Every node that can reach a seed (seeds included): the dirty set."""
+    dirty = set(seeds)
+    stack = list(seeds)
+    while stack:
+        node = stack.pop()
+        for parent in reverse.get(node, ()):
+            if parent not in dirty:
+                dirty.add(parent)
+                stack.append(parent)
+    return dirty
+
+
+def _as_set_reverse_edges(old_ir: Ir, new_ir: Ir) -> dict[str, set[str]]:
+    """member → owners over ``members_set``, across both snapshots.
+
+    Both sides matter: an edge deleted this epoch still made the owner's
+    cached closure depend on the member, and an edge added this epoch
+    makes the new closure depend on it.
+    """
+    reverse: dict[str, set[str]] = {}
+    for ir in (old_ir, new_ir):
+        for owner, as_set in ir.as_sets.items():
+            for member in as_set.members_set:
+                reverse.setdefault(member, set()).add(owner)
+    return reverse
+
+
+def _route_set_reverse_edges(old_ir: Ir, new_ir: Ir) -> dict[str, set[str]]:
+    """member → owners over nested route-set references, both snapshots.
+
+    Only ROUTE_SET name members fold into the cached resolution; ASN and
+    AS_SET members stay lazy (checked per query against the live trie and
+    as-set caches), so they add no invalidation edges here.
+    """
+    reverse: dict[str, set[str]] = {}
+    for ir in (old_ir, new_ir):
+        for owner, route_set in ir.route_sets.items():
+            for member in route_set.name_members:
+                if member.kind is NameKind.ROUTE_SET:
+                    reverse.setdefault(member.name, set()).add(owner)
+    return reverse
+
+
+def patch_index(
+    index: CompiledIndex,
+    old_ir: Ir,
+    new_ir: Ir,
+    journal,
+    *,
+    digest: str | None = None,
+) -> CompiledIndex:
+    """Patch a compiled index with one journal's deltas (the fast path).
+
+    ``journal`` is a :class:`repro.irr.journal.Journal` whose entries
+    transform ``old_ir`` (the IR ``index`` was compiled from) into
+    ``new_ir``; the caller is responsible for having validated the replay
+    (:func:`repro.irr.journal.apply_journal_to_ir` returned a clean
+    degradation report) — a degraded journal must recompile instead.
+
+    The reverse-dependency walk touches only what the entries reference:
+
+    * route entries become point inserts/deletes on a thawed
+      :class:`~repro.core.prefixtrie.RouteTrie` (tombstones; plane
+      rebuilds when load factor or tombstone ratio trips) — no other
+      table depends on trie *contents*, so nothing else is invalidated;
+    * members-by-reference rows are recomputed for exactly the set names
+      the changed objects join (or stop joining);
+    * cached as-set closures and route-set resolutions are evicted along
+      reverse reachability — every cached name whose sweep could have
+      seen a changed object — and re-resolved by the ordinary engine
+      code, so patched entries are bit-identical to a fresh compile's;
+    * non-route object churn re-runs the cheap policy-AST reference walk
+      so newly referenced names/regexes get resolved too.
+
+    The result is a fresh :class:`CompiledIndex` (generation + 1, serials
+    advanced, digest chained over the journal content) sharing unchanged
+    tables with ``index``; the input index is not mutated and never keeps
+    its mmap — planes are materialized so the caller can close the old
+    artifact immediately after swapping.
+    """
+    registry = get_registry()
+    started = time.perf_counter()
+    with registry.span("compile/patch"):
+        entries = list(journal)
+        route_entries = [e for e in entries if e.cls == "route"]
+        named_entries = [e for e in entries if e.cls != "route"]
+        changed: dict[str, set] = {}
+        for entry in named_entries:
+            changed.setdefault(entry.cls, set()).add(entry.key)
+
+        # -- members-by-reference: which set names need recomputing -------
+        as_byref_dirty: set[str] = set(changed.get("as-set", ()))
+        for entry in named_entries:
+            if entry.cls != "aut-num":
+                continue
+            old_aut = old_ir.aut_nums.get(entry.key)
+            if old_aut is not None:
+                as_byref_dirty.update(old_aut.member_of)
+            if entry.obj is not None:
+                as_byref_dirty.update(entry.obj.member_of)
+        rs_byref_dirty: set[str] = set(changed.get("route-set", ()))
+        for entry in route_entries:
+            if entry.obj is not None:
+                rs_byref_dirty.update(entry.obj.member_of)
+        retired = {e.key for e in route_entries if e.action in ("DEL", "MOD")}
+        if retired:
+            # Old-side member_of for retired routes: one pass, origin-int
+            # prefiltered so the common row costs a set probe, not a key.
+            retired_origins = {key[1] for key in retired}
+            for route in old_ir.route_objects:
+                if route.member_of and route.origin in retired_origins:
+                    key = (str(route.prefix), route.origin, route.source)
+                    if key in retired:
+                        rs_byref_dirty.update(route.member_of)
+
+        as_set_byref = index.as_set_byref
+        if as_byref_dirty:
+            as_set_byref = dict(as_set_byref)
+            for name in as_byref_dirty:
+                as_set_byref.pop(name, None)
+            targets = {
+                name: set() for name in as_byref_dirty if name in new_ir.as_sets
+            }
+            if targets:
+                for aut_num in new_ir.aut_nums.values():
+                    for set_name in aut_num.member_of:
+                        bucket = targets.get(set_name)
+                        if bucket is None:
+                            continue
+                        as_set = new_ir.as_sets[set_name]
+                        if _byref_allowed(as_set.mbrs_by_ref, aut_num.mnt_by):
+                            bucket.add(aut_num.asn)
+                for name, asns in targets.items():
+                    if asns:
+                        as_set_byref[name] = asns
+
+        route_set_byref = index.route_set_byref
+        rs_targets: dict[str, list] = {}
+        if rs_byref_dirty:
+            route_set_byref = dict(route_set_byref)
+            for name in rs_byref_dirty:
+                route_set_byref.pop(name, None)
+            rs_targets = {
+                name: [] for name in rs_byref_dirty if name in new_ir.route_sets
+            }
+
+        # -- route trie: point mutations on the touched pairs -------------
+        # MODs keep their (prefix, origin) pair — the pair IS the key — so
+        # presence in new_ir decides each touched pair's final trie state.
+        touched_pairs: set[tuple[str, int]] = {
+            (e.key[0], e.key[1]) for e in route_entries
+        }
+        present: dict[tuple[str, int], Prefix] = {}
+        if touched_pairs or rs_targets:
+            touched_origins = {origin for _, origin in touched_pairs}
+            for route in new_ir.route_objects:
+                if rs_targets and route.member_of:
+                    for set_name in route.member_of:
+                        bucket = rs_targets.get(set_name)
+                        if bucket is None:
+                            continue
+                        route_set = new_ir.route_sets[set_name]
+                        if _byref_allowed(route_set.mbrs_by_ref, route.mnt_by):
+                            bucket.append(route.prefix)
+                if route.origin in touched_origins:
+                    pair = (str(route.prefix), route.origin)
+                    if pair in touched_pairs:
+                        present[pair] = route.prefix
+            for name, prefixes in rs_targets.items():
+                if prefixes:
+                    route_set_byref[name] = prefixes
+
+        trie = index.route_trie
+        if touched_pairs or index.resource is not None:
+            # Thaw before mutating — and also when the old planes are mmap
+            # views, so the patched index never pins the old artifact's fd.
+            trie = trie.thaw()
+        for pair in sorted(touched_pairs):
+            prefix = present.get(pair)
+            if prefix is not None:
+                trie.insert_route(prefix, pair[1])
+            else:
+                trie.remove_route(Prefix.parse(pair[0]), pair[1])
+
+        # -- closure invalidation: reverse reachability ---------------------
+        as_seeds = set(changed.get("as-set", ())) | as_byref_dirty
+        dirty_as = (
+            _reverse_reachable(as_seeds, _as_set_reverse_edges(old_ir, new_ir))
+            if as_seeds
+            else set()
+        )
+        rs_seeds = set(changed.get("route-set", ())) | rs_byref_dirty
+        dirty_rs = (
+            _reverse_reachable(rs_seeds, _route_set_reverse_edges(old_ir, new_ir))
+            if rs_seeds
+            else set()
+        )
+
+        as_sets_cache = dict(index.as_sets)
+        resolve_as = sorted(name for name in dirty_as if name in as_sets_cache)
+        for name in resolve_as:
+            del as_sets_cache[name]
+        route_sets_cache = dict(index.route_sets)
+        resolve_rs = sorted(name for name in dirty_rs if name in route_sets_cache)
+        for name in resolve_rs:
+            del route_sets_cache[name]
+        peering_sets_cache = dict(index.peering_sets)
+        resolve_ps = sorted(
+            name
+            for name in changed.get("peering-set", ())
+            if name in peering_sets_cache
+        )
+        for name in resolve_ps:
+            del peering_sets_cache[name]
+
+        # -- re-resolve through the ordinary engine code -------------------
+        base = dataclasses.replace(
+            index,
+            route_trie=trie,
+            as_set_byref=as_set_byref,
+            route_set_byref=route_set_byref,
+            as_sets=as_sets_cache,
+            route_sets=route_sets_cache,
+            peering_sets=peering_sets_cache,
+            resource=None,
+        )
+        engine = QueryEngine(new_ir, index=base)
+        matcher = AsPathMatcher(engine, compiled=index.aspath_regexes)
+        for name in resolve_as:
+            engine.flatten_as_set(name)
+        for name in resolve_rs:
+            engine.resolve_route_set(name)
+        for name in resolve_ps:
+            engine.resolve_peering_set(name)
+        skipped = index.skipped_regexes
+        if named_entries:
+            # Policy/set objects changed: re-walk the ASTs so names and
+            # regexes referenced for the first time get resolved (already
+            # cached names no-op).  Route-only journals skip this.
+            refs = _collect_references(new_ir)
+            for name in sorted(refs.as_sets):
+                engine.flatten_as_set(name)
+            for name in sorted(refs.route_sets):
+                engine.resolve_route_set(name)
+            for name in sorted(refs.peering_sets):
+                engine.resolve_peering_set(name)
+            skipped = 0
+            for node in refs.regexes:
+                try:
+                    matcher.compile(node)
+                except Exception:  # noqa: BLE001 - mirror compile_index
+                    skipped += 1
+        for resolution in engine._route_set_cache.values():
+            resolution.index.freeze()
+
+        if digest is None and index.digest is not None:
+            digest = hashlib.sha256(
+                (index.digest + journal.digest()).encode("utf-8")
+            ).hexdigest()
+        serials = dict(index.serials)
+        serials.update(journal.serials())
+        elapsed = time.perf_counter() - started
+        patched = CompiledIndex(
+            digest=digest,
+            route_trie=engine.routes,
+            as_set_byref=engine._as_set_byref,
+            route_set_byref=engine._route_set_byref,
+            as_sets=engine._as_set_cache,
+            route_sets=engine._route_set_cache,
+            peering_sets=engine._peering_set_cache,
+            aspath_regexes=matcher._compiled,
+            compile_seconds=elapsed,
+            skipped_regexes=skipped,
+            generation=index.generation + 1,
+            serials=serials,
+        )
+    if registry.enabled:
+        registry.gauge("delta_apply_seconds").set(elapsed)
+        registry.gauge("index_generation").set(patched.generation)
+    return patched
 
 
 def ir_digest(ir: Ir) -> str:

@@ -159,6 +159,12 @@ class _Family:
     so a mask bit set by a *different* network in the same bucket can
     never produce a false positive — the masks are purely a pruning
     layer and the hash is the ground truth.
+
+    Thawed (mutable) families additionally maintain ``live``/``tomb``
+    slot counts for the hash plane: point deletes leave tombstones
+    (``hval == -2`` with an impossible length in ``hpl``) that the probe
+    loops walk through, and the counts decide when the plane is rebuilt
+    from the node planes instead.
     """
 
     __slots__ = (
@@ -179,6 +185,8 @@ class _Family:
         "hhi",
         "hpl",
         "hval",
+        "live",
+        "tomb",
     )
 
     def __init__(self, maxlen, root, plen, lo, hi, left, right, payload):
@@ -199,6 +207,8 @@ class _Family:
         self.hhi = None
         self.hpl = None
         self.hval = None
+        self.live = 0
+        self.tomb = 0
 
     def __len__(self) -> int:
         return len(self.plen)
@@ -208,6 +218,11 @@ _LENMASK_MAX_BITS = 20
 _LENMASK_MIN_PREFIXES = 16
 _HASH_C = 0x9E3779B97F4A7C15
 _HASH_P = 0xFF51AFD7ED558CCD
+# Tombstone encoding for point deletes: the probe loops stop only on -1
+# (truly empty), so a tombstoned slot must keep them walking while never
+# matching a key — hence the impossible declared length in ``hpl``.
+_TOMB = -2
+_TOMB_PL = 255
 
 
 def _attach_fast(fam: _Family, lmk: int, lmall: int, hbits: int, planes: dict, tag: str) -> None:
@@ -270,7 +285,7 @@ def _build_fast(fam: _Family, lmfactor: int = 4) -> None:
         else:
             x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
         s = ((x * _HASH_C) & _U64) >> (64 - hbits)
-        while hval[s] >= 0:
+        while hval[s] != -1:
             s = (s + 1) & hmask
         hlo[s] = net & _U64
         if hhi is not None:
@@ -294,6 +309,210 @@ def _build_fast(fam: _Family, lmfactor: int = 4) -> None:
     fam.hhi = hhi
     fam.hpl = hpl
     fam.hval = hval
+    fam.live = n
+    fam.tomb = 0
+
+
+def _rebuild_fast(fam: _Family, lmfactor: int) -> None:
+    """Rebuild the acceleration planes from the node planes.
+
+    Point mutation triggers this when the hash plane's load factor would
+    exceed 0.5 or tombstones dominate: the node planes are the ground
+    truth (deleted prefixes carry ``payload == -1``), so one
+    :func:`_build_fast` pass resharpens the masks and drops every
+    tombstone at once.
+    """
+    fam.lmk = 0
+    fam.lmall = 0
+    fam.lenmask = None
+    fam.hbits = 0
+    fam.hshift = 64
+    fam.hlo = None
+    fam.hhi = None
+    fam.hpl = None
+    fam.hval = None
+    fam.live = 0
+    fam.tomb = 0
+    _build_fast(fam, lmfactor)
+
+
+def _node_point_insert(fam: _Family, net: int, plen: int) -> int:
+    """Insert ⟨net, plen⟩ into the node planes; return its node index.
+
+    The append-only mirror of build-time :func:`_insert`: existing rows
+    are never moved, new rows (the key, plus a split node when the walk
+    diverges mid-edge) go at the end and only parent child-pointers are
+    rewritten — concurrent readers of a *different* (frozen) trie object
+    are unaffected because mutation requires a thawed copy.
+    """
+    maxlen = fam.maxlen
+    plens, lo, hi = fam.plen, fam.lo, fam.hi
+    left, right, payload = fam.left, fam.right, fam.payload
+
+    def append(net_: int, plen_: int) -> int:
+        idx = len(plens)
+        snet = net_ >> (maxlen - plen_) if plen_ else 0
+        plens.append(plen_)
+        lo.append(snet & _U64)
+        if hi is not None:
+            hi.append(snet >> 64)
+        left.append(-1)
+        right.append(-1)
+        payload.append(-1)
+        return idx
+
+    if fam.root < 0:
+        fam.root = append(net, plen)
+        return fam.root
+    parent, side = -1, 0
+    i = fam.root
+    while True:
+        npl = plens[i]
+        snet = lo[i] if hi is None else ((hi[i] << 64) | lo[i])
+        nnet = snet << (maxlen - npl) if npl else 0
+        diff = net ^ nnet
+        common = maxlen - diff.bit_length() if diff else maxlen
+        cpl = min(plen, npl, common)
+        if cpl == npl:
+            if cpl == plen:
+                return i  # exact node already present (maybe internal)
+            bit = (net >> (maxlen - cpl - 1)) & 1
+            child = right[i] if bit else left[i]
+            if child < 0:
+                fresh = append(net, plen)
+                if bit:
+                    right[i] = fresh
+                else:
+                    left[i] = fresh
+                return fresh
+            parent, side = i, bit
+            i = child
+            continue
+        if cpl == plen:
+            # the key is a proper ancestor of the node: key becomes parent
+            top = fresh = append(net, plen)
+            if (nnet >> (maxlen - cpl - 1)) & 1:
+                right[top] = i
+            else:
+                left[top] = i
+        else:
+            # diverge below cpl: split with a non-terminal internal node
+            top = append(_mask(net, cpl, maxlen), cpl)
+            fresh = append(net, plen)
+            if (nnet >> (maxlen - cpl - 1)) & 1:
+                right[top] = i
+                left[top] = fresh
+            else:
+                left[top] = i
+                right[top] = fresh
+        if parent < 0:
+            fam.root = top
+        elif side:
+            right[parent] = top
+        else:
+            left[parent] = top
+        return fresh
+
+
+def _node_find(fam: _Family, net: int, plen: int) -> int:
+    """The node index storing exactly ⟨net, plen⟩, or -1."""
+    maxlen = fam.maxlen
+    plens, lo, hi, left, right = fam.plen, fam.lo, fam.hi, fam.left, fam.right
+    i = fam.root
+    while i >= 0:
+        npl = plens[i]
+        if npl > plen:
+            return -1
+        stored = lo[i] if hi is None else ((hi[i] << 64) | lo[i])
+        if (net >> (maxlen - npl) if npl else 0) != stored:
+            return -1
+        if npl == plen:
+            return i
+        i = right[i] if (net >> (maxlen - npl - 1)) & 1 else left[i]
+    return -1
+
+
+def _hash_point_set(fam: _Family, net: int, pl: int, payload_id: int) -> None:
+    """Insert or repoint one ⟨masked net, length⟩ key in the hash plane.
+
+    An existing key has its payload id rewritten in place; a new key
+    claims the first tombstone on its probe path (or the terminating
+    empty slot).  The caller guarantees headroom — load factor including
+    tombstones stays ≤ 0.5 via :func:`_rebuild_fast`.
+    """
+    hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+    hmask = (1 << fam.hbits) - 1
+    if hhi is None:
+        x = (net + pl * _HASH_P) & _U64
+    else:
+        x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+    s = ((x * _HASH_C) & _U64) >> fam.hshift
+    nlo = net & _U64
+    nhi = net >> 64
+    free = -1
+    while hval[s] != -1:
+        if hval[s] == _TOMB:
+            if free < 0:
+                free = s
+        elif hpl[s] == pl and hlo[s] == nlo and (hhi is None or hhi[s] == nhi):
+            hval[s] = payload_id
+            return
+        s = (s + 1) & hmask
+    if free >= 0:
+        s = free
+        fam.tomb -= 1
+    hlo[s] = nlo
+    if hhi is not None:
+        hhi[s] = nhi
+    hpl[s] = pl
+    hval[s] = payload_id
+    fam.live += 1
+
+
+def _hash_point_delete(fam: _Family, net: int, pl: int) -> None:
+    """Tombstone one key: probes keep walking, key-match never fires."""
+    hlo, hhi, hpl, hval = fam.hlo, fam.hhi, fam.hpl, fam.hval
+    hmask = (1 << fam.hbits) - 1
+    if hhi is None:
+        x = (net + pl * _HASH_P) & _U64
+    else:
+        x = ((net ^ (net >> 64)) + pl * _HASH_P) & _U64
+    s = ((x * _HASH_C) & _U64) >> fam.hshift
+    nlo = net & _U64
+    nhi = net >> 64
+    while hval[s] != -1:
+        if (
+            hval[s] != _TOMB
+            and hpl[s] == pl
+            and hlo[s] == nlo
+            and (hhi is None or hhi[s] == nhi)
+        ):
+            hval[s] = _TOMB
+            hpl[s] = _TOMB_PL
+            fam.tomb += 1
+            fam.live -= 1
+            return
+        s = (s + 1) & hmask
+
+
+def _mask_point_insert(fam: _Family, net: int, pl: int) -> None:
+    """Set the length bit for a new prefix in the pruning masks.
+
+    Deletes deliberately leave mask bits stale (a stale bit costs one
+    wasted probe, never a wrong answer), but inserts MUST set them — a
+    missing bit would hide the entry from every mask-pruned query.
+    """
+    fam.lmall |= 1 << pl
+    lmk = fam.lmk
+    if not lmk or fam.lenmask is None:
+        return
+    bit = 1 << pl
+    if pl >= lmk:
+        fam.lenmask[net >> (fam.maxlen - lmk)] |= bit
+    else:
+        start = (net >> (fam.maxlen - lmk)) if pl else 0
+        for b in range(start, start + (1 << (lmk - pl))):
+            fam.lenmask[b] |= bit
 
 
 def _linearize(root, maxlen: int, payload_out) -> _Family:
@@ -396,6 +615,8 @@ class RouteTrie:
         "_okey_plen",
         "_okey_hi",
         "_okey_lo",
+        "_okey_extra",
+        "_okey_dead",
         "_origin_set",
         "_prefix_count",
     )
@@ -424,6 +645,13 @@ class RouteTrie:
         self._okey_plen = okey_plen
         self._okey_hi = okey_hi
         self._okey_lo = okey_lo
+        # Point-mutation overlays for the origin→keys side index: the
+        # flat arrays stay frozen (shifting the offset column per delete
+        # costs O(origins) in Python — the old delta-path bottleneck) and
+        # per-origin additions/removals accumulate here, merged on read
+        # and folded back into arrays on export.  Empty on frozen tries.
+        self._okey_extra: dict[int, set] = {}
+        self._okey_dead: dict[int, set] = {}
         self._origin_set: frozenset | None = None
         self._prefix_count = prefix_count
 
@@ -435,7 +663,8 @@ class RouteTrie:
         if origin_set is None:
             # Built per process on first use (frozensets don't live in
             # planes); idempotent, so sharing across engines is safe.
-            origin_set = self._origin_set = frozenset(self._origin_ids)
+            # origins() folds in any point-mutation overlays.
+            origin_set = self._origin_set = frozenset(self.origins())
         return asn in origin_set
 
     def _exact_payload(self, fam: _Family, qnet: int, qlen: int) -> int:
@@ -453,7 +682,7 @@ class RouteTrie:
         s = ((x * _HASH_C) & _U64) >> fam.hshift
         nlo = qnet & _U64
         nhi = qnet >> 64
-        while hval[s] >= 0:
+        while hval[s] != -1:
             if (
                 hpl[s] == qlen
                 and hlo[s] == nlo
@@ -537,7 +766,7 @@ class RouteTrie:
             s = ((x * _HASH_C) & _U64) >> hshift
             nlo = net & _U64
             nhi = net >> 64
-            while hval[s] >= 0:
+            while hval[s] != -1:
                 if (
                     hpl[s] == pl
                     and hlo[s] == nlo
@@ -581,7 +810,7 @@ class RouteTrie:
             s = ((x * _HASH_C) & _U64) >> hshift
             nlo = net & _U64
             nhi = net >> 64
-            while hval[s] >= 0:
+            while hval[s] != -1:
                 if (
                     hpl[s] == pl
                     and hlo[s] == nlo
@@ -632,7 +861,7 @@ class RouteTrie:
             s = ((x * _HASH_C) & _U64) >> hshift
             nlo = net & _U64
             nhi = net >> 64
-            while hval[s] >= 0:
+            while hval[s] != -1:
                 if (
                     hpl[s] == pl
                     and hlo[s] == nlo
@@ -676,7 +905,7 @@ class RouteTrie:
             s = ((x * _HASH_C) & _U64) >> hshift
             nlo = net & _U64
             nhi = net >> 64
-            while hval[s] >= 0:
+            while hval[s] != -1:
                 if (
                     hpl[s] == pl
                     and hlo[s] == nlo
@@ -741,20 +970,233 @@ class RouteTrie:
 
     def origins(self):
         """Every origin AS with at least one declared route, sorted."""
-        return iter(self._origin_ids)
+        if not self._okey_extra and not self._okey_dead:
+            return iter(self._origin_ids)
+        ids = self._origin_ids
+        off = self._okey_off
+        alive = set(ids)
+        for origin, gone in self._okey_dead.items():
+            j = bisect_left(ids, origin)
+            if len(gone) >= off[j + 1] - off[j] and origin not in self._okey_extra:
+                alive.discard(origin)
+        alive.update(self._okey_extra)
+        return iter(sorted(alive))
 
     def origin_keys(self, asn: int) -> tuple:
         """Every ``(version, network, length)`` the AS declared."""
         ids = self._origin_ids
         j = bisect_left(ids, asn)
-        if j >= len(ids) or ids[j] != asn:
-            return ()
+        in_base = j < len(ids) and ids[j] == asn
+        if not self._okey_extra and not self._okey_dead:
+            return tuple(self._base_okey_span(j)) if in_base else ()
+        gone = self._okey_dead.get(asn)
+        keys = [
+            key
+            for key in (self._base_okey_span(j) if in_base else ())
+            if gone is None or key not in gone
+        ]
+        keys.extend(self._okey_extra.get(asn, ()))
+        keys.sort()
+        return tuple(keys)
+
+    # -- point mutation (incremental delta ingestion) ---------------------
+
+    def thaw(self) -> "RouteTrie":
+        """A fully mutable deep copy: every plane becomes a fresh ``array``.
+
+        Point mutation must never touch the planes a live reader (or the
+        read-only mmap behind a cached envelope) is walking, so the delta
+        path thaws first, patches the copy, and hot-swaps it in.  The
+        per-family live/tombstone counters that drive the rebuild policy
+        are recovered by one scan of each hash plane.
+        """
+        planes = {}
+        for name, code, plane in self._raw_planes():
+            fresh = array(code)
+            fresh.frombytes(plane.tobytes() if isinstance(plane, array) else bytes(plane))
+            planes[name] = fresh
+        clone = RouteTrie.from_planes(self.meta(), planes)
+        # Overlays ride along instead of being folded in: materializing
+        # okey arrays is O(table), which would put the cost this layer
+        # exists to avoid right back on the re-thaw path.
+        clone._okey_extra = {o: set(keys) for o, keys in self._okey_extra.items()}
+        clone._okey_dead = {o: set(keys) for o, keys in self._okey_dead.items()}
+        for fam in (clone._fam4, clone._fam6):
+            live = tomb = 0
+            if fam.hval is not None:
+                # Slots hold -1 (empty), _TOMB, or a payload id >= 0, so
+                # two C-speed count() calls replace a per-slot scan.
+                hval = fam.hval
+                tomb = hval.count(_TOMB)
+                live = len(hval) - hval.count(-1) - tomb
+            fam.live = live
+            fam.tomb = tomb
+        return clone
+
+    def _require_thawed(self, fam: _Family) -> None:
+        if fam.plen is not None and not isinstance(fam.plen, array):
+            raise TypeError(
+                "point mutation requires a thawed RouteTrie (call thaw() first)"
+            )
+
+    def _append_span(self, origin_list) -> int:
+        """Append one sorted origin span to the arena; return its payload id.
+
+        Spans are immutable once referenced (readers slice them without
+        locks), so origin-set changes append a fresh span and repoint the
+        node/hash payload ids; superseded spans become garbage that the
+        next full rebuild reclaims.
+        """
+        for asn in origin_list:
+            self._origins.append(asn)
+        self._span_off.append(len(self._origins))
+        return len(self._span_off) - 2
+
+    def _okey_insert(self, version: int, net: int, plen: int, origin: int) -> None:
+        # Callers (insert_route) guarantee the pair is new; undo a
+        # pending removal if one exists, otherwise record an addition.
+        key = (version, net, plen)
+        dead = self._okey_dead.get(origin)
+        if dead is not None and key in dead:
+            dead.discard(key)
+            if not dead:
+                del self._okey_dead[origin]
+            return
+        self._okey_extra.setdefault(origin, set()).add(key)
+
+    def _okey_remove(self, version: int, net: int, plen: int, origin: int) -> None:
+        # Callers (remove_route) guarantee the pair was declared; undo a
+        # pending addition if one exists, otherwise mark the base entry.
+        key = (version, net, plen)
+        extra = self._okey_extra.get(origin)
+        if extra is not None and key in extra:
+            extra.discard(key)
+            if not extra:
+                del self._okey_extra[origin]
+            return
+        self._okey_dead.setdefault(origin, set()).add(key)
+
+    def _base_okey_span(self, j: int):
+        """The frozen-array keys of the origin at position ``j``."""
         ver, pl = self._okey_ver, self._okey_plen
         hi, lo = self._okey_hi, self._okey_lo
-        return tuple(
-            (ver[t], (hi[t] << 64) | lo[t], pl[t])
-            for t in range(self._okey_off[j], self._okey_off[j + 1])
-        )
+        for t in range(self._okey_off[j], self._okey_off[j + 1]):
+            yield (ver[t], (hi[t] << 64) | lo[t], pl[t])
+
+    def _materialized_okey(self) -> tuple:
+        """Fold the overlays back into flat arrays (export/pickle path)."""
+        extra, dead = self._okey_extra, self._okey_dead
+        ids = self._origin_ids
+        new_ids = array(self._ARENA_PLANES["origin_ids"])
+        new_off = array(self._ARENA_PLANES["okey_off"], [0])
+        new_ver = array(self._ARENA_PLANES["okey_ver"])
+        new_pl = array(self._ARENA_PLANES["okey_plen"])
+        new_hi = array(self._ARENA_PLANES["okey_hi"])
+        new_lo = array(self._ARENA_PLANES["okey_lo"])
+        base_pos = {origin: j for j, origin in enumerate(ids)}
+        for origin in sorted(set(ids) | set(extra)):
+            keys = []
+            j = base_pos.get(origin)
+            if j is not None:
+                gone = dead.get(origin)
+                keys.extend(
+                    key for key in self._base_okey_span(j)
+                    if gone is None or key not in gone
+                )
+            keys.extend(extra.get(origin, ()))
+            if not keys:
+                continue
+            keys.sort()
+            new_ids.append(origin)
+            for version, net, plen in keys:
+                new_ver.append(version)
+                new_pl.append(plen)
+                new_hi.append(net >> 64)
+                new_lo.append(net & _U64)
+            new_off.append(len(new_ver))
+        return new_ids, new_off, new_ver, new_pl, new_hi, new_lo
+
+    def insert_route(self, prefix: Prefix, origin: int) -> bool:
+        """Point-insert one declared ⟨prefix, origin⟩ pair (thawed only).
+
+        Returns False when the pair was already declared.  New prefixes
+        append a node row, claim a hash slot (reusing tombstones), and OR
+        their length bit into the pruning masks; an origin added to an
+        existing prefix appends a fresh span and repoints the payload id.
+        The hash plane is rebuilt first when the insert would push load
+        factor (live + tombstones) past 0.5.
+        """
+        version = prefix.version
+        fam = self._fam4 if version == 4 else self._fam6
+        self._require_thawed(fam)
+        qlen = prefix.length
+        shift = fam.maxlen - qlen
+        net = (prefix.network >> shift) << shift if qlen else 0
+        node = _node_point_insert(fam, net, qlen)
+        p = fam.payload[node]
+        off = self._span_off
+        if p >= 0:
+            span = list(self._origins[off[p] : off[p + 1]])
+            if origin in span:
+                return False
+            span.append(origin)
+            span.sort()
+            new_p = self._append_span(span)
+            fam.payload[node] = new_p
+            _hash_point_set(fam, net, qlen, new_p)
+        else:
+            new_p = self._append_span([origin])
+            fam.payload[node] = new_p
+            self._prefix_count += 1
+            if fam.hval is None or 2 * (fam.live + fam.tomb + 1) > (1 << fam.hbits):
+                _rebuild_fast(fam, lmfactor=256)
+            else:
+                _hash_point_set(fam, net, qlen, new_p)
+                _mask_point_insert(fam, net, qlen)
+        self._okey_insert(version, net, qlen, origin)
+        self._origin_set = None
+        return True
+
+    def remove_route(self, prefix: Prefix, origin: int) -> bool:
+        """Point-delete one declared ⟨prefix, origin⟩ pair (thawed only).
+
+        Returns False when the pair was not declared.  The last origin of
+        a prefix clears the node payload and tombstones the hash slot —
+        the structural node row stays (``covered`` skips payload < 0) and
+        mask bits stay stale, both safe because the hash is the ground
+        truth.  The plane is rebuilt when tombstones reach a quarter of
+        the table or outnumber live entries.
+        """
+        version = prefix.version
+        fam = self._fam4 if version == 4 else self._fam6
+        self._require_thawed(fam)
+        qlen = prefix.length
+        shift = fam.maxlen - qlen
+        net = (prefix.network >> shift) << shift if qlen else 0
+        node = _node_find(fam, net, qlen)
+        if node < 0:
+            return False
+        p = fam.payload[node]
+        if p < 0:
+            return False
+        off = self._span_off
+        span = list(self._origins[off[p] : off[p + 1]])
+        if origin not in span:
+            return False
+        if len(span) > 1:
+            span.remove(origin)
+            new_p = self._append_span(span)
+            fam.payload[node] = new_p
+            _hash_point_set(fam, net, qlen, new_p)
+        else:
+            fam.payload[node] = -1
+            _hash_point_delete(fam, net, qlen)
+            self._prefix_count -= 1
+            if fam.tomb > fam.live or 4 * fam.tomb > (1 << fam.hbits):
+                _rebuild_fast(fam, lmfactor=256)
+        self._okey_remove(version, net, qlen, origin)
+        self._origin_set = None
+        return True
 
     # -- introspection and (de)materialization ----------------------------
 
@@ -763,7 +1205,7 @@ class RouteTrie:
         total = sum(_plane_bytes(plane) for _, _, plane in self.export_planes())
         return {
             "prefixes": self._prefix_count,
-            "origins": len(self._origin_ids),
+            "origins": sum(1 for _ in self.origins()),
             "nodes": len(self._fam4) + len(self._fam6),
             "plane_bytes": total,
         }
@@ -782,8 +1224,10 @@ class RouteTrie:
             "prefix_count": self._prefix_count,
         }
 
-    def export_planes(self) -> list:
-        """Every plane as ``(name, typecode, buffer)`` in canonical order."""
+    _OKEY_PLANES = ("origin_ids", "okey_off", "okey_ver", "okey_plen", "okey_hi", "okey_lo")
+
+    def _raw_planes(self) -> list:
+        """Every plane as stored, overlays NOT folded in (thaw's view)."""
         out = []
         for tag, fam in (("f4", self._fam4), ("f6", self._fam6)):
             for name, code in self._FAMILY_PLANES.items():
@@ -794,6 +1238,21 @@ class RouteTrie:
         for name, code in self._ARENA_PLANES.items():
             out.append((name, code, getattr(self, f"_{name}")))
         return out
+
+    def export_planes(self) -> list:
+        """Every plane as ``(name, typecode, buffer)`` in canonical order.
+
+        Point-mutation overlays (if any) are folded back into flat okey
+        arrays here, so exported planes are always self-contained.
+        """
+        planes = self._raw_planes()
+        if self._okey_extra or self._okey_dead:
+            merged = dict(zip(self._OKEY_PLANES, self._materialized_okey()))
+            planes = [
+                (name, code, merged.get(name, plane))
+                for name, code, plane in planes
+            ]
+        return planes
 
     @classmethod
     def from_planes(cls, meta: dict, planes: dict) -> "RouteTrie":
@@ -857,6 +1316,8 @@ class RouteTrie:
             if isinstance(plane, memoryview):
                 plane.release()
             setattr(self, f"_{name}", None)
+        self._okey_extra = {}
+        self._okey_dead = {}
         self._origin_set = None
 
     def __getstate__(self):
@@ -1050,7 +1511,7 @@ class OpTrie:
             s = ((x * _HASH_C) & _U64) >> hshift
             nlo = net & _U64
             nhi = net >> 64
-            while hval[s] >= 0:
+            while hval[s] != -1:
                 if (
                     hpl[s] == pl
                     and hlo[s] == nlo

@@ -149,7 +149,7 @@ class FilterSet:
     source: str = ""
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, weakref_slot=True)
 class Ir:
     """The full intermediate representation of one or more IRRs.
 
@@ -157,6 +157,10 @@ class Ir:
     :func:`repro.ir.merge.merge_irs`, each keyed entry is the
     highest-priority definition, while ``route_objects`` keeps *every*
     registration (the multiplicity statistics of Section 4 need duplicates).
+
+    Instances are snapshots: treated as immutable once built (the delta
+    path in :mod:`repro.irr.journal` weakly caches per-snapshot route
+    indexes, hence the weakref slot).
     """
 
     aut_nums: dict[int, AutNum] = field(default_factory=dict)

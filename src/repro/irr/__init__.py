@@ -1,12 +1,28 @@
 """The IRR substrate: dump files, the 13-registry model, and synthesis."""
 
 from repro.irr.dump import parse_dump_file, parse_dump_text
+from repro.irr.journal import (
+    Journal,
+    JournalEntry,
+    JournalError,
+    apply_journal_to_ir,
+    journal_between,
+    load_journal,
+    save_journal,
+)
 from repro.irr.registry import IrrSource, Registry, parse_registry_dir
 
 __all__ = [
     "IrrSource",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
     "Registry",
+    "apply_journal_to_ir",
+    "journal_between",
+    "load_journal",
     "parse_dump_file",
     "parse_dump_text",
     "parse_registry_dir",
+    "save_journal",
 ]

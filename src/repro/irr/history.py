@@ -25,7 +25,15 @@ from repro.ir.render import render_object
 from repro.net.prefix import Prefix
 from repro.rpsl.policy import parse_policy
 
-__all__ = ["ChurnConfig", "IrDiff", "diff_irs", "evolve_ir", "snapshot_series", "evolution_stats"]
+__all__ = [
+    "ChurnConfig",
+    "IrDiff",
+    "diff_irs",
+    "evolve_ir",
+    "evolve_with_journal",
+    "snapshot_series",
+    "evolution_stats",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,6 +154,27 @@ def evolve_ir(ir: Ir, config: ChurnConfig | None = None, epoch: int = 0) -> Ir:
         if rng.random() < config.as_set_member_addition:
             as_set.members_asn.append(rng.choice(origins))
     return snapshot
+
+
+def evolve_with_journal(
+    ir: Ir,
+    config: ChurnConfig | None = None,
+    epoch: int = 0,
+    *,
+    start_serial: int = 1,
+):
+    """One epoch of churn plus the NRTM-style journal describing it.
+
+    The churn loop already computes the diff implicitly; this keeps it —
+    the returned :class:`~repro.irr.journal.Journal` replays the epoch
+    onto the input IR (``apply_journal_to_ir(ir, journal)`` reproduces
+    the evolved snapshot object-for-object).  Returns
+    ``(evolved_ir, journal)``.
+    """
+    from repro.irr.journal import journal_between
+
+    evolved = evolve_ir(ir, config, epoch=epoch)
+    return evolved, journal_between(ir, evolved, start_serial=start_serial)
 
 
 def snapshot_series(ir: Ir, epochs: int, config: ChurnConfig | None = None) -> list[Ir]:

@@ -188,6 +188,15 @@ def cache_summary(manifest: dict, cache_dir: str | Path | None = None) -> dict:
         # the cached artifact took and how many bytes stayed file-backed.
         "index_load_seconds": gauge("index_load_seconds"),
         "index_mmap_bytes": gauge("index_mmap_bytes"),
+        # Incremental-ingestion figures: how many journal patches the
+        # index has absorbed and what the last one cost.
+        "index_generation": gauge("index_generation"),
+        "delta_apply_seconds": gauge("delta_apply_seconds"),
+        "journal_serials": {
+            record.get("labels", {}).get("source", "?"): record["value"]
+            for record in metrics.get("gauges", ())
+            if record["name"] == "journal_serial"
+        },
     }
     summary.update(_disk_cache_summary(cache_dir))
     return summary

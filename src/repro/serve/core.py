@@ -46,6 +46,7 @@ from typing import Callable, Sequence
 
 from repro.api import Session
 from repro.core.degradation import DegradationReport
+from repro.irr.journal import Journal
 from repro.core.report import RouteReport
 from repro.net.prefix import Prefix, PrefixError
 from repro.serve.batcher import MicroBatcher, QueueFull
@@ -118,6 +119,11 @@ class ServeConfig:
     auto-enables CoDel-style load shedding at a 100 ms queue-wait target
     when a pool is attached and disables it otherwise; a float forces
     that target, 0 disables shedding outright.
+
+    ``journal_path`` attaches the NRTM-style journal follower: the
+    daemon polls the file every ``journal_poll`` seconds and hot-swaps
+    any not-yet-absorbed entries into the live index (see
+    :meth:`VerifyService.reload`).
     """
 
     host: str = "127.0.0.1"
@@ -139,6 +145,8 @@ class ServeConfig:
     shed_target: float | None = None
     shed_interval: float = 1.0
     start_method: str | None = None
+    journal_path: str | None = None
+    journal_poll: float = 2.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -259,6 +267,9 @@ class VerifyService:
         # Chaos/test instrumentation: called on an executor thread with
         # the batch's queries before execution.  Never set in production.
         self.fault_hook: Callable[[Sequence[Query]], None] | None = None
+        # Serializes hot swaps so two concurrent reloads cannot interleave
+        # their worker-pool sweeps.
+        self._reload_lock = asyncio.Lock()
         registry = session.registry
         self._registry = registry
         # The registry is not thread-safe; with a pool attached both the
@@ -561,6 +572,67 @@ class VerifyService:
                     )
         return outcomes
 
+    # -- incremental ingestion (hot swap) ------------------------------------
+
+    def _apply_journal_blocking(self, journal: Journal):
+        """Patch the parent session under the serial lock (executor thread).
+
+        Entries whose serial the index has already absorbed are filtered
+        out first — that makes re-reading a growing journal file (the
+        follower) and retrying a ``POST /reload`` idempotent instead of
+        tripping the stale-serial degradation.  Returns ``(fresh,
+        report)`` where ``report`` is ``None`` when nothing was applied.
+        """
+        with self._serial_lock:
+            applied = self.session.serials
+            fresh = Journal(
+                entries=[
+                    entry
+                    for entry in journal.entries
+                    if entry.serial > applied.get(entry.source, -1)
+                ],
+                issues=list(journal.issues),
+            )
+            if not fresh.entries and not fresh.issues:
+                return fresh, None
+            return fresh, self.session.apply_deltas(fresh)
+
+    async def reload(self, journal: Journal) -> dict:
+        """Hot-swap journal deltas into the live service; returns a summary.
+
+        The parent session is patched first (off the event loop, under
+        the serial lock so the in-process fallback path never observes a
+        half-swapped session), then every pool worker is swapped via the
+        supervisor's lease-serialized reload — in-flight requests keep
+        flowing throughout; at worst a batch is answered by a worker one
+        generation behind, never dropped.
+        """
+        if self.draining:
+            raise BusyError("shutting down")
+        async with self._reload_lock:
+            fresh, report = await self._batcher.run_blocking(
+                self._apply_journal_blocking, journal
+            )
+            summary = {
+                "applied": len(fresh.entries),
+                "generation": self.session.generation,
+                "serials": self.session.serials,
+                "degraded": bool(report),
+                "delta_apply_s": self.session.last_delta_seconds,
+            }
+            if report:
+                summary["degradation"] = report.as_dict()
+            if report is None:
+                return summary
+            if self.supervisor is not None:
+                summary["pool"] = await self._batcher.run_blocking(
+                    self.supervisor.reload,
+                    self.session.ir,
+                    self.session.index,
+                    fresh,
+                )
+            return summary
+
     # -- health ------------------------------------------------------------
 
     def health(self) -> dict:
@@ -583,6 +655,9 @@ class VerifyService:
             "index_digest": (
                 self.session.index.digest if self.session.index is not None else None
             ),
+            "index_generation": self.session.generation,
+            "journal_serials": self.session.serials,
+            "last_delta_apply_s": self.session.last_delta_seconds,
         }
         if self.supervisor is not None:
             payload["supervisor"] = self.supervisor.state()

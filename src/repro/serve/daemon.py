@@ -60,6 +60,7 @@ class ServeDaemon:
         self.whois: WhoisFrontend | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown: asyncio.Event | None = None
+        self._follower: asyncio.Task | None = None
 
     # -- the daemon coroutine ---------------------------------------------
 
@@ -83,11 +84,61 @@ class ServeDaemon:
                 log.info("whois front-end on %s:%d", config.host, self.whois.port)
             if self.http is None and self.whois is None:
                 raise ValueError("ServeConfig enables no front-end")
+            if config.journal_path is not None:
+                self._follower = asyncio.create_task(
+                    self._follow_journal(), name="rpslyzer-journal-follower"
+                )
             if on_ready is not None:
                 on_ready(self)
             await self._shutdown.wait()
         finally:
             await self._graceful_stop()
+
+    async def _follow_journal(self) -> None:
+        """Poll the configured journal file, hot-swapping fresh entries.
+
+        The whole file is re-read on every change; the service's reload
+        filters already-absorbed serials, so a growing NRTM-style journal
+        is applied incrementally and re-reads are idempotent.  Unreadable
+        or failing reloads are logged and retried on the next poll —
+        the follower never takes the daemon down.
+        """
+        from pathlib import Path
+
+        from repro.irr.journal import JournalError, load_journal
+
+        path = Path(self.config.journal_path)
+        last_signature: tuple[int, int] | None = None
+        while True:
+            await asyncio.sleep(self.config.journal_poll)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # not there (yet): keep watching
+            signature = (stat.st_mtime_ns, stat.st_size)
+            if signature == last_signature:
+                continue
+            last_signature = signature
+            try:
+                journal = load_journal(path)
+            except (JournalError, OSError) as exc:
+                log.warning("journal follower: unreadable %s: %s", path, exc)
+                continue
+            try:
+                summary = await self.service.reload(journal)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - keep following
+                log.warning("journal follower: reload failed: %s", exc)
+                continue
+            if summary["applied"]:
+                log.info(
+                    "journal follower: applied %d entries "
+                    "(generation %d%s)",
+                    summary["applied"],
+                    summary["generation"],
+                    ", degraded to full recompile" if summary["degraded"] else "",
+                )
 
     def request_shutdown(self) -> None:
         """Trigger the drain sequence; safe to call from any thread."""
@@ -110,6 +161,14 @@ class ServeDaemon:
         self._shutdown.set()
 
     async def _graceful_stop(self) -> None:
+        # 0. Stop the journal follower before the service goes away.
+        if self._follower is not None:
+            self._follower.cancel()
+            try:
+                await self._follower
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._follower = None
         # 1. Stop accepting new connections.
         for frontend in (self.http, self.whois):
             if frontend is not None:

@@ -7,11 +7,16 @@ Endpoints (all responses are JSON unless noted):
   :func:`repro.serve.core.report_as_dict`).
 * ``POST /explain`` — same body → the report plus decision-provenance
   ``events``.
-* ``GET /healthz``  — liveness, headline counters, and (with a worker
-  pool) supervisor state; 503 while draining *or* degraded to serial
-  execution.
+* ``GET /healthz``  — liveness, headline counters, index
+  generation/serials, and (with a worker pool) supervisor state; 503
+  while draining *or* degraded to serial execution.
 * ``GET /metrics``  — Prometheus exposition text for the session's
   registry (``text/plain``).
+* ``POST /reload``  — body ``{"journal": <journal jsonable>}`` or
+  ``{"journal_path": "<file>"}`` → hot-swap the deltas into the live
+  index (already-absorbed serials are skipped, so retries are
+  idempotent); responds with the applied count, the new generation, and
+  the per-source serials.
 
 Error mapping: malformed request → 400, backpressure → 429 (with
 ``Retry-After``), deadline expiry → 504, unknown path → 404, anything
@@ -203,6 +208,16 @@ class HttpFrontend:
             query = Query.from_payload(payload, path.lstrip("/"))
             result = await self.service.submit(query)
             return 200, _json_bytes(result), "application/json"
+        if path == "/reload":
+            if method != "POST":
+                raise _HttpError(405, "/reload expects POST")
+            try:
+                payload = json.loads(body.decode("utf-8") or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise BadRequestError(f"bad JSON body: {exc}") from exc
+            journal = _journal_from_payload(payload)
+            summary = await self.service.reload(journal)
+            return 200, _json_bytes(summary), "application/json"
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "/healthz expects GET")
@@ -253,6 +268,28 @@ class HttpFrontend:
         await self._send(
             writer, status, body, "application/json", True, extra_headers=extra
         )
+
+
+def _journal_from_payload(payload):
+    """Build a Journal from a ``/reload`` body; BadRequestError on misuse."""
+    from repro.irr.journal import Journal, JournalError, load_journal
+
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    if "journal_path" in payload:
+        path = payload["journal_path"]
+        if not isinstance(path, str):
+            raise BadRequestError("'journal_path' must be a string")
+        try:
+            return load_journal(path)
+        except (JournalError, OSError) as exc:
+            raise BadRequestError(f"unreadable journal: {exc}") from exc
+    if "journal" in payload:
+        try:
+            return Journal.from_jsonable(payload["journal"])
+        except (JournalError, TypeError, KeyError, AttributeError) as exc:
+            raise BadRequestError(f"bad journal payload: {exc}") from exc
+    raise BadRequestError("provide 'journal' or 'journal_path'")
 
 
 def _json_bytes(value) -> bytes:

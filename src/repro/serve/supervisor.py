@@ -246,10 +246,18 @@ def _worker_main(
     """The worker process body: one warm Session answering batch frames.
 
     Frames in: ``("batch", batch_id, items)`` where each item is
-    ``(kind, prefix, as_path, collector)``, ``("ping", seq)``, and
-    ``("stop",)``.  Frames out: ``("ready", pid)`` once warm,
-    ``("result", batch_id, outcomes)`` with per-item ``("ok", payload)``
-    or ``("err", message)``, and ``("pong", seq)``.
+    ``(kind, prefix, as_path, collector)``, ``("ping", seq)``,
+    ``("reload", expected_generation, journal)``, and ``("stop",)``.
+    Frames out: ``("ready", pid)`` once warm, ``("result", batch_id,
+    outcomes)`` with per-item ``("ok", payload)`` or ``("err", message)``,
+    ``("pong", seq)``, and ``("reloaded", generation, degraded)`` /
+    ``("reload-failed", message)``.
+
+    A reload replays the journal onto the worker's own session
+    (:meth:`repro.api.Session.apply_deltas` — the same deterministic
+    patch the parent ran), so the swap ships kilobytes of delta down the
+    pipe instead of re-pickling the whole index.  The generation check
+    makes redundant reloads no-ops.
     """
     # Imported lazily: under spawn this module is re-imported in the
     # child, and repro.serve.core imports this module at its top level.
@@ -272,6 +280,20 @@ def _worker_main(
             return
         if kind == "ping":
             conn.send(("pong", message[1]))
+            continue
+        if kind == "reload":
+            expected_generation, journal = message[1], message[2]
+            if session.generation >= expected_generation:
+                # Already at (or past) the target: a respawned worker was
+                # built from the parent's post-patch state.
+                conn.send(("reloaded", session.generation, False))
+                continue
+            try:
+                report = session.apply_deltas(journal)
+            except Exception as exc:  # noqa: BLE001 - supervisor retires us
+                conn.send(("reload-failed", str(exc)))
+                continue
+            conn.send(("reloaded", session.generation, bool(report)))
             continue
         batch_id, items = message[1], message[2]
         outcomes = []
@@ -653,6 +675,94 @@ class WorkerSupervisor:
         log.warning("pool dispatch failed, falling back serially: %s", failure)
         self._publish_metrics()
         return None
+
+    # -- hot swap -------------------------------------------------------------
+
+    def reload(self, ir: Ir, index: CompiledIndex | None, journal) -> dict:
+        """Swap every live worker to the patched state without dropping work.
+
+        The parent state is updated first (under the lock), so any worker
+        the monitor respawns from here on warms straight from the new IR
+        and index.  Each live worker is then *leased* from the free queue
+        before its reload frame is sent — leasing is the same exclusivity
+        the batch executors use, so a reload never interleaves with an
+        in-flight batch and no client request is dropped: batches simply
+        queue behind the (millisecond-scale) per-worker patch.
+
+        Workers that crash, wedge, or fail the patch are retired; the
+        monitor respawns them from the already-updated parent state.
+        Past the deadline any still-unswapped worker is retired too, so
+        no worker keeps answering from the old index indefinitely.
+        Returns a summary dict (``reloaded``/``retired``/``degraded``).
+        """
+        with self._lock:
+            self._ir = ir
+            self._index = index
+            targets = set(self._workers)
+        expected_generation = index.generation if index is not None else 0
+        done: set[int] = set()
+        degraded_applies = 0
+        retired = 0
+        deadline = time.monotonic() + (
+            self.config.lease_timeout + 2 * self.config.hang_timeout
+        )
+        while True:
+            with self._lock:
+                remaining = {
+                    wid for wid in targets if wid in self._workers
+                } - done
+            if not remaining:
+                break
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    stragglers = [
+                        worker
+                        for wid, worker in self._workers.items()
+                        if wid in remaining
+                    ]
+                for worker in stragglers:
+                    self._retire(worker, "stale-after-reload")
+                    retired += 1
+                break
+            try:
+                worker = self._lease()
+            except PoolUnavailable:
+                continue
+            if worker.worker_id not in remaining:
+                # Freshly spawned (already on the new state) or already
+                # swapped: hand it back and let a pending one come free.
+                self._free.put(worker)
+                time.sleep(0.001)
+                continue
+            try:
+                worker.conn.send(("reload", expected_generation, journal))
+                while True:
+                    if not worker.conn.poll(self.config.hang_timeout):
+                        raise TimeoutError("no reload ack")
+                    message = worker.conn.recv()
+                    if message[0] == "reloaded":
+                        break
+                    if message[0] == "reload-failed":
+                        raise WorkerCrash(message[1])
+                    # Stale frame (late pong / cancelled batch result).
+            # TimeoutError IS an OSError (since 3.3): it must come first.
+            except TimeoutError:
+                self._retire(worker, "hung")
+                retired += 1
+            except (WorkerCrash, EOFError, BrokenPipeError, OSError):
+                self._retire(worker, "reload-failed")
+                retired += 1
+            else:
+                done.add(worker.worker_id)
+                if message[2]:
+                    degraded_applies += 1
+                self._free.put(worker)
+        self._publish_metrics()
+        return {
+            "reloaded": len(done),
+            "retired": retired,
+            "degraded": degraded_applies,
+        }
 
     # -- retirement and respawn ---------------------------------------------
 

@@ -339,6 +339,89 @@ class TestSessionIndexLifecycle:
         assert index.route_trie.stats()["prefixes"] > 0
 
 
+class TestDeltaSwapFdLifecycle:
+    """apply_deltas must release the mmap the old index held."""
+
+    @needs_procfs
+    def test_swap_closes_the_old_mapping(self, tiny_ir, tiny_world, tmp_path):
+        from repro.api import Session
+        from repro.irr.history import ChurnConfig, evolve_with_journal
+
+        with Session(tiny_ir, tiny_world.topology, cache_dir=tmp_path) as session:
+            session.warm()
+        base = _fd_count()
+        with Session(tiny_ir, tiny_world.topology, cache_dir=tmp_path) as session:
+            session.warm()
+            assert session.index.resource is not None  # mmap-backed
+            assert _fd_count() == base + 1
+            _, journal = evolve_with_journal(session.ir, ChurnConfig(seed=3))
+            report = session.apply_deltas(journal)
+            assert not report
+            # The patched index is heap-backed; the old mapping's fd must
+            # be gone, not kept alive by a lingering reference.
+            assert session.index.resource is None
+            assert _fd_count() == base, "old mmap fd leaked across the swap"
+            route = session.ir.route_objects[0]
+            assert session.verify_route(
+                str(route.prefix), (64500, route.origin)
+            ).hops
+        assert _fd_count() == base
+
+    @needs_procfs
+    def test_swap_under_query_load(self, tiny_ir, tiny_world, tmp_path):
+        """Queries interleaved with swaps (serve's lock discipline) never
+        leak a descriptor or read a dead plane."""
+        import threading
+
+        from repro.api import Session
+        from repro.irr.history import ChurnConfig, evolve_with_journal
+
+        with Session(tiny_ir, tiny_world.topology, cache_dir=tmp_path) as session:
+            session.warm()
+        base = _fd_count()
+        lock = threading.Lock()  # serve serializes session access the same way
+        failures: list = []
+        with Session(tiny_ir, tiny_world.topology, cache_dir=tmp_path) as session:
+            session.warm()
+            routes = [
+                (str(r.prefix), (64500, r.origin))
+                for r in session.ir.route_objects[:20]
+            ]
+            stop = threading.Event()
+
+            def hammer() -> None:
+                while not stop.is_set():
+                    prefix, as_path = routes[0]
+                    try:
+                        with lock:
+                            session.verify_route(prefix, as_path)
+                    except Exception as exc:  # noqa: BLE001 - collected
+                        failures.append(exc)
+                        return
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                serial = 1
+                for epoch in range(3):
+                    _, journal = evolve_with_journal(
+                        session.ir,
+                        ChurnConfig(seed=3),
+                        epoch=epoch,
+                        start_serial=serial,
+                    )
+                    with lock:
+                        report = session.apply_deltas(journal)
+                    assert not report
+                    serial = max(journal.serials().values(), default=serial) + 1
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not failures
+            assert session.generation == 3
+        assert _fd_count() == base, "descriptor leaked by swap-under-load"
+
+
 # -- trie vs legacy engine, fresh worlds ------------------------------------
 
 _DIFF_ROUTES = int(os.environ.get("RPSLYZER_DIFF_ROUTES", "1500"))

@@ -456,6 +456,159 @@ def _spawn_serve(tiny_world_dir: Path, extra: list[str] | None = None):
     return process, port
 
 
+class TestReload:
+    """POST /reload and the hot-swap path (incremental ingestion)."""
+
+    @pytest.fixture()
+    def reload_handle(self, tiny_world):
+        """A private daemon per test: reloads mutate the session."""
+        from repro.irr.history import ChurnConfig, evolve_with_journal
+
+        session = api.open_session(
+            tiny_world,
+            as_rel=tiny_world.topology,
+            registry=MetricsRegistry(),
+            use_cache=False,
+        )
+        daemon = ServeDaemon(session, ServeConfig(http_port=0, workers=2))
+        try:
+            with daemon.start_in_thread() as running:
+                yield running, session, ChurnConfig, evolve_with_journal
+        finally:
+            session.close()
+
+    def test_reload_advances_generation(self, reload_handle):
+        handle, session, ChurnConfig, evolve_with_journal = reload_handle
+        _, journal = evolve_with_journal(session.ir, ChurnConfig(seed=11))
+        status, body = _http(handle.http_port, "GET", "/healthz")
+        assert body["index_generation"] == 0 and body["journal_serials"] == {}
+        status, summary = _http(
+            handle.http_port, "POST", "/reload", {"journal": journal.to_jsonable()}
+        )
+        assert status == 200
+        assert summary["applied"] == len(journal)
+        assert summary["generation"] == 1
+        assert not summary["degraded"]
+        assert summary["pool"]["reloaded"] == 2
+        assert summary["pool"]["retired"] == 0
+        status, body = _http(handle.http_port, "GET", "/healthz")
+        assert body["index_generation"] == 1
+        assert body["journal_serials"] == journal.serials()
+        assert body["last_delta_apply_s"] > 0
+
+    def test_reload_is_idempotent(self, reload_handle):
+        handle, session, ChurnConfig, evolve_with_journal = reload_handle
+        _, journal = evolve_with_journal(session.ir, ChurnConfig(seed=11))
+        payload = {"journal": journal.to_jsonable()}
+        _http(handle.http_port, "POST", "/reload", payload)
+        status, summary = _http(handle.http_port, "POST", "/reload", payload)
+        assert status == 200
+        assert summary["applied"] == 0
+        assert summary["generation"] == 1  # no spurious recompile
+
+    def test_reload_rejects_garbage(self, reload_handle):
+        handle, *_ = reload_handle
+        status, body = _http(handle.http_port, "POST", "/reload", {"nope": 1})
+        assert status == 400
+        status, body = _http(
+            handle.http_port, "POST", "/reload", {"journal": {"format": "x"}}
+        )
+        assert status == 400
+        status, body = _http(
+            handle.http_port,
+            "POST",
+            "/reload",
+            {"journal_path": "/does/not/exist.jsonl"},
+        )
+        assert status == 400
+        status, _ = _http(handle.http_port, "GET", "/reload")
+        assert status == 405
+
+    def test_hot_swap_under_flood_drops_nothing(self, reload_handle, tiny_routes):
+        """Chaos: flood /verify while /reload swaps the pool.  Every
+        in-flight request must get a verdict — zero drops, zero errors."""
+        handle, session, ChurnConfig, evolve_with_journal = reload_handle
+        _, journal = evolve_with_journal(session.ir, ChurnConfig(seed=13))
+        entry = tiny_routes[0]
+        payload = _verify_payload(entry, deadline_s=25)
+        outcomes: list = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def _client() -> None:
+            while not stop.is_set():
+                try:
+                    status, _body = _http(
+                        handle.http_port, "POST", "/verify", payload
+                    )
+                except (OSError, http.client.HTTPException) as exc:
+                    status = type(exc).__name__
+                with lock:
+                    outcomes.append(status)
+
+        threads = [threading.Thread(target=_client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.2)  # flood established before the swap
+            status, summary = _http(
+                handle.http_port,
+                "POST",
+                "/reload",
+                {"journal": journal.to_jsonable()},
+            )
+            assert status == 200
+            assert summary["generation"] == 1
+            time.sleep(0.2)  # flood continues over the swapped pool
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) > 20
+        assert set(outcomes) == {200}, f"non-200 under swap: {set(outcomes)}"
+        # Nothing was retired: the swap leased workers between batches.
+        status, body = _http(handle.http_port, "GET", "/healthz")
+        assert body["supervisor"]["live"] == 2
+        assert body["index_generation"] == 1
+
+    def test_journal_follower_applies_from_disk(self, tiny_world, tmp_path):
+        from repro.irr.history import ChurnConfig, evolve_with_journal
+        from repro.irr.journal import save_journal
+
+        path = tmp_path / "feed.jsonl"
+        session = api.open_session(
+            tiny_world,
+            as_rel=tiny_world.topology,
+            registry=MetricsRegistry(),
+            use_cache=False,
+        )
+        daemon = ServeDaemon(
+            session,
+            ServeConfig(
+                http_port=0,
+                journal_path=str(path),
+                journal_poll=0.1,
+            ),
+        )
+        try:
+            with daemon.start_in_thread() as handle:
+                _, journal = evolve_with_journal(session.ir, ChurnConfig(seed=19))
+                save_journal(journal, path)
+                deadline = time.monotonic() + 30
+                generation = 0
+                while time.monotonic() < deadline:
+                    _, body = _http(handle.http_port, "GET", "/healthz")
+                    generation = body["index_generation"]
+                    if generation:
+                        break
+                    time.sleep(0.1)
+                assert generation == 1
+                assert body["journal_serials"] == journal.serials()
+        finally:
+            session.close()
+
+
 @pytest.mark.slow
 class TestDaemonLifecycle:
     def test_sigterm_drains_and_exits_clean(self, tiny_world_dir, tiny_routes):
