@@ -64,7 +64,7 @@ from repro.core.query import (
 from repro.ir import serialize
 from repro.ir.json_io import ir_to_jsonable  # noqa: F401 - registers IR classes
 from repro.ir.model import Ir
-from repro.net.prefix import Prefix
+from repro.net.prefix import Prefix, PrefixError
 from repro.obs import get_registry
 from repro.rpsl.aspath import AsPathRegexNode
 from repro.rpsl.filter import Filter, FilterAsPathRegex, FilterAsSet, FilterRouteSet
@@ -369,6 +369,23 @@ def _route_set_reverse_edges(old_ir: Ir, new_ir: Ir) -> dict[str, set[str]]:
     return reverse
 
 
+def _route_entry_key(entry) -> tuple[Prefix, int, str]:
+    """A route entry's wire key parsed into canonical in-memory form.
+
+    Journal keys carry the prefix as a string; parsing canonicalizes
+    host bits and IPv6 spellings so lookups below match ``route.prefix``
+    instead of silently missing a live route spelled differently.  An
+    unparseable key cannot name any route — ``apply_journal_to_ir``
+    degrades such journals to the full recompile before this fast path
+    runs — so raising loudly beats patching by a wrong key.
+    """
+    key = entry.key
+    try:
+        return (Prefix.parse(key[0]), key[1], key[2])
+    except (PrefixError, TypeError, IndexError, AttributeError) as exc:
+        raise ValueError(f"route entry key {key!r} is not patchable: {exc}") from exc
+
+
 def patch_index(
     index: CompiledIndex,
     old_ir: Ir,
@@ -430,15 +447,19 @@ def patch_index(
         for entry in route_entries:
             if entry.obj is not None:
                 rs_byref_dirty.update(entry.obj.member_of)
-        retired = {e.key for e in route_entries if e.action in ("DEL", "MOD")}
+        route_keys = [_route_entry_key(e) for e in route_entries]
+        retired = {
+            key
+            for key, e in zip(route_keys, route_entries)
+            if e.action in ("DEL", "MOD")
+        }
         if retired:
             # Old-side member_of for retired routes: one pass, origin-int
             # prefiltered so the common row costs a set probe, not a key.
             retired_origins = {key[1] for key in retired}
             for route in old_ir.route_objects:
                 if route.member_of and route.origin in retired_origins:
-                    key = (str(route.prefix), route.origin, route.source)
-                    if key in retired:
+                    if (route.prefix, route.origin, route.source) in retired:
                         rs_byref_dirty.update(route.member_of)
 
         as_set_byref = index.as_set_byref
@@ -475,10 +496,14 @@ def patch_index(
         # -- route trie: point mutations on the touched pairs -------------
         # MODs keep their (prefix, origin) pair — the pair IS the key — so
         # presence in new_ir decides each touched pair's final trie state.
-        touched_pairs: set[tuple[str, int]] = {
-            (e.key[0], e.key[1]) for e in route_entries
+        # Pairs hold parsed Prefix values, never wire strings: a journal
+        # may spell a prefix non-canonically (host bits set, alternate
+        # IPv6 forms) and a string comparison would silently miss the
+        # live route — deleting it from the trie while the IR keeps it.
+        touched_pairs: set[tuple[Prefix, int]] = {
+            (key[0], key[1]) for key in route_keys
         }
-        present: dict[tuple[str, int], Prefix] = {}
+        present: set[tuple[Prefix, int]] = set()
         if touched_pairs or rs_targets:
             touched_origins = {origin for _, origin in touched_pairs}
             for route in new_ir.route_objects:
@@ -491,9 +516,9 @@ def patch_index(
                         if _byref_allowed(route_set.mbrs_by_ref, route.mnt_by):
                             bucket.append(route.prefix)
                 if route.origin in touched_origins:
-                    pair = (str(route.prefix), route.origin)
+                    pair = (route.prefix, route.origin)
                     if pair in touched_pairs:
-                        present[pair] = route.prefix
+                        present.add(pair)
             for name, prefixes in rs_targets.items():
                 if prefixes:
                     route_set_byref[name] = prefixes
@@ -504,11 +529,10 @@ def patch_index(
             # views, so the patched index never pins the old artifact's fd.
             trie = trie.thaw()
         for pair in sorted(touched_pairs):
-            prefix = present.get(pair)
-            if prefix is not None:
-                trie.insert_route(prefix, pair[1])
+            if pair in present:
+                trie.insert_route(pair[0], pair[1])
             else:
-                trie.remove_route(Prefix.parse(pair[0]), pair[1])
+                trie.remove_route(pair[0], pair[1])
 
         # -- closure invalidation: reverse reachability ---------------------
         as_seeds = set(changed.get("as-set", ())) | as_byref_dirty

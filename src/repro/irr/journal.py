@@ -392,6 +392,20 @@ def apply_journal_to_ir(
                     # identity-based removal cannot swallow it.
                     obj = copy.copy(obj)
                 obj_key = _fast_route_key(obj)
+                if key is None or key != obj_key:
+                    # The entry key cannot name the payload it carries
+                    # (unparseable, wrong arity, or a different route
+                    # entirely).  The replay below still lands the object
+                    # under its own key, but the index layer patches the
+                    # trie by *entry* keys — so record a degradation and
+                    # let the full-recompile fallback keep answers right.
+                    report.record(
+                        "journal", "key-mismatch",
+                        detail=(
+                            f"route entry key {entry.key!r} does not match "
+                            f"payload {obj_key!r} serial {entry.serial}"
+                        ),
+                    )
                 # Index the payload under its own key, which a malformed
                 # journal may spell differently from the entry key; any
                 # pre-existing copies under that spelling stay live.

@@ -118,7 +118,6 @@ class ServeDaemon:
             signature = (stat.st_mtime_ns, stat.st_size)
             if signature == last_signature:
                 continue
-            last_signature = signature
             try:
                 journal = load_journal(path)
             except (JournalError, OSError) as exc:
@@ -131,6 +130,10 @@ class ServeDaemon:
             except Exception as exc:  # noqa: BLE001 - keep following
                 log.warning("journal follower: reload failed: %s", exc)
                 continue
+            # Commit the signature only after the reload landed: a
+            # transient read or reload failure must be retried on the
+            # next poll even if the file itself never changes again.
+            last_signature = signature
             if summary["applied"]:
                 log.info(
                     "journal follower: applied %d entries "

@@ -157,6 +157,78 @@ class TestPatchIndex:
         assert once.digest == twice.digest
         assert once.digest != index.digest
 
+    def test_non_canonical_key_spellings_patch_correctly(self, seed_ir):
+        """Regression: journal keys with host bits set are valid
+        (Prefix.parse masks them) and replay cleanly, so the fast path
+        runs — the trie mutations must match them to the canonical
+        route instead of silently deleting / failing to insert it."""
+        import ipaddress
+
+        from repro.ir.model import RouteObject
+
+        def _host_bit_spelling(prefix: Prefix) -> str:
+            return f"{ipaddress.ip_address(prefix.network + 1)}/{prefix.length}"
+
+        route = next(
+            r
+            for r in seed_ir.route_objects
+            if r.prefix.version == 4 and r.prefix.length < 31
+        )
+        added = RouteObject(
+            prefix=Prefix.parse("198.51.100.0/24"),
+            origin=route.origin,
+            source=route.source,
+        )
+        assert not any(
+            r.prefix == added.prefix and r.origin == added.origin
+            for r in seed_ir.route_objects
+        )
+        source = route.source or ""
+        journal = Journal(
+            entries=[
+                JournalEntry(
+                    serial=1,
+                    action="MOD",
+                    cls="route",
+                    key=(_host_bit_spelling(route.prefix), route.origin, route.source),
+                    obj=route,
+                    source=source,
+                ),
+                JournalEntry(
+                    serial=2,
+                    action="ADD",
+                    cls="route",
+                    key=(_host_bit_spelling(added.prefix), added.origin, added.source),
+                    obj=added,
+                    source=source,
+                ),
+            ]
+        )
+        new_ir, report = apply_journal_to_ir(seed_ir, journal)
+        assert not report  # valid spellings replay cleanly: fast path runs
+        index = compile_index(seed_ir, digest=ir_digest(seed_ir))
+        patched = patch_index(index, seed_ir, new_ir, journal)
+        fresh = compile_index(new_ir, digest=ir_digest(new_ir))
+        _assert_equivalent(patched, fresh)
+
+    def test_unpatchable_key_raises_loudly(self, seed_ir):
+        """A key patch_index cannot parse must raise, never guess —
+        callers reach this path only with a clean replay report."""
+        index = compile_index(seed_ir, digest=ir_digest(seed_ir))
+        bogus = Journal(
+            entries=[
+                JournalEntry(
+                    serial=1,
+                    action="DEL",
+                    cls="route",
+                    key=("not-a-prefix/xx", 64500, ""),
+                    source="",
+                )
+            ]
+        )
+        with pytest.raises(ValueError):
+            patch_index(index, seed_ir, seed_ir, bogus)
+
     def test_del_heavy_journal_matches_fresh_compile(self, seed_ir):
         """Deleting most of the table exercises plane rebuilds inside
         patch_index's trie path; equivalence must survive them."""

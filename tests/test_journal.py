@@ -201,6 +201,48 @@ class TestDegradation:
         _, report = apply_journal_to_ir(seed_ir, Journal(entries=[hollow]))
         assert "journal/missing-payload" in report.by_kind()
 
+    def test_key_mismatch_degrades(self, seed_ir):
+        """An entry whose key names a different route than its payload
+        must degrade: the index layer patches the trie by *entry* keys,
+        so applying such an entry incrementally would desync them."""
+        route = seed_ir.route_objects[0]
+        lying = self._route_entry(
+            seed_ir, 1, "ADD", key=("203.0.113.0/24", 64999, route.source)
+        )
+        _, report = apply_journal_to_ir(seed_ir, Journal(entries=[lying]))
+        assert "journal/key-mismatch" in report.by_kind()
+
+    def test_wrong_arity_key_degrades(self, seed_ir):
+        route = seed_ir.route_objects[0]
+        truncated = self._route_entry(
+            seed_ir, 1, "MOD", key=(str(route.prefix), route.origin)
+        )
+        _, report = apply_journal_to_ir(seed_ir, Journal(entries=[truncated]))
+        assert "journal/key-mismatch" in report.by_kind()
+
+    def test_wrong_arity_key_recompiles_in_session(self, tiny_world):
+        """Regression: a truncated route key must fall back to the full
+        recompile instead of crashing the incremental patch path."""
+        with api.open_session(
+            tiny_world, as_rel=tiny_world.topology, use_cache=False
+        ) as session:
+            route = session.ir.route_objects[0]
+            journal = Journal(
+                entries=[
+                    JournalEntry(
+                        serial=1,
+                        action="MOD",
+                        cls="route",
+                        key=(str(route.prefix), route.origin),
+                        obj=route,
+                        source=route.source or "",
+                    )
+                ]
+            )
+            report = session.apply_deltas(journal)
+            assert "journal/key-mismatch" in report.by_kind()
+            assert session.generation == 1
+
     def test_stale_serials_degrade_in_session(self, tiny_world):
         """Replaying an absorbed journal through a live session degrades
         to a full recompile — and still answers correctly."""

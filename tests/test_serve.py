@@ -608,6 +608,47 @@ class TestReload:
         finally:
             session.close()
 
+    def test_journal_follower_retries_failed_reload(self, tiny_world, tmp_path):
+        """Regression: a transient reload failure must be retried on the
+        next poll even though the journal file itself never changes —
+        the follower may only remember a signature it fully absorbed."""
+        from types import SimpleNamespace
+
+        from repro.irr.history import ChurnConfig, evolve_with_journal
+        from repro.irr.journal import save_journal
+
+        path = tmp_path / "feed.jsonl"
+        _, journal = evolve_with_journal(tiny_world.merged_ir(), ChurnConfig(seed=19))
+        save_journal(journal, path)
+        calls: list[int] = []
+
+        async def main() -> None:
+            applied = asyncio.Event()
+
+            async def reload(journal) -> dict:
+                calls.append(len(calls))
+                if len(calls) == 1:
+                    raise RuntimeError("transient backend failure")
+                applied.set()
+                return {"applied": len(journal), "generation": 1, "degraded": False}
+
+            stub = SimpleNamespace(
+                config=SimpleNamespace(journal_path=str(path), journal_poll=0.01),
+                service=SimpleNamespace(reload=reload),
+            )
+            follower = asyncio.create_task(ServeDaemon._follow_journal(stub))
+            try:
+                await asyncio.wait_for(applied.wait(), timeout=30)
+            finally:
+                follower.cancel()
+                try:
+                    await follower
+                except asyncio.CancelledError:
+                    pass
+
+        asyncio.run(main())
+        assert len(calls) >= 2
+
 
 @pytest.mark.slow
 class TestDaemonLifecycle:
