@@ -26,7 +26,7 @@ ci:
 	$(MAKE) perf-regression
 
 # The strict perf benchmarks (prefix engine, incremental delta
-# ingestion), then the measured ratios diffed against
+# ingestion, serve telemetry), then the measured ratios diffed against
 # benchmarks/baselines.json (a slide past a gated metric's tolerance
 # fails).  After an intentional perf change, re-pin:
 #   python scripts/check_perf_regression.py --bench <name> --update
@@ -37,6 +37,9 @@ perf-regression:
 	PYTHONPATH=src RPSLYZER_PERF_STRICT=1 $(PYTHON) -m pytest \
 	  benchmarks/test_perf_delta.py -q -p no:cacheprovider
 	$(PYTHON) scripts/check_perf_regression.py --bench delta_ingest
+	PYTHONPATH=src RPSLYZER_PERF_STRICT=1 $(PYTHON) -m pytest \
+	  benchmarks/test_perf_serve_telemetry.py -q -p no:cacheprovider
+	$(PYTHON) scripts/check_perf_regression.py --bench serve_telemetry
 
 # The serve-supervisor self-healing lifecycle against a live daemon:
 # SIGKILL mid-flood, heartbeat replacement of a hung worker, restart

@@ -2,18 +2,24 @@
 """CI smoke test for ``rpslyzer serve``: boot, query, drain, exit.
 
 Synthesizes the tiny world, launches the daemon as a real subprocess
-(both front-ends on ephemeral ports), and checks the serving contract
-end to end:
+(both front-ends on ephemeral ports, telemetry on), and checks the
+serving contract end to end:
 
 1. the startup banner reports both ports and the IR digest;
 2. ``GET /healthz`` answers ``ok`` with a bound queue and a live
    ``--workers 2`` supervisor pool;
 3. ``POST /verify`` returns a verdict character-identical to the batch
-   verifier for the same route;
-4. the WHOIS ``!v`` command returns the same rendering, IRRd-framed;
+   verifier for the same route, and echoes the client's
+   ``X-Request-Id`` back on the response;
+4. the WHOIS ``!v`` command returns the same rendering, IRRd-framed,
+   with the ``%% id`` correlation comment;
 5. ``GET /metrics`` shows exactly one index adoption (no per-request
    reload/recompile) and the served-request counters;
-6. SIGTERM drains and the process exits 0, releasing its ports.
+6. ``GET /debug/flight`` exposes the live flight ring, including the
+   request event for the correlation id from step 3;
+7. SIGTERM drains and the process exits 0, releasing its ports — and
+   the ``--access-log`` file holds one schema-complete JSONL record
+   per served request.
 
 Exits non-zero with a diagnostic on the first violated check.
 """
@@ -39,20 +45,38 @@ if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
 from repro import api  # noqa: E402
 from repro.bgp.routegen import collector_routes  # noqa: E402
 
+ACCESS_FIELDS = {
+    "ts",
+    "type",
+    "id",
+    "frontend",
+    "endpoint",
+    "outcome",
+    "verdicts",
+    "total_ms",
+    "stages_ms",
+}
+STAGES = {"accept", "queue", "coalesce", "dispatch", "execute", "respond"}
+
 
 def fail(message: str) -> None:
     print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def http_json(port: int, method: str, path: str, payload=None):
+def http_json(port: int, method: str, path: str, payload=None, headers=None):
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
     try:
         body = json.dumps(payload).encode() if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
-        connection.request(method, path, body=body, headers=headers)
+        send_headers = {"Content-Type": "application/json"} if body else {}
+        send_headers.update(headers or {})
+        connection.request(method, path, body=body, headers=send_headers)
         response = connection.getresponse()
-        return response.status, response.read()
+        return (
+            response.status,
+            {name.lower(): value for name, value in response.getheaders()},
+            response.read(),
+        )
     finally:
         connection.close()
 
@@ -71,6 +95,7 @@ def whois(port: int, query: str) -> str:
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    access_log = workdir / "access.jsonl"
     world = api.synthesize("tiny", seed=42)
     world.write_to_dir(workdir / "world")
     entry = next(
@@ -105,6 +130,10 @@ def main() -> None:
             str(workdir / "cache"),
             "--workers",
             "2",
+            "--access-log",
+            str(access_log),
+            "--slow-ms",
+            "30000",
         ],
         env=env,
         stderr=subprocess.PIPE,
@@ -131,7 +160,7 @@ def main() -> None:
             fail(f"startup banner incomplete: {''.join(banner)!r}")
         print(f"serve-smoke: daemon up (http={http_port}, whois={whois_port})")
 
-        status, body = http_json(http_port, "GET", "/healthz")
+        status, _, body = http_json(http_port, "GET", "/healthz")
         health = json.loads(body)
         if status != 200 or health["status"] != "ok":
             fail(f"healthz: {status} {health}")
@@ -142,20 +171,39 @@ def main() -> None:
             fail(f"healthz supervisor block: {supervisor}")
         print("serve-smoke: supervisor pool up (2 live workers)")
 
+        request_id = "smoke-cafe0123"
         payload = {"prefix": str(entry.prefix), "as_path": list(entry.as_path)}
-        status, body = http_json(http_port, "POST", "/verify", payload)
+        status, response_headers, body = http_json(
+            http_port,
+            "POST",
+            "/verify",
+            payload,
+            headers={"X-Request-Id": request_id},
+        )
         if status != 200:
             fail(f"POST /verify: {status} {body!r}")
+        if response_headers.get("x-request-id") != request_id:
+            fail(
+                "X-Request-Id not echoed: "
+                f"{response_headers.get('x-request-id')!r}"
+            )
         verdict = json.loads(body)
         if verdict["text"] != expected:
             fail(
                 "serve verdict diverges from batch verifier:\n"
                 f"--- serve ---\n{verdict['text']}\n--- batch ---\n{expected}"
             )
-        print("serve-smoke: /verify bit-identical to the batch verifier")
+        print(
+            "serve-smoke: /verify bit-identical to the batch verifier, "
+            "id echoed"
+        )
 
         path = " ".join(str(asn) for asn in entry.as_path)
         framed = whois(whois_port, f"!v {entry.prefix} {path}")
+        id_match = re.match(r"%% id ([-A-Za-z0-9_.:/+=]+)\n", framed)
+        if not id_match:
+            fail(f"whois !v missing %% id comment: {framed!r}")
+        framed = framed[id_match.end() :]
         if not framed.startswith("A"):
             fail(f"whois !v not framed: {framed!r}")
         unframed = framed[framed.index("\n") + 1 :].rstrip("\nC").rstrip()
@@ -163,7 +211,7 @@ def main() -> None:
             fail(f"whois !v diverges from batch verifier: {unframed!r}")
         print("serve-smoke: whois !v bit-identical to the batch verifier")
 
-        status, body = http_json(http_port, "GET", "/metrics")
+        status, _, body = http_json(http_port, "GET", "/metrics")
         text = body.decode()
         if status != 200:
             fail(f"GET /metrics: {status}")
@@ -175,7 +223,25 @@ def main() -> None:
             fail(f"expected exactly one index adoption, saw {adoptions}")
         if "serve_requests_total" not in text:
             fail("serve_requests_total missing from /metrics")
+        if "serve_stage_seconds" not in text:
+            fail("serve_stage_seconds missing from /metrics")
         print("serve-smoke: metrics confirm one index adoption, warm serving")
+
+        status, _, body = http_json(
+            http_port, "GET", f"/debug/flight?id={request_id}"
+        )
+        if status != 200:
+            fail(f"GET /debug/flight: {status}")
+        flight = json.loads(body)
+        if not flight.get("enabled") or flight["stats"]["events"] <= 0:
+            fail(f"flight recorder not live: {flight.get('stats')}")
+        kinds = {event["type"] for event in flight["events"]}
+        if "request" not in kinds:
+            fail(
+                f"no request event for id {request_id} in flight ring: "
+                f"{sorted(kinds)}"
+            )
+        print("serve-smoke: flight ring carries the correlated request event")
 
         process.send_signal(signal.SIGTERM)
         process.wait(timeout=30)
@@ -188,6 +254,27 @@ def main() -> None:
         else:
             fail("http port still accepting after drain")
         print("serve-smoke: SIGTERM drained cleanly (exit 0), ports released")
+
+        if not access_log.exists():
+            fail(f"access log never written: {access_log}")
+        records = [
+            json.loads(line)
+            for line in access_log.read_text().splitlines()
+            if line.strip()
+        ]
+        if not records:
+            fail("access log is empty")
+        for record in records:
+            if not ACCESS_FIELDS <= set(record):
+                fail(f"access record missing fields: {record}")
+            if set(record["stages_ms"]) != STAGES:
+                fail(f"access record stage keys: {record['stages_ms']}")
+        if not any(record["id"] == request_id for record in records):
+            fail(f"access log never saw request id {request_id}")
+        print(
+            f"serve-smoke: access log holds {len(records)} schema-complete "
+            "records"
+        )
         print("serve-smoke: OK")
     finally:
         if process.poll() is None:

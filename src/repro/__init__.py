@@ -47,7 +47,7 @@ from repro.irr.registry import Registry, parse_registry_dir
 from repro.net.prefix import Prefix
 from repro.stats.verification import VerificationStats
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # the supported facade

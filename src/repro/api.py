@@ -320,6 +320,10 @@ class Session:
         self._verifier: Verifier | None = None
         self._closed = False
         self._last_delta_seconds: float | None = None
+        # The serve daemon's flight recorder (repro.obs.flight), attached
+        # by VerifyService so embedders can read the lifecycle ring via
+        # flight_events() without reaching into serve internals.
+        self.flight = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -618,6 +622,19 @@ class Session:
     def metrics_snapshot(self) -> dict:
         """A JSON-able snapshot of the session's registry."""
         return self.registry.snapshot()
+
+    def flight_events(self, **filters) -> list[dict]:
+        """Decoded serve flight-recorder events, oldest first.
+
+        Filters pass through to
+        :meth:`repro.obs.flight.FlightRecorder.events` (``request_id``,
+        ``types``, ``since``, ``until``, ``limit``).  Returns ``[]``
+        until a :class:`~repro.serve.core.VerifyService` has attached a
+        recorder to this session.
+        """
+        if self.flight is None:
+            return []
+        return self.flight.events(**filters)
 
 
 def _load_source(

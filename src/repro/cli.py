@@ -14,7 +14,8 @@ Subcommands mirror the paper's pipeline:
   cache (or ``-o artifact.pkl``) ahead of a verify run;
 * ``stats --ir ir.json`` — print the Section 4 characterization;
 * ``metrics run.json`` — render a run manifest as Prometheus exposition
-  text (``--format json`` for the raw manifest, ``--out`` to a file);
+  text (``--format json`` for the manifest with each histogram's
+  cumulative ``[le, count]`` view spelled out, ``--out`` to a file);
 * ``explain --ir ir.json --as-rel as-rel.txt 10.0.0.0/24 64500 64501`` —
   replay one route with tracing forced on and print which rule, filter
   term, and relaxation tier decided each hop;
@@ -26,7 +27,13 @@ Subcommands mirror the paper's pipeline:
   verification daemon: HTTP/JSON (``POST /verify``, ``POST /explain``,
   ``GET /healthz``, ``GET /metrics``) and optionally the WHOIS line
   protocol with a ``!v`` verify command, answering warm from one
-  loaded session (see ``docs/serving.md``).
+  loaded session (see ``docs/serving.md``); request-scoped telemetry
+  (correlation ids, stage timings, ``--access-log``, the flight
+  recorder) is on by default — ``--no-telemetry`` opts out;
+* ``debug <incident.jsonl | http://host:port>`` — render a flight
+  recording (an incident dump or a live daemon's ``/debug/flight``
+  ring) as a filtered timeline (``--id``, ``--type``, ``--since``,
+  ``--until``, ``--limit``, ``--json``).
 
 The pipeline subcommands accept ``--metrics <path>`` to record the run —
 phase wall/CPU timings, counters, histograms, input digests — into a JSON
@@ -53,11 +60,13 @@ from repro.bgp.table import parse_table_file, write_table_file
 from repro.bgp.topology import AsRelationships
 from repro.ir.json_io import dump_ir, load_ir
 from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
     PhaseProfiler,
     TraceConfig,
     build_manifest,
     cache_summary,
+    cumulative_view,
     load_manifest,
     read_trace_events,
     render_prometheus,
@@ -291,7 +300,20 @@ _CACHE_FIGURES = (
 def _cmd_metrics(args: argparse.Namespace) -> int:
     manifest = load_manifest(args.manifest)
     if args.format == "json":
-        rendered = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        document = dict(manifest)
+        metrics = document.get("metrics")
+        if isinstance(metrics, dict) and metrics.get("histograms"):
+            # Spell out each histogram's cumulative [le, count] pairs so
+            # external percentile math never has to know the internal
+            # bucket_counts alignment (the final +Inf bucket is implicit
+            # there — one more count than there are bounds).
+            metrics = dict(metrics)
+            metrics["histograms"] = [
+                {**record, "cumulative": cumulative_view(record)}
+                for record in metrics["histograms"]
+            ]
+            document["metrics"] = metrics
+        rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
     else:
         rendered = render_prometheus(manifest)
     if args.out:
@@ -300,6 +322,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"metrics ({args.format}) written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(rendered)
+    if args.format == "prom":
+        # The exposition content type a scraper should be served with.
+        print(f"content-type: {PROMETHEUS_CONTENT_TYPE}", file=sys.stderr)
     caches = cache_summary(manifest, cache_dir=args.cache_dir)
     # The run's own cache counters; disk figures are reported separately
     # below (disk_cache_dir is always set, so it must not gate this line).
@@ -564,6 +589,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         journal_path=args.journal,
         journal_poll=args.journal_poll,
+        telemetry=not args.no_telemetry,
+        access_log=args.access_log,
+        slow_ms=args.slow_ms,
+        flight_events=args.flight_events,
+        incident_dir=args.incident_dir,
     )
     daemon = ServeDaemon(session, serve_config)
 
@@ -572,7 +602,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"http on {serve_config.host}:{ready.http.port} "
                 "(POST /verify, POST /explain, POST /reload, "
-                "GET /healthz, GET /metrics)",
+                "GET /healthz, GET /metrics, GET /debug/flight)",
                 file=sys.stderr,
             )
         if ready.whois is not None:
@@ -592,6 +622,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         session.close()
+    return 0
+
+
+def _filter_flight_events(events: list, args: argparse.Namespace) -> list:
+    """Apply the debug subcommand's filters to decoded flight events."""
+    wanted = frozenset(args.type) if args.type else None
+    matched = []
+    for event in events:
+        if args.id is not None and event.get("id") != args.id:
+            continue
+        if wanted is not None and event.get("type") not in wanted:
+            continue
+        ts = event.get("ts", 0.0)
+        if args.since is not None and ts < args.since:
+            continue
+        if args.until is not None and ts > args.until:
+            continue
+        matched.append(event)
+    if args.limit is not None and args.limit > 0:
+        matched = matched[-args.limit :]
+    return matched
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    from repro.obs import read_flight_events
+
+    header: dict = {}
+    if args.source.startswith(("http://", "https://")):
+        from urllib.parse import urlencode
+        from urllib.request import urlopen
+
+        params = []
+        if args.id:
+            params.append(("id", args.id))
+        for event_type in args.type or ():
+            params.append(("type", event_type))
+        for name in ("since", "until", "limit"):
+            value = getattr(args, name)
+            if value is not None:
+                params.append((name, value))
+        url = args.source.rstrip("/") + "/debug/flight"
+        if params:
+            url += "?" + urlencode(params)
+        try:
+            with urlopen(url, timeout=10) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except OSError as exc:
+            print(f"cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        events = payload.get("events", [])
+        header = {"source": url, "stats": payload.get("stats")}
+    else:
+        try:
+            header, events = read_flight_events(args.source)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+            return 1
+        events = _filter_flight_events(events, args)
+    if args.json:
+        json.dump({"header": header, "events": events}, sys.stdout, sort_keys=True)
+        print()
+        return 0
+    reason = header.get("reason")
+    if reason:
+        print(f"# incident: {reason} (pid {header.get('pid')})", file=sys.stderr)
+    stats = header.get("stats")
+    if stats:
+        print(
+            f"# ring: {stats['events']}/{stats['capacity']} events, "
+            f"{stats['incidents']} incident dump(s)",
+            file=sys.stderr,
+        )
+    for event in events:
+        extras = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("seq", "ts", "type", "id")
+        )
+        rid = f" id={event['id']}" if event.get("id") else ""
+        print(
+            f"{event.get('ts', 0.0):.6f} {event.get('type', '?'):<20}"
+            f"{rid}{' ' + extras if extras else ''}"
+        )
+    print(f"{len(events)} event(s)", file=sys.stderr)
     return 0
 
 
@@ -879,7 +993,64 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="compiled-index cache directory (default: ~/.cache/rpslyzer)",
     )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="append one JSONL line per request here (id, stages, outcome)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="promote requests at/above this latency to <access-log>.slow "
+        "and the flight recorder (0 = off, the default)",
+    )
+    serve.add_argument(
+        "--flight-events",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="flight-recorder ring capacity (0 disables it; default 2048)",
+    )
+    serve.add_argument(
+        "--incident-dir",
+        metavar="DIR",
+        help="write flight incident dumps here (default: working directory)",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable request ids, stage histograms, and the access log",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    debug = subparsers.add_parser(
+        "debug",
+        help="inspect a flight recording (incident dump file or live daemon)",
+    )
+    debug.add_argument(
+        "source",
+        help="an incident .jsonl file, or http://host:port of a live daemon",
+    )
+    debug.add_argument("--id", help="keep events with this request id")
+    debug.add_argument(
+        "--type",
+        action="append",
+        metavar="EVENT",
+        help="keep these event types (repeatable)",
+    )
+    debug.add_argument(
+        "--since", type=float, metavar="EPOCH", help="drop events before this ts"
+    )
+    debug.add_argument(
+        "--until", type=float, metavar="EPOCH", help="drop events after this ts"
+    )
+    debug.add_argument(
+        "--limit", type=int, metavar="N", help="keep only the newest N matches"
+    )
+    debug.add_argument("--json", action="store_true", help="emit raw JSON events")
+    debug.set_defaults(func=_cmd_debug)
     return parser
 
 

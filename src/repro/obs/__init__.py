@@ -16,7 +16,10 @@ Three pieces, designed to cost nothing when unused:
   rule/filter/tier produced each verdict) as JSONL, with a null default
   tracer mirroring the null registry;
 * :mod:`repro.obs.profiler` — a background wall/CPU/RSS sampler tagging
-  each sample with the active span path (manifest resource timelines).
+  each sample with the active span path (manifest resource timelines);
+* :mod:`repro.obs.flight` — the serve daemon's always-on bounded ring of
+  lifecycle events (worker churn, breaker transitions, reloads) with
+  automatic incident dumps, plus the request correlation-id helpers.
 
 Typical use::
 
@@ -28,6 +31,18 @@ Typical use::
     manifest = build_manifest("verify", registry, inputs=["table.txt"])
 """
 
+from repro.obs.flight import (
+    FLIGHT_FORMAT,
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    clean_request_id,
+    get_flight_recorder,
+    new_request_id,
+    read_flight_events,
+    set_flight_recorder,
+    use_flight_recorder,
+)
 from repro.obs.manifest import (
     MANIFEST_FORMAT,
     build_manifest,
@@ -41,11 +56,13 @@ from repro.obs.manifest import (
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    cumulative_view,
     get_registry,
     parse_prometheus,
     render_prometheus_snapshot,
@@ -73,15 +90,20 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MANIFEST_FORMAT",
     "MetricsRegistry",
+    "NULL_FLIGHT",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NullFlightRecorder",
     "NullRegistry",
     "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
     "PhaseProfiler",
     "SpanAggregate",
     "SpanStore",
@@ -91,20 +113,27 @@ __all__ = [
     "build_manifest",
     "cache_summary",
     "canonical_events",
+    "clean_request_id",
+    "cumulative_view",
     "digest_file",
     "digest_inputs",
+    "get_flight_recorder",
     "get_registry",
     "get_tracer",
     "load_manifest",
+    "new_request_id",
     "parse_prometheus",
+    "read_flight_events",
     "read_trace_events",
     "render_prometheus",
     "render_prometheus_snapshot",
     "route_trace_id",
+    "set_flight_recorder",
     "set_registry",
     "set_tracer",
     "summarize_events",
     "timed_iter",
+    "use_flight_recorder",
     "use_registry",
     "use_tracer",
     "write_manifest",

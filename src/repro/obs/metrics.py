@@ -44,8 +44,15 @@ __all__ = [
     "use_registry",
     "render_prometheus_snapshot",
     "parse_prometheus",
+    "cumulative_view",
     "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+# The Prometheus text exposition format 0.0.4 content type — what a
+# scraper expects from ``GET /metrics`` and ``rpslyzer metrics --format
+# prom``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 LabelItems = tuple[tuple[str, str], ...]
 
@@ -324,6 +331,25 @@ def use_registry(registry: MetricsRegistry | None = None):
 
 
 # -- Prometheus text exposition ---------------------------------------------
+
+
+def cumulative_view(record: dict) -> list[list]:
+    """A histogram record's buckets as explicit cumulative ``[le, count]``
+    pairs, ending with ``["+Inf", count]``.
+
+    Snapshot records carry non-cumulative ``bucket_counts`` with an
+    *implicit* final overflow bucket (one more count than there are
+    bounds) — an alignment convention external consumers have to know.
+    This view spells the distribution out the way Prometheus exposes it,
+    so percentile math needs no knowledge of the internal layout.
+    """
+    pairs: list[list] = []
+    running = 0
+    for bound, bucket_count in zip(record["buckets"], record["bucket_counts"]):
+        running += bucket_count
+        pairs.append([bound, running])
+    pairs.append(["+Inf", record["count"]])
+    return pairs
 
 
 def _metric_name(name: str) -> str:

@@ -8,7 +8,8 @@ adopts the digest-cached :class:`~repro.core.compiled.CompiledIndex`, and
 answers verification queries warm over two front-ends:
 
 * an HTTP/JSON endpoint — ``POST /verify``, ``POST /explain``,
-  ``GET /healthz``, ``GET /metrics`` (Prometheus exposition text);
+  ``GET /healthz``, ``GET /metrics`` (Prometheus exposition text),
+  ``GET /debug/flight`` (the flight recorder's event ring);
 * the WHOIS-style line protocol the IRRs themselves speak, extended with
   a ``!v <prefix> <asn> <asn>...`` verification command.
 
@@ -24,6 +25,19 @@ respawn of hung/crashed workers under a restart budget, a circuit
 breaker around dispatch, CoDel-style load shedding on measured
 queue-wait latency, and graceful degradation to the in-process serial
 path when the pool collapses.  See ``docs/serving.md``.
+
+Every request is observable end to end (:mod:`repro.serve.telemetry`):
+a correlation id (honouring a client ``X-Request-Id``) is threaded from
+the front-end through the batcher and into the worker processes, echoed
+back on the response, and stamped on every log, metric, and flight event
+the request touches; per-stage latency (accept → queue → coalesce →
+dispatch → execute → respond) lands in ``serve_stage_seconds`` histograms
+and an optional JSONL access log with slow-query promotion.  The
+:class:`~repro.obs.flight.FlightRecorder` keeps an always-on bounded ring
+of lifecycle events (worker churn, breaker transitions, reloads, sheds)
+and dumps it to timestamped incident files on breaker-open, pool
+collapse, and SIGQUIT — inspect live via ``GET /debug/flight`` or
+offline via ``rpslyzer debug``.
 
 Programmatic use::
 

@@ -60,6 +60,7 @@ class MicroBatcher:
         batch_window: float = 0.002,
         concurrency: int = 1,
         on_batch: Callable[[int], None] | None = None,
+        on_collect: Callable[[object], None] | None = None,
         discard: Callable[[object], None] | None = None,
     ):
         if queue_size < 1:
@@ -75,6 +76,7 @@ class MicroBatcher:
         self._batch_window = batch_window
         self._concurrency = concurrency
         self._on_batch = on_batch
+        self._on_collect = on_collect
         self._discard = discard
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
@@ -118,7 +120,13 @@ class MicroBatcher:
     # -- dispatch ----------------------------------------------------------
 
     async def _collect(self, first) -> list:
-        """One batch: the first item plus whatever coalesced behind it."""
+        """One batch: the first item plus whatever coalesced behind it.
+
+        ``on_collect`` fires as each item leaves the queue — this is the
+        end of its queue-wait stage, before the coalescing window.
+        """
+        if self._on_collect is not None:
+            self._on_collect(first)
         batch = [first]
         if (
             self._batch_window > 0
@@ -140,6 +148,8 @@ class MicroBatcher:
                 # Preserve the sentinel for the outer loop.
                 self._queue.put_nowait(item)
                 break
+            if self._on_collect is not None:
+                self._on_collect(item)
             batch.append(item)
         return batch
 

@@ -30,10 +30,21 @@ handlers stay thin:
 
 Serving metrics (reported into the session's registry, exposed at
 ``GET /metrics``): ``serve_request_seconds{endpoint=}`` latency
-histograms, ``serve_queue_depth``, ``serve_queue_wait_seconds``,
-``serve_batch_size``, ``serve_deadline_miss_total``,
-``serve_shed_total``, ``serve_requests_total{endpoint=,outcome=}``, and
-the supervisor's worker/breaker gauges.
+histograms, ``serve_queue_depth``,
+``serve_queue_wait_seconds{outcome=}`` (recorded for executed *and*
+shed/refused/expired traffic, so backpressure tuning sees the latency
+of what it rejected), ``serve_stage_seconds{stage=}`` (the per-request
+accept → queue → coalesce → dispatch → execute → respond breakdown, see
+:mod:`repro.serve.telemetry`), ``serve_batch_size``,
+``serve_deadline_miss_total``, ``serve_shed_total``,
+``serve_requests_total{endpoint=,outcome=}``, and the supervisor's
+worker/breaker gauges.
+
+Every request additionally carries a correlation id (honoring a
+client-supplied ``X-Request-Id``) that is echoed in the response,
+stamped on each access-log line and flight-recorder event — including
+the events the pool workers record in their own processes — so one id
+greps the whole story of a request across the stack.
 """
 
 from __future__ import annotations
@@ -49,12 +60,19 @@ from repro.core.degradation import DegradationReport
 from repro.irr.journal import Journal
 from repro.core.report import RouteReport
 from repro.net.prefix import Prefix, PrefixError
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    clean_request_id,
+    new_request_id,
+)
 from repro.serve.batcher import MicroBatcher, QueueFull
 from repro.serve.supervisor import (
     LatencyShedder,
     SupervisorConfig,
     WorkerSupervisor,
 )
+from repro.serve.telemetry import STAGES, AccessLog, RequestTelemetry
 
 __all__ = [
     "BadRequestError",
@@ -124,6 +142,15 @@ class ServeConfig:
     daemon polls the file every ``journal_poll`` seconds and hot-swaps
     any not-yet-absorbed entries into the live index (see
     :meth:`VerifyService.reload`).
+
+    Telemetry: ``telemetry`` (on by default) enables request correlation
+    ids, the per-stage latency histograms, and the access log;
+    ``access_log`` is the JSONL access-log path (None disables the
+    file); ``slow_ms`` > 0 promotes requests at or above that many
+    milliseconds to the slow-query log (``<access_log>.slow``) and the
+    flight recorder; ``flight_events`` sizes the always-on flight ring
+    (0 disables it); ``incident_dir`` is where incident dumps land
+    (default: the working directory).
     """
 
     host: str = "127.0.0.1"
@@ -147,20 +174,32 @@ class ServeConfig:
     start_method: str | None = None
     journal_path: str | None = None
     journal_poll: float = 2.0
+    telemetry: bool = True
+    access_log: str | None = None
+    slow_ms: float = 0.0
+    flight_events: int = 2048
+    incident_dir: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class Query:
-    """One unit of work: verify or explain a ⟨prefix, AS-path⟩."""
+    """One unit of work: verify or explain a ⟨prefix, AS-path⟩.
+
+    ``request_id`` is the correlation id assigned by the front-end; it
+    rides the query through the batcher and the worker pipe protocol so
+    events recorded inside worker processes carry the same id the client
+    saw in its response.
+    """
 
     kind: str  # "verify" or "explain"
     prefix: str
     as_path: tuple[int, ...]
     collector: str = "serve"
     deadline_s: float | None = None
+    request_id: str = ""
 
     @staticmethod
-    def from_payload(payload: dict, kind: str) -> "Query":
+    def from_payload(payload: dict, kind: str, request_id: str = "") -> "Query":
         """Validate a JSON request body into a query.
 
         Raises :class:`BadRequestError` with a human-readable message on
@@ -203,6 +242,7 @@ class Query:
             as_path=as_path,
             collector=collector[:64],
             deadline_s=deadline,
+            request_id=request_id,
         )
 
 
@@ -242,6 +282,7 @@ class _Pending:
     future: asyncio.Future
     deadline: float  # time.monotonic() value
     submitted: float = field(default_factory=time.monotonic)
+    telemetry: RequestTelemetry | None = None
 
 
 class VerifyService:
@@ -283,9 +324,48 @@ class VerifyService:
         self._batch_size = registry.histogram(
             "serve_batch_size", buckets=SERVE_BATCH_BUCKETS
         )
-        self._queue_wait = registry.histogram("serve_queue_wait_seconds")
+        # Queue wait is labeled by what happened to the request: executed
+        # and expired observed at batch admission, shed/refused/deadline
+        # at the refusal/expiry site — so backpressure tuning sees the
+        # latency of rejected traffic, not only the survivors'.
+        self._queue_wait = {
+            outcome: registry.histogram(
+                "serve_queue_wait_seconds", outcome=outcome
+            )
+            for outcome in ("executed", "expired", "shed", "refused", "deadline")
+        }
         self._deadline_miss = registry.counter("serve_deadline_miss_total")
         self._shed_total = registry.counter("serve_shed_total")
+        # -- request-scoped telemetry (ids, stage breakdown, flight ring) --
+        if session.flight is not None:
+            self.flight = session.flight
+        elif self.config.flight_events > 0:
+            self.flight = FlightRecorder(
+                capacity=self.config.flight_events,
+                incident_dir=self.config.incident_dir,
+            )
+            # Session-level access: session.flight_events() reads the
+            # same ring the daemon records into.
+            session.flight = self.flight
+        else:
+            self.flight = NULL_FLIGHT
+        self._stage_seconds = {
+            stage: registry.histogram("serve_stage_seconds", stage=stage)
+            for stage in STAGES
+        }
+        # The finish path observes all six stages for every request, so
+        # the bound observe methods are pre-resolved in STAGES order
+        # (matching RequestTelemetry.stage_values) and guarded by their
+        # own lock: the shared _metrics_lock is contended by the batch
+        # executor threads, and making each response wait on it there
+        # is measurable.
+        self._stage_observes = tuple(
+            self._stage_seconds[stage].observe for stage in STAGES
+        )
+        self._stage_lock = threading.Lock()
+        self._access_log = AccessLog(
+            self.config.access_log, slow_ms=self.config.slow_ms
+        )
         shed_target = self.config.shed_target
         if shed_target is None:
             shed_target = 0.1 if self.config.workers > 0 else 0.0
@@ -306,6 +386,7 @@ class VerifyService:
             batch_window=self.config.batch_window,
             concurrency=max(1, self.config.workers),
             on_batch=self._observe_batch,
+            on_collect=self._mark_collected,
             discard=self._discard_pending,
         )
 
@@ -333,21 +414,31 @@ class VerifyService:
                 registry=self._registry,
                 metrics_lock=self._metrics_lock,
                 degradation=self.degradation,
+                flight=self.flight,
             )
             self.supervisor.start()
         await self._batcher.start()
+        self.flight.record(
+            "service-start",
+            workers=self.config.workers,
+            generation=self.session.generation,
+        )
         return self
 
     def begin_drain(self) -> None:
         """Refuse new submissions; queued work keeps executing."""
+        if not self.draining:
+            self.flight.record("drain-begin", queued=self._batcher.qsize())
         self.draining = True
 
     async def drain(self, timeout: float | None = None) -> bool:
         """Wait (bounded) for queued and in-flight work to finish."""
         self.begin_drain()
-        return await self._batcher.drain(
+        drained = await self._batcher.drain(
             self.config.drain_timeout if timeout is None else timeout
         )
+        self.flight.record("drain-done", clean=drained)
+        return drained
 
     async def stop(self) -> None:
         """Stop the batcher and the pool; still-queued waiters get BusyError."""
@@ -355,11 +446,14 @@ class VerifyService:
         await self._batcher.stop()
         if self.supervisor is not None:
             self.supervisor.stop()
+        self.flight.record("service-stop")
+        self._access_log.close()
 
     def _discard_pending(self, pending: "_Pending") -> None:
         """Fail a queued-but-never-executed waiter at shutdown."""
         if not pending.future.done():
             pending.future.set_exception(BusyError("shutting down"))
+        self._finish_request(pending.telemetry, "refused")
 
     # -- submission --------------------------------------------------------
 
@@ -373,28 +467,120 @@ class VerifyService:
         """Whether the worker pool has degraded to serial execution."""
         return self.supervisor is not None and self.supervisor.degraded
 
-    async def submit(self, query: Query) -> dict:
+    # -- request telemetry ---------------------------------------------------
+
+    def new_telemetry(
+        self, frontend: str, raw_id: str | None = None
+    ) -> RequestTelemetry | None:
+        """Open request-scoped telemetry for one front-end request.
+
+        Honors a client-supplied id when it is a clean header token,
+        generates a fresh one otherwise.  Returns None when telemetry is
+        disabled — front-ends skip the id echo entirely in that case.
+        """
+        if not self.config.telemetry:
+            return None
+        request_id = clean_request_id(raw_id) or new_request_id()
+        return RequestTelemetry(request_id, frontend)
+
+    def finish_telemetry(
+        self,
+        telemetry: RequestTelemetry | None,
+        outcome: str,
+        verdicts: int = 0,
+    ) -> None:
+        """Close a request the front-end never submitted (parse errors)."""
+        self._finish_request(telemetry, outcome, verdicts)
+
+    def _finish_request(
+        self,
+        telemetry: RequestTelemetry | None,
+        outcome: str,
+        verdicts: int = 0,
+    ) -> None:
+        """One request is over: stage histograms, access log, flight event.
+
+        Idempotent — the first closer (usually ``submit``) wins, so a
+        front-end can finish defensively in its error paths without
+        double-counting.
+        """
+        if telemetry is None or not telemetry.finish(outcome, verdicts):
+            return
+        values = telemetry.stage_values()
+        with self._stage_lock:
+            for observe, seconds in zip(self._stage_observes, values):
+                observe(seconds)
+        total_ms = sum(values) * 1000.0
+        slow = self.config.slow_ms > 0 and total_ms >= self.config.slow_ms
+        # One serialization serves both sinks: the access-log line IS the
+        # flight ring's "request" event, spliced in pre-serialized — and
+        # the stage breakdown just observed is reused, not recomputed.
+        line = telemetry.line(values)
+        if self._access_log.active:
+            self._access_log.write(line, slow=slow)
+        self.flight.splice(line)
+        if slow:
+            self.flight.record(
+                "slow-request",
+                request_id=telemetry.request_id,
+                outcome=outcome,
+                total_ms=round(total_ms, 3),
+            )
+
+    def _observe_queue_wait(self, outcome: str, wait_s: float) -> None:
+        with self._metrics_lock:
+            self._queue_wait[outcome].observe(wait_s)
+
+    def _mark_collected(self, pending: "_Pending") -> None:
+        """Batcher hook: the dispatcher pulled this item off the queue."""
+        if pending.telemetry is not None:
+            pending.telemetry.mark_collected()
+
+    async def submit(
+        self, query: Query, telemetry: RequestTelemetry | None = None
+    ) -> dict:
         """Run one query through the batched core; returns the JSON payload.
 
         Raises :class:`BadRequestError` on an invalid deadline,
         :class:`BusyError` on backpressure (queue full, shedding, or
         draining) and :class:`DeadlineExpired` when the query's wall
-        deadline passes first.
+        deadline passes first.  ``telemetry`` is the front-end's
+        request-scoped record; direct callers may omit it (one is opened
+        here, keyed by the query's id, so embedded use is attributable
+        too).
         """
+        if telemetry is None and self.config.telemetry:
+            telemetry = RequestTelemetry(
+                query.request_id or new_request_id(), "direct"
+            )
+        if telemetry is not None:
+            telemetry.endpoint = query.kind
         if self.draining:
             with self._metrics_lock:
                 self._outcome(query.kind, "busy").inc()
+            if telemetry is not None:
+                self._observe_queue_wait("refused", telemetry.queue_wait)
+                self._finish_request(telemetry, "refused")
             raise BusyError("shutting down")
         if query.deadline_s is not None and query.deadline_s <= 0:
             # Zero/negative deadlines used to be clamped by min() into an
             # instant 504; they are a malformed request, not a timeout.
             with self._metrics_lock:
                 self._outcome(query.kind, "bad-request").inc()
+            self._finish_request(telemetry, "bad-request")
             raise BadRequestError("'deadline_s' must be positive")
         if self._shedder is not None and self._shedder.should_shed():
             with self._metrics_lock:
                 self._shed_total.inc()
                 self._outcome(query.kind, "busy").inc()
+            if telemetry is not None:
+                self._observe_queue_wait("shed", telemetry.queue_wait)
+                self.flight.record(
+                    "request-shed",
+                    request_id=telemetry.request_id,
+                    endpoint=query.kind,
+                )
+                self._finish_request(telemetry, "shed")
             raise BusyError("shedding load: queue wait above target")
         timeout = min(
             query.deadline_s
@@ -403,14 +589,28 @@ class VerifyService:
             self.config.max_deadline,
         )
         loop = asyncio.get_running_loop()
+        if telemetry is not None:
+            telemetry.mark_submitted()
         pending = _Pending(
-            query, loop.create_future(), time.monotonic() + timeout
+            query,
+            loop.create_future(),
+            time.monotonic() + timeout,
+            telemetry=telemetry,
         )
         try:
             self._batcher.submit_nowait(pending)
         except QueueFull:
             with self._metrics_lock:
                 self._outcome(query.kind, "busy").inc()
+            if telemetry is not None:
+                self._observe_queue_wait("refused", telemetry.queue_wait)
+                self.flight.record(
+                    "request-refused",
+                    request_id=telemetry.request_id,
+                    endpoint=query.kind,
+                    why="queue-full",
+                )
+                self._finish_request(telemetry, "busy")
             raise BusyError(
                 f"queue full ({self.config.queue_size} queries pending)"
             ) from None
@@ -424,22 +624,49 @@ class VerifyService:
             with self._metrics_lock:
                 self._deadline_miss.inc()
                 self._outcome(query.kind, "deadline").inc()
+            if telemetry is not None:
+                self._observe_queue_wait("deadline", telemetry.queue_wait)
+                self.flight.record(
+                    "request-deadline",
+                    request_id=telemetry.request_id,
+                    endpoint=query.kind,
+                    timeout_s=timeout,
+                )
+                self._finish_request(telemetry, "deadline")
             raise DeadlineExpired(
                 f"no verdict within the {timeout:g}s deadline"
             ) from None
         except ServeError as exc:
             with self._metrics_lock:
                 self._outcome(query.kind, exc.code).inc()
+            if telemetry is not None:
+                self.flight.record(
+                    "request-error",
+                    request_id=telemetry.request_id,
+                    endpoint=query.kind,
+                    code=exc.code,
+                )
+                self._finish_request(telemetry, exc.code)
             raise
-        except Exception:
+        except Exception as exc:
             with self._metrics_lock:
                 self._outcome(query.kind, "error").inc()
+            if telemetry is not None:
+                self.flight.record(
+                    "request-error",
+                    request_id=telemetry.request_id,
+                    endpoint=query.kind,
+                    code="error",
+                    detail=str(exc)[:200],
+                )
+                self._finish_request(telemetry, "error")
             raise
         with self._metrics_lock:
             self._registry.histogram(
                 "serve_request_seconds", endpoint=query.kind
             ).observe(time.monotonic() - pending.submitted)
             self._outcome(query.kind, "ok").inc()
+        self._finish_request(telemetry, "ok", verdicts=len(result.get("hops", ())))
         return result
 
     # -- execution (batcher executor threads) --------------------------------
@@ -461,9 +688,10 @@ class VerifyService:
             self.fault_hook([pending.query for pending in batch])
         outcomes, live = self._admit_batch(batch)
         if live:
-            results = self._execute_queries(
+            results, timings = self._execute_queries(
                 [batch[position].query for position in live]
             )
+            self._apply_batch_timings(batch, live, timings)
             for position, result in zip(live, results):
                 outcomes[position] = result
         return outcomes
@@ -476,15 +704,45 @@ class VerifyService:
         now = time.monotonic()
         for position, pending in enumerate(batch):
             wait = now - pending.submitted
+            expired = pending.deadline <= now or pending.future.done()
             with self._metrics_lock:
-                self._queue_wait.observe(wait)
+                self._queue_wait["expired" if expired else "executed"].observe(
+                    wait
+                )
             if self._shedder is not None:
                 self._shedder.observe(wait)
-            if pending.deadline <= now or pending.future.done():
+            if expired:
                 outcomes[position] = DeadlineExpired("expired while queued")
+                if pending.telemetry is not None:
+                    self.flight.record(
+                        "request-expired",
+                        request_id=pending.telemetry.request_id,
+                        endpoint=pending.query.kind,
+                        queued_s=round(wait, 6),
+                    )
             else:
+                if pending.telemetry is not None:
+                    pending.telemetry.mark_admitted()
                 live.append(position)
         return outcomes, live
+
+    def _apply_batch_timings(
+        self,
+        batch: Sequence[_Pending],
+        live: Sequence[int],
+        timings: dict | None,
+    ) -> None:
+        """Attribute batch-level dispatch/execute durations to each live
+        request — they coalesced precisely so they would share those costs."""
+        if not timings:
+            return
+        dispatch_s = timings.get("dispatch_s")
+        execute_s = timings.get("execute_s")
+        for position in live:
+            telemetry = batch[position].telemetry
+            if telemetry is not None:
+                telemetry.dispatch_s = dispatch_s
+                telemetry.execute_s = execute_s
 
     async def _run_batch_async(self, batch: Sequence[_Pending]) -> list:
         """The pool fast path: dispatch on the event loop, no thread hop.
@@ -501,42 +759,69 @@ class VerifyService:
             return outcomes
         queries = [batch[position].query for position in live]
         items = [
-            (query.kind, query.prefix, query.as_path, query.collector)
+            (
+                query.kind,
+                query.prefix,
+                query.as_path,
+                query.collector,
+                query.request_id,
+            )
             for query in queries
         ]
         dispatched = await supervisor.dispatch_async(items)
         if dispatched is not None:
+            batch_outcomes, timings = dispatched
+            self._apply_batch_timings(batch, live, timings)
             results = [
                 payload if tag == "ok" else BadRequestError(payload)
-                for tag, payload in dispatched
+                for tag, payload in batch_outcomes
             ]
         else:
             if supervisor.degraded:
                 self._note_degraded()
+            serial_start = time.monotonic()
             results = await self._batcher.run_blocking(
                 self._execute_serial, queries
+            )
+            self._apply_batch_timings(
+                batch, live, {"execute_s": time.monotonic() - serial_start}
             )
         for position, result in zip(live, results):
             outcomes[position] = result
         return outcomes
 
-    def _execute_queries(self, queries: Sequence[Query]) -> list:
-        """Run queries through the pool, falling back serially when it can't."""
+    def _execute_queries(
+        self, queries: Sequence[Query]
+    ) -> tuple[list, dict | None]:
+        """Run queries through the pool, falling back serially when it can't.
+
+        Returns ``(results, timings)`` where ``timings`` is the batch's
+        ``{"dispatch_s", "execute_s"}`` breakdown (None when the pool
+        path never engaged)."""
         if self.supervisor is not None:
             if not self.supervisor.degraded:
                 items = [
-                    (query.kind, query.prefix, query.as_path, query.collector)
+                    (
+                        query.kind,
+                        query.prefix,
+                        query.as_path,
+                        query.collector,
+                        query.request_id,
+                    )
                     for query in queries
                 ]
                 dispatched = self.supervisor.dispatch(items)
                 if dispatched is not None:
+                    batch_outcomes, timings = dispatched
                     return [
                         payload if tag == "ok" else BadRequestError(payload)
-                        for tag, payload in dispatched
-                    ]
+                        for tag, payload in batch_outcomes
+                    ], timings
             if self.supervisor.degraded:
                 self._note_degraded()
-        return self._execute_serial(queries)
+        serial_start = time.monotonic()
+        results = self._execute_serial(queries)
+        return results, {"execute_s": time.monotonic() - serial_start}
 
     def _note_degraded(self) -> None:
         # The supervisor records the budget-exhaustion event itself (the
@@ -610,9 +895,18 @@ class VerifyService:
         if self.draining:
             raise BusyError("shutting down")
         async with self._reload_lock:
-            fresh, report = await self._batcher.run_blocking(
-                self._apply_journal_blocking, journal
+            self.flight.record(
+                "reload-begin",
+                entries=len(journal.entries),
+                generation=self.session.generation,
             )
+            try:
+                fresh, report = await self._batcher.run_blocking(
+                    self._apply_journal_blocking, journal
+                )
+            except Exception as exc:
+                self.flight.record("reload-abort", error=str(exc)[:200])
+                raise
             summary = {
                 "applied": len(fresh.entries),
                 "generation": self.session.generation,
@@ -623,6 +917,11 @@ class VerifyService:
             if report:
                 summary["degradation"] = report.as_dict()
             if report is None:
+                self.flight.record(
+                    "reload-commit",
+                    applied=0,
+                    generation=self.session.generation,
+                )
                 return summary
             if self.supervisor is not None:
                 summary["pool"] = await self._batcher.run_blocking(
@@ -631,6 +930,13 @@ class VerifyService:
                     self.session.index,
                     fresh,
                 )
+            self.flight.record(
+                "reload-commit",
+                applied=len(fresh.entries),
+                generation=self.session.generation,
+                serials=self.session.serials,
+                degraded=bool(report),
+            )
             return summary
 
     # -- health ------------------------------------------------------------
@@ -659,6 +965,8 @@ class VerifyService:
             "journal_serials": self.session.serials,
             "last_delta_apply_s": self.session.last_delta_seconds,
         }
+        if self.flight.enabled:
+            payload["flight"] = self.flight.stats()
         if self.supervisor is not None:
             payload["supervisor"] = self.supervisor.state()
         return payload

@@ -18,7 +18,9 @@ front-ends bind, so the worker pool's forked processes never inherit
 the listening sockets.
 
 SIGTERM and SIGINT both trigger that sequence, so ``kill <pid>`` on the
-daemon is a clean drain, not a mid-verdict abort.
+daemon is a clean drain, not a mid-verdict abort.  SIGQUIT instead dumps
+the flight recorder to a timestamped incident file and keeps serving —
+the classic "what is this daemon doing right now" probe.
 
 For tests and embedding there is :meth:`ServeDaemon.start_in_thread`,
 which runs the daemon on a private event loop in a daemon thread and
@@ -158,10 +160,28 @@ class ServeDaemon:
                 # Non-main thread or platform without loop signal support
                 # (start_in_thread, Windows): shutdown comes via the handle.
                 return
+        quit_signal = getattr(signal, "SIGQUIT", None)
+        if quit_signal is not None:
+            try:
+                self._loop.add_signal_handler(quit_signal, self._on_sigquit)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
 
     def _on_signal(self, signum: int) -> None:
         log.info("received %s: draining", signal.Signals(signum).name)
         self._shutdown.set()
+
+    def _on_sigquit(self) -> None:
+        """SIGQUIT: dump the flight ring to an incident file, keep serving."""
+        if self.service is None:
+            return
+        path = self.service.flight.dump_incident(
+            "sigquit", trigger={"type": "signal", "signal": "SIGQUIT"}
+        )
+        if path is not None:
+            log.info("SIGQUIT: flight recorder dumped to %s", path)
+        else:
+            log.info("SIGQUIT: flight dump skipped (disabled or rate-limited)")
 
     async def _graceful_stop(self) -> None:
         # 0. Stop the journal follower before the service goes away.

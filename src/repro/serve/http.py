@@ -11,12 +11,21 @@ Endpoints (all responses are JSON unless noted):
   generation/serials, and (with a worker pool) supervisor state; 503
   while draining *or* degraded to serial execution.
 * ``GET /metrics``  — Prometheus exposition text for the session's
-  registry (``text/plain``).
+  registry (content type ``text/plain; version=0.0.4``).
+* ``GET /debug/flight`` — the live flight-recorder ring (see
+  :mod:`repro.obs.flight`); filter with ``?id=``, ``&type=`` (repeat
+  for several), ``&since=``/``&until=`` (epoch seconds), ``&limit=``.
 * ``POST /reload``  — body ``{"journal": <journal jsonable>}`` or
   ``{"journal_path": "<file>"}`` → hot-swap the deltas into the live
   index (already-absorbed serials are skipped, so retries are
   idempotent); responds with the applied count, the new generation, and
   the per-source serials.
+
+Every request is assigned a correlation id — a client-sent
+``X-Request-Id`` header is honored when it is a clean token — and the id
+is echoed as ``X-Request-Id`` on *every* response, success and error
+alike, so a client can grep its id straight into the access log and
+flight ring.
 
 Error mapping: malformed request → 400, backpressure → 429 (with
 ``Retry-After``), deadline expiry → 504, unknown path → 404, anything
@@ -36,8 +45,9 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+from urllib.parse import parse_qs
 
-from repro.obs import render_prometheus_snapshot
+from repro.obs import PROMETHEUS_CONTENT_TYPE, render_prometheus_snapshot
 from repro.serve.core import (
     BadRequestError,
     BusyError,
@@ -163,23 +173,52 @@ class HttpFrontend:
         keep_alive = version != "HTTP/1.0" and (
             headers.get("connection", "").lower() != "close"
         )
+        target_path, _, query_string = target.partition("?")
+        telemetry = self.service.new_telemetry(
+            "http", headers.get("x-request-id")
+        )
+        id_headers: tuple[tuple[str, str], ...] = ()
+        if telemetry is not None:
+            telemetry.endpoint = target_path.lstrip("/") or "/"
+            id_headers = (("X-Request-Id", telemetry.request_id),)
         try:
             body = await self._read_body(reader, headers)
             status, payload, content_type = await self._route(
-                method, target.split("?", 1)[0], body
+                method, target_path, query_string, body, telemetry
             )
         except _HttpError as exc:
-            await self._send_error(writer, exc.status, exc.detail)
+            self.service.finish_telemetry(
+                telemetry, "bad-request" if exc.status < 500 else "error"
+            )
+            await self._send_error(
+                writer, exc.status, exc.detail, extra_headers=id_headers
+            )
             return keep_alive
         except ServeError as exc:
             status = _ERROR_STATUS.get(exc.code, 500)
-            await self._send_error(writer, status, str(exc), code=exc.code)
+            self.service.finish_telemetry(telemetry, exc.code)
+            await self._send_error(
+                writer, status, str(exc), code=exc.code, extra_headers=id_headers
+            )
             return keep_alive
         except Exception as exc:  # noqa: BLE001 - request isolation
             log.exception("unhandled error serving %s %s", method, target)
-            await self._send_error(writer, 500, str(exc))
+            self.service.finish_telemetry(telemetry, "error")
+            await self._send_error(
+                writer, 500, str(exc), extra_headers=id_headers
+            )
             return keep_alive
-        await self._send(writer, status, payload, content_type, keep_alive)
+        # For submitted queries the service already closed the record;
+        # the GET endpoints (healthz/metrics/debug) close here.
+        self.service.finish_telemetry(telemetry, "ok")
+        await self._send(
+            writer,
+            status,
+            payload,
+            content_type,
+            keep_alive,
+            extra_headers=id_headers,
+        )
         return keep_alive
 
     async def _read_body(self, reader: asyncio.StreamReader, headers: dict) -> bytes:
@@ -196,7 +235,7 @@ class HttpFrontend:
     # -- dispatch ----------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, query_string: str, body: bytes, telemetry
     ) -> tuple[int, bytes, str]:
         if path in ("/verify", "/explain"):
             if method != "POST":
@@ -205,8 +244,12 @@ class HttpFrontend:
                 payload = json.loads(body.decode("utf-8") or "null")
             except (ValueError, UnicodeDecodeError) as exc:
                 raise BadRequestError(f"bad JSON body: {exc}") from exc
-            query = Query.from_payload(payload, path.lstrip("/"))
-            result = await self.service.submit(query)
+            query = Query.from_payload(
+                payload,
+                path.lstrip("/"),
+                request_id=telemetry.request_id if telemetry is not None else "",
+            )
+            result = await self.service.submit(query, telemetry)
             return 200, _json_bytes(result), "application/json"
         if path == "/reload":
             if method != "POST":
@@ -228,8 +271,48 @@ class HttpFrontend:
             if method != "GET":
                 raise _HttpError(405, "/metrics expects GET")
             text = render_prometheus_snapshot(self.service.session.metrics_snapshot())
-            return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+            return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+        if path == "/debug/flight":
+            if method != "GET":
+                raise _HttpError(405, "/debug/flight expects GET")
+            return (
+                200,
+                _json_bytes(self._flight_payload(query_string)),
+                "application/json",
+            )
         raise _HttpError(404, f"no such endpoint: {path}")
+
+    def _flight_payload(self, query_string: str) -> dict:
+        """The ``/debug/flight`` body: recorder stats plus filtered events."""
+        params = parse_qs(query_string, keep_blank_values=False)
+
+        def scalar(name: str) -> str | None:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        def number(name: str) -> float | None:
+            raw = scalar(name)
+            if raw is None:
+                return None
+            try:
+                return float(raw)
+            except ValueError:
+                raise _HttpError(400, f"'{name}' must be a number") from None
+
+        limit = number("limit")
+        recorder = self.service.flight
+        events = recorder.events(
+            request_id=scalar("id"),
+            types=params.get("type"),
+            since=number("since"),
+            until=number("until"),
+            limit=int(limit) if limit is not None else None,
+        )
+        return {
+            "enabled": recorder.enabled,
+            "stats": recorder.stats(),
+            "events": events,
+        }
 
     # -- responses ---------------------------------------------------------
 
@@ -260,11 +343,14 @@ class HttpFrontend:
         detail: str,
         *,
         code: str | None = None,
+        extra_headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
         body = _json_bytes(
             {"error": code or _STATUS_TEXT.get(status, "error").lower(), "detail": detail}
         )
-        extra = (("Retry-After", "1"),) if status == 429 else ()
+        extra = tuple(extra_headers)
+        if status == 429:
+            extra += (("Retry-After", "1"),)
         await self._send(
             writer, status, body, "application/json", True, extra_headers=extra
         )

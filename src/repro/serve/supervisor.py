@@ -109,6 +109,9 @@ class CircuitBreaker:
     ``cooldown`` seconds one probe is allowed through (half-open) — its
     success closes the breaker, its failure re-opens and re-arms the
     cooldown.  ``clock`` is injectable for deterministic tests.
+    ``on_transition(old, new)`` is invoked outside the lock on every
+    state change — the supervisor uses it to land breaker transitions in
+    the flight recorder.
     """
 
     CLOSED = "closed"
@@ -120,15 +123,24 @@ class CircuitBreaker:
         failures: int = 3,
         cooldown: float = 1.0,
         clock=time.monotonic,
+        on_transition=None,
     ):
         self.failures = max(1, failures)
         self.cooldown = cooldown
         self._clock = clock
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._state = self.CLOSED
         self._consecutive = 0
         self._opened_at = 0.0
         self._probing = False
+
+    def _notify(self, old: str, new: str) -> None:
+        if old != new and self.on_transition is not None:
+            try:
+                self.on_transition(old, new)
+            except Exception:  # noqa: BLE001 - observers never break dispatch
+                log.exception("breaker on_transition callback failed")
 
     @property
     def state(self) -> str:
@@ -144,38 +156,48 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Whether a dispatch may proceed right now."""
+        old = new = None
         with self._lock:
             if self._state == self.CLOSED:
                 return True
             if self._state == self.OPEN:
                 if self._clock() - self._opened_at >= self.cooldown:
+                    old, new = self._state, self.HALF_OPEN
                     self._state = self.HALF_OPEN
                     self._probing = True
-                    return True
+                else:
+                    return False
+            elif self._probing:
+                # Half-open: exactly one probe in flight at a time.
                 return False
-            # Half-open: exactly one probe in flight at a time.
-            if self._probing:
-                return False
-            self._probing = True
-            return True
+            else:
+                self._probing = True
+                return True
+        self._notify(old, new)
+        return True
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._state
             self._consecutive = 0
             self._probing = False
             self._state = self.CLOSED
+        self._notify(old, self.CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
+            old = self._state
             self._probing = False
             if self._state == self.HALF_OPEN:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
-                return
-            self._consecutive += 1
-            if self._consecutive >= self.failures:
-                self._state = self.OPEN
-                self._opened_at = self._clock()
+            else:
+                self._consecutive += 1
+                if self._consecutive >= self.failures:
+                    self._state = self.OPEN
+                    self._opened_at = self._clock()
+            new = self._state
+        self._notify(old, new)
 
 
 class LatencyShedder:
@@ -246,12 +268,20 @@ def _worker_main(
     """The worker process body: one warm Session answering batch frames.
 
     Frames in: ``("batch", batch_id, items)`` where each item is
-    ``(kind, prefix, as_path, collector)``, ``("ping", seq)``,
-    ``("reload", expected_generation, journal)``, and ``("stop",)``.
-    Frames out: ``("ready", pid)`` once warm, ``("result", batch_id,
-    outcomes)`` with per-item ``("ok", payload)`` or ``("err", message)``,
-    ``("pong", seq)``, and ``("reloaded", generation, degraded)`` /
-    ``("reload-failed", message)``.
+    ``(kind, prefix, as_path, collector, request_id)``, ``("ping",
+    seq)``, ``("reload", expected_generation, journal)``, and
+    ``("stop",)``.  Frames out: ``("ready", pid)`` once warm,
+    ``("result", batch_id, outcomes, flight_lines)`` with per-item
+    ``("ok", payload)`` or ``("err", message)``, ``("pong", seq)``, and
+    ``("reloaded", generation, degraded)`` / ``("reload-failed",
+    message)``.
+
+    The worker keeps its own small :class:`~repro.obs.flight.FlightRecorder`
+    and stamps a ``worker-execute`` event (carrying the request's
+    correlation id, this worker's id/pid, and the per-query duration)
+    for every item it runs; the pre-serialized event lines ride back in
+    the result frame and the parent splices them into the daemon's ring,
+    so one request id greps across process boundaries.
 
     A reload replays the journal onto the worker's own session
     (:meth:`repro.api.Session.apply_deltas` — the same deterministic
@@ -263,13 +293,19 @@ def _worker_main(
     # child, and repro.serve.core imports this module at its top level.
     from repro.api import Session
     from repro.core.parallel import reset_worker_observability
+    from repro.obs.flight import FlightRecorder
     from repro.serve.core import report_as_dict
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     reset_worker_observability(False)
     session = Session(ir, relationships, options=options, index=index)
     session.warm()
-    conn.send(("ready", os.getpid()))
+    # A small local ring: drained into every result frame, so its
+    # capacity only needs to cover one batch's worth of events.
+    recorder = FlightRecorder(capacity=256)
+    pid = os.getpid()
+    recorder.record("worker-online", worker=worker_id, pid=pid)
+    conn.send(("ready", pid))
     while True:
         try:
             message = conn.recv()
@@ -293,11 +329,18 @@ def _worker_main(
             except Exception as exc:  # noqa: BLE001 - supervisor retires us
                 conn.send(("reload-failed", str(exc)))
                 continue
+            recorder.record(
+                "worker-reloaded",
+                worker=worker_id,
+                pid=pid,
+                generation=session.generation,
+            )
             conn.send(("reloaded", session.generation, bool(report)))
             continue
         batch_id, items = message[1], message[2]
         outcomes = []
-        for query_kind, prefix, as_path, collector in items:
+        for query_kind, prefix, as_path, collector, request_id in items:
+            item_start = time.monotonic()
             try:
                 if query_kind == "explain":
                     report, events = session.explain(
@@ -311,10 +354,21 @@ def _worker_main(
                     )
                     payload = report_as_dict(report)
                 outcomes.append(("ok", payload))
+                item_outcome = "ok"
             except Exception as exc:  # noqa: BLE001 - per-query isolation
                 outcomes.append(("err", str(exc)))
+                item_outcome = "err"
+            recorder.record(
+                "worker-execute",
+                request_id=request_id or None,
+                worker=worker_id,
+                pid=pid,
+                endpoint=query_kind,
+                outcome=item_outcome,
+                ms=round((time.monotonic() - item_start) * 1000.0, 3),
+            )
         try:
-            conn.send(("result", batch_id, outcomes))
+            conn.send(("result", batch_id, outcomes, recorder.drain_lines()))
         except (BrokenPipeError, OSError):
             return
 
@@ -350,6 +404,7 @@ class WorkerSupervisor:
         registry=None,
         metrics_lock: threading.Lock | None = None,
         degradation: DegradationReport | None = None,
+        flight=None,
     ):
         self.config = config or SupervisorConfig()
         if self.config.workers < 1:
@@ -367,9 +422,15 @@ class WorkerSupervisor:
         self.degradation = (
             degradation if degradation is not None else DegradationReport()
         )
+        if flight is None:
+            from repro.obs.flight import NULL_FLIGHT
+
+            flight = NULL_FLIGHT
+        self.flight = flight
         self.breaker = CircuitBreaker(
             failures=self.config.breaker_failures,
             cooldown=self.config.breaker_cooldown,
+            on_transition=self._on_breaker_transition,
         )
         self.degraded = False
         self._stopping = False
@@ -393,6 +454,20 @@ class WorkerSupervisor:
             self._gauge_live = self._gauge_restarting = None
             self._counter_restarts = self._gauge_breaker = None
             self._gauge_degraded = None
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        """Flight-record every breaker transition; dump the ring on open.
+
+        Breaker-open is one of the incidents the flight recorder exists
+        for — the ring at that moment holds the crashes/hangs that
+        tripped it.  The dump itself is rate-limited per reason inside
+        the recorder, so a flapping breaker costs one file per interval.
+        """
+        self.flight.record("breaker-transition", old=old, new=new)
+        if new == CircuitBreaker.OPEN:
+            self.flight.dump_incident(
+                "breaker-open", trigger={"type": "breaker-transition", "old": old}
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -495,6 +570,9 @@ class WorkerSupervisor:
     def _admit(self, worker: _Worker) -> None:
         with self._lock:
             self._workers[worker.worker_id] = worker
+        self.flight.record(
+            "worker-spawn", worker=worker.worker_id, pid=worker.pid
+        )
         self._free.put(worker)
         self._consecutive_spawn_failures = 0
 
@@ -520,12 +598,21 @@ class WorkerSupervisor:
                 return worker
             # A worker retired while sitting in the free queue: skip it.
 
-    def execute(self, items: list) -> list:
-        """Run one batch on a leased worker; raises on crash or hang."""
+    def execute(self, items: list) -> tuple[list, dict]:
+        """Run one batch on a leased worker; raises on crash or hang.
+
+        Returns ``(outcomes, timings)`` where ``timings`` holds the
+        batch's ``dispatch_s`` (lease wait) and ``execute_s`` (pipe
+        round-trip including verification) — the stage breakdown the
+        telemetry attributes to every request in the batch.
+        """
+        lease_start = time.monotonic()
         worker = self._lease()
+        dispatch_s = time.monotonic() - lease_start
         with self._lock:
             self._batch_seq += 1
             batch_id = self._batch_seq
+        execute_start = time.monotonic()
         try:
             worker.conn.send(("batch", batch_id, items))
             while True:
@@ -536,6 +623,7 @@ class WorkerSupervisor:
                 message = worker.conn.recv()
                 if message[0] == "result" and message[1] == batch_id:
                     outcomes = message[2]
+                    self.flight.absorb(message[3])
                     break
                 # Stale frame (a late pong): ignore and keep reading.
         except (EOFError, BrokenPipeError, OSError, TimeoutError) as exc:
@@ -545,15 +633,18 @@ class WorkerSupervisor:
                 f"worker {worker.worker_id} {why} mid-batch: {exc}"
             ) from exc
         self._free.put(worker)
-        return outcomes
+        return outcomes, {
+            "dispatch_s": dispatch_s,
+            "execute_s": time.monotonic() - execute_start,
+        }
 
-    def dispatch(self, items: list) -> list | None:
+    def dispatch(self, items: list) -> tuple[list, dict] | None:
         """Breaker-wrapped, bounded-retry execute.
 
-        Returns the outcomes, or None when the pool cannot serve this
-        batch (breaker open, degraded, no worker available, retries
-        exhausted) — the caller then falls back to its serial path, so
-        no client request is ever lost to a dying worker.
+        Returns ``(outcomes, timings)``, or None when the pool cannot
+        serve this batch (breaker open, degraded, no worker available,
+        retries exhausted) — the caller then falls back to its serial
+        path, so no client request is ever lost to a dying worker.
         """
         if self.degraded or self._stopping:
             return None
@@ -562,7 +653,7 @@ class WorkerSupervisor:
         failure: Exception | None = None
         for _ in range(self.config.batch_retries + 1):
             try:
-                outcomes = self.execute(items)
+                dispatched = self.execute(items)
             except PoolUnavailable as exc:
                 self.breaker.record_failure()
                 self._publish_metrics()
@@ -575,7 +666,7 @@ class WorkerSupervisor:
             else:
                 self.breaker.record_success()
                 self._publish_metrics()
-                return outcomes
+                return dispatched
         log.warning("pool dispatch failed, falling back serially: %s", failure)
         self._publish_metrics()
         return None
@@ -621,12 +712,15 @@ class WorkerSupervisor:
         finally:
             loop.remove_reader(fd)
 
-    async def execute_async(self, items: list) -> list:
+    async def execute_async(self, items: list) -> tuple[list, dict]:
         """execute(), but awaiting the pipe on the event loop."""
+        lease_start = time.monotonic()
         worker = await self._lease_async()
+        dispatch_s = time.monotonic() - lease_start
         with self._lock:
             self._batch_seq += 1
             batch_id = self._batch_seq
+        execute_start = time.monotonic()
         try:
             worker.conn.send(("batch", batch_id, items))
             while True:
@@ -634,6 +728,7 @@ class WorkerSupervisor:
                 message = worker.conn.recv()
                 if message[0] == "result" and message[1] == batch_id:
                     outcomes = message[2]
+                    self.flight.absorb(message[3])
                     break
                 # Stale frame (a late pong): ignore and keep reading.
         except asyncio.CancelledError:
@@ -648,9 +743,12 @@ class WorkerSupervisor:
                 f"worker {worker.worker_id} {why} mid-batch: {exc}"
             ) from exc
         self._free.put(worker)
-        return outcomes
+        return outcomes, {
+            "dispatch_s": dispatch_s,
+            "execute_s": time.monotonic() - execute_start,
+        }
 
-    async def dispatch_async(self, items: list) -> list | None:
+    async def dispatch_async(self, items: list) -> tuple[list, dict] | None:
         """dispatch(), breaker and retries included, on the event loop."""
         if self.degraded or self._stopping:
             return None
@@ -659,7 +757,7 @@ class WorkerSupervisor:
         failure: Exception | None = None
         for _ in range(self.config.batch_retries + 1):
             try:
-                outcomes = await self.execute_async(items)
+                dispatched = await self.execute_async(items)
             except PoolUnavailable as exc:
                 self.breaker.record_failure()
                 self._publish_metrics()
@@ -671,7 +769,7 @@ class WorkerSupervisor:
                 continue
             else:
                 self.breaker.record_success()
-                return outcomes
+                return dispatched
         log.warning("pool dispatch failed, falling back serially: %s", failure)
         self._publish_metrics()
         return None
@@ -784,6 +882,9 @@ class WorkerSupervisor:
         self.degradation.record(
             "serve", f"worker-{why}", f"worker {worker.worker_id} (pid {worker.pid})"
         )
+        self.flight.record(
+            "worker-retired", worker=worker.worker_id, pid=worker.pid, why=why
+        )
         log.warning(
             "retired worker %d (pid %d): %s", worker.worker_id, worker.pid, why
         )
@@ -797,6 +898,12 @@ class WorkerSupervisor:
             return
         self.degraded = True
         self.degradation.record("serve", "pool-degraded", why)
+        self.flight.record("pool-degraded", why=why)
+        # Restart-budget exhaustion is a forensic moment: the ring holds
+        # the retirement sequence that burned the budget.
+        self.flight.dump_incident(
+            "pool-degraded", trigger={"type": "pool-degraded", "why": why}
+        )
         log.error("worker pool degraded to serial execution: %s", why)
         self._publish_metrics()
 
@@ -841,8 +948,16 @@ class WorkerSupervisor:
             except WorkerCrash as exc:
                 self._consecutive_spawn_failures += 1
                 self._note_restart_needed(str(exc))
+                self.flight.record("worker-spawn-failed", error=str(exc)[:200])
             else:
                 self.degradation.record("serve", "worker-restarted")
+                self.flight.record(
+                    "worker-respawn",
+                    restarts=self.restarts,
+                    budget_remaining=max(
+                        0, self.config.restart_budget - self.restarts
+                    ),
+                )
 
     def _heartbeat_idle(self) -> None:
         """Ping every idle worker; retire the ones that do not answer.

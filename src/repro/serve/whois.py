@@ -15,6 +15,12 @@ under backpressure (clients should back off and retry) and
 ``%% DEADLINE <detail>`` when a ``!v`` misses its deadline.  Malformed
 commands get the stock ``F <message>`` error frame.
 
+Every ``!v`` response — verdict and error alike — is prefixed with a
+``%% id <request-id>`` comment line carrying the request's correlation
+id (the WHOIS analogue of the HTTP ``X-Request-Id`` echo; IRRd uses the
+same comment convention for its banner).  Plain lookups and the other
+bang commands stay id-free: they never enter the request core.
+
 Plain lookups and bang commands are pure dictionary reads on the IR and
 run inline on the event loop; only ``!v`` goes through the batched
 request core.
@@ -114,9 +120,19 @@ class WhoisFrontend:
 
     async def _verify(self, argument: str) -> str:
         """``!v <prefix> <asn> <asn>...`` through the shared request core."""
+        telemetry = self.service.new_telemetry("whois")
+        rid = telemetry.request_id if telemetry is not None else ""
+        prefix_comment = f"%% id {rid}\n" if rid else ""
+
+        def answer(response: str, outcome: str) -> str:
+            # Defensive close for paths the core never saw (parse errors);
+            # idempotent for responses submit() already recorded.
+            self.service.finish_telemetry(telemetry, outcome)
+            return prefix_comment + response
+
         parts = argument.split()
         if len(parts) < 2:
-            return "F usage: !v <prefix> <asn> <asn>..."
+            return answer("F usage: !v <prefix> <asn> <asn>...", "bad-request")
         try:
             # Accept both asplain ("AS174") and bare integers ("174").
             as_path = tuple(
@@ -124,17 +140,18 @@ class WhoisFrontend:
                 for part in parts[1:]
             )
         except (AsnError, ValueError) as exc:
-            return f"F invalid AS path: {exc}"
+            return answer(f"F invalid AS path: {exc}", "bad-request")
         try:
             query = Query.from_payload(
                 {"prefix": parts[0], "as_path": list(as_path), "collector": "whois"},
                 "verify",
+                request_id=rid,
             )
-            result = await self.service.submit(query)
+            result = await self.service.submit(query, telemetry)
         except BusyError as exc:
-            return f"%% BUSY {exc}"
+            return answer(f"%% BUSY {exc}", "busy")
         except DeadlineExpired as exc:
-            return f"%% DEADLINE {exc}"
+            return answer(f"%% DEADLINE {exc}", "deadline")
         except ServeError as exc:
-            return f"F {exc}"
-        return _frame(result["text"])
+            return answer(f"F {exc}", exc.code)
+        return answer(_frame(result["text"]), "ok")

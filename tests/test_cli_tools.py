@@ -93,5 +93,5 @@ class TestParserWiring:
         assert set(subparsers.choices) == {
             "synth", "parse", "verify", "compile", "stats", "metrics", "explain",
             "trace", "lint", "asrel", "classify", "recommend", "whois", "chaos",
-            "serve",
+            "serve", "debug",
         }

@@ -487,6 +487,38 @@ class TestCliMetricsFormats:
         gauges = {record["name"] for record in parsed["gauges"]}
         assert any(name.startswith("repro_phase_") for name in gauges)
 
+    def test_json_histograms_carry_cumulative_buckets(self, tmp_path, capsys):
+        """``--format json`` must spell out each histogram's cumulative
+        [le, count] pairs, aligned with what the Prometheus rendering
+        exposes — external percentile math never reverse-engineers the
+        implicit +Inf bucket."""
+        from repro.obs import cumulative_view
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "demo_seconds", buckets=(0.1, 1.0), stage="queue"
+        )
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        manifest = build_manifest("verify", registry)
+        path = tmp_path / "hist.json"
+        write_manifest(path, manifest)
+        assert main(["metrics", str(path), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        record = next(
+            r
+            for r in document["metrics"]["histograms"]
+            if r["name"] == "demo_seconds"
+        )
+        assert record["cumulative"] == [[0.1, 1], [1.0, 3], ["+Inf", 4]]
+        assert record["cumulative"] == cumulative_view(record)
+        # round-trip: the prom text's cumulative bucket samples agree
+        parsed = parse_prometheus(render_prometheus(manifest))
+        prom = next(
+            r for r in parsed["histograms"] if r["name"] == "demo_seconds"
+        )
+        assert prom["count"] == record["count"] == 4
+
     def test_out_writes_file_instead_of_stdout(self, manifest_path, tmp_path, capsys):
         out_path = tmp_path / "metrics.prom"
         assert main(

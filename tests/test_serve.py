@@ -43,10 +43,44 @@ def _http(port: int, method: str, path: str, payload: dict | None = None):
         connection.close()
 
 
+def _http_full(
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict | None = None,
+):
+    """Like :func:`_http` but also returns the response headers (lowered)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        sent = {"Content-Type": "application/json"} if body else {}
+        sent.update(headers or {})
+        connection.request(method, path, body=body, headers=sent)
+        response = connection.getresponse()
+        data = response.read()
+        received = {name.lower(): value for name, value in response.getheaders()}
+        if not data:
+            return response.status, received, None
+        try:
+            parsed = json.loads(data)
+        except json.JSONDecodeError:  # /metrics is Prometheus text
+            parsed = data.decode("utf-8", errors="replace")
+        return response.status, received, parsed
+    finally:
+        connection.close()
+
+
 def _verify_payload(entry, **extra) -> dict:
     payload = {"prefix": str(entry.prefix), "as_path": list(entry.as_path)}
     payload.update(extra)
     return payload
+
+
+def _strip_id(response: str) -> str:
+    """Peel the ``%% id <rid>`` comment every ``!v`` response leads with."""
+    assert re.match(r"%% id [-A-Za-z0-9_.:/+=]{1,128}\n", response), response[:80]
+    return response.split("\n", 1)[1]
 
 
 @pytest.fixture(scope="module")
@@ -141,8 +175,8 @@ class TestWhoisFrontend:
             verifier.verify_route(str(entry.prefix), entry.as_path, collector="serve")
         )
         path = " ".join(str(asn) for asn in entry.as_path)
-        framed = whois_query(
-            "127.0.0.1", handle.whois_port, f"!v {entry.prefix} {path}"
+        framed = _strip_id(
+            whois_query("127.0.0.1", handle.whois_port, f"!v {entry.prefix} {path}")
         )
         assert framed.startswith("A")
         payload = framed[framed.index("\n") + 1 :]
@@ -150,7 +184,9 @@ class TestWhoisFrontend:
         assert payload[: -len("\nC") or None].rstrip("\nC") == expected.rstrip()
 
     def test_bang_verify_bad_input(self, handle):
-        response = whois_query("127.0.0.1", handle.whois_port, "!v nonsense")
+        response = _strip_id(
+            whois_query("127.0.0.1", handle.whois_port, "!v nonsense")
+        )
         assert response.startswith("F ")
 
 
@@ -281,7 +317,7 @@ class TestDrainPaths:
                     running.whois_port,
                     f"!v {entry.prefix} {path}",
                 )
-                assert response.startswith("%% BUSY")
+                assert _strip_id(response).startswith("%% BUSY")
 
 
 class TestConcurrency:
@@ -380,6 +416,260 @@ class TestWarmLatencyMetrics:
             histogram["name"] == "serve_request_seconds"
             for histogram in parsed["histograms"]
         )
+
+
+class TestRequestIds:
+    def test_client_id_is_echoed_everywhere(self, handle, tiny_routes):
+        """One correlation id greps the whole story: response header,
+        flight-recorder request event, and the access-log record."""
+        rid = "test-correlation-0001"
+        status, headers, body = _http_full(
+            handle.http_port,
+            "POST",
+            "/verify",
+            _verify_payload(tiny_routes[0]),
+            headers={"X-Request-Id": rid},
+        )
+        assert status == 200
+        assert headers["x-request-id"] == rid
+        events = handle.daemon.service.flight.events(request_id=rid)
+        assert any(event["type"] == "request" for event in events)
+        request_event = next(e for e in events if e["type"] == "request")
+        assert request_event["outcome"] == "ok"
+        assert request_event["frontend"] == "http"
+        assert request_event["endpoint"] == "verify"
+
+    def test_missing_id_gets_generated(self, handle):
+        status, headers, _ = _http_full(handle.http_port, "GET", "/healthz")
+        assert status == 200
+        assert re.fullmatch(r"[0-9a-f]{32}", headers["x-request-id"])
+
+    def test_dirty_id_is_replaced_not_propagated(self, handle):
+        status, headers, _ = _http_full(
+            handle.http_port,
+            "GET",
+            "/healthz",
+            headers={"X-Request-Id": "has spaces and\ttabs"},
+        )
+        assert status == 200
+        assert re.fullmatch(r"[0-9a-f]{32}", headers["x-request-id"])
+
+    def test_error_responses_carry_the_id(self, handle):
+        rid = "bad-req-42"
+        status, headers, body = _http_full(
+            handle.http_port,
+            "POST",
+            "/verify",
+            {"prefix": "not-a-prefix"},
+            headers={"X-Request-Id": rid},
+        )
+        assert status == 400
+        assert headers["x-request-id"] == rid
+        assert body["error"] == "bad-request"
+
+    def test_whois_id_lands_in_the_flight_ring(self, handle, tiny_routes):
+        entry = tiny_routes[0]
+        path = " ".join(str(asn) for asn in entry.as_path)
+        response = whois_query(
+            "127.0.0.1", handle.whois_port, f"!v {entry.prefix} {path}"
+        )
+        rid = response.split("\n", 1)[0].split()[-1]
+        events = handle.daemon.service.flight.events(request_id=rid)
+        request_event = next(e for e in events if e["type"] == "request")
+        assert request_event["frontend"] == "whois"
+        assert request_event["outcome"] == "ok"
+
+
+class TestServeTelemetry:
+    def test_metrics_content_type_is_prometheus(self, handle):
+        from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+        status, headers, _ = _http_full(handle.http_port, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+
+    def test_json_endpoints_send_application_json(self, handle, tiny_routes):
+        for status_expected, method, path, payload in (
+            (200, "GET", "/healthz", None),
+            (200, "POST", "/verify", _verify_payload(tiny_routes[0])),
+            (404, "GET", "/nope", None),
+        ):
+            status, headers, _ = _http_full(
+                handle.http_port, method, path, payload
+            )
+            assert status == status_expected
+            assert headers["content-type"].startswith("application/json")
+
+    def test_debug_flight_endpoint(self, handle, tiny_routes):
+        rid = "debug-flight-probe"
+        _http_full(
+            handle.http_port,
+            "POST",
+            "/verify",
+            _verify_payload(tiny_routes[0]),
+            headers={"X-Request-Id": rid},
+        )
+        status, headers, body = _http_full(
+            handle.http_port, "GET", f"/debug/flight?id={rid}"
+        )
+        assert status == 200
+        assert body["enabled"] is True
+        assert body["stats"]["capacity"] > 0
+        assert all(event["id"] == rid for event in body["events"])
+        assert any(event["type"] == "request" for event in body["events"])
+        # type + limit filters
+        status, _, body = _http_full(
+            handle.http_port, "GET", "/debug/flight?type=request&limit=3"
+        )
+        assert status == 200
+        assert len(body["events"]) <= 3
+        assert all(event["type"] == "request" for event in body["events"])
+        # malformed numbers are a client error, not a 500
+        status, _, body = _http_full(
+            handle.http_port, "GET", "/debug/flight?limit=banana"
+        )
+        assert status == 400
+
+    def test_stage_and_queue_wait_histograms(self, handle, tiny_routes):
+        for entry in tiny_routes[:5]:
+            _http(handle.http_port, "POST", "/verify", _verify_payload(entry))
+        status, _, _ = _http_full(handle.http_port, "GET", "/healthz")
+        assert status == 200
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.http_port, timeout=10
+        )
+        try:
+            connection.request("GET", "/metrics")
+            text = connection.getresponse().read().decode()
+        finally:
+            connection.close()
+        parsed = parse_prometheus(text)
+        stages_seen = {
+            histogram["labels"].get("stage")
+            for histogram in parsed["histograms"]
+            if histogram["name"] == "serve_stage_seconds"
+        }
+        assert {"accept", "queue", "coalesce", "execute", "respond"} <= stages_seen
+        wait_outcomes = {
+            histogram["labels"].get("outcome")
+            for histogram in parsed["histograms"]
+            if histogram["name"] == "serve_queue_wait_seconds"
+        }
+        assert "executed" in wait_outcomes
+
+    def test_access_log_schema_and_slow_promotion(
+        self, tiny_world, tiny_routes, tmp_path
+    ):
+        """Every request writes one JSONL access-log record matching the
+        documented schema; with a tiny --slow-ms everything is also
+        promoted to the slow log."""
+        access = tmp_path / "access.jsonl"
+        with api.open_session(
+            tiny_world, registry=MetricsRegistry(), use_cache=False
+        ) as session:
+            daemon = ServeDaemon(
+                session,
+                ServeConfig(
+                    http_port=0,
+                    access_log=str(access),
+                    slow_ms=0.0001,
+                    incident_dir=str(tmp_path),
+                ),
+            )
+            with daemon.start_in_thread() as running:
+                rid = "access-log-probe"
+                status, headers, _ = _http_full(
+                    running.http_port,
+                    "POST",
+                    "/verify",
+                    _verify_payload(tiny_routes[0]),
+                    headers={"X-Request-Id": rid},
+                )
+                assert status == 200
+        records = [
+            json.loads(line) for line in access.read_text().splitlines() if line
+        ]
+        assert records, "access log is empty"
+        record = next(r for r in records if r["id"] == rid)
+        assert {
+            "ts", "id", "frontend", "endpoint", "outcome", "verdicts",
+            "total_ms", "stages_ms",
+        } <= set(record)
+        assert record["frontend"] == "http"
+        assert record["endpoint"] == "verify"
+        assert record["outcome"] == "ok"
+        assert record["verdicts"] >= 1
+        assert set(record["stages_ms"]) == {
+            "accept", "queue", "coalesce", "dispatch", "execute", "respond",
+        }
+        assert record["total_ms"] > 0
+        slow = access.with_name(access.name + ".slow")
+        slow_records = [
+            json.loads(line) for line in slow.read_text().splitlines() if line
+        ]
+        assert any(r["id"] == rid for r in slow_records)
+
+    def test_worker_pool_stamps_request_id_in_worker_process(
+        self, tiny_world, tiny_routes, tmp_path
+    ):
+        """The acceptance criterion: the correlation id must reach events
+        recorded *inside* the worker process and ride back to the
+        parent's flight ring."""
+        with api.open_session(
+            tiny_world, registry=MetricsRegistry(), use_cache=False
+        ) as session:
+            daemon = ServeDaemon(
+                session,
+                ServeConfig(
+                    http_port=0, workers=1, incident_dir=str(tmp_path)
+                ),
+            )
+            with daemon.start_in_thread() as running:
+                rid = "worker-side-probe"
+                status, headers, _ = _http_full(
+                    running.http_port,
+                    "POST",
+                    "/verify",
+                    _verify_payload(tiny_routes[0]),
+                    headers={"X-Request-Id": rid},
+                )
+                assert status == 200
+                assert headers["x-request-id"] == rid
+                events = daemon.service.flight.events(request_id=rid)
+                executes = [
+                    e for e in events if e["type"] == "worker-execute"
+                ]
+                assert executes, f"no worker-execute event for {rid}: {events}"
+                assert all(e["pid"] != os.getpid() for e in executes)
+                assert executes[0]["outcome"] == "ok"
+
+    def test_telemetry_off_serves_without_ids(self, tiny_world, tiny_routes):
+        with api.open_session(
+            tiny_world, registry=MetricsRegistry(), use_cache=False
+        ) as session:
+            daemon = ServeDaemon(
+                session,
+                ServeConfig(http_port=0, whois_port=0, telemetry=False,
+                            flight_events=0),
+            )
+            with daemon.start_in_thread() as running:
+                status, headers, body = _http_full(
+                    running.http_port,
+                    "POST",
+                    "/verify",
+                    _verify_payload(tiny_routes[0]),
+                )
+                assert status == 200
+                assert "x-request-id" not in headers
+                entry = tiny_routes[0]
+                path = " ".join(str(asn) for asn in entry.as_path)
+                framed = whois_query(
+                    "127.0.0.1",
+                    running.whois_port,
+                    f"!v {entry.prefix} {path}",
+                )
+                assert framed.startswith("A")  # no %% id comment
+                assert not daemon.service.flight.enabled
 
 
 class TestQueryValidation:

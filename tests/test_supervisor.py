@@ -346,3 +346,185 @@ class TestAdaptiveShedding:
             assert statuses.count(429) >= 1
             health = daemon.service.health()
             assert health["shed_total"] >= 1
+
+
+@pytest.fixture
+def fresh_session(tiny_world):
+    """A function-scoped session: the service attaches its flight
+    recorder to the session, so a shared one would leak ring contents
+    and incident rate-limits between daemons."""
+    with api.open_session(
+        tiny_world, registry=MetricsRegistry(), use_cache=False
+    ) as session:
+        yield session
+
+
+@pytest.mark.slow
+class TestFlightUnderChaos:
+    """The flight ring must reconstruct worker churn coherently — the
+    event *sequence* after a chaos action is the diagnosis."""
+
+    def _wait_for(self, predicate, timeout=15.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.05)
+        return predicate()
+
+    def test_sigkill_mid_flood_ring_sequence(self, fresh_session, tiny_routes):
+        """SIGKILL a worker mid-flood: the ring must show its spawn, a
+        retirement (crashed), and the replacement's respawn — in order."""
+        daemon = ServeDaemon(
+            fresh_session,
+            ServeConfig(
+                http_port=0,
+                workers=2,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.5,
+                shed_target=0.0,
+            ),
+        )
+        with daemon.start_in_thread() as running:
+            service = daemon.service
+            supervisor = service.supervisor
+            victim = supervisor.worker_pids()[0]
+            service.fault_hook = lambda queries: time.sleep(0.02)
+            try:
+                entries = [tiny_routes[i % len(tiny_routes)] for i in range(30)]
+                with ThreadPoolExecutor(max_workers=12) as executor:
+                    futures = [
+                        executor.submit(
+                            _http, running.http_port, "POST", "/verify",
+                            _payload(entry),
+                        )
+                        for entry in entries
+                    ]
+                    time.sleep(0.1)
+                    KillServeWorker()(victim)
+                    results = [future.result() for future in futures]
+            finally:
+                service.fault_hook = None
+            assert [status for status, _ in results].count(200) == len(entries)
+            assert self._wait_for(
+                lambda: service.flight.events(types=("worker-respawn",))
+            )
+            events = service.flight.events()
+            order = [
+                (event["type"], event.get("pid"))
+                for event in events
+                if event["type"] in
+                ("worker-spawn", "worker-retired", "worker-respawn")
+            ]
+            spawn_at = order.index(("worker-spawn", victim))
+            retired = next(
+                event for event in events
+                if event["type"] == "worker-retired" and event["pid"] == victim
+            )
+            assert retired["why"] == "crashed"
+            retired_at = order.index(("worker-retired", victim))
+            respawn_at = max(
+                i for i, (kind, _) in enumerate(order) if kind == "worker-respawn"
+            )
+            assert spawn_at < retired_at < respawn_at
+            # the respawned replacement is itself admitted to the ring
+            spawned_pids = [pid for kind, pid in order if kind == "worker-spawn"]
+            assert len(spawned_pids) >= 3  # 2 initial + >= 1 replacement
+
+    def test_sigstop_heartbeat_replacement_ring_sequence(self, fresh_session):
+        """A SIGSTOPped worker misses heartbeats: the ring must show
+        retirement with why=hung followed by the replacement spawn."""
+        daemon = ServeDaemon(
+            fresh_session,
+            ServeConfig(
+                http_port=0,
+                workers=1,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.5,
+                shed_target=0.0,
+            ),
+        )
+        with daemon.start_in_thread():
+            service = daemon.service
+            supervisor = service.supervisor
+            victim = supervisor.worker_pids()[0]
+            HungWorker()(victim)
+            assert self._wait_for(
+                lambda: (pids := supervisor.worker_pids())
+                and victim not in pids
+            )
+            assert self._wait_for(
+                lambda: service.flight.events(types=("worker-respawn",))
+            )
+            events = service.flight.events(
+                types=("worker-spawn", "worker-retired", "worker-respawn")
+            )
+            retired = next(
+                event for event in events
+                if event["type"] == "worker-retired" and event["pid"] == victim
+            )
+            assert retired["why"] == "hung"
+            retired_at = events.index(retired)
+            kinds_after = [event["type"] for event in events[retired_at + 1 :]]
+            assert "worker-respawn" in kinds_after
+            assert "worker-spawn" in kinds_after  # the replacement admitted
+
+    def test_incident_dump_mid_flood_parses_with_trigger(
+        self, fresh_session, tiny_routes, tmp_path
+    ):
+        """Exhausting the restart budget mid-flood dumps the ring; the
+        dump must parse and carry the triggering event."""
+        from repro.obs import read_flight_events
+
+        daemon = ServeDaemon(
+            fresh_session,
+            ServeConfig(
+                http_port=0,
+                workers=1,
+                restart_budget=0,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=0.5,
+                shed_target=0.0,
+                incident_dir=str(tmp_path),
+            ),
+        )
+        with daemon.start_in_thread() as running:
+            service = daemon.service
+            supervisor = service.supervisor
+            victim = supervisor.worker_pids()[0]
+            service.fault_hook = lambda queries: time.sleep(0.02)
+            try:
+                entries = [tiny_routes[i % len(tiny_routes)] for i in range(20)]
+                with ThreadPoolExecutor(max_workers=8) as executor:
+                    futures = [
+                        executor.submit(
+                            _http, running.http_port, "POST", "/verify",
+                            _payload(entry),
+                        )
+                        for entry in entries
+                    ]
+                    time.sleep(0.05)
+                    KillServeWorker()(victim)
+                    results = [future.result() for future in futures]
+            finally:
+                service.fault_hook = None
+            # With a zero budget the pool cannot heal: requests caught
+            # behind the dead worker's lease window may miss their
+            # deadline.  The contract here is the incident dump, not
+            # zero loss — every answer must still be structured.
+            statuses = [status for status, _ in results]
+            assert set(statuses) <= {200, 429, 504}
+            assert statuses.count(200) >= 1
+            assert self._wait_for(lambda: supervisor.degraded)
+            assert self._wait_for(
+                lambda: list(tmp_path.glob("flight-*-pool-degraded-*.jsonl"))
+            )
+        dump = next(tmp_path.glob("flight-*-pool-degraded-*.jsonl"))
+        header, events = read_flight_events(dump)
+        assert header["reason"] == "pool-degraded"
+        assert header["trigger"]["type"] == "pool-degraded"
+        kinds = [event["type"] for event in events]
+        assert "worker-retired" in kinds
+        assert "pool-degraded" in kinds
+        # the ring reconstructs the kill -> degrade chain in order
+        assert kinds.index("worker-retired") < kinds.index("pool-degraded")
